@@ -1,0 +1,83 @@
+// Ablation of the future-work extension the paper proposes in Section 10:
+// "The effectiveness of our clustering approach can be further enhanced by
+// resolving inconsistent overlaps during cluster formation. By reducing the
+// largest cluster size, this will increase available parallelism during the
+// assembly phase."
+//
+// We cluster repeat-heavy unmasked WGS data with and without the
+// inconsistent-overlap resolution: accepted overlaps imply relative
+// placements (orientation + offset); merges whose placement contradicts the
+// cluster's layout are refused. Expectation: the largest cluster shrinks
+// and cluster purity improves, at a small bookkeeping cost.
+//
+//   ./ablation_consistency --bp 500000 --ranks 4
+#include "bench_util.hpp"
+#include "core/parallel_cluster.hpp"
+
+using namespace pgasm;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::uint64_t bp = flags.get_u64("bp", 400'000);
+  const int ranks = static_cast<int>(flags.get_i64("ranks", 4));
+  const std::uint64_t seed = flags.get_u64("seed", 23);
+  flags.finish();
+
+  bench::print_header(
+      "Extension ablation — resolving inconsistent overlaps (paper §10 "
+      "future work)",
+      "largest cluster shrinks, purity improves, parallelism for the "
+      "assembly phase grows");
+
+  // Repeat-heavy genome, masking off: the stress case where single-linkage
+  // chains unrelated regions through repeats.
+  const std::uint64_t genome_len =
+      static_cast<std::uint64_t>(static_cast<double>(bp) / 8.8);
+  sim::GenomeParams gp;
+  gp.length = genome_len;
+  gp.seed = seed;
+  gp.gene_fraction = 0.2;
+  gp.unclonable_fraction = 0.04;
+  sim::RepeatFamilyParams young{.element_length = 700, .copies = 0,
+                                .divergence = 0.005};
+  young.copies = static_cast<std::uint32_t>(genome_len / 12 / 700);
+  gp.repeat_families = {young};
+  const auto genome = sim::simulate_genome(gp);
+  util::Prng rng(seed + 1);
+  sim::ReadSet rs;
+  sim::ReadParams rp;
+  rp.len_mean = 550;
+  rp.len_spread = 120;
+  sim::sample_wgs(rs, genome, 8.8, rp, rng);
+
+  preprocess::PreprocessParams pp;
+  pp.mask_repeats = false;
+  const auto pre = preprocess::preprocess(rs.store, sim::vector_library(), pp);
+  std::vector<sim::ReadTruth> kept_truth;
+  for (auto id : pre.kept_ids) kept_truth.push_back(rs.truth[id]);
+
+  auto params = bench::bench_cluster_params();
+  util::Table t({"mode", "clusters", "largest cluster", "merges refused",
+                 "purity", "modeled (s)"});
+  for (const bool resolve : {false, true}) {
+    params.resolve_inconsistent = resolve;
+    const auto result = core::cluster_parallel(pre.store, params, ranks);
+    const auto summary = pipeline::summarize_clusters(result.clusters);
+    const auto sets = result.clusters.extract_sets();
+    std::vector<std::vector<std::uint32_t>> cluster_sets(sets.begin(),
+                                                         sets.end());
+    const auto purity = pipeline::evaluate_purity(cluster_sets, kept_truth);
+    t.add_row({resolve ? "resolve inconsistent" : "single linkage",
+               util::fmt_count(summary.num_clusters),
+               util::fmt_percent(summary.max_cluster_fraction, 2),
+               util::fmt_count(result.stats.merges_rejected_inconsistent),
+               util::fmt_percent(purity.purity),
+               util::fmt_double(result.stats.cluster_modeled_seconds, 4)});
+  }
+  t.print();
+  std::printf(
+      "\nexpected shape: with resolution, placements through different "
+      "repeat copies\nconflict, so the giant repeat-fused cluster breaks up "
+      "and purity rises.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ablation of the paper's central heuristic (Section 4/5): generating
+// promising pairs in decreasing maximal-match-length order drives early
+// cluster merges, so later pairs are skipped without alignment. Processing
+// the same pairs in arbitrary (shuffled) order must yield the same final
+// clustering (transitive closure) but compute more alignments.
+//
+// Also ablates duplicate elimination (Section 5): fragment-level generation
+// emits a pair at most once per node; suffix-level generation emits every
+// maximal match.
+//
+//   ./ablation_pair_order --bp 500000
+#include "bench_util.hpp"
+#include "core/serial_cluster.hpp"
+#include "gst/pair_generator.hpp"
+#include "gst/suffix_tree.hpp"
+
+using namespace pgasm;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::uint64_t bp = flags.get_u64("bp", 400'000);
+  const std::uint64_t seed = flags.get_u64("seed", 3);
+  flags.finish();
+
+  bench::print_header(
+      "Ablation — decreasing maximal-match order & duplicate elimination",
+      "paper §5: ordering reduces alignments without changing the "
+      "clustering; dup-elim reduces generated pairs");
+
+  // Repeat-heavy WGS with masking off: this is where ordering matters —
+  // repeat-induced pairs carry short maximal matches and mostly fail the
+  // alignment test, while true overlaps carry long matches. Processing
+  // long matches first merges clusters before the junk pairs arrive.
+  const std::uint64_t genome_len =
+      static_cast<std::uint64_t>(static_cast<double>(bp) / 8.8);
+  sim::GenomeParams gp;
+  gp.length = genome_len;
+  gp.seed = seed;
+  gp.gene_fraction = 0.2;
+  gp.unclonable_fraction = 0.04;
+  sim::RepeatFamilyParams old_fam{.element_length = 600, .copies = 0,
+                                  .divergence = 0.05};
+  old_fam.copies = static_cast<std::uint32_t>(genome_len * 30 / 100 / 600);
+  gp.repeat_families = {old_fam};
+  const auto genome = sim::simulate_genome(gp);
+  util::Prng rng(seed + 1);
+  sim::ReadSet rs;
+  sim::ReadParams rp;
+  rp.len_mean = 550;
+  rp.len_spread = 120;
+  sim::sample_wgs(rs, genome, 8.8, rp, rng);
+  preprocess::PreprocessParams pp;
+  pp.mask_repeats = false;  // leave the repeats in: the stress case
+  const auto pre = preprocess::preprocess(rs.store, sim::vector_library(), pp);
+  std::printf("input: %s fragments, %s bp\n",
+              util::fmt_count(pre.store.size()).c_str(),
+              util::fmt_count(pre.store.total_length()).c_str());
+
+  // --- pair processing order ----------------------------------------------
+  auto params = bench::bench_cluster_params();
+  util::Table t({"pair order", "pairs generated", "pairs aligned",
+                 "alignments saved", "clusters", "wall (s)"});
+  std::size_t clusters_ordered = 0, clusters_shuffled = 0;
+  for (const bool ordered : {true, false}) {
+    params.ordered = ordered;
+    params.overlap.min_identity = 0.95;
+    params.overlap.min_overlap = 50;
+    util::WallTimer timer;
+    const auto result = core::cluster_serial(pre.store, params);
+    (ordered ? clusters_ordered : clusters_shuffled) =
+        result.clusters.num_sets();
+    t.add_row({ordered ? "decreasing match length" : "shuffled",
+               util::fmt_count(result.stats.pairs_generated),
+               util::fmt_count(result.stats.pairs_aligned),
+               util::fmt_percent(result.stats.savings_fraction()),
+               util::fmt_count(result.clusters.num_sets()),
+               util::fmt_double(timer.elapsed(), 2)});
+  }
+  t.print();
+  std::printf("same final clustering: %s (must be yes — transitive closure)\n",
+              clusters_ordered == clusters_shuffled ? "yes" : "NO (bug!)");
+
+  // --- duplicate elimination -----------------------------------------------
+  std::printf("\n");
+  const auto doubled = seq::make_doubled_store(pre.store);
+  gst::SuffixTree tree(doubled,
+                       gst::GstParams{.min_match = params.psi, .prefix_w = 0});
+  util::Table t2({"generation mode", "pairs emitted", "memory (MB)"});
+  for (const bool dup_elim : {true, false}) {
+    gst::PairGenerator gen(tree,
+                           {.dup_elim = dup_elim, .doubled_input = true});
+    gst::PromisingPair p;
+    std::uint64_t n = 0, peak_mem = 0;
+    while (gen.next(p)) {
+      ++n;
+      if ((n & 0xFFF) == 0) peak_mem = std::max(peak_mem, gen.memory_bytes());
+    }
+    peak_mem = std::max(peak_mem, gen.memory_bytes());
+    t2.add_row({dup_elim ? "fragment-level (dup elim)"
+                         : "suffix-level (all maximal matches)",
+                util::fmt_count(n),
+                util::fmt_double(static_cast<double>(peak_mem) / 1e6, 1)});
+  }
+  t2.print();
+  std::printf(
+      "\nexpected shape: ordered processing aligns strictly fewer pairs "
+      "with the\nsame final clustering; dup-elim emits fewer (or equal) "
+      "pairs than suffix-level.\n");
+  return 0;
+}

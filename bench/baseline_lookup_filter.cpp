@@ -1,0 +1,123 @@
+// Baseline comparison (paper Section 2): the classic fixed-length
+// lookup-table filter vs the paper's maximal-match promising-pair
+// generator, on the same preprocessed maize-style data.
+//
+// The paper's argument: a long exact match of length l shows up as
+// (l - w + 1) w-mer hits in the lookup table, the table is exponential in
+// w (so w stays 10-11), and the table cannot order pairs by match quality.
+// The GST generator emits each fragment pair at most once per *distinct
+// maximal match*, in decreasing match-length order, in O(N) space.
+//
+//   ./baseline_lookup_filter --bp 400000 --w 11
+#include "bench_util.hpp"
+#include "gst/lookup_filter.hpp"
+#include "gst/pair_generator.hpp"
+#include "gst/suffix_tree.hpp"
+#include "util/union_find.hpp"
+
+using namespace pgasm;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::uint64_t bp = flags.get_u64("bp", 400'000);
+  const std::uint32_t w =
+      static_cast<std::uint32_t>(flags.get_u64("w", 11));
+  const std::uint32_t psi =
+      static_cast<std::uint32_t>(flags.get_u64("psi", 20));
+  const std::uint64_t seed = flags.get_u64("seed", 12);
+  flags.finish();
+
+  bench::print_header(
+      "Baseline — w-mer lookup-table filter vs GST maximal-match generator "
+      "(paper §2 vs §5)",
+      "pair volume, filter memory, and clustering alignment work");
+
+  const auto rs = bench::maize_dataset(bp, seed);
+  preprocess::PreprocessParams pp;
+  pp.repeat.sample_fraction = 1.0;
+  const auto pre = preprocess::preprocess(rs.store, sim::vector_library(), pp);
+  const auto doubled = seq::make_doubled_store(pre.store);
+  std::printf("input: %s fragments, %s bp (doubled for both filters)\n",
+              util::fmt_count(pre.store.size()).c_str(),
+              util::fmt_count(pre.store.total_length()).c_str());
+
+  const align::OverlapParams overlap{
+      .scoring = {}, .min_overlap = 40, .min_identity = 0.93, .band = 10};
+
+  struct Run {
+    std::string name;
+    std::uint64_t pairs = 0;
+    std::uint64_t aligned = 0;
+    std::uint64_t memory = 0;
+    double seconds = 0;
+    std::size_t clusters = 0;
+  };
+  std::vector<Run> runs;
+
+  // --- GST maximal-match generator (the paper's filter) -------------------
+  {
+    Run run{.name = "GST maximal matches (psi=" + std::to_string(psi) + ")"};
+    util::WallTimer timer;
+    gst::SuffixTree tree(doubled,
+                         gst::GstParams{.min_match = psi, .prefix_w = 0});
+    gst::PairGenerator gen(tree, {.dup_elim = true, .doubled_input = true});
+    util::UnionFind uf(pre.store.size());
+    gst::PromisingPair p;
+    while (gen.next(p)) {
+      ++run.pairs;
+      const std::uint32_t fa = p.seq_a >> 1, fb = p.seq_b >> 1;
+      if (uf.same(fa, fb)) continue;
+      ++run.aligned;
+      if (core::pair_overlaps(doubled, p.seq_a, p.pos_a, p.seq_b, p.pos_b,
+                              overlap)) {
+        uf.unite(fa, fb);
+      }
+    }
+    run.memory = tree.memory_bytes() + gen.memory_bytes();
+    run.seconds = timer.elapsed();
+    run.clusters = uf.num_sets();
+    runs.push_back(run);
+  }
+
+  // --- Lookup-table filter (the classic baseline) --------------------------
+  for (const bool dedup : {false, true}) {
+    Run run{.name = std::string("lookup table w=") + std::to_string(w) +
+                    (dedup ? " (dedup/word)" : " (raw)")};
+    util::WallTimer timer;
+    gst::LookupFilter filter(
+        doubled, {.w = w, .doubled_input = true, .dedup_per_word = dedup});
+    util::UnionFind uf(pre.store.size());
+    gst::PromisingPair p;
+    while (filter.next(p)) {
+      ++run.pairs;
+      const std::uint32_t fa = p.seq_a >> 1, fb = p.seq_b >> 1;
+      if (uf.same(fa, fb)) continue;
+      ++run.aligned;
+      if (core::pair_overlaps(doubled, p.seq_a, p.pos_a, p.seq_b, p.pos_b,
+                              overlap)) {
+        uf.unite(fa, fb);
+      }
+    }
+    run.memory = filter.stats().table_bytes;
+    run.seconds = timer.elapsed();
+    run.clusters = uf.num_sets();
+    runs.push_back(run);
+  }
+
+  util::Table t({"filter", "pairs emitted", "pairs aligned", "filter memory",
+                 "wall (s)", "clusters"});
+  for (const auto& run : runs) {
+    t.add_row({run.name, util::fmt_count(run.pairs),
+               util::fmt_count(run.aligned), util::fmt_bytes(run.memory),
+               util::fmt_double(run.seconds, 2),
+               util::fmt_count(run.clusters)});
+  }
+  t.print();
+  std::printf(
+      "\nexpected shape (paper §2/§5): the lookup table emits each long "
+      "overlap\n(l - w + 1) times and costs 4^w table slots; the GST "
+      "generator emits each\npair once per distinct maximal match, in "
+      "quality order, in O(N) space.\nNote the clusterings agree where the "
+      "criteria coincide.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared dataset builders and reporting helpers for the bench binaries.
+//
+// Each bench regenerates one table or figure of the paper at a scaled-down
+// size (see DESIGN.md section 6 for the scaling map). Datasets are
+// deterministic in the seed so EXPERIMENTS.md numbers are replayable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "pipeline/pipeline.hpp"
+#include "pipeline/validation.hpp"
+#include "sim/community.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+#include "util/flags.hpp"
+#include "util/stats.hpp"
+
+namespace pgasm::bench {
+
+/// Maize-style mixed dataset (MF + HC + BAC + WGS) over a repeat-rich
+/// genome, sized so the read set totals roughly `target_bp` characters.
+inline sim::ReadSet maize_dataset(std::uint64_t target_bp,
+                                  std::uint64_t seed) {
+  // Reads average ~650 bp; the genome is sized for ~2.5X total coverage,
+  // mirroring the pilot project's mixture of deep genic / shallow genomic.
+  const std::uint64_t genome_len = target_bp / 5 * 2;
+  const auto genome = sim::simulate_genome(sim::maize_like(genome_len, seed));
+  util::Prng rng(seed + 1);
+  sim::ReadSet rs;
+  sim::ReadParams rp;
+  rp.len_mean = 650;
+  rp.len_spread = 150;
+  const std::uint64_t enriched_bp = target_bp * 3 / 10;  // MF + HC ~60%
+  const std::size_t enriched_n = enriched_bp / rp.len_mean;
+  sim::sample_gene_enriched(rs, genome, enriched_n, 0.90, rp, rng,
+                            seq::FragType::kMF);
+  sim::sample_gene_enriched(rs, genome, enriched_n, 0.85, rp, rng,
+                            seq::FragType::kHC);
+  sim::sample_bac(rs, genome, 2,
+                  static_cast<std::uint32_t>(genome_len / 20), 0.5, rp, rng);
+  // Fill the remainder with WGS.
+  const std::uint64_t have = rs.store.total_length();
+  if (have < target_bp) {
+    const double cov = static_cast<double>(target_bp - have) /
+                       static_cast<double>(genome_len);
+    sim::sample_wgs(rs, genome, cov, rp, rng);
+  }
+  return rs;
+}
+
+/// Uniform WGS dataset (Drosophila-style) totalling ~target_bp.
+inline sim::ReadSet wgs_dataset(std::uint64_t target_bp, double coverage,
+                                std::uint64_t seed) {
+  const std::uint64_t genome_len =
+      static_cast<std::uint64_t>(static_cast<double>(target_bp) / coverage);
+  const auto genome =
+      sim::simulate_genome(sim::shotgun_like(genome_len, seed));
+  util::Prng rng(seed + 1);
+  sim::ReadSet rs;
+  sim::ReadParams rp;
+  rp.len_mean = 550;
+  rp.len_spread = 120;
+  sim::sample_wgs(rs, genome, coverage, rp, rng);
+  return rs;
+}
+
+/// Environmental (Sargasso-style) dataset totalling ~target_bp.
+inline sim::ReadSet env_dataset(std::uint64_t target_bp, std::uint32_t species,
+                                std::uint64_t seed) {
+  sim::CommunityParams cp;
+  cp.num_species = species;
+  cp.genome_len_min = 8'000;
+  cp.genome_len_max = 40'000;
+  cp.seed = seed;
+  const auto community = sim::simulate_community(cp);
+  util::Prng rng(seed + 1);
+  sim::ReadSet rs;
+  sim::ReadParams rp;
+  rp.len_mean = 600;
+  rp.len_spread = 120;
+  sim::sample_community(rs, community, target_bp / rp.len_mean, rp, rng);
+  return rs;
+}
+
+/// Clustering parameters used across benches (the paper's regime scaled).
+inline core::ClusterParams bench_cluster_params() {
+  core::ClusterParams p;
+  p.psi = 20;
+  p.prefix_w = 6;
+  p.overlap.min_overlap = 40;
+  p.overlap.min_identity = 0.93;
+  p.overlap.band = 10;
+  p.batch_size = 128;
+  return p;
+}
+
+inline void print_header(const char* paper_ref, const char* what) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", paper_ref);
+  std::printf("%s\n", what);
+  std::printf("=====================================================\n");
+}
+
+}  // namespace pgasm::bench

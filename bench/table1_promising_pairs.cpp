@@ -1,0 +1,61 @@
+// Reproduces paper Table 1: the number of promising pairs generated,
+// aligned, and accepted as a function of input size on maize-style data,
+// and the fraction of generated pairs never aligned (the clustering
+// heuristic's savings).
+//
+// Paper row (1252 Mbp): 48.4M generated, 27.2M aligned, 1.1M accepted,
+// 43.9% savings; savings were 22% on other data — i.e. highly data
+// dependent but always substantial, and accepted pairs are a small
+// fraction of aligned. Growth in generated pairs is super-linear in N
+// (repeats that survive masking).
+//
+//   ./table1_promising_pairs --sizes 250000,500000,1000000,1250000
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "core/serial_cluster.hpp"
+
+using namespace pgasm;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::string sizes_str =
+      flags.get_string("sizes", "250000,500000,1000000,1250000");
+  const std::uint64_t seed = flags.get_u64("seed", 17);
+  flags.finish();
+
+  std::vector<std::uint64_t> sizes;
+  std::stringstream ss(sizes_str);
+  for (std::string tok; std::getline(ss, tok, ',');) {
+    sizes.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+  }
+
+  bench::print_header(
+      "Table 1 — promising pairs generated / aligned / accepted vs N",
+      "paper: 250-1252 Mbp maize; here: same series scaled ~1000x "
+      "(maize-style mixture, preprocessed, serial clustering)");
+
+  util::Table t({"input bp (N)", "fragments (n)", "pairs generated",
+                 "pairs aligned", "pairs accepted", "% savings"});
+  const auto params = bench::bench_cluster_params();
+  for (const auto bp : sizes) {
+    const auto rs = bench::maize_dataset(bp, seed);
+    preprocess::PreprocessParams pp;
+    pp.repeat.sample_fraction = 1.0;
+    const auto pre =
+        preprocess::preprocess(rs.store, sim::vector_library(), pp);
+    const auto result = core::cluster_serial(pre.store, params);
+    t.add_row({util::fmt_count(pre.store.total_length()),
+               util::fmt_count(pre.store.size()),
+               util::fmt_count(result.stats.pairs_generated),
+               util::fmt_count(result.stats.pairs_aligned),
+               util::fmt_count(result.stats.pairs_accepted),
+               util::fmt_percent(result.stats.savings_fraction())});
+  }
+  t.print();
+  std::printf(
+      "\nexpected shape (paper Table 1): generated pairs grow super-"
+      "linearly in N;\nsavings stay substantial (paper: 43.9%% on maize, "
+      "22%% elsewhere); accepted << aligned.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces paper Table 3: clustering performance on whole-genome-shotgun
+// (D. pseudoobscura) and environmental (Sargasso Sea) data — input sizes,
+// clustering times (GST phase and total), and the promising-pair economy
+// (aligned: accepted/rejected; not aligned = savings).
+//
+// Paper shape: comparable total times when aligned-pair counts are
+// comparable; savings 65% (fly) and 57% (Sargasso); accepted is a minority
+// of aligned pairs.
+//
+//   ./table3_wgs_env --bp 1200000 --ranks 8
+#include "bench_util.hpp"
+#include "core/parallel_cluster.hpp"
+
+using namespace pgasm;
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const std::uint64_t bp = flags.get_u64("bp", 1'000'000);
+  const int ranks = static_cast<int>(flags.get_i64("ranks", 8));
+  const std::uint64_t seed = flags.get_u64("seed", 9);
+  flags.finish();
+
+  bench::print_header(
+      "Table 3 — WGS (Drosophila-style) and environmental (Sargasso-style) "
+      "clustering",
+      "paper: 2.07M / 1.66M fragments on 1024 nodes; here scaled ~1000x on "
+      "vmpi ranks, modeled seconds");
+
+  struct Dataset {
+    const char* name;
+    sim::ReadSet rs;
+  };
+  std::vector<Dataset> datasets;
+  datasets.push_back({"Drosophila (WGS 8.8X)",
+                      bench::wgs_dataset(bp, 8.8, seed)});
+  datasets.push_back({"Sargasso Sea (env)",
+                      bench::env_dataset(bp, /*species=*/60, seed + 1)});
+
+  util::Table t({"input data", "fragments", "Mbp", "GST (s)", "total (s)",
+                 "aligned:accepted", "aligned:rejected", "not aligned",
+                 "% savings"});
+  const auto base_params = bench::bench_cluster_params();
+  for (auto& ds : datasets) {
+    preprocess::PreprocessParams pp;
+    pp.repeat.sample_fraction = 0.15;
+    const auto pre =
+        preprocess::preprocess(ds.rs.store, sim::vector_library(), pp);
+    const auto result = core::cluster_parallel(pre.store, base_params, ranks);
+    const auto& st = result.stats;
+    t.add_row({ds.name, util::fmt_count(pre.store.size()),
+               util::fmt_double(
+                   static_cast<double>(pre.store.total_length()) / 1e6, 2),
+               util::fmt_double(st.gst_modeled_seconds, 3),
+               util::fmt_double(
+                   st.gst_modeled_seconds + st.cluster_modeled_seconds, 3),
+               util::fmt_count(st.pairs_accepted),
+               util::fmt_count(st.pairs_aligned - st.pairs_accepted),
+               util::fmt_count(st.pairs_generated - st.pairs_aligned),
+               util::fmt_percent(st.savings_fraction())});
+  }
+  t.print();
+  std::printf(
+      "\nexpected shape (paper Table 3): both datasets show majority "
+      "savings\n(65%% fly / 57%% Sargasso in the paper); GST construction "
+      "is a small\nfraction of the total; accepted < aligned.\n");
+  return 0;
+}

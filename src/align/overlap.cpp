@@ -1,0 +1,278 @@
+#include "align/overlap.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace pgasm::align {
+
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+enum Tb : std::uint8_t { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
+
+OverlapType classify(std::uint32_t la, std::uint32_t lb,
+                     const AlignResult& r) {
+  const bool a_full = r.a_begin == 0 && r.a_end == la;
+  const bool b_full = r.b_begin == 0 && r.b_end == lb;
+  if (a_full && b_full) {
+    return la >= lb ? OverlapType::kContainsB : OverlapType::kContainedInB;
+  }
+  if (b_full) return OverlapType::kContainsB;
+  if (a_full) return OverlapType::kContainedInB;
+  if (r.a_end == la && r.b_begin == 0) return OverlapType::kDovetailAB;
+  if (r.b_end == lb && r.a_begin == 0) return OverlapType::kDovetailBA;
+  return OverlapType::kNone;
+}
+
+}  // namespace
+
+const char* overlap_type_name(OverlapType t) noexcept {
+  switch (t) {
+    case OverlapType::kNone: return "none";
+    case OverlapType::kDovetailAB: return "dovetail(a->b)";
+    case OverlapType::kDovetailBA: return "dovetail(b->a)";
+    case OverlapType::kContainsB: return "contains(b)";
+    case OverlapType::kContainedInB: return "contained-in(b)";
+  }
+  return "?";
+}
+
+OverlapResult overlap_align(Seq a, Seq b, const Scoring& sc,
+                            const AlignOptions& opts) {
+  const std::size_t la = a.size(), lb = b.size();
+  const std::size_t stride = lb + 1;
+  std::vector<int> score((la + 1) * stride, 0);
+  std::vector<std::uint8_t> tb((la + 1) * stride, kStop);
+
+  // Row 0 and column 0 stay score 0 / kStop: free leading gaps.
+  for (std::size_t i = 1; i <= la; ++i) {
+    for (std::size_t j = 1; j <= lb; ++j) {
+      const std::size_t c = i * stride + j;
+      const int diag =
+          score[c - stride - 1] + sc.substitution(a[i - 1], b[j - 1]);
+      const int up = score[c - stride] + sc.gap;
+      const int left = score[c - 1] + sc.gap;
+      int best = diag;
+      std::uint8_t dir = kDiag;
+      if (up > best) {
+        best = up;
+        dir = kUp;
+      }
+      if (left > best) {
+        best = left;
+        dir = kLeft;
+      }
+      score[c] = best;
+      tb[c] = dir;
+    }
+  }
+
+  // Best end on the last row or last column (free trailing gaps).
+  int best = kNegInf;
+  std::size_t bi = la, bj = lb;
+  for (std::size_t j = 0; j <= lb; ++j) {
+    if (score[la * stride + j] > best) {
+      best = score[la * stride + j];
+      bi = la;
+      bj = j;
+    }
+  }
+  for (std::size_t i = 0; i <= la; ++i) {
+    if (score[i * stride + lb] > best) {
+      best = score[i * stride + lb];
+      bi = i;
+      bj = lb;
+    }
+  }
+
+  OverlapResult r;
+  r.aln.score = best;
+  // Traceback.
+  std::size_t i = bi, j = bj;
+  r.aln.a_end = static_cast<std::uint32_t>(i);
+  r.aln.b_end = static_cast<std::uint32_t>(j);
+  std::vector<Op> rev;
+  std::uint32_t matches = 0, columns = 0;
+  while (tb[i * stride + j] != kStop) {
+    switch (tb[i * stride + j]) {
+      case kDiag: {
+        --i;
+        --j;
+        const bool eq = seq::is_base(a[i]) && a[i] == b[j];
+        rev.push_back(eq ? Op::kMatch : Op::kMismatch);
+        matches += eq;
+        ++columns;
+        break;
+      }
+      case kUp:
+        --i;
+        rev.push_back(Op::kInsertA);
+        ++columns;
+        break;
+      case kLeft:
+        --j;
+        rev.push_back(Op::kInsertB);
+        ++columns;
+        break;
+      default:
+        throw std::logic_error("bad traceback");
+    }
+  }
+  r.aln.a_begin = static_cast<std::uint32_t>(i);
+  r.aln.b_begin = static_cast<std::uint32_t>(j);
+  r.aln.matches = matches;
+  r.aln.columns = columns;
+  if (opts.keep_ops) r.aln.ops.assign(rev.rbegin(), rev.rend());
+  r.type = classify(static_cast<std::uint32_t>(la),
+                    static_cast<std::uint32_t>(lb), r.aln);
+  return r;
+}
+
+OverlapResult banded_overlap_align(Seq a, Seq b, const Scoring& sc,
+                                   std::int32_t shift, std::uint32_t band,
+                                   const AlignOptions& opts) {
+  const std::int64_t la = static_cast<std::int64_t>(a.size());
+  const std::int64_t lb = static_cast<std::int64_t>(b.size());
+  const std::int64_t B = static_cast<std::int64_t>(band);
+  const std::size_t width = 2 * band + 1;
+
+  // Band storage: row i holds columns j in [i+shift-B, i+shift+B];
+  // band index c = j - (i + shift - B). Diag neighbor keeps c; up neighbor
+  // is c+1 in the previous row; left neighbor is c-1 in the same row.
+  thread_local std::vector<int> score;
+  thread_local std::vector<std::uint8_t> tb;
+  score.assign(static_cast<std::size_t>(la + 1) * width, kNegInf);
+  tb.assign(static_cast<std::size_t>(la + 1) * width, kStop);
+
+  auto jlo = [&](std::int64_t i) {
+    return std::max<std::int64_t>(0, i + shift - B);
+  };
+  auto jhi = [&](std::int64_t i) {
+    return std::min<std::int64_t>(lb, i + shift + B);
+  };
+  auto cell = [&](std::int64_t i, std::int64_t j) -> std::size_t {
+    return static_cast<std::size_t>(i) * width +
+           static_cast<std::size_t>(j - (i + shift - B));
+  };
+
+  int best = kNegInf;
+  std::int64_t bi = -1, bj = -1;
+  auto consider_end = [&](std::int64_t i, std::int64_t j, int v) {
+    if ((i == la || j == lb) && v > best) {
+      best = v;
+      bi = i;
+      bj = j;
+    }
+  };
+
+  for (std::int64_t i = 0; i <= la; ++i) {
+    const std::int64_t lo = jlo(i), hi = jhi(i);
+    if (lo > hi) continue;
+    for (std::int64_t j = lo; j <= hi; ++j) {
+      const std::size_t c = cell(i, j);
+      if (i == 0 || j == 0) {
+        score[c] = 0;  // free leading gaps on both edges
+        tb[c] = kStop;
+        consider_end(i, j, 0);
+        continue;
+      }
+      int v = kNegInf;
+      std::uint8_t dir = kStop;
+      // diag (i-1, j-1): in band iff j-1 within [jlo(i-1), jhi(i-1)].
+      if (j - 1 >= jlo(i - 1) && j - 1 <= jhi(i - 1)) {
+        const int s = score[cell(i - 1, j - 1)];
+        if (s > kNegInf) {
+          const int cand = s + sc.substitution(a[i - 1], b[j - 1]);
+          if (cand > v) {
+            v = cand;
+            dir = kDiag;
+          }
+        }
+      }
+      if (j >= jlo(i - 1) && j <= jhi(i - 1)) {
+        const int s = score[cell(i - 1, j)];
+        if (s > kNegInf) {
+          const int cand = s + sc.gap;
+          if (cand > v) {
+            v = cand;
+            dir = kUp;
+          }
+        }
+      }
+      if (j - 1 >= lo) {
+        const int s = score[cell(i, j - 1)];
+        if (s > kNegInf) {
+          const int cand = s + sc.gap;
+          if (cand > v) {
+            v = cand;
+            dir = kLeft;
+          }
+        }
+      }
+      if (dir == kStop) continue;  // unreachable within band
+      score[c] = v;
+      tb[c] = dir;
+      consider_end(i, j, v);
+    }
+  }
+
+  OverlapResult r;
+  if (bi < 0) {
+    r.aln.score = kNegInf;
+    return r;  // band never touched an end edge
+  }
+  r.aln.score = best;
+  std::int64_t i = bi, j = bj;
+  r.aln.a_end = static_cast<std::uint32_t>(i);
+  r.aln.b_end = static_cast<std::uint32_t>(j);
+  std::vector<Op> rev;
+  std::uint32_t matches = 0, columns = 0;
+  while (tb[cell(i, j)] != kStop) {
+    switch (tb[cell(i, j)]) {
+      case kDiag: {
+        --i;
+        --j;
+        const bool eq = seq::is_base(a[i]) && a[i] == b[j];
+        rev.push_back(eq ? Op::kMatch : Op::kMismatch);
+        matches += eq;
+        ++columns;
+        break;
+      }
+      case kUp:
+        --i;
+        rev.push_back(Op::kInsertA);
+        ++columns;
+        break;
+      case kLeft:
+        --j;
+        rev.push_back(Op::kInsertB);
+        ++columns;
+        break;
+      default:
+        throw std::logic_error("bad traceback");
+    }
+  }
+  r.aln.a_begin = static_cast<std::uint32_t>(i);
+  r.aln.b_begin = static_cast<std::uint32_t>(j);
+  r.aln.matches = matches;
+  r.aln.columns = columns;
+  if (opts.keep_ops) r.aln.ops.assign(rev.rbegin(), rev.rend());
+  r.type = classify(static_cast<std::uint32_t>(la),
+                    static_cast<std::uint32_t>(lb), r.aln);
+  return r;
+}
+
+bool accept_overlap(const OverlapResult& r, const OverlapParams& p) noexcept {
+  if (r.type == OverlapType::kNone) return false;
+  if (r.overlap_len() < p.min_overlap) return false;
+  return r.aln.identity() >= p.min_identity;
+}
+
+OverlapResult test_overlap(Seq a, Seq b, std::int32_t shift,
+                           const OverlapParams& p) {
+  return banded_overlap_align(a, b, p.scoring, shift, p.band);
+}
+
+}  // namespace pgasm::align

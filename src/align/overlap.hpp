@@ -1,0 +1,68 @@
+// Suffix–prefix ("overlap") alignment and the clustering accept test.
+//
+// The paper's overlap criterion (Section 4): two fragments overlap if there
+// is a high-quality alignment between a suffix of one and a prefix of the
+// other. We implement this as end-free (semi-global) alignment: leading and
+// trailing gaps in either sequence are free, so the best path also covers
+// the containment cases. The result is classified into dovetail /
+// containment types.
+//
+// Two variants:
+//   * overlap_align        — full O(|a||b|) matrix; used at low volume and as
+//                            the reference in tests.
+//   * banded_overlap_align — restricted to a diagonal band around a seed
+//                            (the maximal match that generated the pair),
+//                            O((|a|+|b|)·band); this is the hot kernel the
+//                            clustering phase calls, "anchored to the maximal
+//                            matches" as in Section 5.
+#pragma once
+
+#include <cstdint>
+
+#include "align/pairwise.hpp"
+
+namespace pgasm::align {
+
+enum class OverlapType : std::uint8_t {
+  kNone = 0,        ///< no acceptable overlap geometry
+  kDovetailAB,      ///< suffix of a aligns with prefix of b
+  kDovetailBA,      ///< suffix of b aligns with prefix of a
+  kContainsB,       ///< b is contained in a
+  kContainedInB,    ///< a is contained in b
+};
+
+const char* overlap_type_name(OverlapType t) noexcept;
+
+struct OverlapResult {
+  AlignResult aln;
+  OverlapType type = OverlapType::kNone;
+  /// Overlap length: alignment columns (used for the min-overlap cutoff).
+  std::uint32_t overlap_len() const noexcept { return aln.columns; }
+};
+
+/// Acceptance criteria for the clustering "alignment test" (Fig. 3).
+struct OverlapParams {
+  Scoring scoring{};
+  std::uint32_t min_overlap = 40;  ///< minimum alignment columns
+  double min_identity = 0.94;      ///< minimum fraction identical columns
+  std::uint32_t band = 12;         ///< half-width for the banded kernel
+};
+
+/// Full-matrix end-free alignment.
+OverlapResult overlap_align(Seq a, Seq b, const Scoring& sc,
+                            const AlignOptions& opts = {});
+
+/// Banded end-free alignment around diagonal (j - i) == shift. For a seed
+/// maximal match at positions (pos_a, pos_b), pass shift = pos_b - pos_a.
+OverlapResult banded_overlap_align(Seq a, Seq b, const Scoring& sc,
+                                   std::int32_t shift, std::uint32_t band,
+                                   const AlignOptions& opts = {});
+
+/// Does this overlap pass the clustering accept test?
+bool accept_overlap(const OverlapResult& r, const OverlapParams& p) noexcept;
+
+/// Convenience: banded align with the params' scoring/band, then test.
+OverlapResult test_overlap(Seq a, Seq b, std::int32_t shift,
+                           const OverlapParams& p);
+
+}  // namespace pgasm::align

@@ -1,0 +1,370 @@
+#include "align/pairwise.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace pgasm::align {
+
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+// Traceback codes.
+enum Tb : std::uint8_t { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
+
+/// Walk a full-matrix traceback from (i, j) until a kStop cell; fills the
+/// result's region, matches, columns and (optionally) ops.
+void walk_traceback(Seq a, Seq b, const std::vector<std::uint8_t>& tb,
+                    std::size_t stride, std::uint32_t i, std::uint32_t j,
+                    const Scoring& sc, bool keep_ops, AlignResult& r) {
+  (void)sc;
+  r.a_end = i;
+  r.b_end = j;
+  std::vector<Op> rev;
+  std::uint32_t matches = 0, columns = 0;
+  while (tb[i * stride + j] != kStop) {
+    switch (tb[i * stride + j]) {
+      case kDiag: {
+        --i;
+        --j;
+        const bool eq = seq::is_base(a[i]) && a[i] == b[j];
+        rev.push_back(eq ? Op::kMatch : Op::kMismatch);
+        matches += eq;
+        ++columns;
+        break;
+      }
+      case kUp:
+        --i;
+        rev.push_back(Op::kInsertA);
+        ++columns;
+        break;
+      case kLeft:
+        --j;
+        rev.push_back(Op::kInsertB);
+        ++columns;
+        break;
+      default:
+        throw std::logic_error("bad traceback");
+    }
+  }
+  r.a_begin = i;
+  r.b_begin = j;
+  r.matches = matches;
+  r.columns = columns;
+  if (keep_ops) {
+    r.ops.assign(rev.rbegin(), rev.rend());
+  }
+}
+
+}  // namespace
+
+AlignResult global_align(Seq a, Seq b, const Scoring& sc,
+                         const AlignOptions& opts) {
+  const std::size_t la = a.size(), lb = b.size();
+  const std::size_t stride = lb + 1;
+  std::vector<int> prev(stride), cur(stride);
+  std::vector<std::uint8_t> tb((la + 1) * stride, kStop);
+
+  for (std::size_t j = 1; j <= lb; ++j) {
+    prev[j] = static_cast<int>(j) * sc.gap;
+    tb[j] = kLeft;
+  }
+  prev[0] = 0;
+  for (std::size_t i = 1; i <= la; ++i) {
+    cur[0] = static_cast<int>(i) * sc.gap;
+    tb[i * stride] = kUp;
+    for (std::size_t j = 1; j <= lb; ++j) {
+      const int diag = prev[j - 1] + sc.substitution(a[i - 1], b[j - 1]);
+      const int up = prev[j] + sc.gap;
+      const int left = cur[j - 1] + sc.gap;
+      int best = diag;
+      std::uint8_t dir = kDiag;
+      if (up > best) {
+        best = up;
+        dir = kUp;
+      }
+      if (left > best) {
+        best = left;
+        dir = kLeft;
+      }
+      cur[j] = best;
+      tb[i * stride + j] = dir;
+    }
+    std::swap(prev, cur);
+  }
+
+  AlignResult r;
+  r.score = prev[lb];
+  walk_traceback(a, b, tb, stride, static_cast<std::uint32_t>(la),
+                 static_cast<std::uint32_t>(lb), sc, opts.keep_ops, r);
+  return r;
+}
+
+AlignResult local_align(Seq a, Seq b, const Scoring& sc,
+                        const AlignOptions& opts) {
+  const std::size_t la = a.size(), lb = b.size();
+  const std::size_t stride = lb + 1;
+  std::vector<int> prev(stride, 0), cur(stride, 0);
+  std::vector<std::uint8_t> tb((la + 1) * stride, kStop);
+
+  int best = 0;
+  std::uint32_t bi = 0, bj = 0;
+  for (std::size_t i = 1; i <= la; ++i) {
+    cur[0] = 0;
+    for (std::size_t j = 1; j <= lb; ++j) {
+      const int diag = prev[j - 1] + sc.substitution(a[i - 1], b[j - 1]);
+      const int up = prev[j] + sc.gap;
+      const int left = cur[j - 1] + sc.gap;
+      int v = diag;
+      std::uint8_t dir = kDiag;
+      if (up > v) {
+        v = up;
+        dir = kUp;
+      }
+      if (left > v) {
+        v = left;
+        dir = kLeft;
+      }
+      if (v <= 0) {
+        v = 0;
+        dir = kStop;
+      }
+      cur[j] = v;
+      tb[i * stride + j] = dir;
+      if (v > best) {
+        best = v;
+        bi = static_cast<std::uint32_t>(i);
+        bj = static_cast<std::uint32_t>(j);
+      }
+    }
+    std::swap(prev, cur);
+  }
+
+  AlignResult r;
+  r.score = best;
+  walk_traceback(a, b, tb, stride, bi, bj, sc, opts.keep_ops, r);
+  return r;
+}
+
+AlignResult global_affine_align(Seq a, Seq b, const Scoring& sc,
+                                const AlignOptions& opts) {
+  const std::size_t la = a.size(), lb = b.size();
+  const std::size_t stride = lb + 1;
+  // Three DP layers: M (diag), X (gap in b, consumes a), Y (gap in a).
+  std::vector<int> m((la + 1) * stride, kNegInf);
+  std::vector<int> x((la + 1) * stride, kNegInf);
+  std::vector<int> y((la + 1) * stride, kNegInf);
+  // Per-layer traceback: for M, stores which layer the diag step came from;
+  // for X/Y, whether the gap was opened (from M) or extended.
+  enum Layer : std::uint8_t { kLm = 0, kLx = 1, kLy = 2 };
+  std::vector<std::uint8_t> tm((la + 1) * stride, kLm);
+  std::vector<std::uint8_t> tx((la + 1) * stride, kLm);
+  std::vector<std::uint8_t> ty((la + 1) * stride, kLm);
+
+  m[0] = 0;
+  for (std::size_t i = 1; i <= la; ++i) {
+    x[i * stride] = sc.gap_open + static_cast<int>(i) * sc.gap_extend;
+    tx[i * stride] = static_cast<std::uint8_t>(i == 1 ? kLm : kLx);
+  }
+  for (std::size_t j = 1; j <= lb; ++j) {
+    y[j] = sc.gap_open + static_cast<int>(j) * sc.gap_extend;
+    ty[j] = static_cast<std::uint8_t>(j == 1 ? kLm : kLy);
+  }
+
+  for (std::size_t i = 1; i <= la; ++i) {
+    for (std::size_t j = 1; j <= lb; ++j) {
+      const std::size_t c = i * stride + j;
+      const std::size_t diag = (i - 1) * stride + (j - 1);
+      const std::size_t up = (i - 1) * stride + j;
+      const std::size_t left = i * stride + (j - 1);
+
+      const int sub = sc.substitution(a[i - 1], b[j - 1]);
+      int best = m[diag];
+      std::uint8_t from = kLm;
+      if (x[diag] > best) {
+        best = x[diag];
+        from = kLx;
+      }
+      if (y[diag] > best) {
+        best = y[diag];
+        from = kLy;
+      }
+      m[c] = best == kNegInf ? kNegInf : best + sub;
+      tm[c] = from;
+
+      const int x_open = m[up] + sc.gap_open + sc.gap_extend;
+      const int x_ext = x[up] + sc.gap_extend;
+      x[c] = std::max(x_open, x_ext);
+      tx[c] = static_cast<std::uint8_t>(x_open >= x_ext ? kLm : kLx);
+
+      const int y_open = m[left] + sc.gap_open + sc.gap_extend;
+      const int y_ext = y[left] + sc.gap_extend;
+      y[c] = std::max(y_open, y_ext);
+      ty[c] = static_cast<std::uint8_t>(y_open >= y_ext ? kLm : kLy);
+    }
+  }
+
+  const std::size_t end = la * stride + lb;
+  AlignResult r;
+  std::uint8_t layer = kLm;
+  r.score = m[end];
+  if (x[end] > r.score) {
+    r.score = x[end];
+    layer = kLx;
+  }
+  if (y[end] > r.score) {
+    r.score = y[end];
+    layer = kLy;
+  }
+
+  // Traceback across layers.
+  std::vector<Op> rev;
+  std::size_t i = la, j = lb;
+  r.a_end = static_cast<std::uint32_t>(la);
+  r.b_end = static_cast<std::uint32_t>(lb);
+  std::uint32_t matches = 0, columns = 0;
+  while (i > 0 || j > 0) {
+    const std::size_t c = i * stride + j;
+    if (layer == kLm) {
+      if (i == 0 || j == 0) break;  // origin
+      const std::uint8_t from = tm[c];
+      --i;
+      --j;
+      const bool eq = seq::is_base(a[i]) && a[i] == b[j];
+      rev.push_back(eq ? Op::kMatch : Op::kMismatch);
+      matches += eq;
+      ++columns;
+      layer = from;
+    } else if (layer == kLx) {
+      const std::uint8_t from = tx[c];
+      --i;
+      rev.push_back(Op::kInsertA);
+      ++columns;
+      layer = from;
+    } else {
+      const std::uint8_t from = ty[c];
+      --j;
+      rev.push_back(Op::kInsertB);
+      ++columns;
+      layer = from;
+    }
+  }
+  r.a_begin = static_cast<std::uint32_t>(i);
+  r.b_begin = static_cast<std::uint32_t>(j);
+  r.matches = matches;
+  r.columns = columns;
+  if (opts.keep_ops) r.ops.assign(rev.rbegin(), rev.rend());
+  return r;
+}
+
+AlignResult banded_global_align(Seq a, Seq b, const Scoring& sc,
+                                std::int32_t shift, std::uint32_t band,
+                                const AlignOptions& opts) {
+  const std::int64_t la = static_cast<std::int64_t>(a.size());
+  const std::int64_t lb = static_cast<std::int64_t>(b.size());
+  const std::size_t stride = static_cast<std::size_t>(lb) + 1;
+  std::vector<int> score((la + 1) * stride, kNegInf);
+  std::vector<std::uint8_t> tb((la + 1) * stride, kStop);
+
+  auto in_band = [&](std::int64_t i, std::int64_t j) {
+    const std::int64_t d = j - i - shift;
+    return d >= -static_cast<std::int64_t>(band) &&
+           d <= static_cast<std::int64_t>(band);
+  };
+
+  score[0] = 0;
+  for (std::int64_t j = 1; j <= lb && in_band(0, j); ++j) {
+    score[static_cast<std::size_t>(j)] = static_cast<int>(j) * sc.gap;
+    tb[static_cast<std::size_t>(j)] = kLeft;
+  }
+  for (std::int64_t i = 1; i <= la; ++i) {
+    const std::int64_t jlo = std::max<std::int64_t>(
+        0, i + shift - static_cast<std::int64_t>(band));
+    const std::int64_t jhi =
+        std::min<std::int64_t>(lb, i + shift + static_cast<std::int64_t>(band));
+    for (std::int64_t j = jlo; j <= jhi; ++j) {
+      const std::size_t c = static_cast<std::size_t>(i) * stride +
+                            static_cast<std::size_t>(j);
+      if (j == 0) {
+        score[c] = static_cast<int>(i) * sc.gap;
+        tb[c] = kUp;
+        continue;
+      }
+      int best = kNegInf;
+      std::uint8_t dir = kStop;
+      const std::size_t cd = static_cast<std::size_t>(i - 1) * stride +
+                             static_cast<std::size_t>(j - 1);
+      if (score[cd] > kNegInf) {
+        const int v = score[cd] + sc.substitution(a[i - 1], b[j - 1]);
+        if (v > best) {
+          best = v;
+          dir = kDiag;
+        }
+      }
+      const std::size_t cu = static_cast<std::size_t>(i - 1) * stride +
+                             static_cast<std::size_t>(j);
+      if (in_band(i - 1, j) && score[cu] > kNegInf) {
+        const int v = score[cu] + sc.gap;
+        if (v > best) {
+          best = v;
+          dir = kUp;
+        }
+      }
+      const std::size_t cl = static_cast<std::size_t>(i) * stride +
+                             static_cast<std::size_t>(j - 1);
+      if (in_band(i, j - 1) && score[cl] > kNegInf) {
+        const int v = score[cl] + sc.gap;
+        if (v > best) {
+          best = v;
+          dir = kLeft;
+        }
+      }
+      if (dir != kStop) {
+        score[c] = best;
+        tb[c] = dir;
+      }
+    }
+  }
+
+  AlignResult r;
+  const std::size_t end =
+      static_cast<std::size_t>(la) * stride + static_cast<std::size_t>(lb);
+  r.score = score[end];
+  if (r.score <= kNegInf) {
+    // Band does not connect the corners; report an empty, failed alignment.
+    r.score = kNegInf;
+    return r;
+  }
+  walk_traceback(a, b, tb, stride, static_cast<std::uint32_t>(la),
+                 static_cast<std::uint32_t>(lb), sc, opts.keep_ops, r);
+  return r;
+}
+
+std::string format_alignment(Seq a, Seq b, const AlignResult& r) {
+  std::string top, mid, bot;
+  std::size_t i = r.a_begin, j = r.b_begin;
+  for (Op op : r.ops) {
+    switch (op) {
+      case Op::kMatch:
+      case Op::kMismatch:
+        top += seq::decode_char(a[i++]);
+        bot += seq::decode_char(b[j++]);
+        mid += (op == Op::kMatch ? '|' : ' ');
+        break;
+      case Op::kInsertA:
+        top += seq::decode_char(a[i++]);
+        bot += '-';
+        mid += ' ';
+        break;
+      case Op::kInsertB:
+        top += '-';
+        bot += seq::decode_char(b[j++]);
+        mid += ' ';
+        break;
+    }
+  }
+  return top + "\n" + mid + "\n" + bot + "\n";
+}
+
+}  // namespace pgasm::align

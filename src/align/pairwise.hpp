@@ -1,0 +1,89 @@
+// Pairwise dynamic-programming alignment kernels.
+//
+// The paper detects overlaps "by computing alignments between the
+// corresponding pairs of fragments using standard dynamic programming
+// approaches" [Needleman–Wunsch, Smith–Waterman, Gotoh]. This module
+// provides those kernels over the code alphabet (masked symbols are
+// guaranteed mismatches) with full traceback so callers get the aligned
+// region, the identity, and optionally the operation string.
+//
+// Complexity: O(|a|·|b|) time, O(|a|·|b|) bytes for traceback. Fragments
+// are <= ~1000 bp, so a cell matrix is ~1 MB — the paper makes the same
+// tradeoff by restricting DP to filtered pairs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace pgasm::align {
+
+using seq::Code;
+using Seq = std::span<const Code>;
+
+/// Scoring parameters. Linear-gap kernels use `gap`; affine kernels use
+/// gap_open/gap_extend (first gap column costs gap_open + gap_extend).
+struct Scoring {
+  int match = 2;
+  int mismatch = -3;
+  int gap = -4;
+  int gap_open = -5;
+  int gap_extend = -2;
+
+  int substitution(Code a, Code b) const noexcept {
+    return (seq::is_base(a) && a == b) ? match : mismatch;
+  }
+};
+
+/// Edit operations of a traceback, from the start of the aligned region.
+enum class Op : std::uint8_t { kMatch, kMismatch, kInsertA, kInsertB };
+// kInsertA: column consumes a character of `a` only (gap in b);
+// kInsertB: column consumes a character of `b` only (gap in a).
+
+struct AlignResult {
+  int score = 0;
+  /// Aligned (DP-traced) region, half-open, in each sequence.
+  std::uint32_t a_begin = 0, a_end = 0;
+  std::uint32_t b_begin = 0, b_end = 0;
+  std::uint32_t matches = 0;   ///< identical columns
+  std::uint32_t columns = 0;   ///< total alignment columns
+  std::vector<Op> ops;         ///< filled when requested
+
+  double identity() const noexcept {
+    return columns == 0 ? 0.0
+                        : static_cast<double>(matches) /
+                              static_cast<double>(columns);
+  }
+  std::uint32_t a_span() const noexcept { return a_end - a_begin; }
+  std::uint32_t b_span() const noexcept { return b_end - b_begin; }
+};
+
+struct AlignOptions {
+  bool keep_ops = false;  ///< retain the op string in the result
+};
+
+/// Global (Needleman–Wunsch) alignment with linear gap penalty.
+AlignResult global_align(Seq a, Seq b, const Scoring& sc,
+                         const AlignOptions& opts = {});
+
+/// Global alignment with affine gaps (Gotoh).
+AlignResult global_affine_align(Seq a, Seq b, const Scoring& sc,
+                                const AlignOptions& opts = {});
+
+/// Local (Smith–Waterman) alignment, linear gaps.
+AlignResult local_align(Seq a, Seq b, const Scoring& sc,
+                        const AlignOptions& opts = {});
+
+/// Banded global alignment: only cells with |i - j - shift| <= band are
+/// explored. With a band covering the whole matrix this equals global_align.
+AlignResult banded_global_align(Seq a, Seq b, const Scoring& sc,
+                                std::int32_t shift, std::uint32_t band,
+                                const AlignOptions& opts = {});
+
+/// Render an op string as three display lines (for examples/debugging).
+std::string format_alignment(Seq a, Seq b, const AlignResult& r);
+
+}  // namespace pgasm::align

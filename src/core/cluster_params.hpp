@@ -1,0 +1,74 @@
+// Parameters and statistics for the clustering framework (the paper's
+// primary contribution, Sections 4 and 7).
+#pragma once
+
+#include <cstdint>
+
+#include "align/overlap.hpp"
+
+namespace pgasm::core {
+
+struct ClusterParams {
+  /// ψ: minimum maximal-match length for a promising pair (Section 4).
+  std::uint32_t psi = 20;
+  /// w: bucket prefix length for the parallel GST build (w <= ψ).
+  std::uint32_t prefix_w = 6;
+  /// Suffix–prefix alignment acceptance (less stringent than assembly).
+  align::OverlapParams overlap{};
+  /// b: pairs per dispatched alignment batch (Section 7).
+  std::uint32_t batch_size = 256;
+  /// Capacity of a worker's New_Pairs_Buf (pairs).
+  std::uint32_t new_pairs_buf = 8192;
+  /// Capacity of the master's Pending_Work_Buf (pairs).
+  std::uint32_t pending_work_buf = 1u << 16;
+  /// Fragment-level pair generation with duplicate elimination (Section 5).
+  bool dup_elim = true;
+  /// Process pairs in decreasing maximal-match order. Setting this false
+  /// (ablation) shuffles the pair stream before processing, reproducing
+  /// what a lookup-table filter without prioritization would do.
+  bool ordered = true;
+  /// Workers report with synchronous sends (the paper uses MPI_Ssend to
+  /// protect the master's buffers; it costs ~30% — ablation flag).
+  bool use_ssend = true;
+  /// Target characters per fragment-fetch batch in the GST build.
+  std::uint64_t fetch_batch_chars = 1u << 20;
+  /// Extension of the paper's future work (Section 10): resolve
+  /// inconsistent overlaps during cluster formation. Accepted overlaps
+  /// carry an implied relative placement (orientation + offset); a merge
+  /// whose placement contradicts the cluster's existing layout is refused.
+  /// This curbs repeat-driven giant clusters (single-linkage chaining) at
+  /// the cost of making the result order-dependent.
+  bool resolve_inconsistent = false;
+  /// Placement agreement tolerance (shift difference, bp) for the above.
+  std::int64_t placement_tolerance = 12;
+  /// Section 7.2 suggestion: scale the dispatch granularity with the
+  /// worker count so the master's message rate stays constant as p grows.
+  bool adaptive_batch = false;
+};
+
+struct ClusterStats {
+  std::uint64_t pairs_generated = 0;  ///< promising pairs produced
+  std::uint64_t pairs_aligned = 0;    ///< selected for alignment
+  std::uint64_t pairs_accepted = 0;   ///< passed the overlap test
+  std::uint64_t merges = 0;           ///< cluster unions performed
+  /// Accepted overlaps refused because their implied placement conflicts
+  /// with the cluster layout (resolve_inconsistent extension only).
+  std::uint64_t merges_rejected_inconsistent = 0;
+
+  double gst_seconds = 0;      ///< wall time of the GST phase
+  double cluster_seconds = 0;  ///< wall time of pair processing
+  /// Modeled parallel times (vmpi cost model); 0 for serial runs.
+  double gst_modeled_seconds = 0;
+  double cluster_modeled_seconds = 0;
+  double master_availability = 0;  ///< 1 - master busy / makespan
+  double worker_idle_fraction = 0;
+
+  double savings_fraction() const noexcept {
+    return pairs_generated == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(pairs_aligned) /
+                           static_cast<double>(pairs_generated);
+  }
+};
+
+}  // namespace pgasm::core

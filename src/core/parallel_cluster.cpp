@@ -1,0 +1,310 @@
+#include "core/parallel_cluster.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <deque>
+#include <stdexcept>
+
+#include "core/wire.hpp"
+#include "core/consistency.hpp"
+#include "gst/pair_generator.hpp"
+#include "gst/parallel_build.hpp"
+#include "util/timer.hpp"
+
+namespace pgasm::core {
+
+namespace {
+
+constexpr int kTagReport = 101;  // worker -> master
+constexpr int kTagReply = 102;   // master -> worker
+
+struct MasterState {
+  util::UnionFind uf;
+  std::deque<PairMsg> pending;  // Pending_Work_Buf
+  std::deque<int> idle;         // Idle_Workers
+  // Alignment results dispatched but not yet reported. A worker aligns a
+  // batch *after* sending its next report (Fig. 8 masks the reply wait with
+  // alignment work), so results lag their dispatch by two reports; the
+  // master must keep a worker cycling until its owed results have arrived
+  // or merges would be lost at termination.
+  std::vector<std::uint64_t> owed;
+  std::vector<std::uint8_t> exhausted;  // worker generator done (passive)
+  std::uint64_t generated = 0;  // NP pairs received
+  std::uint64_t selected = 0;   // pairs admitted to Pending_Work_Buf
+  std::uint64_t aligned = 0;    // results received
+  std::uint64_t accepted = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t rejected_inconsistent = 0;
+};
+
+void master_loop(vmpi::Comm& comm, const ClusterParams& params,
+                 const seq::FragmentStore& doubled, MasterState& st) {
+  const int p = comm.size();
+  const std::size_t n_fragments = doubled.size() / 2;
+  st.uf.reset(n_fragments);
+  st.owed.assign(p, 0);
+  st.exhausted.assign(p, 0);
+  // Inconsistent-overlap resolution extension (paper §10 future work). The
+  // verification alignments run on the master; they are few (one to three
+  // per attempted merge) and are charged to the master's compute ledger.
+  std::unique_ptr<ConsistencyResolver> resolver;
+  if (params.resolve_inconsistent) {
+    resolver = std::make_unique<ConsistencyResolver>(
+        doubled, params.overlap, params.placement_tolerance);
+  }
+  // Section 7.2: keep the master's message arrival rate roughly constant
+  // as workers are added by growing the per-dispatch granularity with p.
+  const std::uint32_t batch =
+      params.adaptive_batch
+          ? params.batch_size * std::max(1, (p - 1) / 4)
+          : params.batch_size;
+
+  int active_workers = p - 1;  // workers that may still generate pairs
+
+  auto compute_r = [&]() -> std::uint32_t {
+    // Request as many pairs as needed so that ~batch_size of them are
+    // expected to be selected, without overflowing Pending_Work_Buf.
+    const double rate =
+        st.generated == 0
+            ? 1.0
+            : std::max(0.02, static_cast<double>(st.selected) /
+                                 static_cast<double>(st.generated));
+    const std::uint64_t want = static_cast<std::uint64_t>(batch / rate);
+    const std::uint64_t room =
+        st.pending.size() >= params.pending_work_buf
+            ? batch  // keep a trickle flowing; master drops fast
+            : (params.pending_work_buf - st.pending.size()) /
+                  std::max(1, active_workers);
+    return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        std::min(want, room), batch, params.new_pairs_buf));
+  };
+
+  auto dispatch = [&](int worker) {
+    MasterReply reply;
+    const std::size_t take = std::min<std::size_t>(batch, st.pending.size());
+    reply.batch.assign(st.pending.begin(), st.pending.begin() + take);
+    st.pending.erase(st.pending.begin(), st.pending.begin() + take);
+    reply.request_r = st.exhausted[worker] ? 0 : compute_r();
+    reply.terminate = 0;
+    const auto bytes = encode_reply(reply);
+    comm.send(worker, kTagReply, bytes.data(), bytes.size());
+    st.owed[worker] += reply.batch.size();
+  };
+
+  int remaining = p - 1;  // workers not yet terminated
+  while (remaining > 0) {
+    const vmpi::Status probe = comm.probe(vmpi::kAnySource, kTagReport);
+    const auto raw = comm.recv_vector<std::uint8_t>(probe.source, kTagReport);
+    const int w = probe.source;
+    WorkerReport report;
+    {
+      auto scope = comm.compute_scope();
+      report = decode_report(raw);
+
+      st.owed[w] -= report.results.size();
+      if (report.exhausted && !st.exhausted[w]) {
+        st.exhausted[w] = 1;
+        --active_workers;
+      }
+
+      // Fold in alignment results (merge clusters).
+      for (const ResultMsg& r : report.results) {
+        ++st.aligned;
+        if (!r.accepted) continue;
+        ++st.accepted;
+        if (resolver && !st.uf.same(r.frag_a, r.frag_b)) {
+          if (!resolver->admit(r.frag_a, r.frag_b, r.rc_a != 0, r.rc_b != 0,
+                               r.delta)) {
+            ++st.rejected_inconsistent;
+            continue;
+          }
+        }
+        if (st.uf.unite(r.frag_a, r.frag_b)) ++st.merges;
+      }
+      // Admit only pairs whose fragments are still in different clusters.
+      for (const PairMsg& pm : report.new_pairs) {
+        ++st.generated;
+        const std::uint32_t fa = pm.seq_a >> 1;
+        const std::uint32_t fb = pm.seq_b >> 1;
+        if (st.uf.same(fa, fb)) continue;
+        st.pending.push_back(pm);
+        ++st.selected;
+      }
+    }
+
+    // Feed idle workers first, then answer the reporter.
+    while (!st.pending.empty() && !st.idle.empty()) {
+      const int iw = st.idle.front();
+      st.idle.pop_front();
+      dispatch(iw);
+    }
+    if (!st.pending.empty() || !st.exhausted[w]) {
+      dispatch(w);  // work to do, or more pairs to request
+    } else if (st.owed[w] > 0) {
+      // Passive but still holding computed-but-unreported results: reply
+      // with an empty batch so the next report flushes them.
+      dispatch(w);
+    } else {
+      st.idle.push_back(w);  // passive, drained, nothing to align right now
+    }
+
+    // Termination: all passive, nothing pending, no results in flight.
+    if (active_workers == 0 && st.pending.empty()) {
+      const bool in_flight =
+          std::any_of(st.owed.begin(), st.owed.end(),
+                      [](std::uint64_t o) { return o != 0; });
+      if (!in_flight) {
+        while (!st.idle.empty()) {
+          MasterReply bye;
+          bye.terminate = 1;
+          const auto bytes = encode_reply(bye);
+          comm.send(st.idle.front(), kTagReply, bytes.data(), bytes.size());
+          st.idle.pop_front();
+          --remaining;
+        }
+      }
+    }
+  }
+}
+
+void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
+                 const seq::FragmentStore& doubled,
+                 const gst::DistributedGst& dist) {
+  gst::PairGenerator gen(*dist.tree,
+                         {.dup_elim = params.dup_elim,
+                          .doubled_input = true,
+                          .global_ids = &dist.local_to_global});
+
+  std::vector<PairMsg> batch;       // AW: allocated by master last reply
+  std::vector<ResultMsg> results;   // AR: results of the previous batch
+  std::uint32_t r = params.batch_size;
+
+  for (;;) {
+    WorkerReport report;
+    report.results = std::move(results);
+    results.clear();
+    {
+      auto scope = comm.compute_scope();
+      gst::PromisingPair q;
+      const std::uint32_t want = std::min(r, params.new_pairs_buf);
+      while (report.new_pairs.size() < want && gen.next(q)) {
+        // The generator already emits global doubled-store ids in
+        // canonical orientation (global_ids translation).
+        report.new_pairs.push_back(
+            PairMsg{q.seq_a, q.pos_a, q.seq_b, q.pos_b, q.match_len});
+      }
+      report.exhausted = gen.done() ? 1 : 0;
+    }
+    const auto bytes = encode_report(report);
+    if (params.use_ssend) {
+      comm.ssend(0, kTagReport, bytes.data(), bytes.size());
+    } else {
+      comm.send(0, kTagReport, bytes.data(), bytes.size());
+    }
+
+    // Mask the wait for the master's reply with the alignment work of the
+    // batch allocated in the previous iteration (Fig. 8).
+    {
+      auto scope = comm.compute_scope();
+      for (const PairMsg& pm : batch) {
+        ResultMsg res;
+        res.frag_a = pm.seq_a >> 1;
+        res.frag_b = pm.seq_b >> 1;
+        res.rc_a = static_cast<std::uint8_t>(pm.seq_a & 1u);
+        res.rc_b = static_cast<std::uint8_t>(pm.seq_b & 1u);
+        const auto r = pair_overlap_details(doubled, pm.seq_a, pm.pos_a,
+                                            pm.seq_b, pm.pos_b, params.overlap);
+        res.accepted = align::accept_overlap(r, params.overlap) ? 1 : 0;
+        res.delta = static_cast<std::int32_t>(r.aln.a_begin) -
+                    static_cast<std::int32_t>(r.aln.b_begin);
+        results.push_back(res);
+      }
+      batch.clear();
+    }
+
+    const auto reply_raw = comm.recv_vector<std::uint8_t>(0, kTagReply);
+    MasterReply reply;
+    {
+      auto scope = comm.compute_scope();
+      reply = decode_reply(reply_raw);
+    }
+    if (reply.terminate) break;
+    batch = std::move(reply.batch);
+    r = reply.request_r;
+  }
+}
+
+}  // namespace
+
+ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
+                                       const ClusterParams& params,
+                                       int num_ranks,
+                                       vmpi::CostParams cost_params) {
+  if (num_ranks < 2)
+    throw std::invalid_argument("cluster_parallel needs >= 2 ranks");
+  if (!params.ordered)
+    throw std::invalid_argument(
+        "the unordered ablation is serial-only (cluster_serial)");
+
+  ParallelClusterResult result;
+  const seq::FragmentStore doubled = seq::make_doubled_store(fragments);
+
+  // Per-rank busy seconds at the GST/clustering phase boundary.
+  std::vector<double> gst_busy(num_ranks, 0.0);
+  std::vector<double> gst_wall(num_ranks, 0.0);
+  MasterState master;
+
+  util::WallTimer total_timer;
+  vmpi::Runtime rt(num_ranks, cost_params);
+  result.cost = rt.run([&](vmpi::Comm& comm) {
+    util::WallTimer phase_timer;
+    gst::ParallelGstParams gp;
+    gp.gst = gst::GstParams{.min_match = params.psi,
+                            .prefix_w = params.prefix_w};
+    gp.fetch_batch_chars = params.fetch_batch_chars;
+    gp.exclude_rank0 = true;
+    auto dist = gst::build_distributed_gst(comm, doubled, gp);
+    comm.barrier();
+    gst_busy[comm.rank()] = comm.ledger().busy_seconds();
+    gst_wall[comm.rank()] = phase_timer.elapsed();
+
+    if (comm.rank() == 0) {
+      master_loop(comm, params, doubled, master);
+    } else {
+      worker_loop(comm, params, doubled, dist);
+    }
+  });
+  const double total_wall = total_timer.elapsed();
+
+  result.clusters = std::move(master.uf);
+  ClusterStats& stats = result.stats;
+  stats.pairs_generated = master.generated;
+  stats.pairs_aligned = master.aligned;
+  stats.pairs_accepted = master.accepted;
+  stats.merges = master.merges;
+  stats.merges_rejected_inconsistent = master.rejected_inconsistent;
+
+  double gst_model = 0, total_model = 0;
+  for (int rk = 0; rk < num_ranks; ++rk) {
+    gst_model = std::max(gst_model, gst_busy[rk]);
+    total_model = std::max(total_model, result.cost.per_rank[rk].busy_seconds());
+    stats.gst_seconds = std::max(stats.gst_seconds, gst_wall[rk]);
+  }
+  stats.gst_modeled_seconds = gst_model;
+  stats.cluster_modeled_seconds = std::max(0.0, total_model - gst_model);
+  stats.cluster_seconds = std::max(0.0, total_wall - stats.gst_seconds);
+
+  const double makespan = result.cost.modeled_parallel_seconds();
+  if (makespan > 0) {
+    stats.master_availability =
+        1.0 - result.cost.per_rank[0].busy_seconds() / makespan;
+    double idle = 0;
+    for (int rk = 1; rk < num_ranks; ++rk) {
+      idle += (makespan - result.cost.per_rank[rk].busy_seconds()) / makespan;
+    }
+    stats.worker_idle_fraction = idle / std::max(1, num_ranks - 1);
+  }
+  return result;
+}
+
+}  // namespace pgasm::core

@@ -1,0 +1,37 @@
+// Parallel master-worker clustering (paper Section 7, Figs. 6-8).
+//
+// Rank 0 is the master: it owns the Union-Find cluster set, the
+// Pending_Work_Buf of selected-but-undispatched pairs, and the Idle_Workers
+// queue; it selects pairs for alignment (only when the two fragments are
+// still in different clusters), dispatches fixed-size batches, merges
+// clusters from reported results, and regulates the pair-generation inflow
+// with the request quantity r. Ranks 1..p-1 are workers: each builds its
+// portion of the distributed GST, generates promising pairs from it in
+// decreasing maximal-match order, and computes the alignments the master
+// allocates — overlapping alignment computation with the wait for the
+// master's reply, exactly as in Fig. 8. Passive workers (out of pairs) keep
+// computing alignments until the master terminates them.
+#pragma once
+
+#include "core/cluster_params.hpp"
+#include "core/serial_cluster.hpp"
+#include "seq/fragment_store.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace pgasm::core {
+
+struct ParallelClusterResult {
+  util::UnionFind clusters;  ///< over fragment ids [0, n)
+  ClusterStats stats;
+  vmpi::RunCost cost;  ///< per-rank ledgers of the whole run
+};
+
+/// Run the full parallel clustering pipeline (distributed GST build +
+/// master-worker overlap detection) on `num_ranks` virtual ranks.
+/// Requires num_ranks >= 2 (one master + at least one worker).
+ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
+                                       const ClusterParams& params,
+                                       int num_ranks,
+                                       vmpi::CostParams cost_params = {});
+
+}  // namespace pgasm::core

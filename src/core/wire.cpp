@@ -1,0 +1,77 @@
+#include "core/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pgasm::core {
+
+namespace {
+
+template <typename T>
+void append_vec(std::vector<std::uint8_t>& out, const std::vector<T>& v) {
+  const std::uint32_t n = static_cast<std::uint32_t>(v.size());
+  const std::size_t base = out.size();
+  out.resize(base + 4 + n * sizeof(T));
+  std::memcpy(out.data() + base, &n, 4);
+  if (n) std::memcpy(out.data() + base + 4, v.data(), n * sizeof(T));
+}
+
+template <typename T>
+std::vector<T> read_vec(const std::vector<std::uint8_t>& in,
+                        std::size_t& off) {
+  if (off + 4 > in.size()) throw std::runtime_error("wire: truncated header");
+  std::uint32_t n;
+  std::memcpy(&n, in.data() + off, 4);
+  off += 4;
+  if (off + n * sizeof(T) > in.size())
+    throw std::runtime_error("wire: truncated payload");
+  std::vector<T> v(n);
+  if (n) std::memcpy(v.data(), in.data() + off, n * sizeof(T));
+  off += n * sizeof(T);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_report(const WorkerReport& r) {
+  std::vector<std::uint8_t> out;
+  out.reserve(9 + r.results.size() * sizeof(ResultMsg) +
+              r.new_pairs.size() * sizeof(PairMsg));
+  append_vec(out, r.results);
+  append_vec(out, r.new_pairs);
+  out.push_back(r.exhausted);
+  return out;
+}
+
+WorkerReport decode_report(const std::vector<std::uint8_t>& bytes) {
+  WorkerReport r;
+  std::size_t off = 0;
+  r.results = read_vec<ResultMsg>(bytes, off);
+  r.new_pairs = read_vec<PairMsg>(bytes, off);
+  if (off + 1 > bytes.size()) throw std::runtime_error("wire: bad report");
+  r.exhausted = bytes[off];
+  return r;
+}
+
+std::vector<std::uint8_t> encode_reply(const MasterReply& r) {
+  std::vector<std::uint8_t> out;
+  out.reserve(9 + r.batch.size() * sizeof(PairMsg));
+  append_vec(out, r.batch);
+  const std::size_t base = out.size();
+  out.resize(base + 5);
+  std::memcpy(out.data() + base, &r.request_r, 4);
+  out[base + 4] = r.terminate;
+  return out;
+}
+
+MasterReply decode_reply(const std::vector<std::uint8_t>& bytes) {
+  MasterReply r;
+  std::size_t off = 0;
+  r.batch = read_vec<PairMsg>(bytes, off);
+  if (off + 5 > bytes.size()) throw std::runtime_error("wire: bad reply");
+  std::memcpy(&r.request_r, bytes.data() + off, 4);
+  r.terminate = bytes[off + 4];
+  return r;
+}
+
+}  // namespace pgasm::core

@@ -1,0 +1,52 @@
+// Wire format for the master-worker clustering protocol (paper Fig. 6).
+//
+// One worker->master message carries AR (alignment results for the last
+// allocated batch) plus NP (a batch of freshly generated promising pairs)
+// plus the worker's active/passive flag; one master->worker reply carries
+// AW (the next alignment batch) plus r (how many new pairs to send next).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pgasm::core {
+
+/// A promising pair in global doubled-store ids. POD for send_vector.
+struct PairMsg {
+  std::uint32_t seq_a = 0, pos_a = 0;
+  std::uint32_t seq_b = 0, pos_b = 0;
+  std::uint32_t match_len = 0;
+};
+
+/// An alignment outcome reported to the master. Carries the implied
+/// relative placement (orientation flags + oriented-frame offset) so the
+/// master can run the inconsistent-overlap resolution extension.
+struct ResultMsg {
+  std::uint32_t frag_a = 0;
+  std::uint32_t frag_b = 0;
+  std::int32_t delta = 0;  ///< start of b's oriented seq relative to a's
+  std::uint8_t accepted = 0;
+  std::uint8_t rc_a = 0;
+  std::uint8_t rc_b = 0;
+  std::uint8_t pad = 0;
+};
+
+struct WorkerReport {
+  std::vector<ResultMsg> results;  ///< AR
+  std::vector<PairMsg> new_pairs;  ///< NP
+  std::uint8_t exhausted = 0;      ///< worker's generator is done (passive)
+};
+
+struct MasterReply {
+  std::vector<PairMsg> batch;   ///< AW
+  std::uint32_t request_r = 0;  ///< pairs to send in the next report
+  std::uint8_t terminate = 0;
+};
+
+std::vector<std::uint8_t> encode_report(const WorkerReport& r);
+WorkerReport decode_report(const std::vector<std::uint8_t>& bytes);
+
+std::vector<std::uint8_t> encode_reply(const MasterReply& r);
+MasterReply decode_reply(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace pgasm::core

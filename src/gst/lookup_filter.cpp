@@ -1,0 +1,109 @@
+#include "gst/lookup_filter.hpp"
+
+#include <algorithm>
+
+#include "util/radix_sort.hpp"
+
+namespace pgasm::gst {
+
+LookupFilter::LookupFilter(const seq::FragmentStore& store,
+                           const LookupFilterParams& params)
+    : store_(&store), params_(params) {
+  const std::uint32_t w = params.w;
+  // Collect every unmasked w-mer occurrence with its word value, then sort
+  // by word to group the table buckets (equivalent to the classic direct
+  // table, without allocating all 4^w heads up front).
+  std::vector<std::uint64_t> words;
+  for (std::uint32_t s = 0; s < store.size(); ++s) {
+    const auto text = store.seq(s);
+    if (text.size() < w) continue;
+    std::uint64_t word = 0;
+    std::uint32_t valid = 0;  // length of the current unmasked run
+    const std::uint64_t mask = (w >= 32) ? ~0ull : ((1ull << (2 * w)) - 1);
+    for (std::uint32_t p = 0; p < text.size(); ++p) {
+      if (!seq::is_base(text[p])) {
+        valid = 0;
+        continue;
+      }
+      word = ((word << 2) | text[p]) & mask;
+      ++valid;
+      if (valid >= w) {
+        words.push_back(word);
+        occurrences_.push_back(Occurrence{s, p + 1 - w});
+      }
+    }
+  }
+  util::radix_sort_u64(words, occurrences_);
+  stats_.positions = occurrences_.size();
+  stats_.table_entries = 1ull << (2 * w);
+  // Classic table cost: one head per slot plus one node per occurrence.
+  stats_.table_bytes = stats_.table_entries * 4 + stats_.positions * 8;
+
+  bucket_begin_.push_back(0);
+  for (std::size_t k = 1; k < words.size(); ++k) {
+    if (words[k] != words[k - 1]) bucket_begin_.push_back(k);
+  }
+  bucket_begin_.push_back(words.size());
+}
+
+bool LookupFilter::done() const noexcept {
+  return bucket_ + 1 >= bucket_begin_.size();
+}
+
+bool LookupFilter::emit(const Occurrence& a, const Occurrence& b,
+                        PromisingPair& out) {
+  if (a.seq == b.seq) return false;
+  const Occurrence* first = &a;
+  const Occurrence* second = &b;
+  if (params_.doubled_input) {
+    const std::uint32_t ga = a.seq >> 1, gb = b.seq >> 1;
+    if (ga == gb) return false;
+    if (ga > gb) std::swap(first, second);
+    if ((first->seq & 1u) != 0) return false;  // canonical mirror only
+  } else {
+    if (a.seq > b.seq) std::swap(first, second);
+  }
+  if (params_.dedup_per_word) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(first->seq) << 32) | second->seq;
+    if (!seen_in_bucket_.insert(key).second) return false;
+  }
+  out.seq_a = first->seq;
+  out.pos_a = first->pos;
+  out.seq_b = second->seq;
+  out.pos_b = second->pos;
+  out.match_len = params_.w;
+  return true;
+}
+
+bool LookupFilter::next(PromisingPair& out) {
+  while (bucket_ + 1 < bucket_begin_.size()) {
+    const std::size_t begin = bucket_begin_[bucket_];
+    const std::size_t end = bucket_begin_[bucket_ + 1];
+    if (fresh_bucket_) {
+      i_ = begin;
+      j_ = begin + 1;
+      seen_in_bucket_.clear();
+      fresh_bucket_ = false;
+    }
+    while (i_ + 1 < end) {
+      if (j_ < end) {
+        const Occurrence a = occurrences_[i_];
+        const Occurrence b = occurrences_[j_];
+        ++j_;
+        if (emit(a, b, out)) {
+          ++stats_.pairs_emitted;
+          return true;
+        }
+        continue;
+      }
+      ++i_;
+      j_ = i_ + 1;
+    }
+    ++bucket_;
+    fresh_bucket_ = true;
+  }
+  return false;
+}
+
+}  // namespace pgasm::gst

@@ -1,0 +1,76 @@
+// Baseline pair filter: the fixed-length lookup table (paper Section 2).
+//
+// "The most frequently used filter is to generate pairs that have one or
+// more exact matches of a specified length, say w. Such pairs are easily
+// identified using a lookup table constructed for all w-length substrings
+// within each fragment. A downside to this approach is that a long exact
+// match of length l reveals itself as (l - w + 1) matches of length w" —
+// and w must stay small (10-11) because the table is exponential in w.
+//
+// This is the baseline the paper's maximal-match generator is designed to
+// beat: it emits far more duplicate pairs, cannot order pairs by match
+// quality, and needs the table in memory. We implement it faithfully so
+// bench/baseline_lookup_filter can quantify the difference.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "gst/pair_generator.hpp"
+#include "seq/fragment_store.hpp"
+
+namespace pgasm::gst {
+
+struct LookupFilterParams {
+  std::uint32_t w = 11;  ///< table word length (4^w entries)
+  bool doubled_input = false;
+  /// Emit each fragment pair at most once per shared w-mer *word* (still
+  /// many times per long match — once per starting position). False emits
+  /// every occurrence pair, exactly like the classic filter.
+  bool dedup_per_word = false;
+};
+
+struct LookupFilterStats {
+  std::uint64_t table_entries = 0;   ///< 4^w slots
+  std::uint64_t table_bytes = 0;     ///< slots + position lists
+  std::uint64_t positions = 0;       ///< indexed w-mer occurrences
+  std::uint64_t pairs_emitted = 0;
+};
+
+/// Streams candidate pairs from a w-mer lookup table. Pairs carry the
+/// shared word's positions as the anchor and w as the "match length"
+/// (the filter cannot know the true maximal match length — that is the
+/// point of the comparison).
+class LookupFilter {
+ public:
+  LookupFilter(const seq::FragmentStore& store,
+               const LookupFilterParams& params);
+
+  bool next(PromisingPair& out);
+  bool done() const noexcept;
+
+  const LookupFilterStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Occurrence {
+    std::uint32_t seq;
+    std::uint32_t pos;
+  };
+
+  bool emit(const Occurrence& a, const Occurrence& b, PromisingPair& out);
+
+  const seq::FragmentStore* store_;
+  LookupFilterParams params_;
+  LookupFilterStats stats_;
+  // Bucketed occurrences: all positions of each word, grouped.
+  std::vector<Occurrence> occurrences_;
+  std::vector<std::uint64_t> bucket_begin_;  // per distinct word + sentinel
+  // Iteration state.
+  std::size_t bucket_ = 0;
+  std::size_t i_ = 0, j_ = 1;
+  bool fresh_bucket_ = true;
+  std::unordered_set<std::uint64_t> seen_in_bucket_;  // dedup_per_word
+};
+
+}  // namespace pgasm::gst

@@ -1,0 +1,50 @@
+#include "gst/suffix.hpp"
+
+namespace pgasm::gst {
+
+std::vector<Suffix> enumerate_suffixes_range(const seq::FragmentStore& store,
+                                             std::uint32_t seq_begin,
+                                             std::uint32_t seq_end,
+                                             std::uint32_t min_len) {
+  std::vector<Suffix> out;
+  for (std::uint32_t s = seq_begin; s < seq_end; ++s) {
+    const auto text = store.seq(s);
+    const auto n = static_cast<std::uint32_t>(text.size());
+    // Walk runs of unmasked characters; each position in a run is a suffix
+    // whose effective length reaches the end of the run.
+    std::uint32_t run_end = 0;
+    for (std::uint32_t pos = 0; pos < n; ++pos) {
+      if (!seq::is_base(text[pos])) continue;
+      if (pos >= run_end) {
+        run_end = pos;
+        while (run_end < n && seq::is_base(text[run_end])) ++run_end;
+      }
+      const std::uint32_t len = run_end - pos;
+      if (len < min_len) {
+        pos = run_end;  // skip the tail of this run (monotonically shorter)
+        continue;
+      }
+      out.push_back(Suffix{s, pos, len, class_of(text, pos)});
+    }
+  }
+  return out;
+}
+
+std::vector<Suffix> enumerate_suffixes(const seq::FragmentStore& store,
+                                       std::uint32_t min_len) {
+  return enumerate_suffixes_range(store, 0,
+                                  static_cast<std::uint32_t>(store.size()),
+                                  min_len);
+}
+
+std::uint32_t bucket_of(const seq::FragmentStore& store, const Suffix& s,
+                        std::uint32_t w) noexcept {
+  const auto text = store.seq(s.seq);
+  std::uint32_t b = 0;
+  for (std::uint32_t i = 0; i < w; ++i) {
+    b = (b << 2) | text[s.pos + i];
+  }
+  return b;
+}
+
+}  // namespace pgasm::gst

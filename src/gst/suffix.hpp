@@ -1,0 +1,60 @@
+// Suffix enumeration for the generalized suffix tree.
+//
+// A suffix is (sequence id, start position). Its *effective length* runs to
+// the next masked character or the sequence end: masked symbols act as hard
+// breaks, so no exact match can span them (this is how repeat masking keeps
+// repeats from seeding promising pairs). Suffixes shorter than the minimum
+// match cutoff ψ cannot carry a qualifying maximal match and are dropped at
+// enumeration time — with w <= ψ this also guarantees every kept suffix has
+// a full w-length bucket prefix for the parallel construction (Section 6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/fragment_store.hpp"
+
+namespace pgasm::gst {
+
+/// Character classes used by lsets: λ (suffix starts the fragment or is
+/// preceded by a masked character) plus the four bases.
+inline constexpr std::uint8_t kClassLambda = 0;
+inline constexpr int kNumClasses = 5;  // λ, A, C, G, T
+
+struct Suffix {
+  std::uint32_t seq = 0;   ///< sequence id within the input store
+  std::uint32_t pos = 0;   ///< start position (0-based)
+  std::uint32_t len = 0;   ///< effective length (to mask break / end)
+  std::uint8_t cls = 0;    ///< preceding-character class (lset class)
+};
+
+/// Enumerate all suffixes of `store` with effective length >= min_len.
+/// Positions inside masked runs are skipped entirely.
+std::vector<Suffix> enumerate_suffixes(const seq::FragmentStore& store,
+                                       std::uint32_t min_len);
+
+/// Same, restricted to sequence ids in [seq_begin, seq_end) — used by the
+/// parallel construction where each rank owns a contiguous slice.
+std::vector<Suffix> enumerate_suffixes_range(const seq::FragmentStore& store,
+                                             std::uint32_t seq_begin,
+                                             std::uint32_t seq_end,
+                                             std::uint32_t min_len);
+
+/// Bucket id of a suffix: the base-4 value of its first w characters.
+/// Requires suffix.len >= w (guaranteed by enumeration with min_len >= w).
+std::uint32_t bucket_of(const seq::FragmentStore& store, const Suffix& s,
+                        std::uint32_t w) noexcept;
+
+/// Number of buckets for prefix length w: 4^w.
+constexpr std::uint32_t num_buckets(std::uint32_t w) noexcept {
+  return 1u << (2 * w);
+}
+
+/// Preceding-character class of a suffix of `text` at position pos.
+inline std::uint8_t class_of(std::span<const seq::Code> text,
+                             std::uint32_t pos) noexcept {
+  if (pos == 0 || !seq::is_base(text[pos - 1])) return kClassLambda;
+  return static_cast<std::uint8_t>(1 + text[pos - 1]);
+}
+
+}  // namespace pgasm::gst

@@ -1,0 +1,105 @@
+// Generalized suffix tree (GST), built as a forest of bucket subtrees.
+//
+// Construction follows the paper (Section 6): suffixes are grouped into
+// buckets by their w-length prefix, and each bucket's compacted trie is
+// built depth-first by recursively partitioning suffixes on the character
+// at the current depth. Since the minimum maximal-match length ψ is >= w,
+// the top of the GST (depth < w) is never materialized. The same code path
+// serves the serial build (one implicit bucket at depth 0) and the parallel
+// build (each rank constructs the subtrees of its assigned buckets).
+//
+// Worst case build time is O(S · l) character probes for S suffixes of
+// average effective length l, matching the paper's stated bound; space is
+// O(S) nodes (leaves merge identical suffixes).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gst/suffix.hpp"
+#include "seq/fragment_store.hpp"
+
+namespace pgasm::gst {
+
+inline constexpr std::uint32_t kNilNode =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct Node {
+  std::uint32_t parent = kNilNode;
+  std::uint32_t depth = 0;          ///< string-depth (path-label length)
+  std::uint32_t first_child = kNilNode;
+  std::uint32_t next_sibling = kNilNode;
+  /// Leaves: the (reordered) suffix range they own. Internal nodes: empty.
+  std::uint32_t suffix_begin = 0;
+  std::uint32_t suffix_end = 0;
+
+  bool is_leaf() const noexcept { return first_child == kNilNode; }
+  std::uint32_t num_suffixes() const noexcept {
+    return suffix_end - suffix_begin;
+  }
+};
+
+struct GstParams {
+  std::uint32_t min_match = 20;  ///< ψ: minimum maximal-match length
+  /// w: bucket prefix length, 0 < w <= min_match. Serial builds may pass 0
+  /// to mean "one bucket at depth 0".
+  std::uint32_t prefix_w = 0;
+};
+
+class SuffixTree {
+ public:
+  /// Serial build over all suffixes of `store` (forward sequences only; the
+  /// caller passes a doubled store to include reverse complements).
+  SuffixTree(const seq::FragmentStore& store, const GstParams& params);
+
+  /// Build over an explicit suffix set (the parallel path: a rank's bucket
+  /// contents). `start_depth` is the guaranteed common-prefix length within
+  /// each bucket; `bucket_begin` delimits buckets in `suffixes` (terminated
+  /// by suffixes.size()). Pass a single bucket [0, size) for no grouping.
+  SuffixTree(const seq::FragmentStore& store, std::vector<Suffix> suffixes,
+             std::span<const std::uint32_t> bucket_begin,
+             std::uint32_t start_depth, const GstParams& params);
+
+  const seq::FragmentStore& store() const noexcept { return *store_; }
+  const GstParams& params() const noexcept { return params_; }
+
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  std::size_t num_suffixes() const noexcept { return suffixes_.size(); }
+  std::size_t num_leaves() const noexcept { return num_leaves_; }
+  const Node& node(std::uint32_t id) const noexcept { return nodes_[id]; }
+  const Suffix& suffix(std::uint32_t idx) const noexcept {
+    return suffixes_[idx];
+  }
+
+  /// Node ids in decreasing string-depth order, children before parents
+  /// (depth ties broken by descending id; children always have larger ids).
+  /// Only nodes with depth >= min_depth are included.
+  std::vector<std::uint32_t> nodes_by_depth_desc(std::uint32_t min_depth) const;
+
+  /// Total memory footprint of the structure, in bytes (paper §7.1 reports
+  /// bytes per input character; bench/space_accounting reproduces that).
+  std::uint64_t memory_bytes() const noexcept;
+
+  /// Structural invariant check used by the tests. Returns an empty string
+  /// if all invariants hold, else a description of the first violation.
+  /// Verifies: suffix partition across leaves, path-label prefix property,
+  /// sibling first-character distinctness, parent/child depth ordering,
+  /// and right-maximality of branching.
+  std::string check_invariants() const;
+
+ private:
+  void build_range(std::uint32_t begin, std::uint32_t end, std::uint32_t depth,
+                   std::uint32_t parent);
+
+  const seq::FragmentStore* store_;
+  GstParams params_;
+  std::vector<Suffix> suffixes_;
+  std::vector<Node> nodes_;
+  std::size_t num_leaves_ = 0;
+  std::vector<Suffix> scratch_;  // partition buffer, build time only
+};
+
+}  // namespace pgasm::gst

@@ -1,0 +1,328 @@
+#include "olc/assembler.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "gst/pair_generator.hpp"
+#include "gst/suffix_tree.hpp"
+#include "util/stats.hpp"
+
+namespace pgasm::olc {
+
+namespace {
+
+/// Vote weight of one base: its quality value when available (CAP3 weighs
+/// consensus votes by quality), a flat default otherwise.
+std::uint32_t base_weight(std::span<const std::uint8_t> qual, std::size_t k) {
+  if (qual.empty()) return 10;
+  return std::clamp<std::uint32_t>(qual[k], 1, 60);
+}
+
+struct Overlap {
+  std::uint32_t frag_a, frag_b;  // underlying fragment ids
+  bool rc_a, rc_b;               // orientations the alignment used
+  std::int32_t delta;            // start of b's oriented seq rel. to a's
+  std::int32_t score;
+};
+
+/// One polish round: banded-realign each placed fragment to the draft and
+/// re-vote per draft column (bases + gap). Columns where gaps win are
+/// dropped; placements' offsets are remapped. Returns true if changed.
+bool polish_round(Contig& contig, const seq::FragmentStore& fragments,
+                  const AssemblyParams& params) {
+  const auto& draft = contig.consensus;
+  if (draft.empty()) return false;
+  constexpr int kGap = seq::kSigma;  // vote index for "delete this column"
+  std::vector<std::array<std::uint32_t, seq::kSigma + 1>> votes(
+      draft.size(), std::array<std::uint32_t, seq::kSigma + 1>{});
+  // Insertion votes: bases the reads carry *between* draft columns p-1 and
+  // p (the draft skeleton inherits its root read's deletions; these columns
+  // can only be recovered by insertion voting).
+  std::vector<std::array<std::uint32_t, seq::kSigma>> ins(
+      draft.size() + 1, std::array<std::uint32_t, seq::kSigma>{});
+  const std::int64_t pad = params.polish_band;
+  const align::Scoring scoring{};
+
+  for (const Placement& pl : contig.layout) {
+    auto read = std::vector<seq::Code>(fragments.seq(pl.fragment).begin(),
+                                       fragments.seq(pl.fragment).end());
+    const auto qspan = fragments.quality(pl.fragment);
+    std::vector<std::uint8_t> qual(qspan.begin(), qspan.end());
+    if (pl.flip) {
+      read = seq::reverse_complement(read);
+      std::reverse(qual.begin(), qual.end());
+    }
+    const std::int64_t dlen = static_cast<std::int64_t>(draft.size());
+    const std::int64_t rlen = static_cast<std::int64_t>(read.size());
+    const std::int64_t win_lo = std::max<std::int64_t>(0, pl.offset - pad);
+    const std::int64_t win_hi = std::min(dlen, pl.offset + rlen + pad);
+    if (win_lo >= win_hi) continue;
+    const align::Seq window(draft.data() + win_lo,
+                            static_cast<std::size_t>(win_hi - win_lo));
+    // Expected diagonal: read position i sits at draft pos offset + i,
+    // i.e. window pos (offset - win_lo) + i. End-free alignment: the
+    // window's pad margins are absorbed for free, so they receive no
+    // spurious gap votes; only the genuinely aligned region votes.
+    const auto ov = align::banded_overlap_align(
+        read, window, scoring,
+        static_cast<std::int32_t>(pl.offset - win_lo),
+        params.polish_band + 8, {.keep_ops = true});
+    const auto& r = ov.aln;
+    if (r.ops.empty()) continue;  // band missed; this read abstains
+    std::size_t i = r.a_begin;
+    std::int64_t p = win_lo + r.b_begin;
+    for (const align::Op op : r.ops) {
+      switch (op) {
+        case align::Op::kMatch:
+        case align::Op::kMismatch:
+          if (seq::is_base(read[i])) {
+            votes[p][read[i]] += base_weight(qual, i);
+          }
+          ++i;
+          ++p;
+          break;
+        case align::Op::kInsertA:  // read base absent from the draft
+          if (seq::is_base(read[i])) ins[p][read[i]] += base_weight(qual, i);
+          ++i;
+          break;
+        case align::Op::kInsertB: {
+          // Deletion quality: the smaller of the flanking base qualities.
+          const std::uint32_t wl = i > 0 ? base_weight(qual, i - 1) : 10;
+          const std::uint32_t wr =
+              i < read.size() ? base_weight(qual, i) : 10;
+          votes[p][kGap] += std::min(wl, wr);
+          ++p;
+          break;
+        }
+      }
+    }
+  }
+
+  // Rebuild the consensus; keep a draft->new index map for the offsets.
+  std::vector<seq::Code> polished;
+  polished.reserve(draft.size());
+  std::vector<std::int64_t> remap(draft.size() + 1, 0);
+  bool changed = false;
+  auto column_coverage = [&](std::size_t p) {
+    std::uint32_t cov = 0;
+    if (p < votes.size()) {
+      for (int c = 0; c <= kGap; ++c) cov += votes[p][c];
+    }
+    return cov;
+  };
+  auto maybe_insert = [&](std::size_t p) {
+    int best = 0;
+    for (int c = 1; c < seq::kSigma; ++c) {
+      if (ins[p][c] > ins[p][best]) best = c;
+    }
+    // Insert when a majority of the reads spanning this junction carry the
+    // base (junction coverage approximated by the flanking columns).
+    const std::uint32_t cov =
+        std::max(p > 0 ? column_coverage(p - 1) : 0u, column_coverage(p));
+    if (ins[p][best] * 2 > cov && ins[p][best] >= 12) {
+      polished.push_back(static_cast<seq::Code>(best));
+      changed = true;
+    }
+  };
+  for (std::size_t p = 0; p < draft.size(); ++p) {
+    maybe_insert(p);
+    remap[p] = static_cast<std::int64_t>(polished.size());
+    int best = 0;
+    std::uint32_t best_votes = votes[p][0];
+    for (int c = 1; c < seq::kSigma; ++c) {
+      if (votes[p][c] > best_votes) {
+        best = c;
+        best_votes = votes[p][c];
+      }
+    }
+    if (votes[p][kGap] > best_votes) {
+      changed = true;  // column deleted
+      continue;
+    }
+    seq::Code out = best_votes > 0 ? static_cast<seq::Code>(best) : draft[p];
+    changed |= (out != draft[p]);
+    polished.push_back(out);
+  }
+  maybe_insert(draft.size());
+  remap[draft.size()] = static_cast<std::int64_t>(polished.size());
+  if (!changed) return false;
+  for (Placement& pl : contig.layout) {
+    const std::int64_t clamped = std::clamp<std::int64_t>(
+        pl.offset, 0, static_cast<std::int64_t>(draft.size()));
+    pl.offset = remap[clamped];
+  }
+  contig.consensus = std::move(polished);
+  return true;
+}
+
+}  // namespace
+
+std::size_t AssemblyResult::num_multi_contigs() const noexcept {
+  std::size_t n = 0;
+  for (const auto& c : contigs) n += !c.is_singleton();
+  return n;
+}
+
+std::size_t AssemblyResult::num_singletons() const noexcept {
+  return contigs.size() - num_multi_contigs();
+}
+
+std::uint64_t AssemblyResult::n50() const {
+  std::vector<std::uint64_t> lens;
+  lens.reserve(contigs.size());
+  for (const auto& c : contigs) lens.push_back(c.length());
+  return util::n50(std::move(lens));
+}
+
+AssemblyResult assemble(const seq::FragmentStore& fragments,
+                        const AssemblyParams& params) {
+  AssemblyResult result;
+  const std::size_t n = fragments.size();
+  if (n == 0) return result;
+
+  // --- Overlap phase -------------------------------------------------------
+  const seq::FragmentStore doubled = seq::make_doubled_store(fragments);
+  gst::SuffixTree tree(doubled,
+                       gst::GstParams{.min_match = params.psi, .prefix_w = 0});
+  gst::PairGenerator gen(tree, {.dup_elim = true, .doubled_input = true});
+
+  std::vector<Overlap> overlaps;
+  gst::PromisingPair pr;
+  while (gen.next(pr)) {
+    ++result.stats.overlaps_considered;
+    const auto a = doubled.seq(pr.seq_a);
+    const auto b = doubled.seq(pr.seq_b);
+    const auto r = align::banded_overlap_align(
+        a, b, params.overlap.scoring, pr.shift(), params.overlap.band);
+    if (!align::accept_overlap(r, params.overlap)) continue;
+    ++result.stats.overlaps_accepted;
+    Overlap ov;
+    ov.frag_a = pr.seq_a >> 1;
+    ov.frag_b = pr.seq_b >> 1;
+    ov.rc_a = (pr.seq_a & 1u) != 0;
+    ov.rc_b = (pr.seq_b & 1u) != 0;
+    ov.delta = static_cast<std::int32_t>(r.aln.a_begin) -
+               static_cast<std::int32_t>(r.aln.b_begin);
+    ov.score = r.aln.score;
+    overlaps.push_back(ov);
+  }
+
+  // --- Layout phase: best overlaps first -----------------------------------
+  std::stable_sort(overlaps.begin(), overlaps.end(),
+                   [](const Overlap& x, const Overlap& y) {
+                     return x.score > y.score;
+                   });
+  LayoutUF layout(n);
+  for (const Overlap& ov : overlaps) {
+    const Transform t_ba = overlap_transform(
+        ov.rc_a, ov.rc_b, ov.delta, fragments.length(ov.frag_a),
+        fragments.length(ov.frag_b));
+    const auto outcome = layout.unite(ov.frag_a, ov.frag_b, t_ba,
+                                      params.placement_tolerance);
+    if (outcome == LayoutUF::UniteOutcome::kConflict) {
+      ++result.stats.layout_conflicts;
+    }
+  }
+
+  // --- Consensus phase ------------------------------------------------------
+  for (auto& comp : layout.components()) {
+    // Member placements in root frame: fragment x spans
+    //   flip ? [T(len-1), T(0)] : [T(0), T(len-1)]  (inclusive).
+    std::int64_t lo = INT64_MAX, hi = INT64_MIN;
+    for (const auto& [x, t] : comp) {
+      const std::int64_t len = fragments.length(x);
+      const std::int64_t s = t.flip ? t(len - 1) : t(0);
+      const std::int64_t e = t.flip ? t(0) : t(len - 1);
+      lo = std::min(lo, s);
+      hi = std::max(hi, e);
+    }
+    const std::size_t span = static_cast<std::size_t>(hi - lo + 1);
+    std::vector<std::array<std::uint32_t, seq::kSigma>> votes(
+        span, std::array<std::uint32_t, seq::kSigma>{});
+    for (const auto& [x, t] : comp) {
+      const auto text = fragments.seq(x);
+      const auto qual = fragments.quality(x);
+      for (std::int64_t k = 0; k < static_cast<std::int64_t>(text.size());
+           ++k) {
+        const seq::Code c = text[k];
+        if (!seq::is_base(c)) continue;
+        const std::int64_t pos = t(k) - lo;
+        const seq::Code vote = t.flip ? seq::complement(c) : c;
+        votes[pos][vote] += base_weight(qual, static_cast<std::size_t>(k));
+      }
+    }
+    // Emit contigs, splitting at columns below the coverage floor.
+    auto flush = [&](std::size_t begin, std::size_t end,
+                     std::vector<Placement> members) {
+      if (begin >= end) return;
+      Contig contig;
+      contig.consensus.reserve(end - begin);
+      for (std::size_t p = begin; p < end; ++p) {
+        int best = 0;
+        for (int c = 1; c < seq::kSigma; ++c) {
+          if (votes[p][c] > votes[p][best]) best = c;
+        }
+        contig.consensus.push_back(static_cast<seq::Code>(best));
+      }
+      contig.layout = std::move(members);
+      result.contigs.push_back(std::move(contig));
+    };
+
+    // Column coverage (weighted) for split detection: any vote counts.
+    std::vector<std::uint32_t> coverage(span, 0);
+    for (std::size_t p = 0; p < span; ++p) {
+      std::uint32_t cov = 0;
+      for (int c = 0; c < seq::kSigma; ++c) cov += votes[p][c];
+      coverage[p] = cov;
+    }
+    std::size_t seg_begin = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> segments;
+    bool in_seg = false;
+    for (std::size_t p = 0; p <= span; ++p) {
+      const bool covered =
+          p < span && coverage[p] >= params.min_consensus_coverage;
+      if (covered && !in_seg) {
+        seg_begin = p;
+        in_seg = true;
+      } else if (!covered && in_seg) {
+        segments.push_back({seg_begin, p});
+        in_seg = false;
+      }
+    }
+    // Assign each fragment to the segment containing its start column.
+    std::vector<std::vector<Placement>> seg_members(segments.size());
+    for (const auto& [x, t] : comp) {
+      const std::int64_t len = fragments.length(x);
+      const std::int64_t start = (t.flip ? t(len - 1) : t(0)) - lo;
+      std::size_t si = 0;
+      for (; si < segments.size(); ++si) {
+        if (start >= static_cast<std::int64_t>(segments[si].first) &&
+            start < static_cast<std::int64_t>(segments[si].second))
+          break;
+      }
+      if (si == segments.size()) si = segments.empty() ? 0 : segments.size() - 1;
+      if (seg_members.empty()) continue;  // degenerate: no covered columns
+      Placement pl;
+      pl.fragment = x;
+      pl.flip = t.flip;
+      pl.offset = start - static_cast<std::int64_t>(segments[si].first);
+      pl.length = fragments.length(x);
+      seg_members[si].push_back(pl);
+    }
+    for (std::size_t si = 0; si < segments.size(); ++si) {
+      flush(segments[si].first, segments[si].second,
+            std::move(seg_members[si]));
+    }
+  }
+
+  // --- Polish phase: realign-and-revote until stable -----------------------
+  for (Contig& contig : result.contigs) {
+    if (contig.is_singleton()) continue;
+    for (int pass = 0; pass < params.polish_passes; ++pass) {
+      if (!polish_round(contig, fragments, params)) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pgasm::olc

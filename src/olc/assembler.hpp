@@ -1,0 +1,79 @@
+// Greedy overlap-layout-consensus assembler — the serial assembler run on
+// each cluster (the paper uses CAP3 here; the framework only requires *a*
+// stringent conventional assembler, see Section 3).
+//
+// Phases:
+//   overlap  — promising pairs from a GST over the cluster's fragments
+//              (+ reverse complements) at a stricter ψ, verified with
+//              banded suffix-prefix alignments at higher identity;
+//   layout   — overlaps sorted by score, greedily folded into an
+//              orientation-aware layout union-find; placements that
+//              contradict earlier (better) overlaps are rejected;
+//   consensus — per-column majority vote over the placed fragments,
+//              splitting at zero-coverage columns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/overlap.hpp"
+#include "olc/layout.hpp"
+#include "seq/fragment_store.hpp"
+
+namespace pgasm::olc {
+
+struct AssemblyParams {
+  /// Stricter than clustering: the paper assembles each cluster "with a
+  /// higher stringency" than the clustering criterion.
+  std::uint32_t psi = 24;
+  align::OverlapParams overlap{
+      .scoring = {},
+      .min_overlap = 40,
+      .min_identity = 0.96,
+      .band = 12,
+  };
+  std::int64_t placement_tolerance = 10;
+  std::uint32_t min_consensus_coverage = 1;
+  /// Consensus polishing: realign every fragment to the draft consensus
+  /// (banded) and re-vote per aligned column, letting gap majorities drop
+  /// columns. Fixes the indel drift a fixed-offset vote cannot see — the
+  /// step CAP3 performs during its consensus phase. 0 disables.
+  int polish_passes = 4;
+  std::uint32_t polish_band = 48;
+};
+
+struct Placement {
+  std::uint32_t fragment = 0;  ///< id within the assembled store
+  bool flip = false;
+  std::int64_t offset = 0;  ///< contig coordinate of the fragment's start
+  std::uint32_t length = 0;  ///< fragment length (layout convenience)
+};
+
+struct Contig {
+  std::vector<seq::Code> consensus;
+  std::vector<Placement> layout;
+
+  std::uint64_t length() const noexcept { return consensus.size(); }
+  bool is_singleton() const noexcept { return layout.size() == 1; }
+};
+
+struct AssemblyStats {
+  std::uint64_t overlaps_considered = 0;  ///< promising pairs aligned
+  std::uint64_t overlaps_accepted = 0;
+  std::uint64_t layout_conflicts = 0;  ///< rejected inconsistent placements
+};
+
+struct AssemblyResult {
+  std::vector<Contig> contigs;  ///< every fragment appears in exactly one
+  AssemblyStats stats;
+
+  std::size_t num_multi_contigs() const noexcept;
+  std::size_t num_singletons() const noexcept;
+  std::uint64_t n50() const;
+};
+
+/// Assemble one fragment set (typically one cluster's members).
+AssemblyResult assemble(const seq::FragmentStore& fragments,
+                        const AssemblyParams& params);
+
+}  // namespace pgasm::olc

@@ -1,0 +1,85 @@
+#include "olc/layout.hpp"
+
+#include <cstdlib>
+#include <map>
+
+namespace pgasm::olc {
+
+Transform overlap_transform(bool rc_a, bool rc_b, std::int64_t delta,
+                            std::int64_t len_a, std::int64_t len_b) noexcept {
+  if (!rc_a && !rc_b) return Transform{false, delta};
+  if (!rc_a && rc_b) return Transform{true, delta + len_b - 1};
+  if (rc_a && !rc_b) return Transform{true, len_a - 1 - delta};
+  return Transform{false, len_a - len_b - delta};
+}
+
+LayoutUF::LayoutUF(std::size_t n)
+    : link_(n), rank_(n, 0), components_(n) {
+  for (std::uint32_t i = 0; i < n; ++i) link_[i] = Link{i, Transform{}};
+}
+
+std::pair<std::uint32_t, Transform> LayoutUF::find(std::uint32_t x) {
+  // Two passes: walk to the root composing transforms, then compress.
+  std::uint32_t root = x;
+  Transform acc{};  // x -> root
+  while (link_[root].parent != root) {
+    acc = link_[root].to_parent * acc;
+    root = link_[root].parent;
+  }
+  // Path compression with transform rewrite.
+  std::uint32_t cur = x;
+  Transform cur_to_root = acc;
+  while (link_[cur].parent != cur) {
+    const std::uint32_t next = link_[cur].parent;
+    const Transform next_to_root =
+        cur_to_root * link_[cur].to_parent.inverse();
+    link_[cur] = Link{root, cur_to_root};
+    cur_to_root = next_to_root;
+    cur = next;
+  }
+  return {root, acc};
+}
+
+LayoutUF::UniteOutcome LayoutUF::unite(std::uint32_t a, std::uint32_t b,
+                                       const Transform& t_ba,
+                                       std::int64_t tolerance) {
+  auto [ra, ta] = find(a);  // a -> ra
+  auto [rb, tb] = find(b);  // b -> rb
+  const Transform b_to_ra = ta * t_ba;  // b -> a -> ra
+  if (ra == rb) {
+    if (b_to_ra.flip != tb.flip) return UniteOutcome::kConflict;
+    const std::int64_t diff = b_to_ra.shift - tb.shift;
+    return std::llabs(diff) <= tolerance ? UniteOutcome::kConsistent
+                                         : UniteOutcome::kConflict;
+  }
+  // rb -> ra  =  (b -> ra) ∘ (b -> rb)^-1
+  Transform rb_to_ra = b_to_ra * tb.inverse();
+  std::uint32_t child = rb, parent = ra;
+  Transform child_to_parent = rb_to_ra;
+  if (rank_[ra] < rank_[rb]) {
+    child = ra;
+    parent = rb;
+    child_to_parent = rb_to_ra.inverse();
+  } else if (rank_[ra] == rank_[rb]) {
+    ++rank_[ra];
+  }
+  link_[child] = Link{parent, child_to_parent};
+  --components_;
+  return UniteOutcome::kMerged;
+}
+
+std::vector<std::vector<std::pair<std::uint32_t, Transform>>>
+LayoutUF::components() {
+  std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, Transform>>>
+      groups;
+  for (std::uint32_t x = 0; x < link_.size(); ++x) {
+    auto [root, t] = find(x);
+    groups[root].push_back({x, t});
+  }
+  std::vector<std::vector<std::pair<std::uint32_t, Transform>>> out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace pgasm::olc

@@ -1,0 +1,78 @@
+// Orientation-aware layout union-find.
+//
+// Each fragment is a node; accepted overlaps impose relative placements
+// (orientation flip + coordinate shift) between fragments. The structure
+// maintains, for every fragment, its affine-with-reflection transform into
+// its component root's coordinate frame:
+//
+//   T(c) = shift + (flip ? -c : c)
+//
+// mapping the fragment's forward-strand coordinate c into the root frame.
+// Union composes transforms; overlaps that contradict an existing placement
+// (beyond a tolerance) are rejected, implementing the greedy "consistent
+// layout" rule that stands in for CAP3's overlap resolution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pgasm::olc {
+
+struct Transform {
+  bool flip = false;
+  std::int64_t shift = 0;
+
+  std::int64_t operator()(std::int64_t c) const noexcept {
+    return shift + (flip ? -c : c);
+  }
+  /// Composition: (a * b)(c) == a(b(c)).
+  friend Transform operator*(const Transform& a, const Transform& b) noexcept {
+    return Transform{static_cast<bool>(a.flip ^ b.flip),
+                     a.shift + (a.flip ? -b.shift : b.shift)};
+  }
+  Transform inverse() const noexcept {
+    return flip ? Transform{true, shift} : Transform{false, -shift};
+  }
+  friend bool operator==(const Transform&, const Transform&) = default;
+};
+
+/// Transform of fragment b's forward coordinates into fragment a's forward
+/// frame, given an overlap computed between orient(a, rc_a) and
+/// orient(b, rc_b) whose oriented-frame offset (start of b's oriented
+/// sequence relative to a's) is `delta`.
+Transform overlap_transform(bool rc_a, bool rc_b, std::int64_t delta,
+                            std::int64_t len_a, std::int64_t len_b) noexcept;
+
+class LayoutUF {
+ public:
+  explicit LayoutUF(std::size_t n);
+
+  std::size_t size() const noexcept { return link_.size(); }
+  std::size_t num_components() const noexcept { return components_; }
+
+  /// Root of x's component plus the transform from x's frame to the root's.
+  std::pair<std::uint32_t, Transform> find(std::uint32_t x);
+
+  enum class UniteOutcome { kMerged, kConsistent, kConflict };
+
+  /// Impose: coordinates of b map into a's frame via t_ba. If a and b are
+  /// already in one component, checks agreement within `tolerance` shifts
+  /// (flips must match exactly). Returns what happened.
+  UniteOutcome unite(std::uint32_t a, std::uint32_t b, const Transform& t_ba,
+                     std::int64_t tolerance);
+
+  /// Component members grouped by root, each with its transform to the
+  /// root frame. Deterministic order.
+  std::vector<std::vector<std::pair<std::uint32_t, Transform>>> components();
+
+ private:
+  struct Link {
+    std::uint32_t parent;
+    Transform to_parent;  // maps this node's frame into the parent's
+  };
+  std::vector<Link> link_;
+  std::vector<std::uint32_t> rank_;
+  std::size_t components_;
+};
+
+}  // namespace pgasm::olc

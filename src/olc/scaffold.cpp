@@ -1,0 +1,204 @@
+#include "olc/scaffold.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "util/stats.hpp"
+#include "util/union_find.hpp"
+
+namespace pgasm::olc {
+
+namespace {
+
+struct ReadSite {
+  std::uint32_t contig = UINT32_MAX;
+  std::int64_t offset = 0;
+  bool flip = false;
+  std::int64_t length = 0;
+};
+
+/// Oriented start of a read inside a contig flipped (or not) as a whole.
+std::int64_t oriented_start(const ReadSite& site, std::int64_t contig_len,
+                            bool contig_flip) {
+  return contig_flip ? contig_len - site.offset - site.length : site.offset;
+}
+
+}  // namespace
+
+std::uint64_t Scaffold::span(const std::vector<Contig>& contigs) const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries) {
+    total += contigs[e.contig].length();
+    if (e.gap_before > 0) total += static_cast<std::uint64_t>(e.gap_before);
+  }
+  return total;
+}
+
+std::size_t ScaffoldResult::num_multi() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : scaffolds) n += s.entries.size() > 1;
+  return n;
+}
+
+std::uint64_t ScaffoldResult::span_n50(
+    const std::vector<Contig>& contigs) const {
+  std::vector<std::uint64_t> spans;
+  spans.reserve(scaffolds.size());
+  for (const auto& s : scaffolds) spans.push_back(s.span(contigs));
+  return util::n50(std::move(spans));
+}
+
+ScaffoldResult scaffold(const std::vector<Contig>& contigs,
+                        const std::vector<MateLink>& links,
+                        const ScaffoldParams& params) {
+  ScaffoldResult result;
+  ScaffoldStats& stats = result.stats;
+
+  // Fragment id -> placement site.
+  std::uint32_t max_frag = 0;
+  for (const auto& contig : contigs) {
+    for (const auto& pl : contig.layout) max_frag = std::max(max_frag, pl.fragment);
+  }
+  std::vector<ReadSite> site(static_cast<std::size_t>(max_frag) + 1);
+  for (std::uint32_t ci = 0; ci < contigs.size(); ++ci) {
+    for (const auto& pl : contigs[ci].layout) {
+      site[pl.fragment] =
+          ReadSite{ci, pl.offset, pl.flip,
+                   static_cast<std::int64_t>(pl.length)};
+    }
+  }
+
+  // Bundle links by (contig pair, orientations): the implied oriented
+  // offset D = start(Y) - start(X) must agree within gap_tolerance.
+  // Orientation algebra: read_a carries the clone's genome-forward
+  // sequence, so its contig runs genome-forward iff the placement did not
+  // flip it; read_b carries the genome-reverse sequence, so its contig
+  // runs genome-forward iff the placement DID flip it.
+  using Key = std::tuple<std::uint32_t, std::uint32_t, bool, bool>;
+  std::map<Key, std::vector<std::int64_t>> bundles;
+  stats.links_total = links.size();
+  for (const MateLink& link : links) {
+    if (link.read_a >= site.size() || link.read_b >= site.size() ||
+        site[link.read_a].contig == UINT32_MAX ||
+        site[link.read_b].contig == UINT32_MAX) {
+      ++stats.links_unplaced;
+      continue;
+    }
+    ReadSite a = site[link.read_a];
+    ReadSite b = site[link.read_b];
+    if (a.contig == b.contig) {
+      ++stats.links_intra_contig;
+      continue;
+    }
+    const std::int64_t lx = static_cast<std::int64_t>(contigs[a.contig].length());
+    const std::int64_t ly = static_cast<std::int64_t>(contigs[b.contig].length());
+
+    const bool ox = a.flip;        // orient X so read_a runs genome-forward
+    const bool oy = !b.flip;       // orient Y so read_b runs genome-reverse
+    const std::int64_t a_start = oriented_start(a, lx, ox);
+    const std::int64_t b_end = oriented_start(b, ly, oy) + b.length;
+    // Clone geometry: start(Y) - start(X) = a_start + insert - b_end.
+    std::int64_t d = a_start + static_cast<std::int64_t>(link.insert_len) -
+                     b_end;
+    std::uint32_t x = a.contig, y = b.contig;
+    bool kx = ox, ky = oy;
+    if (x > y) {
+      // Mirror the genome frame: the pair (Y', X') with both orientations
+      // toggled and offset D' = D + Ly - Lx.
+      d = d + ly - lx;
+      std::swap(x, y);
+      kx = !oy;
+      ky = !ox;
+    }
+    bundles[{x, y, kx, ky}].push_back(d);
+  }
+
+  // Keep bundles whose largest agreeing window has >= min_links links.
+  struct Edge {
+    std::uint32_t x, y;
+    bool ox, oy;
+    std::int64_t gap;
+    std::uint32_t weight;
+  };
+  std::vector<Edge> edges;
+  for (auto& [key, ds] : bundles) {
+    std::sort(ds.begin(), ds.end());
+    std::size_t best_count = 0, best_begin = 0;
+    std::size_t lo = 0;
+    for (std::size_t hi = 0; hi < ds.size(); ++hi) {
+      while (ds[hi] - ds[lo] > params.gap_tolerance) ++lo;
+      if (hi - lo + 1 > best_count) {
+        best_count = hi - lo + 1;
+        best_begin = lo;
+      }
+    }
+    if (best_count < params.min_links) continue;
+    const std::int64_t d = ds[best_begin + best_count / 2];  // median-ish
+    const auto [x, y, ox, oy] = key;
+    const std::int64_t gap =
+        d - static_cast<std::int64_t>(contigs[x].length());
+    if (gap < -params.max_overlap) continue;
+    edges.push_back(Edge{x, y, ox, oy, gap,
+                         static_cast<std::uint32_t>(best_count)});
+    stats.links_bundled += best_count;
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const Edge& a, const Edge& b) {
+                     return a.weight > b.weight;
+                   });
+
+  // Greedy end-matching: each contig end joins at most one edge; a
+  // contig-level union-find forbids cycles.
+  struct Ext {
+    bool used = false;
+    std::uint32_t other = 0;
+    std::int64_t gap = 0;
+  };
+  std::vector<Ext> ext(contigs.size() * 2);
+  util::UnionFind uf(contigs.size());
+  for (const Edge& e : edges) {
+    // Trailing end of oriented X; leading end of oriented Y.
+    const std::uint32_t tail = 2 * e.x + (e.ox ? 0u : 1u);
+    const std::uint32_t head = 2 * e.y + (e.oy ? 1u : 0u);
+    if (ext[tail].used || ext[head].used || uf.same(e.x, e.y)) {
+      ++stats.bundles_conflicting;
+      continue;
+    }
+    ext[tail] = Ext{true, head, e.gap};
+    ext[head] = Ext{true, tail, e.gap};
+    uf.unite(e.x, e.y);
+  }
+
+  // Extract scaffolds: walk alternating contig / gap edges from a terminal
+  // end (cycles are impossible by construction).
+  std::vector<std::uint8_t> visited(contigs.size(), 0);
+  for (std::uint32_t c = 0; c < contigs.size(); ++c) {
+    if (visited[c]) continue;
+    // Walk backwards from "enter c at its left end" to the chain start.
+    std::uint32_t entry = 2 * c;
+    while (ext[entry].used) {
+      entry = ext[entry].other ^ 1u;
+    }
+    Scaffold sc;
+    std::uint32_t e = entry;
+    std::int64_t gap_before = 0;
+    for (;;) {
+      const std::uint32_t contig = e / 2;
+      ScaffoldEntry item;
+      item.contig = contig;
+      item.flip = (e & 1u) != 0;  // entered via the forward-right end
+      item.gap_before = sc.entries.empty() ? 0 : gap_before;
+      sc.entries.push_back(item);
+      visited[contig] = 1;
+      const std::uint32_t exit_end = e ^ 1u;
+      if (!ext[exit_end].used) break;
+      gap_before = ext[exit_end].gap;
+      e = ext[exit_end].other;
+    }
+    result.scaffolds.push_back(std::move(sc));
+  }
+  return result;
+}
+
+}  // namespace pgasm::olc

@@ -1,0 +1,77 @@
+// Scaffolding: ordering and orienting contigs along the chromosome with
+// clone-mate links (the paper's Section 2 describes this as the phase after
+// contig construction; Section 1 explains that mates are the standard
+// defence against repeat-induced overlaps and the source of long-range
+// order).
+//
+// Model: a mate pair is (read_a sequenced genome-forward from the clone's
+// 5' end, read_b sequenced genome-reverse from its 3' end, nominal insert
+// length). When the two reads land in different contigs, the pair implies
+// a relative orientation and offset between the contigs. Links between the
+// same oriented contig pair are bundled; bundles with enough mutually
+// agreeing links become scaffold edges; a greedy end-matching (best bundle
+// first, each contig end used once, no cycles) chains the contigs into
+// scaffolds with estimated gaps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "olc/assembler.hpp"
+
+namespace pgasm::olc {
+
+/// A mate link expressed in assembled-fragment ids (the ids used by the
+/// contigs' layouts).
+struct MateLink {
+  std::uint32_t read_a = 0;
+  std::uint32_t read_b = 0;
+  std::uint32_t insert_len = 0;
+};
+
+struct ScaffoldParams {
+  std::uint32_t min_links = 2;      ///< agreeing mates to join two contigs
+  std::int64_t gap_tolerance = 400; ///< implied-offset agreement window
+  /// Links whose implied gap is more negative than this are contradictory
+  /// (the contigs would overlap more than alignment allows) and dropped.
+  std::int64_t max_overlap = 200;
+};
+
+struct ScaffoldEntry {
+  std::uint32_t contig = 0;  ///< index into the input contig list
+  bool flip = false;         ///< reverse-complement the contig
+  std::int64_t gap_before = 0;  ///< estimated gap to the previous entry
+};
+
+struct Scaffold {
+  std::vector<ScaffoldEntry> entries;
+  /// Total spanned length: contig lengths plus (non-negative) gaps.
+  std::uint64_t span(const std::vector<Contig>& contigs) const;
+};
+
+struct ScaffoldStats {
+  std::uint64_t links_total = 0;
+  std::uint64_t links_intra_contig = 0;   ///< both mates in one contig
+  std::uint64_t links_unplaced = 0;       ///< a mate not in any contig
+  std::uint64_t links_bundled = 0;        ///< contributed to a used bundle
+  std::uint64_t bundles_conflicting = 0;  ///< rejected by end-matching
+};
+
+struct ScaffoldResult {
+  /// Every input contig appears in exactly one scaffold.
+  std::vector<Scaffold> scaffolds;
+  ScaffoldStats stats;
+
+  std::size_t num_multi() const noexcept;
+  /// N50 over scaffold spans (vs the contig N50 — the headline win).
+  std::uint64_t span_n50(const std::vector<Contig>& contigs) const;
+};
+
+/// `contigs` is the contig list (typically concatenated across clusters);
+/// each fragment id referenced by `links` must appear in at most one
+/// contig's layout (pass fragment ids in the same space as the layouts).
+ScaffoldResult scaffold(const std::vector<Contig>& contigs,
+                        const std::vector<MateLink>& links,
+                        const ScaffoldParams& params);
+
+}  // namespace pgasm::olc

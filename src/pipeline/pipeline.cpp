@@ -1,0 +1,275 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+
+#include <cstring>
+
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace pgasm::pipeline {
+
+namespace {
+
+// --- AssemblyResult wire helpers for the distributed assembly phase -------
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t base = out.size();
+  out.resize(base + sizeof(T));
+  std::memcpy(out.data() + base, &v, sizeof(T));
+}
+
+template <typename T>
+T take(const std::vector<std::uint8_t>& in, std::size_t& off) {
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+void append_assembly(std::vector<std::uint8_t>& out, std::uint32_t cluster,
+                     const olc::AssemblyResult& ar) {
+  put(out, cluster);
+  put(out, static_cast<std::uint32_t>(ar.contigs.size()));
+  put(out, ar.stats.overlaps_considered);
+  put(out, ar.stats.overlaps_accepted);
+  put(out, ar.stats.layout_conflicts);
+  for (const auto& contig : ar.contigs) {
+    put(out, static_cast<std::uint64_t>(contig.consensus.size()));
+    const std::size_t base = out.size();
+    out.resize(base + contig.consensus.size());
+    std::memcpy(out.data() + base, contig.consensus.data(),
+                contig.consensus.size());
+    put(out, static_cast<std::uint32_t>(contig.layout.size()));
+    for (const auto& pl : contig.layout) {
+      put(out, pl.fragment);
+      put(out, static_cast<std::uint8_t>(pl.flip ? 1 : 0));
+      put(out, pl.offset);
+      put(out, pl.length);
+    }
+  }
+}
+
+olc::AssemblyResult parse_assembly(const std::vector<std::uint8_t>& in,
+                                   std::size_t& off, std::uint32_t* cluster) {
+  olc::AssemblyResult ar;
+  *cluster = take<std::uint32_t>(in, off);
+  const auto n_contigs = take<std::uint32_t>(in, off);
+  ar.stats.overlaps_considered = take<std::uint64_t>(in, off);
+  ar.stats.overlaps_accepted = take<std::uint64_t>(in, off);
+  ar.stats.layout_conflicts = take<std::uint64_t>(in, off);
+  ar.contigs.resize(n_contigs);
+  for (auto& contig : ar.contigs) {
+    const auto len = take<std::uint64_t>(in, off);
+    contig.consensus.resize(len);
+    std::memcpy(contig.consensus.data(), in.data() + off, len);
+    off += len;
+    const auto n_layout = take<std::uint32_t>(in, off);
+    contig.layout.resize(n_layout);
+    for (auto& pl : contig.layout) {
+      pl.fragment = take<std::uint32_t>(in, off);
+      pl.flip = take<std::uint8_t>(in, off) != 0;
+      pl.offset = take<std::int64_t>(in, off);
+      pl.length = take<std::uint32_t>(in, off);
+    }
+  }
+  return ar;
+}
+
+}  // namespace
+
+ClusterSummary summarize_clusters(const util::UnionFind& clusters) {
+  ClusterSummary s;
+  s.total_fragments = clusters.size();
+  const auto sets = clusters.extract_sets();
+  std::uint64_t multi_members = 0;
+  for (const auto& members : sets) {
+    if (members.size() >= 2) {
+      ++s.num_clusters;
+      multi_members += members.size();
+      s.max_cluster_size =
+          std::max(s.max_cluster_size, static_cast<std::uint32_t>(members.size()));
+    } else {
+      ++s.num_singletons;
+    }
+  }
+  if (s.num_clusters > 0) {
+    s.avg_fragments_per_cluster =
+        static_cast<double>(multi_members) / static_cast<double>(s.num_clusters);
+  }
+  if (s.total_fragments > 0) {
+    s.max_cluster_fraction = static_cast<double>(s.max_cluster_size) /
+                             static_cast<double>(s.total_fragments);
+  }
+  return s;
+}
+
+PipelineResult run_pipeline(const seq::FragmentStore& raw,
+                            const std::vector<std::vector<seq::Code>>& vectors,
+                            const PipelineParams& params) {
+  PipelineResult result;
+
+  // --- Preprocessing --------------------------------------------------------
+  if (params.run_preprocess) {
+    result.pre = preprocess::preprocess(raw, vectors, params.pre);
+  } else {
+    for (seq::FragmentId id = 0; id < raw.size(); ++id) {
+      result.pre.store.add(raw.seq(id), raw.type(id), raw.name(id));
+      result.pre.unmasked_store.add(raw.seq(id), raw.type(id), raw.name(id));
+      result.pre.kept_ids.push_back(id);
+    }
+  }
+
+  // --- Clustering -----------------------------------------------------------
+  if (params.ranks >= 2) {
+    auto pr = core::cluster_parallel(result.pre.store, params.cluster,
+                                     params.ranks, params.cost);
+    result.clusters = std::move(pr.clusters);
+    result.cluster_stats = pr.stats;
+    result.cost = std::move(pr.cost);
+  } else {
+    auto sr = core::cluster_serial(result.pre.store, params.cluster);
+    result.clusters = std::move(sr.clusters);
+    result.cluster_stats = sr.stats;
+  }
+  result.cluster_summary = summarize_clusters(result.clusters);
+
+  // Materialize cluster membership: non-singletons by decreasing size.
+  auto sets = result.clusters.extract_sets();
+  std::stable_sort(sets.begin(), sets.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() > b.size();
+                   });
+  result.cluster_sets = std::move(sets);
+
+  // --- Per-cluster assembly -------------------------------------------------
+  // "The subsequent assembly tasks are trivially parallelized by
+  // distributing the clusters across multiple processors and running
+  // multiple instances of a serial assembler in parallel" (Section 3).
+  if (params.run_assembly) {
+    std::size_t n_assemble = 0;
+    while (n_assemble < result.cluster_sets.size() &&
+           result.cluster_sets[n_assemble].size() >= 2) {
+      ++n_assemble;
+    }
+    util::WallTimer timer;
+    result.assemblies.resize(n_assemble);
+    auto assemble_one = [&](std::size_t ci) {
+      seq::FragmentStore sub;
+      for (const auto id : result.cluster_sets[ci]) {
+        sub.add(result.pre.unmasked_store.seq(id),
+                result.pre.unmasked_store.type(id), {},
+                result.pre.unmasked_store.quality(id));
+      }
+      return olc::assemble(sub, params.assembly);
+    };
+    if (params.ranks >= 2 && n_assemble > 0) {
+      // Clusters are sorted by decreasing size; round-robin over ranks is
+      // an LPT-style balance. Results ship to rank 0 serialized.
+      vmpi::Runtime rt(params.ranks, params.cost);
+      const auto cost = rt.run([&](vmpi::Comm& comm) {
+        std::vector<std::uint8_t> outbox;
+        {
+          auto scope = comm.compute_scope();
+          for (std::size_t ci = comm.rank(); ci < n_assemble;
+               ci += comm.size()) {
+            auto asm_result = assemble_one(ci);
+            if (comm.rank() == 0) {
+              result.assemblies[ci] = std::move(asm_result);
+              continue;
+            }
+            append_assembly(outbox, static_cast<std::uint32_t>(ci),
+                            asm_result);
+          }
+        }
+        if (comm.rank() != 0) {
+          comm.send(0, 7, outbox.data(), outbox.size());
+        } else {
+          for (int src = 1; src < comm.size(); ++src) {
+            const auto bytes = comm.recv_vector<std::uint8_t>(src, 7);
+            std::size_t off = 0;
+            while (off < bytes.size()) {
+              std::uint32_t ci = 0;
+              olc::AssemblyResult ar = parse_assembly(bytes, off, &ci);
+              result.assemblies[ci] = std::move(ar);
+            }
+          }
+        }
+      });
+      result.assembly_summary.assembly_modeled_seconds =
+          cost.modeled_parallel_seconds();
+    } else {
+      for (std::size_t ci = 0; ci < n_assemble; ++ci) {
+        result.assemblies[ci] = assemble_one(ci);
+      }
+    }
+    result.assembly_summary.assembly_seconds = timer.elapsed();
+    std::vector<std::uint64_t> contig_lengths;
+    result.assembly_summary.clusters_assembled = n_assemble;
+    for (const auto& asm_result : result.assemblies) {
+      for (const auto& contig : asm_result.contigs) {
+        if (!contig.is_singleton()) {
+          ++result.assembly_summary.total_contigs;
+          contig_lengths.push_back(contig.length());
+          result.assembly_summary.consensus_bases += contig.length();
+        }
+      }
+    }
+    result.assembly_summary.n50 = util::n50(std::move(contig_lengths));
+    if (result.assembly_summary.clusters_assembled > 0) {
+      result.assembly_summary.contigs_per_cluster =
+          static_cast<double>(result.assembly_summary.total_contigs) /
+          static_cast<double>(result.assembly_summary.clusters_assembled);
+    }
+  }
+  return result;
+}
+
+GlobalScaffolds build_scaffolds(
+    const PipelineResult& pipeline_result,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& raw_mates,
+    const std::vector<std::uint32_t>& mate_inserts, std::size_t raw_size,
+    const olc::ScaffoldParams& params) {
+  GlobalScaffolds out;
+  // raw id -> preprocessed id (UINT32_MAX = invalidated).
+  std::vector<std::uint32_t> raw_to_pre(raw_size, UINT32_MAX);
+  for (std::uint32_t pre = 0; pre < pipeline_result.pre.kept_ids.size();
+       ++pre) {
+    raw_to_pre[pipeline_result.pre.kept_ids[pre]] = pre;
+  }
+  // Global contig list with layouts remapped to pre-store fragment ids.
+  for (std::size_t ci = 0; ci < pipeline_result.assemblies.size(); ++ci) {
+    const auto& members = pipeline_result.cluster_sets[ci];
+    for (const auto& contig : pipeline_result.assemblies[ci].contigs) {
+      olc::Contig global = contig;
+      for (auto& pl : global.layout) pl.fragment = members[pl.fragment];
+      out.contigs.push_back(std::move(global));
+    }
+  }
+  // Remap mate links.
+  std::vector<olc::MateLink> links;
+  links.reserve(raw_mates.size());
+  for (std::size_t i = 0; i < raw_mates.size(); ++i) {
+    const auto [ra, rb] = raw_mates[i];
+    if (ra >= raw_size || rb >= raw_size || raw_to_pre[ra] == UINT32_MAX ||
+        raw_to_pre[rb] == UINT32_MAX) {
+      ++out.mates_dropped;
+      continue;
+    }
+    links.push_back(
+        olc::MateLink{raw_to_pre[ra], raw_to_pre[rb], mate_inserts[i]});
+  }
+  out.result = olc::scaffold(out.contigs, links, params);
+  std::vector<std::uint64_t> contig_lens;
+  for (const auto& c : out.contigs) {
+    if (!c.is_singleton()) contig_lens.push_back(c.length());
+  }
+  out.contig_n50 = util::n50(std::move(contig_lens));
+  out.scaffold_span_n50 = out.result.span_n50(out.contigs);
+  return out;
+}
+
+}  // namespace pgasm::pipeline

@@ -1,0 +1,79 @@
+// Ground-truth validation of clustering (paper Section 9.1 maps clusters to
+// the published benchmark genome with BLAST; with a simulator we validate
+// directly against recorded read coordinates).
+//
+// Benchmark islands: connected components of source-interval overlap among
+// the reads (per source genome) — the regions an ideal assembler would
+// reconstruct as contigs. A cluster is *pure* when all of its members come
+// from one island; an island is *split* across however many clusters its
+// reads landed in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "olc/assembler.hpp"
+#include "sim/reads.hpp"
+
+namespace pgasm::pipeline {
+
+struct PurityReport {
+  std::size_t clusters_evaluated = 0;  ///< non-singleton clusters
+  std::size_t pure_clusters = 0;
+  double purity = 0;  ///< pure / evaluated (the paper reports 98.7%)
+  std::size_t islands = 0;
+  double avg_clusters_per_island = 0;  ///< 1.0 = no splitting
+  std::size_t reads_evaluated = 0;
+};
+
+/// Label every read with its benchmark island id. `truth` must be parallel
+/// to the fragment ids used in `cluster_sets`.
+std::vector<std::uint32_t> benchmark_islands(
+    const std::vector<sim::ReadTruth>& truth);
+
+PurityReport evaluate_purity(
+    const std::vector<std::vector<std::uint32_t>>& cluster_sets,
+    const std::vector<sim::ReadTruth>& truth);
+
+/// Consensus accuracy against the source genome (paper Section 8: "less
+/// than 1 nucleotide in 10,000 was incorrect relative to the benchmark").
+/// Each multi-fragment contig is aligned (both orientations) to the genome
+/// slice spanned by its members' true coordinates; errors are non-identity
+/// alignment columns within the contig's aligned span.
+struct ConsensusAccuracy {
+  std::size_t contigs_evaluated = 0;
+  std::size_t contigs_skipped = 0;  ///< mixed-genome members or too large
+  std::uint64_t columns = 0;
+  std::uint64_t errors = 0;
+  /// Same, restricted to consensus columns covered by >= 3 fragments —
+  /// the regime the paper's benchmark (ten deeply finished genes) sits in.
+  /// Thin (1-2X) columns carry raw read error and dominate the overall
+  /// rate at low coverage.
+  std::uint64_t deep_columns = 0;
+  std::uint64_t deep_errors = 0;
+
+  double error_rate() const noexcept {
+    return columns == 0 ? 0.0
+                        : static_cast<double>(errors) /
+                              static_cast<double>(columns);
+  }
+  double deep_error_rate() const noexcept {
+    return deep_columns == 0 ? 0.0
+                             : static_cast<double>(deep_errors) /
+                                   static_cast<double>(deep_columns);
+  }
+};
+
+/// `assemblies[i]` must correspond to `cluster_sets[i]` (the pipeline's
+/// layout: non-singleton clusters by decreasing size). `genomes` indexed by
+/// ReadTruth::genome_id. Contigs whose evaluation alignment would exceed
+/// `max_cells` DP cells are skipped (counted).
+ConsensusAccuracy evaluate_consensus(
+    const std::vector<std::vector<std::uint32_t>>& cluster_sets,
+    const std::vector<olc::AssemblyResult>& assemblies,
+    const std::vector<sim::ReadTruth>& truth,
+    std::span<const sim::Genome> genomes,
+    std::uint64_t max_cells = 64ull << 20);
+
+}  // namespace pgasm::pipeline

@@ -1,0 +1,155 @@
+#include "preprocess/repeat_masker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pgasm::preprocess {
+
+bool RepeatMasker::canonical_kmer(std::span<const seq::Code> text,
+                                  std::uint32_t pos, std::uint32_t k,
+                                  std::uint64_t* out) noexcept {
+  std::uint64_t fwd = 0, rev = 0;
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const seq::Code c = text[pos + i];
+    if (!seq::is_base(c)) return false;
+    fwd = (fwd << 2) | c;
+    rev |= static_cast<std::uint64_t>(seq::complement(c)) << (2 * i);
+  }
+  *out = std::min(fwd, rev);
+  return true;
+}
+
+RepeatMasker::RepeatMasker(const seq::FragmentStore& store,
+                           const RepeatMaskParams& params)
+    : k_(params.k) {
+  if (params.threshold_multiple <= 0) return;
+  util::Prng rng(params.seed);
+  // Restrict the sample to uniformly-sampled fragment types when present.
+  auto is_uniform = [](seq::FragType t) {
+    return t == seq::FragType::kWGS || t == seq::FragType::kEnv;
+  };
+  bool have_uniform = false;
+  if (params.uniform_sample_only) {
+    for (seq::FragmentId id = 0; id < store.size() && !have_uniform; ++id) {
+      have_uniform = is_uniform(store.type(id));
+    }
+  }
+  std::unordered_map<std::uint64_t, std::uint32_t> counts;
+  std::uint64_t total_kmers = 0;
+  for (seq::FragmentId id = 0; id < store.size(); ++id) {
+    if (have_uniform && !is_uniform(store.type(id))) continue;
+    if (!rng.chance(params.sample_fraction)) continue;
+    const auto text = store.seq(id);
+    if (text.size() < k_) continue;
+    for (std::uint32_t p = 0; p + k_ <= text.size(); ++p) {
+      std::uint64_t key;
+      if (!canonical_kmer(text, p, k_, &key)) continue;
+      ++counts[key];
+      ++total_kmers;
+    }
+  }
+  if (counts.empty()) return;
+  (void)total_kmers;
+  if (params.fixed_threshold > 0) {
+    threshold_ = params.fixed_threshold;
+  } else {
+    // "Statistical over-representation" baseline (Section 9.1): the unique-
+    // sequence coverage peak of the k-mer count histogram. Count-1 k-mers
+    // are unreliable (sequencing errors make each errorful k-mer a distinct
+    // singleton), so the peak is sought over counts >= 2 and only trusted
+    // when it carries real mass relative to the singletons; otherwise the
+    // sample is shallow (the paper's 0.1X regime) and the baseline is 1 —
+    // any k-mer seen min_count times in a shallow sample is already
+    // over-represented.
+    constexpr std::size_t kCap = 1024;
+    std::vector<std::uint64_t> hist(kCap + 1, 0);
+    for (const auto& [key, count] : counts) {
+      ++hist[std::min<std::size_t>(count, kCap)];
+    }
+    // Interior coverage peak: the histogram of a shallow sample decays
+    // monotonically (unique k-mers are Poisson with mean < ~2), while a
+    // deep sample rises again past the error-singleton valley. Only a real
+    // rise moves the baseline off 1.
+    std::size_t rise = 0;
+    for (std::size_t c = 3; c <= kCap; ++c) {
+      if (hist[c] > hist[c - 1] && hist[c] * 20 >= hist[1]) {
+        rise = c;
+        break;
+      }
+    }
+    double baseline = 1.0;
+    if (rise != 0) {
+      // A genuine coverage peak holds most of the distinct k-mers; an
+      // isolated high-copy repeat spike does not — in that case the sample
+      // is still "shallow" for unique sequence and the baseline stays 1.
+      std::uint64_t mass_from_rise = 0, total_mass = 0;
+      for (std::size_t c = 1; c <= kCap; ++c) {
+        total_mass += hist[c];
+        if (c >= rise) mass_from_rise += hist[c];
+      }
+      if (mass_from_rise * 4 >= total_mass) {
+        std::size_t peak = rise;
+        for (std::size_t c = rise; c <= kCap; ++c) {
+          if (hist[c] > hist[peak]) peak = c;
+        }
+        baseline = static_cast<double>(peak);
+      }
+    }
+    threshold_ = std::max<std::uint32_t>(
+        params.min_count, static_cast<std::uint32_t>(std::ceil(
+                              baseline * params.threshold_multiple)));
+  }
+  for (const auto& [key, count] : counts) {
+    if (count >= threshold_) repetitive_.insert(key);
+  }
+}
+
+void RepeatMasker::add_library_sequence(std::span<const seq::Code> sequence) {
+  if (sequence.size() < k_) return;
+  for (std::uint32_t p = 0; p + k_ <= sequence.size(); ++p) {
+    std::uint64_t key;
+    if (canonical_kmer(sequence, p, k_, &key)) repetitive_.insert(key);
+  }
+}
+
+std::uint64_t RepeatMasker::mask_fragment(seq::FragmentStore& store,
+                                          seq::FragmentId id) const {
+  if (repetitive_.empty()) return 0;
+  const auto text = store.seq(id);
+  if (text.size() < k_) return 0;
+  // Mark positions covered by any repetitive k-mer, then apply as runs.
+  std::vector<std::uint8_t> hit(text.size(), 0);
+  bool any = false;
+  for (std::uint32_t p = 0; p + k_ <= text.size(); ++p) {
+    std::uint64_t key;
+    if (!canonical_kmer(text, p, k_, &key)) continue;
+    if (repetitive_.count(key)) {
+      std::fill(hit.begin() + p, hit.begin() + p + k_, std::uint8_t{1});
+      any = true;
+    }
+  }
+  if (!any) return 0;
+  // Bridge short unmasked holes between repetitive hits: point mutations in
+  // diverged repeat copies break individual k-mers but the surrounding
+  // sequence is still repeat-derived and must not seed promising pairs.
+  const std::size_t bridge = k_;
+  std::size_t last_hit = SIZE_MAX;
+  for (std::size_t p = 0; p < hit.size(); ++p) {
+    if (!hit[p]) continue;
+    if (last_hit != SIZE_MAX && p - last_hit <= bridge + 1) {
+      std::fill(hit.begin() + last_hit, hit.begin() + p, std::uint8_t{1});
+    }
+    last_hit = p;
+  }
+  std::uint64_t masked = 0;
+  auto span = store.mutable_seq(id);
+  for (std::size_t p = 0; p < hit.size(); ++p) {
+    if (hit[p] && seq::is_base(span[p])) {
+      span[p] = seq::kMask;
+      ++masked;
+    }
+  }
+  return masked;
+}
+
+}  // namespace pgasm::preprocess

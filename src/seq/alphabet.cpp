@@ -1,0 +1,53 @@
+#include "seq/alphabet.hpp"
+
+#include <array>
+
+namespace pgasm::seq {
+
+namespace {
+constexpr std::array<Code, 256> make_encode_table() {
+  std::array<Code, 256> t{};
+  for (auto& v : t) v = kMask;
+  t[static_cast<unsigned char>('A')] = kA;
+  t[static_cast<unsigned char>('C')] = kC;
+  t[static_cast<unsigned char>('G')] = kG;
+  t[static_cast<unsigned char>('T')] = kT;
+  return t;
+}
+constexpr auto kEncodeTable = make_encode_table();
+constexpr char kDecodeTable[5] = {'A', 'C', 'G', 'T', 'N'};
+}  // namespace
+
+Code encode_char(char c) noexcept {
+  return kEncodeTable[static_cast<unsigned char>(c)];
+}
+
+char decode_char(Code c) noexcept { return kDecodeTable[c <= kMask ? c : kMask]; }
+
+std::vector<Code> encode(std::string_view ascii) {
+  std::vector<Code> out(ascii.size());
+  for (std::size_t i = 0; i < ascii.size(); ++i) out[i] = encode_char(ascii[i]);
+  return out;
+}
+
+std::string decode(const Code* codes, std::size_t n) {
+  std::string out(n, '?');
+  for (std::size_t i = 0; i < n; ++i) out[i] = decode_char(codes[i]);
+  return out;
+}
+
+std::string decode(const std::vector<Code>& codes) {
+  return decode(codes.data(), codes.size());
+}
+
+std::vector<Code> reverse_complement(const Code* codes, std::size_t n) {
+  std::vector<Code> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = complement(codes[n - 1 - i]);
+  return out;
+}
+
+std::vector<Code> reverse_complement(const std::vector<Code>& codes) {
+  return reverse_complement(codes.data(), codes.size());
+}
+
+}  // namespace pgasm::seq

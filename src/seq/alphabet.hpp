@@ -1,0 +1,54 @@
+// DNA alphabet: 2-bit nucleotide codes plus a mask symbol.
+//
+// Codes 0..3 = A,C,G,T. Code 4 (kMask) marks masked or ambiguous positions;
+// masked positions never match anything (including other masked positions),
+// which is exactly the behaviour the paper relies on: "the matching portions
+// are masked with special symbols such that our clustering method can treat
+// them appropriately during overlap detection" (Section 8). Exact-match
+// machinery (suffix tree) treats kMask as a hard break; alignment scoring
+// treats it as a guaranteed mismatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pgasm::seq {
+
+using Code = std::uint8_t;
+
+inline constexpr Code kA = 0;
+inline constexpr Code kC = 1;
+inline constexpr Code kG = 2;
+inline constexpr Code kT = 3;
+inline constexpr Code kMask = 4;
+inline constexpr int kSigma = 4;  ///< real alphabet size
+
+/// Is this a real nucleotide (matchable) code?
+constexpr bool is_base(Code c) noexcept { return c < kSigma; }
+
+/// ASCII -> code. Uppercase ACGT map to 0..3; everything else (N, lowercase
+/// soft-masked bases, IUPAC ambiguity codes) maps to kMask.
+Code encode_char(char c) noexcept;
+
+/// code -> ASCII ('A','C','G','T'; kMask -> 'N').
+char decode_char(Code c) noexcept;
+
+/// Complement of a base; kMask stays kMask.
+constexpr Code complement(Code c) noexcept {
+  return is_base(c) ? static_cast<Code>(3 - c) : c;
+}
+
+/// Encode an ASCII DNA string.
+std::vector<Code> encode(std::string_view ascii);
+
+/// Decode a code sequence to ASCII.
+std::string decode(const std::vector<Code>& codes);
+std::string decode(const Code* codes, std::size_t n);
+
+/// Reverse complement, an involution: revcomp(revcomp(x)) == x.
+std::vector<Code> reverse_complement(const Code* codes, std::size_t n);
+std::vector<Code> reverse_complement(const std::vector<Code>& codes);
+
+}  // namespace pgasm::seq

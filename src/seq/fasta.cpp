@@ -1,0 +1,99 @@
+#include "seq/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pgasm::seq {
+
+namespace {
+
+FragType parse_type(const std::string& header, FragType fallback) {
+  const auto pos = header.find("type=");
+  if (pos == std::string::npos) return fallback;
+  const std::string tok = header.substr(pos + 5, 3);
+  if (tok.rfind("WGS", 0) == 0) return FragType::kWGS;
+  if (tok.rfind("MF", 0) == 0) return FragType::kMF;
+  if (tok.rfind("HC", 0) == 0) return FragType::kHC;
+  if (tok.rfind("BAC", 0) == 0) return FragType::kBAC;
+  if (tok.rfind("ENV", 0) == 0) return FragType::kEnv;
+  return fallback;
+}
+
+std::string first_token(const std::string& header) {
+  const auto ws = header.find_first_of(" \t");
+  return ws == std::string::npos ? header : header.substr(0, ws);
+}
+
+}  // namespace
+
+std::size_t read_fasta(std::istream& in, FragmentStore& store,
+                       const FastaReadOptions& opts) {
+  std::string line;
+  std::string header;
+  std::vector<Code> codes;
+  std::size_t count = 0;
+  bool have_record = false;
+
+  auto flush = [&]() {
+    if (!have_record) return;
+    const FragType t = opts.parse_type_token
+                           ? parse_type(header, opts.default_type)
+                           : opts.default_type;
+    store.add(codes, t, first_token(header));
+    codes.clear();
+    ++count;
+  };
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      header = line.substr(1);
+      have_record = true;
+    } else {
+      if (!have_record)
+        throw std::runtime_error("FASTA: sequence data before first header");
+      for (char c : line) codes.push_back(encode_char(c));
+    }
+  }
+  flush();
+  return count;
+}
+
+std::size_t read_fasta_file(const std::string& path, FragmentStore& store,
+                            const FastaReadOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
+  return read_fasta(in, store, opts);
+}
+
+void write_fasta(std::ostream& out, const FragmentStore& store,
+                 const FastaWriteOptions& opts) {
+  for (FragmentId i = 0; i < store.size(); ++i) {
+    out << '>';
+    if (store.name(i).empty())
+      out << "frag" << i;
+    else
+      out << store.name(i);
+    if (opts.emit_type_token) out << " type=" << frag_type_name(store.type(i));
+    out << '\n';
+    const std::string ascii = store.to_ascii(i);
+    for (std::size_t pos = 0; pos < ascii.size(); pos += opts.line_width) {
+      out << ascii.substr(pos, opts.line_width) << '\n';
+    }
+    if (ascii.empty()) out << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path, const FragmentStore& store,
+                      const FastaWriteOptions& opts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_fasta(out, store, opts);
+}
+
+}  // namespace pgasm::seq

@@ -1,0 +1,39 @@
+// FASTA input/output for FragmentStore.
+//
+// Reading maps uppercase ACGT to bases and everything else (N, IUPAC codes,
+// lowercase soft-masked characters) to the mask symbol. Writing emits 'N'
+// for masked positions and wraps lines at a configurable width.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/fragment_store.hpp"
+
+namespace pgasm::seq {
+
+struct FastaReadOptions {
+  FragType default_type = FragType::kUnknown;
+  /// If true, a type token in the header (e.g. ">frag1 type=MF") overrides
+  /// default_type.
+  bool parse_type_token = true;
+};
+
+/// Append all records from a FASTA stream/file into `store`.
+/// Returns the number of records read. Throws on malformed input.
+std::size_t read_fasta(std::istream& in, FragmentStore& store,
+                       const FastaReadOptions& opts = {});
+std::size_t read_fasta_file(const std::string& path, FragmentStore& store,
+                            const FastaReadOptions& opts = {});
+
+struct FastaWriteOptions {
+  std::size_t line_width = 70;
+  bool emit_type_token = false;
+};
+
+void write_fasta(std::ostream& out, const FragmentStore& store,
+                 const FastaWriteOptions& opts = {});
+void write_fasta_file(const std::string& path, const FragmentStore& store,
+                      const FastaWriteOptions& opts = {});
+
+}  // namespace pgasm::seq

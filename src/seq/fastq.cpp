@@ -1,0 +1,85 @@
+#include "seq/fastq.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace pgasm::seq {
+
+std::size_t read_fastq(std::istream& in, FragmentStore& store,
+                       const FastqReadOptions& opts) {
+  std::string header, bases, plus, quals;
+  std::size_t count = 0;
+  auto chomp = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+  while (std::getline(in, header)) {
+    chomp(header);
+    if (header.empty()) continue;
+    if (header[0] != '@')
+      throw std::runtime_error("FASTQ: record must start with '@'");
+    if (!std::getline(in, bases))
+      throw std::runtime_error("FASTQ: truncated record (no sequence)");
+    if (!std::getline(in, plus) || plus.empty() || plus[0] != '+')
+      throw std::runtime_error("FASTQ: missing '+' separator");
+    if (!std::getline(in, quals))
+      throw std::runtime_error("FASTQ: truncated record (no qualities)");
+    chomp(bases);
+    chomp(quals);
+    if (bases.size() != quals.size())
+      throw std::runtime_error("FASTQ: sequence/quality length mismatch");
+    std::vector<Code> codes(bases.size());
+    std::vector<std::uint8_t> q(quals.size());
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      codes[i] = encode_char(bases[i]);
+      const int phred = quals[i] - 33;
+      if (phred < 0) throw std::runtime_error("FASTQ: bad quality char");
+      q[i] = static_cast<std::uint8_t>(
+          std::min<int>(phred, opts.max_quality));
+    }
+    const auto ws = header.find_first_of(" \t");
+    store.add(codes, opts.default_type,
+              header.substr(1, ws == std::string::npos ? std::string::npos
+                                                       : ws - 1),
+              q);
+    ++count;
+  }
+  return count;
+}
+
+std::size_t read_fastq_file(const std::string& path, FragmentStore& store,
+                            const FastqReadOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open FASTQ file: " + path);
+  return read_fastq(in, store, opts);
+}
+
+void write_fastq(std::ostream& out, const FragmentStore& store,
+                 const FastqWriteOptions& opts) {
+  for (FragmentId i = 0; i < store.size(); ++i) {
+    out << '@';
+    if (store.name(i).empty())
+      out << "frag" << i;
+    else
+      out << store.name(i);
+    out << '\n' << store.to_ascii(i) << "\n+\n";
+    const auto q = store.quality(i);
+    if (q.empty()) {
+      out << std::string(store.length(i),
+                         static_cast<char>(33 + opts.default_quality));
+    } else {
+      for (auto v : q) out << static_cast<char>(33 + v);
+    }
+    out << '\n';
+  }
+}
+
+void write_fastq_file(const std::string& path, const FragmentStore& store,
+                      const FastqWriteOptions& opts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_fastq(out, store, opts);
+}
+
+}  // namespace pgasm::seq

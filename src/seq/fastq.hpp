@@ -1,0 +1,36 @@
+// FASTQ input/output (Phred+33 qualities). The preprocessing stage's
+// quality trimming (paper: Lucy) needs per-base qualities; FASTQ is how
+// real trace data carries them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/fragment_store.hpp"
+
+namespace pgasm::seq {
+
+struct FastqReadOptions {
+  FragType default_type = FragType::kUnknown;
+  /// Clamp qualities into [0, 60] (Sanger range) on read.
+  std::uint8_t max_quality = 60;
+};
+
+/// Append all records from a FASTQ stream/file. Returns the record count.
+/// Throws on malformed input (missing '+', length mismatch, truncation).
+std::size_t read_fastq(std::istream& in, FragmentStore& store,
+                       const FastqReadOptions& opts = {});
+std::size_t read_fastq_file(const std::string& path, FragmentStore& store,
+                            const FastqReadOptions& opts = {});
+
+/// Write the store as FASTQ. Stores without qualities emit a constant
+/// quality (`default_quality`).
+struct FastqWriteOptions {
+  std::uint8_t default_quality = 40;
+};
+void write_fastq(std::ostream& out, const FragmentStore& store,
+                 const FastqWriteOptions& opts = {});
+void write_fastq_file(const std::string& path, const FragmentStore& store,
+                      const FastqWriteOptions& opts = {});
+
+}  // namespace pgasm::seq

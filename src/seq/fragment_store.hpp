@@ -1,0 +1,121 @@
+// FragmentStore: the fragment collection every stage operates on.
+//
+// Sequences are stored as one concatenated code array with an offset table,
+// mirroring the paper's space discipline (O(N) total characters; per-fragment
+// overhead is a few words). Optional parallel arrays hold per-base quality
+// values (used by preprocessing) and a fragment type tag (MF / HC / BAC /
+// WGS / ENV) used in the Table 2 style reporting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "seq/alphabet.hpp"
+
+namespace pgasm::seq {
+
+using FragmentId = std::uint32_t;
+
+/// Sequencing strategy that produced a fragment (paper Table 2).
+enum class FragType : std::uint8_t {
+  kWGS = 0,   ///< whole genome shotgun
+  kMF = 1,    ///< methyl-filtrated (gene enriched)
+  kHC = 2,    ///< High-C0t (gene enriched)
+  kBAC = 3,   ///< BAC-derived (ends + internal sub-reads)
+  kEnv = 4,   ///< environmental / metagenomic
+  kUnknown = 5,
+};
+
+const char* frag_type_name(FragType t) noexcept;
+
+class FragmentStore {
+ public:
+  FragmentStore() = default;
+
+  /// Append a fragment; returns its id. Quality may be empty (no qualities).
+  FragmentId add(std::span<const Code> codes, FragType type = FragType::kUnknown,
+                 std::string name = {}, std::span<const std::uint8_t> qual = {});
+  FragmentId add_ascii(std::string_view dna, FragType type = FragType::kUnknown,
+                       std::string name = {});
+
+  std::size_t size() const noexcept { return offsets_.size(); }
+  bool empty() const noexcept { return offsets_.empty(); }
+
+  /// Total number of characters across all fragments (the paper's N).
+  std::uint64_t total_length() const noexcept { return text_.size(); }
+
+  std::uint32_t length(FragmentId id) const noexcept {
+    return lengths_[id];
+  }
+
+  std::span<const Code> seq(FragmentId id) const noexcept {
+    return {text_.data() + offsets_[id], lengths_[id]};
+  }
+
+  /// Mutable view (preprocessing masks in place on a cloned store).
+  std::span<Code> mutable_seq(FragmentId id) noexcept {
+    return {text_.data() + offsets_[id], lengths_[id]};
+  }
+
+  FragType type(FragmentId id) const noexcept { return types_[id]; }
+  const std::string& name(FragmentId id) const noexcept { return names_[id]; }
+
+  bool has_quality() const noexcept { return !qual_.empty(); }
+  std::span<const std::uint8_t> quality(FragmentId id) const noexcept {
+    if (qual_.empty()) return {};
+    return {qual_.data() + offsets_[id], lengths_[id]};
+  }
+
+  std::string to_ascii(FragmentId id) const;
+
+  /// Mask positions [begin, end) of fragment id (set to kMask).
+  void mask(FragmentId id, std::uint32_t begin, std::uint32_t end);
+
+  /// Fraction of fragment id's positions currently masked.
+  double masked_fraction(FragmentId id) const noexcept;
+
+  /// Count of unmasked characters across all fragments.
+  std::uint64_t unmasked_length() const noexcept;
+
+  std::uint32_t max_length() const noexcept { return max_length_; }
+
+  void reserve(std::size_t fragments, std::uint64_t chars);
+
+  /// Sum of lengths of fragments of the given type.
+  std::uint64_t total_length_of_type(FragType t) const noexcept;
+  std::size_t count_of_type(FragType t) const noexcept;
+
+ private:
+  std::vector<Code> text_;
+  std::vector<std::uint8_t> qual_;  // empty, or parallel to text_
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> lengths_;
+  std::vector<FragType> types_;
+  std::vector<std::string> names_;
+  std::uint32_t max_length_ = 0;
+};
+
+/// Input view for the suffix-tree / pair-generation machinery. The paper
+/// builds the GST on all fragments *and their reverse complements* (Section
+/// 5); this helper materializes that doubled collection: sequence 2*i is
+/// fragment i forward, 2*i+1 is its reverse complement.
+struct DoubledView {
+  /// id in the doubled space -> underlying fragment.
+  static FragmentId fragment_of(std::uint32_t doubled_id) noexcept {
+    return doubled_id >> 1;
+  }
+  /// true if the doubled id refers to the reverse-complement strand.
+  static bool is_rc(std::uint32_t doubled_id) noexcept {
+    return (doubled_id & 1u) != 0;
+  }
+  static std::uint32_t forward_id(FragmentId f) noexcept { return f << 1; }
+  static std::uint32_t rc_id(FragmentId f) noexcept { return (f << 1) | 1u; }
+};
+
+/// Materialize the doubled store (forward + reverse complement per fragment).
+FragmentStore make_doubled_store(const FragmentStore& in);
+
+}  // namespace pgasm::seq

@@ -1,0 +1,57 @@
+#include "sim/community.hpp"
+
+#include <cmath>
+
+namespace pgasm::sim {
+
+Community simulate_community(const CommunityParams& params) {
+  util::Prng rng(params.seed);
+  Community c;
+  c.genomes.reserve(params.num_species);
+  c.abundance.reserve(params.num_species);
+  double total = 0;
+  for (std::uint32_t s = 0; s < params.num_species; ++s) {
+    GenomeParams gp;
+    gp.length = params.genome_len_min +
+                rng.below(params.genome_len_max - params.genome_len_min + 1);
+    gp.seed = rng();
+    gp.gene_fraction = 0.0;  // bacterial genomes: no eukaryote-style islands
+    // Light repeat content (IS-element-like).
+    RepeatFamilyParams fam{.element_length = 600, .copies = 4,
+                           .divergence = 0.03};
+    gp.repeat_families = {fam};
+    c.genomes.push_back(simulate_genome(gp));
+    const double w = 1.0 / std::pow(static_cast<double>(s + 1),
+                                    params.abundance_skew);
+    c.abundance.push_back(w);
+    total += w;
+  }
+  for (auto& w : c.abundance) w /= total;
+  return c;
+}
+
+void sample_community(ReadSet& out, const Community& community,
+                      std::size_t n_reads, const ReadParams& rp,
+                      util::Prng& rng) {
+  for (std::size_t i = 0; i < n_reads; ++i) {
+    // Draw a species by abundance.
+    double u = rng.uniform();
+    std::uint32_t gid = 0;
+    for (; gid + 1 < community.abundance.size(); ++gid) {
+      if (u < community.abundance[gid]) break;
+      u -= community.abundance[gid];
+    }
+    const Genome& g = community.genomes[gid];
+    // Delegate to the uniform sampler for one read so the error model and
+    // truth bookkeeping stay in one place (enrichment 0 == uniform).
+    ReadSet tmp;
+    sample_gene_enriched(tmp, g, 1, 0.0, rp, rng, seq::FragType::kEnv, gid);
+    for (std::uint32_t r = 0; r < tmp.store.size(); ++r) {
+      out.store.add(tmp.store.seq(r), tmp.store.type(r), {},
+                    tmp.store.quality(r));
+      out.truth.push_back(tmp.truth[r]);
+    }
+  }
+}
+
+}  // namespace pgasm::sim

@@ -1,0 +1,37 @@
+// Environmental-sample ("metagenomic") community simulator — the Sargasso
+// Sea analogue (paper Section 9.2): many small bacterial genomes sampled
+// collectively, with species abundances following a power law so a few
+// species dominate while a long tail contributes singletons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+
+namespace pgasm::sim {
+
+struct CommunityParams {
+  std::uint32_t num_species = 50;
+  std::uint64_t genome_len_min = 20'000;
+  std::uint64_t genome_len_max = 80'000;
+  /// Zipf exponent for species abundance (1.0 = classic Zipf).
+  double abundance_skew = 1.0;
+  std::uint64_t seed = 1;
+};
+
+struct Community {
+  std::vector<Genome> genomes;
+  std::vector<double> abundance;  ///< normalized sampling weights
+};
+
+Community simulate_community(const CommunityParams& params);
+
+/// Sample n_reads across the community by abundance; truth records the
+/// genome id of each read.
+void sample_community(ReadSet& out, const Community& community,
+                      std::size_t n_reads, const ReadParams& rp,
+                      util::Prng& rng);
+
+}  // namespace pgasm::sim

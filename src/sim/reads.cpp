@@ -1,0 +1,225 @@
+#include "sim/reads.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace pgasm::sim {
+
+namespace {
+
+/// Apply the error model and produce simulated quality values. Inserted
+/// bases get low quality; real bases get high quality degrading at ends.
+void corrupt(std::vector<seq::Code>& read, std::vector<std::uint8_t>& qual,
+             const ErrorModel& em, util::Prng& rng, bool with_quality) {
+  std::vector<seq::Code> out;
+  std::vector<std::uint8_t> q;
+  out.reserve(read.size() + 8);
+  q.reserve(read.size() + 8);
+  const std::size_t n = read.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(em.del_rate)) continue;  // deletion
+    if (rng.chance(em.ins_rate)) {
+      out.push_back(static_cast<seq::Code>(rng.below(4)));
+      q.push_back(static_cast<std::uint8_t>(8 + rng.below(10)));
+    }
+    seq::Code c = read[i];
+    std::uint8_t quality = 45;
+    // Ends of Sanger reads are low quality: ramp over the first/last 25 bp.
+    const std::size_t from_edge = std::min(i, n - 1 - i);
+    if (from_edge < 25) {
+      quality = static_cast<std::uint8_t>(10 + from_edge * 35 / 25);
+    }
+    quality = static_cast<std::uint8_t>(
+        std::max<int>(2, quality - static_cast<int>(rng.below(6))));
+    if (rng.chance(em.sub_rate)) {
+      c = static_cast<seq::Code>((c + 1 + rng.below(3)) % 4);
+      quality = static_cast<std::uint8_t>(6 + rng.below(12));
+    }
+    out.push_back(c);
+    q.push_back(quality);
+  }
+  read = std::move(out);
+  if (with_quality) {
+    qual = std::move(q);
+  } else {
+    qual.clear();
+  }
+}
+
+void emit_read(ReadSet& out, const Genome& g, std::uint64_t begin,
+               std::uint64_t end, const ReadParams& rp, util::Prng& rng,
+               seq::FragType type, std::uint32_t genome_id) {
+  std::vector<seq::Code> read(g.sequence.begin() + begin,
+                              g.sequence.begin() + end);
+  ReadTruth truth;
+  truth.genome_id = genome_id;
+  truth.begin = begin;
+  truth.end = end;
+  truth.island_id = g.island_of(begin);
+  truth.rc = rng.chance(rp.strand_flip_prob);
+  if (truth.rc) read = seq::reverse_complement(read);
+
+  std::vector<std::uint8_t> qual;
+  corrupt(read, qual, rp.errors, rng, rp.with_quality);
+
+  // Vector contamination: residual cloning-vector sequence at the 5' end.
+  if (rng.chance(rp.vector_contam_prob)) {
+    const auto& lib = vector_library();
+    const auto& vec = lib[rng.below(lib.size())];
+    const std::size_t take = 15 + rng.below(std::min<std::size_t>(
+                                      vec.size() - 15, 40));
+    read.insert(read.begin(), vec.begin(), vec.begin() + take);
+    if (rp.with_quality) {
+      qual.insert(qual.begin(), take, std::uint8_t{40});
+    }
+  }
+
+  out.store.add(read, type, {}, qual);
+  out.truth.push_back(truth);
+}
+
+std::uint64_t draw_len(const ReadParams& rp, util::Prng& rng) {
+  const std::uint64_t lo =
+      rp.len_mean > rp.len_spread ? rp.len_mean - rp.len_spread : 50;
+  return lo + rng.below(2 * rp.len_spread + 1);
+}
+
+}  // namespace
+
+const std::vector<std::vector<seq::Code>>& vector_library() {
+  // Two synthetic "cloning vector" sequences (fixed, so the preprocessing
+  // screen knows them — as Lucy knows pUC/pBluescript etc.).
+  static const std::vector<std::vector<seq::Code>> lib = [] {
+    std::vector<std::vector<seq::Code>> v;
+    v.push_back(seq::encode(std::string_view(
+        "GTAAAACGACGGCCAGTGAATTCGAGCTCGGTACCCGGGGATCCTCTAGAGTCGACCTGCA")));
+    v.push_back(seq::encode(std::string_view(
+        "AGGAAACAGCTATGACCATGATTACGCCAAGCTTGCATGCCTGCAGGTCGACTCTAGAGGA")));
+    return v;
+  }();
+  return lib;
+}
+
+void sample_wgs(ReadSet& out, const Genome& g, double coverage,
+                const ReadParams& rp, util::Prng& rng, seq::FragType type,
+                std::uint32_t genome_id) {
+  const double target = coverage * static_cast<double>(g.length());
+  double emitted = 0;
+  std::uint64_t rejected = 0;
+  while (emitted < target) {
+    const std::uint64_t len = std::min<std::uint64_t>(
+        draw_len(rp, rng), g.length() > 1 ? g.length() - 1 : 1);
+    if (len >= g.length()) break;
+    const std::uint64_t begin = rng.below(g.length() - len);
+    if (!g.clonable(begin, begin + len)) {
+      // Unclonable region: the sub-clone never grows (bounded retries so a
+      // pathological genome cannot stall the sampler).
+      if (++rejected > 50 * static_cast<std::uint64_t>(
+                                target / std::max<std::uint64_t>(1, len))) {
+        break;
+      }
+      continue;
+    }
+    emit_read(out, g, begin, begin + len, rp, rng, type, genome_id);
+    emitted += static_cast<double>(len);
+  }
+}
+
+void sample_gene_enriched(ReadSet& out, const Genome& g, std::size_t n_reads,
+                          double enrichment, const ReadParams& rp,
+                          util::Prng& rng, seq::FragType type,
+                          std::uint32_t genome_id) {
+  for (std::size_t i = 0; i < n_reads; ++i) {
+    const std::uint64_t len = std::min<std::uint64_t>(
+        draw_len(rp, rng), g.length() > 1 ? g.length() - 1 : 1);
+    std::uint64_t begin = 0;
+    bool ok = false;
+    for (int attempt = 0; attempt < 20 && !ok; ++attempt) {
+      if (!g.gene_islands.empty() && rng.chance(enrichment)) {
+        // Start inside a random gene island (biased toward genic space).
+        const auto& island = g.gene_islands[rng.below(g.gene_islands.size())];
+        begin = island.begin + rng.below(std::max<std::uint64_t>(
+                                   1, island.length()));
+        begin = std::min(begin, g.length() - len - 1);
+      } else {
+        begin = rng.below(g.length() - len);
+      }
+      ok = g.clonable(begin, begin + len);
+    }
+    if (!ok) continue;
+    emit_read(out, g, begin, begin + len, rp, rng, type, genome_id);
+  }
+}
+
+void sample_bac(ReadSet& out, const Genome& g, std::size_t n_bacs,
+                std::uint32_t bac_len, double sub_coverage,
+                const ReadParams& rp, util::Prng& rng,
+                std::uint32_t genome_id) {
+  for (std::size_t b = 0; b < n_bacs; ++b) {
+    if (bac_len >= g.length()) break;
+    const std::uint64_t bac_begin = rng.below(g.length() - bac_len);
+    const std::uint64_t bac_end = bac_begin + bac_len;
+    // End reads.
+    const std::uint64_t end_len = draw_len(rp, rng);
+    emit_read(out, g, bac_begin, std::min(bac_begin + end_len, bac_end), rp,
+              rng, seq::FragType::kBAC, genome_id);
+    const std::uint64_t end2 = bac_end > end_len ? bac_end - end_len : 0;
+    emit_read(out, g, std::max(end2, bac_begin), bac_end, rp, rng,
+              seq::FragType::kBAC, genome_id);
+    // Interior shotgun of the clone.
+    const double target = sub_coverage * static_cast<double>(bac_len);
+    double emitted = 0;
+    while (emitted < target) {
+      const std::uint64_t len =
+          std::min<std::uint64_t>(draw_len(rp, rng), bac_len - 1);
+      const std::uint64_t begin = bac_begin + rng.below(bac_len - len);
+      emit_read(out, g, begin, begin + len, rp, rng, seq::FragType::kBAC,
+                genome_id);
+      emitted += static_cast<double>(len);
+    }
+  }
+}
+
+void sample_mate_pairs(ReadSet& out, std::vector<MatePair>& mates,
+                       const Genome& g, std::size_t n_clones,
+                       std::uint32_t insert_mean, std::uint32_t insert_spread,
+                       const ReadParams& rp, util::Prng& rng,
+                       seq::FragType type, std::uint32_t genome_id) {
+  // Forward end read comes out genome-forward, reverse end read comes out
+  // reverse-complemented: pin the strand decision in emit_read via the
+  // flip probability.
+  ReadParams fwd = rp;
+  fwd.strand_flip_prob = 0.0;
+  ReadParams rev = rp;
+  rev.strand_flip_prob = 1.0;
+  for (std::size_t c = 0; c < n_clones; ++c) {
+    const std::uint64_t lo_insert =
+        insert_mean > insert_spread ? insert_mean - insert_spread : 200;
+    const std::uint64_t insert =
+        lo_insert + rng.below(2ull * insert_spread + 1);
+    if (insert >= g.length()) continue;
+    const std::uint64_t len_a =
+        std::min<std::uint64_t>(draw_len(rp, rng), insert);
+    const std::uint64_t len_b =
+        std::min<std::uint64_t>(draw_len(rp, rng), insert);
+    // Only the sequenced ends must be clonable/readable: large inserts
+    // spanning difficult regions are precisely what gives scaffolding its
+    // gap-bridging power (paper Section 2: gaps are later "finished").
+    std::uint64_t begin = 0;
+    bool placed = false;
+    for (int attempt = 0; attempt < 20 && !placed; ++attempt) {
+      begin = rng.below(g.length() - insert);
+      placed = g.clonable(begin, begin + len_a) &&
+               g.clonable(begin + insert - len_b, begin + insert);
+    }
+    if (!placed) continue;
+    const std::uint32_t id_a = static_cast<std::uint32_t>(out.store.size());
+    emit_read(out, g, begin, begin + len_a, fwd, rng, type, genome_id);
+    const std::uint32_t id_b = static_cast<std::uint32_t>(out.store.size());
+    emit_read(out, g, begin + insert - len_b, begin + insert, rev, rng, type,
+              genome_id);
+    mates.push_back(MatePair{id_a, id_b, static_cast<std::uint32_t>(insert)});
+  }
+}
+
+}  // namespace pgasm::sim

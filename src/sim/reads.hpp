@@ -1,0 +1,91 @@
+// Read simulators for the sequencing strategies the paper evaluates
+// (Table 2): whole genome shotgun (WGS), methyl-filtration (MF) and
+// High-C0t (HC) gene-enriched sampling, and BAC-derived reads. Each read
+// records its ground-truth source coordinates, enabling direct cluster
+// validation. An error model applies substitutions and indels (~1-2%,
+// matching Sanger-era rates the paper assumes), simulated quality values
+// degrade toward the read ends, strands flip at random, and a fraction of
+// reads carry cloning-vector contamination at their 5' end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/fragment_store.hpp"
+#include "sim/genome.hpp"
+#include "util/prng.hpp"
+
+namespace pgasm::sim {
+
+struct ErrorModel {
+  double sub_rate = 0.010;
+  double ins_rate = 0.0025;
+  double del_rate = 0.0025;
+};
+
+struct ReadParams {
+  std::uint32_t len_mean = 650;
+  std::uint32_t len_spread = 150;  ///< uniform in [mean-spread, mean+spread]
+  ErrorModel errors{};
+  double vector_contam_prob = 0.05;  ///< prepend a cloning-vector fragment
+  double strand_flip_prob = 0.5;
+  bool with_quality = true;
+};
+
+struct ReadTruth {
+  std::uint32_t genome_id = 0;  ///< community member (0 for single genome)
+  std::uint64_t begin = 0;      ///< source interval in the genome
+  std::uint64_t end = 0;
+  bool rc = false;
+  std::int32_t island_id = -1;  ///< gene island the read starts in, or -1
+};
+
+struct ReadSet {
+  seq::FragmentStore store;
+  std::vector<ReadTruth> truth;  ///< parallel to store
+};
+
+/// The cloning-vector library used both to contaminate simulated reads and
+/// as the screen database in preprocessing (the paper uses Lucy with the
+/// real vector sequences).
+const std::vector<std::vector<seq::Code>>& vector_library();
+
+/// Uniform random sampling to the given coverage (WGS).
+void sample_wgs(ReadSet& out, const Genome& g, double coverage,
+                const ReadParams& rp, util::Prng& rng,
+                seq::FragType type = seq::FragType::kWGS,
+                std::uint32_t genome_id = 0);
+
+/// Gene-enriched sampling: with probability `enrichment`, the read start is
+/// drawn from a gene island; otherwise uniform (models MF/HC leakage).
+void sample_gene_enriched(ReadSet& out, const Genome& g, std::size_t n_reads,
+                          double enrichment, const ReadParams& rp,
+                          util::Prng& rng, seq::FragType type,
+                          std::uint32_t genome_id = 0);
+
+/// BAC-derived reads: pick `n_bacs` long clones, sample each clone's ends
+/// and its interior to `sub_coverage`.
+void sample_bac(ReadSet& out, const Genome& g, std::size_t n_bacs,
+                std::uint32_t bac_len, double sub_coverage,
+                const ReadParams& rp, util::Prng& rng,
+                std::uint32_t genome_id = 0);
+
+/// A clone-mate link between two reads of `out.store` (paper Section 1:
+/// "fragments are typically sequenced in pairs from either end of longer
+/// DNA sequences (or sub-clones) of approximate known length").
+struct MatePair {
+  std::uint32_t read_a = 0;  ///< 5' end read, sequenced genome-forward
+  std::uint32_t read_b = 0;  ///< 3' end read, sequenced genome-reverse
+  std::uint32_t insert_len = 0;  ///< nominal clone length
+};
+
+/// Paired-end sampling: n_clones sub-clones of ~insert_mean bp; one read
+/// from each end, facing inward. Returns the mate links (ids into out).
+void sample_mate_pairs(ReadSet& out, std::vector<MatePair>& mates,
+                       const Genome& g, std::size_t n_clones,
+                       std::uint32_t insert_mean, std::uint32_t insert_spread,
+                       const ReadParams& rp, util::Prng& rng,
+                       seq::FragType type = seq::FragType::kWGS,
+                       std::uint32_t genome_id = 0);
+
+}  // namespace pgasm::sim

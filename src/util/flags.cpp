@@ -1,0 +1,72 @@
+#include "util/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pgasm::util {
+
+Flags::Flags(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::uint64_t Flags::get_u64(const std::string& name, std::uint64_t def) {
+  seen_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+std::int64_t Flags::get_i64(const std::string& name, std::int64_t def) {
+  seen_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double def) {
+  seen_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string Flags::get_string(const std::string& name, const std::string& def) {
+  seen_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) {
+  seen_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+void Flags::finish() const {
+  bool bad = false;
+  for (const auto& [name, value] : values_) {
+    if (!seen_.count(name)) {
+      std::fprintf(stderr, "%s: unknown flag --%s=%s\n", program_.c_str(),
+                   name.c_str(), value.c_str());
+      bad = true;
+    }
+  }
+  if (bad) std::exit(2);
+}
+
+}  // namespace pgasm::util

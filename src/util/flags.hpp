@@ -1,0 +1,44 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Usage:
+//   util::Flags flags(argc, argv);
+//   auto n = flags.get_u64("reads", 10000);     // --reads=20000 / --reads 20000
+//   auto f = flags.get_double("error", 0.015);
+//   auto s = flags.get_string("out", "contigs.fa");
+//   bool v = flags.get_bool("verbose", false);  // --verbose / --verbose=false
+//   flags.finish();  // errors on unrecognized flags
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pgasm::util {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  std::uint64_t get_u64(const std::string& name, std::uint64_t def);
+  std::int64_t get_i64(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  std::string get_string(const std::string& name, const std::string& def);
+  bool get_bool(const std::string& name, bool def);
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Abort with a message listing any flags that were never queried.
+  void finish() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> seen_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pgasm::util

@@ -1,0 +1,37 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace pgasm::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace pgasm::util

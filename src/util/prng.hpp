@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for simulators and tests.
+//
+// xoshiro256** (Blackman & Vigna) seeded through splitmix64. All experiment
+// code takes an explicit seed so every run in EXPERIMENTS.md is replayable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pgasm::util {
+
+/// splitmix64 step; used for seed expansion and as a cheap standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Prng(std::uint64_t seed = 0x9d2c5680u) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless method, without the rejection loop
+    // refinement: bias is < 2^-64 * bound, irrelevant at our scales.
+    const __uint128_t m = static_cast<__uint128_t>(operator()()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Split off an independent stream (for per-rank / per-worker PRNGs).
+  constexpr Prng split() noexcept {
+    std::uint64_t s = operator()();
+    return Prng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace pgasm::util

@@ -1,0 +1,53 @@
+// Small statistics helpers used by the reporting layers: running moments,
+// histograms, N50-style assembly size statistics, and fixed-width table
+// printing so every bench binary emits paper-style tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgasm::util {
+
+/// Welford running mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0, m2_ = 0;
+  double min_ = 0, max_ = 0;
+};
+
+/// N50 of a set of lengths: the largest L such that lengths >= L cover at
+/// least half the total. Returns 0 for empty input.
+std::uint64_t n50(std::vector<std::uint64_t> lengths);
+
+/// Simple console table with aligned columns (paper-style reporting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Render with column alignment; numeric-looking cells right-aligned.
+  std::string render() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formatting helpers.
+std::string fmt_count(std::uint64_t v);           // 1,607,364
+std::string fmt_double(double v, int digits = 2); // 12.35
+std::string fmt_bytes(std::uint64_t bytes);       // 1.25 GB
+std::string fmt_percent(double fraction, int digits = 1);  // 43.7%
+
+}  // namespace pgasm::util

@@ -1,0 +1,49 @@
+// Wall-clock and per-thread CPU timers.
+//
+// The vmpi cost model charges each rank's computation with the thread CPU
+// clock so that oversubscribed single-node runs still measure per-rank work
+// faithfully (threads time-slicing on one core do not inflate each other's
+// compute charge).
+#pragma once
+
+#include <ctime>
+
+namespace pgasm::util {
+
+/// Monotonic wall-clock timer, seconds.
+class WallTimer {
+ public:
+  WallTimer() noexcept { restart(); }
+  void restart() noexcept { start_ = now(); }
+  double elapsed() const noexcept { return now() - start_; }
+
+  static double now() noexcept {
+    timespec ts{};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+ private:
+  double start_ = 0;
+};
+
+/// Per-thread CPU-time timer, seconds.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() noexcept { restart(); }
+  void restart() noexcept { start_ = now(); }
+  double elapsed() const noexcept { return now() - start_; }
+
+  static double now() noexcept {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+ private:
+  double start_ = 0;
+};
+
+}  // namespace pgasm::util

@@ -1,0 +1,52 @@
+#include "vmpi/cost_model.hpp"
+
+#include <algorithm>
+
+namespace pgasm::vmpi {
+
+double RunCost::modeled_parallel_seconds() const noexcept {
+  double best = 0;
+  for (const auto& r : per_rank) best = std::max(best, r.busy_seconds());
+  return best;
+}
+
+double RunCost::max_compute_seconds() const noexcept {
+  double best = 0;
+  for (const auto& r : per_rank) best = std::max(best, r.compute_seconds);
+  return best;
+}
+
+double RunCost::max_comm_seconds() const noexcept {
+  double best = 0;
+  for (const auto& r : per_rank) best = std::max(best, r.comm_seconds);
+  return best;
+}
+
+double RunCost::total_compute_seconds() const noexcept {
+  double sum = 0;
+  for (const auto& r : per_rank) sum += r.compute_seconds;
+  return sum;
+}
+
+std::uint64_t RunCost::total_bytes() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& r : per_rank) sum += r.bytes_sent;
+  return sum;
+}
+
+std::uint64_t RunCost::total_msgs() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& r : per_rank) sum += r.msgs_sent;
+  return sum;
+}
+
+double RunCost::avg_idle_fraction() const noexcept {
+  if (per_rank.empty()) return 0;
+  const double makespan = modeled_parallel_seconds();
+  if (makespan <= 0) return 0;
+  double idle = 0;
+  for (const auto& r : per_rank) idle += (makespan - r.busy_seconds()) / makespan;
+  return idle / static_cast<double>(per_rank.size());
+}
+
+}  // namespace pgasm::vmpi

@@ -1,0 +1,78 @@
+// Communication/computation cost accounting for the virtual MPI runtime.
+//
+// The paper's experiments ran on up to 8192 BlueGene/L nodes. This repo runs
+// all "ranks" as threads of one process on one node, so raw wall-clock cannot
+// show parallel scaling. Instead every rank keeps a ledger:
+//
+//   * compute seconds  — charged from the thread CPU clock around the rank's
+//     real computation (so time-slicing threads don't inflate each other),
+//   * communication    — charged per message with an alpha-beta (latency +
+//     bytes/bandwidth) model, on both sender and receiver.
+//
+// "Modeled parallel time" of a phase = max over ranks of (compute + comm).
+// The alpha/beta defaults approximate BlueGene/L-class interconnects; they
+// are configurable per Runtime so benches can explore sensitivity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pgasm::vmpi {
+
+struct CostParams {
+  double alpha = 5e-6;        ///< per-message latency, seconds
+  double beta = 1.0 / 150e6;  ///< per-byte cost, seconds (150 MB/s links)
+  double compute_scale = 1.0; ///< multiplier on charged compute seconds
+};
+
+/// Per-rank accounting. Owned by the rank's thread; merged after a run.
+struct RankLedger {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_recv = 0;
+  std::uint64_t bytes_recv = 0;
+  double compute_seconds = 0;
+  double comm_seconds = 0;  ///< modeled, from CostParams
+
+  double busy_seconds() const noexcept { return compute_seconds + comm_seconds; }
+
+  void charge_send(std::uint64_t bytes, const CostParams& cp) noexcept {
+    ++msgs_sent;
+    bytes_sent += bytes;
+    comm_seconds += cp.alpha + static_cast<double>(bytes) * cp.beta;
+  }
+  void charge_recv(std::uint64_t bytes, const CostParams& cp) noexcept {
+    ++msgs_recv;
+    bytes_recv += bytes;
+    comm_seconds += cp.alpha + static_cast<double>(bytes) * cp.beta;
+  }
+  void charge_compute(double seconds, const CostParams& cp) noexcept {
+    compute_seconds += seconds * cp.compute_scale;
+  }
+
+  RankLedger& operator+=(const RankLedger& o) noexcept {
+    msgs_sent += o.msgs_sent;
+    bytes_sent += o.bytes_sent;
+    msgs_recv += o.msgs_recv;
+    bytes_recv += o.bytes_recv;
+    compute_seconds += o.compute_seconds;
+    comm_seconds += o.comm_seconds;
+    return *this;
+  }
+};
+
+/// Aggregate view over all ranks of a finished run.
+struct RunCost {
+  std::vector<RankLedger> per_rank;
+
+  double modeled_parallel_seconds() const noexcept;
+  double max_compute_seconds() const noexcept;
+  double max_comm_seconds() const noexcept;
+  double total_compute_seconds() const noexcept;
+  std::uint64_t total_bytes() const noexcept;
+  std::uint64_t total_msgs() const noexcept;
+  /// Average fraction of the modeled makespan each rank spends not busy.
+  double avg_idle_fraction() const noexcept;
+};
+
+}  // namespace pgasm::vmpi

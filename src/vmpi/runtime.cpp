@@ -1,0 +1,202 @@
+#include "vmpi/runtime.hpp"
+
+#include <thread>
+
+namespace pgasm::vmpi {
+
+namespace {
+
+/// Does a queued message match a (source, tag) request on a channel?
+bool matches(const detail::Message& m, int source, std::int64_t tag,
+             bool internal) {
+  if (m.internal != internal) return false;
+  if (source != kAnySource && m.source != source) return false;
+  if (tag != kAnyTag && m.tag != tag) return false;
+  return true;
+}
+
+}  // namespace
+
+void Comm::send_impl(int dest, std::int64_t tag, const void* data,
+                     std::size_t n, bool internal, bool sync) {
+  if (dest < 0 || dest >= size()) throw std::runtime_error("send: bad dest");
+  if (shared_->aborted.load()) throw AbortError("vmpi aborted");
+
+  detail::Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.internal = internal;
+  msg.payload.resize(n);
+  if (n > 0) std::memcpy(msg.payload.data(), data, n);
+
+  std::shared_ptr<std::promise<void>> done;
+  std::future<void> done_future;
+  if (sync) {
+    done = std::make_shared<std::promise<void>>();
+    done_future = done->get_future();
+    msg.consumed = done;
+  }
+
+  ledger_.charge_send(n, shared_->cost);
+
+  auto& box = shared_->boxes[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(msg));
+    box.cv.notify_all();
+  }
+  if (sync) done_future.wait();
+}
+
+std::vector<std::byte> Comm::recv_impl(int source, std::int64_t tag,
+                                       bool internal, Status* status) {
+  auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    if (shared_->aborted.load()) throw AbortError("vmpi aborted");
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (!matches(*it, source, tag, internal)) continue;
+      detail::Message msg = std::move(*it);
+      box.queue.erase(it);
+      lock.unlock();
+      if (msg.consumed) msg.consumed->set_value();
+      ledger_.charge_recv(msg.payload.size(), shared_->cost);
+      if (status) {
+        status->source = msg.source;
+        status->tag = static_cast<int>(msg.tag);
+        status->bytes = msg.payload.size();
+      }
+      return std::move(msg.payload);
+    }
+    box.cv.wait(lock);
+  }
+}
+
+std::vector<std::byte> Comm::recv(int source, int tag, Status* status) {
+  return recv_impl(source, tag, /*internal=*/false, status);
+}
+
+Status Comm::probe(int source, int tag) {
+  auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (;;) {
+    if (shared_->aborted.load()) throw AbortError("vmpi aborted");
+    for (const auto& m : box.queue) {
+      if (matches(m, source, tag, /*internal=*/false)) {
+        return Status{m.source, static_cast<int>(m.tag), m.payload.size()};
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Comm::iprobe(int source, int tag, Status* status) {
+  auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  if (shared_->aborted.load()) throw AbortError("vmpi aborted");
+  for (const auto& m : box.queue) {
+    if (matches(m, source, tag, /*internal=*/false)) {
+      if (status) {
+        status->source = m.source;
+        status->tag = static_cast<int>(m.tag);
+        status->bytes = m.payload.size();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: ceil(log2 p) rounds, in round k exchange a token
+  // with the ranks at distance 2^k.
+  const int p = size();
+  const std::int64_t base_tag = next_collective_tag();
+  char token = 1;
+  int round = 0;
+  for (int k = 1; k < p; k <<= 1, ++round) {
+    const int to = (rank_ + k) % p;
+    const int from = (rank_ - k + p) % p;
+    send_impl(to, base_tag + round, &token, 1, /*internal=*/true,
+              /*sync=*/false);
+    (void)recv_impl(from, base_tag + round, /*internal=*/true, nullptr);
+  }
+}
+
+void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
+  // Binomial tree broadcast on virtual ranks.
+  const int p = size();
+  const std::int64_t base_tag = next_collective_tag();
+  const int vr = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) != 0) {
+      const int parent = ((vr - mask) + root) % p;
+      data = recv_impl(parent, base_tag, /*internal=*/true, nullptr);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < p && (vr & (mask - 1)) == 0 && (vr & mask) == 0) {
+      const int child = ((vr + mask) + root) % p;
+      send_impl(child, base_tag, data.data(), data.size(), /*internal=*/true,
+                /*sync=*/false);
+    }
+    mask >>= 1;
+  }
+}
+
+Runtime::Runtime(int num_ranks, CostParams cost)
+    : shared_(std::make_unique<detail::SharedState>(num_ranks, cost)) {
+  if (num_ranks < 1) throw std::runtime_error("Runtime: num_ranks < 1");
+}
+
+Runtime::~Runtime() = default;
+
+RunCost Runtime::run(const std::function<void(Comm&)>& body) {
+  const int p = shared_->num_ranks;
+  // Fresh state per run: clear mailboxes and abort flag.
+  shared_->aborted.store(false);
+  for (auto& box : shared_->boxes) {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.clear();
+  }
+
+  RunCost cost;
+  cost.per_rank.resize(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r]() {
+      Comm comm(*shared_, r);
+      try {
+        body(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        shared_->abort_all();
+      }
+      cost.per_rank[static_cast<std::size_t>(r)] = comm.ledger();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (first_error) {
+    try {
+      std::rethrow_exception(first_error);
+    } catch (const AbortError&) {
+      // A secondary abort got recorded first; report generically.
+      throw std::runtime_error("vmpi run aborted");
+    }
+  }
+  return cost;
+}
+
+}  // namespace pgasm::vmpi

@@ -1,0 +1,449 @@
+// Virtual MPI: an in-process message-passing runtime.
+//
+// The paper's framework is written against MPI on an IBM BlueGene/L. This
+// substrate provides the same programming model — ranks, point-to-point
+// send/recv with tags and wildcards, synchronous (Ssend) semantics, probes,
+// and the collectives the algorithms need (barrier, bcast, reduce,
+// allreduce, gather, allgatherv, alltoallv, plus the paper's customized
+// staged Alltoallv with bounded buffers) — with ranks running as threads of
+// one process. Collectives are implemented on top of point-to-point messages
+// with real communication algorithms (dissemination barrier, binomial
+// bcast/reduce), so the cost ledger sees the same message pattern a real
+// cluster would.
+//
+// Usage:
+//   vmpi::Runtime rt(8);
+//   vmpi::RunCost cost = rt.run([&](vmpi::Comm& comm) {
+//     if (comm.rank() == 0) comm.send_value(1, /*tag=*/7, 42);
+//     else if (comm.rank() == 1) int v = comm.recv_value<int>(0, 7);
+//     comm.barrier();
+//   });
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "util/timer.hpp"
+#include "vmpi/cost_model.hpp"
+
+namespace pgasm::vmpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Result metadata of a receive or probe.
+struct Status {
+  int source = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+/// Thrown on all ranks when any rank's body throws, so no rank deadlocks.
+struct AbortError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+struct Message {
+  int source = 0;
+  std::int64_t tag = 0;  ///< user tags are >= 0 and < 2^31; internal larger
+  bool internal = false;
+  std::vector<std::byte> payload;
+  std::shared_ptr<std::promise<void>> consumed;  ///< set for ssend rendezvous
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+struct SharedState {
+  explicit SharedState(int p, CostParams params)
+      : num_ranks(p), cost(params), boxes(static_cast<std::size_t>(p)) {}
+
+  int num_ranks;
+  CostParams cost;
+  std::vector<Mailbox> boxes;
+  std::atomic<bool> aborted{false};
+
+  void abort_all() {
+    aborted.store(true);
+    for (auto& box : boxes) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.cv.notify_all();
+    }
+  }
+};
+
+}  // namespace detail
+
+/// One rank's endpoint. Created by Runtime::run on the rank's own thread;
+/// not thread-safe across threads (like an MPI rank).
+class Comm {
+ public:
+  Comm(detail::SharedState& shared, int rank)
+      : shared_(&shared), rank_(rank) {}
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept { return shared_->num_ranks; }
+
+  // --- point-to-point (user channel) -----------------------------------
+
+  /// Buffered send: copies into the destination mailbox and returns.
+  void send(int dest, int tag, const void* data, std::size_t n) {
+    send_impl(dest, tag, data, n, /*internal=*/false, /*sync=*/false);
+  }
+
+  /// Synchronous send: returns only after the receiver has consumed the
+  /// message (the paper uses MPI_Ssend to avoid master-side buffer
+  /// overflow; we reproduce the semantics).
+  void ssend(int dest, int tag, const void* data, std::size_t n) {
+    send_impl(dest, tag, data, n, /*internal=*/false, /*sync=*/true);
+  }
+
+  /// Blocking receive; wildcards kAnySource / kAnyTag allowed.
+  std::vector<std::byte> recv(int source, int tag, Status* status = nullptr);
+
+  /// Blocking probe: waits until a matching message is available.
+  Status probe(int source, int tag);
+
+  /// Non-blocking probe.
+  bool iprobe(int source, int tag, Status* status);
+
+  // --- typed convenience wrappers ---------------------------------------
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, &v, sizeof(T));
+  }
+
+  template <typename T>
+  T recv_value(int source, int tag, Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv(source, tag, status);
+    if (bytes.size() != sizeof(T)) throw std::runtime_error("recv_value size");
+    T v;
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void send_vector(int dest, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, v.data(), v.size() * sizeof(T));
+  }
+
+  template <typename T>
+  void ssend_vector(int dest, int tag, const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ssend(dest, tag, v.data(), v.size() * sizeof(T));
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(int source, int tag, Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv(source, tag, status);
+    if (bytes.size() % sizeof(T) != 0)
+      throw std::runtime_error("recv_vector size");
+    std::vector<T> v(bytes.size() / sizeof(T));
+    std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+  }
+
+  // --- collectives (must be called by all ranks, in the same order) -----
+
+  void barrier();
+
+  /// Broadcast raw bytes from root; non-root data is replaced.
+  void bcast_bytes(std::vector<std::byte>& data, int root);
+
+  template <typename T>
+  void bcast(T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf(sizeof(T));
+    if (rank_ == root) std::memcpy(buf.data(), &value, sizeof(T));
+    bcast_bytes(buf, root);
+    std::memcpy(&value, buf.data(), sizeof(T));
+  }
+
+  template <typename T>
+  void bcast_vector(std::vector<T>& v, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> buf;
+    if (rank_ == root) {
+      buf.resize(v.size() * sizeof(T));
+      std::memcpy(buf.data(), v.data(), buf.size());
+    }
+    bcast_bytes(buf, root);
+    v.resize(buf.size() / sizeof(T));
+    std::memcpy(v.data(), buf.data(), buf.size());
+  }
+
+  /// Elementwise reduction of equal-length vectors to root (binomial tree).
+  /// Combine is a binary op applied elementwise: T(T, T).
+  template <typename T, typename Combine>
+  std::vector<T> reduce_vector(std::vector<T> local, int root, Combine comb);
+
+  template <typename T, typename Combine>
+  std::vector<T> allreduce_vector(std::vector<T> local, Combine comb) {
+    auto r = reduce_vector(std::move(local), 0, comb);
+    bcast_vector(r, 0);
+    return r;
+  }
+
+  template <typename T>
+  T allreduce_sum(T local) {
+    auto v = allreduce_vector(std::vector<T>{local},
+                              [](T a, T b) { return a + b; });
+    return v[0];
+  }
+
+  template <typename T>
+  T allreduce_max(T local) {
+    auto v = allreduce_vector(std::vector<T>{local},
+                              [](T a, T b) { return a > b ? a : b; });
+    return v[0];
+  }
+
+  template <typename T>
+  T allreduce_min(T local) {
+    auto v = allreduce_vector(std::vector<T>{local},
+                              [](T a, T b) { return a < b ? a : b; });
+    return v[0];
+  }
+
+  /// Gather variable-length vectors at root; result[r] = rank r's vector.
+  /// Non-root ranks receive an empty result.
+  template <typename T>
+  std::vector<std::vector<T>> gatherv(const std::vector<T>& local, int root);
+
+  /// All ranks receive every rank's vector.
+  template <typename T>
+  std::vector<std::vector<T>> allgatherv(const std::vector<T>& local);
+
+  /// Personalized all-to-all: outgoing[d] goes to rank d; returns
+  /// incoming[s] = what rank s sent to this rank. Direct algorithm:
+  /// p-1 buffered sends then p-1 receives.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(
+      const std::vector<std::vector<T>>& outgoing);
+
+  /// The paper's customized Alltoallv (Section 6): p-1 paired rounds,
+  /// round r exchanging with ranks (rank+r) mod p / (rank-r) mod p, so at
+  /// most one send and one receive buffer is in flight per rank at a time.
+  template <typename T>
+  std::vector<std::vector<T>> staged_alltoallv(
+      const std::vector<std::vector<T>>& outgoing);
+
+  // --- cost accounting ---------------------------------------------------
+
+  RankLedger& ledger() noexcept { return ledger_; }
+  const CostParams& cost_params() const noexcept { return shared_->cost; }
+
+  /// Directly charge compute seconds (already scaled by the thread timer).
+  void charge_compute(double seconds) noexcept {
+    ledger_.charge_compute(seconds, shared_->cost);
+  }
+
+  /// RAII scope that charges the enclosed thread-CPU time as compute.
+  class ComputeScope {
+   public:
+    explicit ComputeScope(Comm& comm) : comm_(comm) {}
+    ~ComputeScope() { comm_.charge_compute(timer_.elapsed()); }
+    ComputeScope(const ComputeScope&) = delete;
+    ComputeScope& operator=(const ComputeScope&) = delete;
+
+   private:
+    Comm& comm_;
+    util::ThreadCpuTimer timer_;
+  };
+
+  ComputeScope compute_scope() { return ComputeScope(*this); }
+
+ private:
+  friend class Runtime;
+
+  void send_impl(int dest, std::int64_t tag, const void* data, std::size_t n,
+                 bool internal, bool sync);
+  std::vector<std::byte> recv_impl(int source, std::int64_t tag, bool internal,
+                                   Status* status);
+
+  /// Next internal tag for a collective operation. All ranks execute
+  /// collectives in the same order, so sequence numbers agree globally.
+  std::int64_t next_collective_tag() noexcept {
+    return (std::int64_t{1} << 32) + (collective_seq_++ << 8);
+  }
+
+  detail::SharedState* shared_;
+  int rank_;
+  std::int64_t collective_seq_ = 0;
+  RankLedger ledger_;
+};
+
+/// Owns the shared mailboxes and runs SPMD bodies across rank threads.
+class Runtime {
+ public:
+  explicit Runtime(int num_ranks, CostParams cost = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int size() const noexcept { return shared_->num_ranks; }
+
+  /// Run `body(comm)` on every rank; joins all threads; returns the merged
+  /// cost ledgers. Rethrows the first rank exception (after aborting all).
+  RunCost run(const std::function<void(Comm&)>& body);
+
+ private:
+  std::unique_ptr<detail::SharedState> shared_;
+};
+
+// --- template implementations ---------------------------------------------
+
+template <typename T, typename Combine>
+std::vector<T> Comm::reduce_vector(std::vector<T> local, int root,
+                                   Combine comb) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  const std::int64_t base_tag = next_collective_tag();
+  // Binomial tree on virtual ranks vr = (rank - root + p) % p; vr 0 is root.
+  const int vr = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) != 0) {
+      // Send accumulated value to parent and exit.
+      const int parent = ((vr - mask) + root) % p;
+      send_impl(parent, base_tag, local.data(), local.size() * sizeof(T),
+                /*internal=*/true, /*sync=*/false);
+      return {};
+    }
+    const int child_vr = vr + mask;
+    if (child_vr < p) {
+      const int child = (child_vr + root) % p;
+      Status st;
+      auto bytes = recv_impl(child, base_tag, /*internal=*/true, &st);
+      std::vector<T> other(bytes.size() / sizeof(T));
+      std::memcpy(other.data(), bytes.data(), bytes.size());
+      if (other.size() != local.size())
+        throw std::runtime_error("reduce_vector length mismatch");
+      for (std::size_t i = 0; i < local.size(); ++i)
+        local[i] = comb(local[i], other[i]);
+    }
+    mask <<= 1;
+  }
+  return local;  // root
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::gatherv(const std::vector<T>& local,
+                                          int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  const std::int64_t base_tag = next_collective_tag();
+  if (rank_ != root) {
+    send_impl(root, base_tag, local.data(), local.size() * sizeof(T),
+              /*internal=*/true, /*sync=*/false);
+    return {};
+  }
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(p));
+  out[rank_] = local;
+  for (int s = 0; s < p; ++s) {
+    if (s == root) continue;
+    auto bytes = recv_impl(s, base_tag, /*internal=*/true, nullptr);
+    out[s].resize(bytes.size() / sizeof(T));
+    std::memcpy(out[s].data(), bytes.data(), bytes.size());
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::allgatherv(const std::vector<T>& local) {
+  auto gathered = gatherv(local, 0);
+  // Broadcast the concatenation with a length prefix per rank.
+  std::vector<std::uint64_t> lens(static_cast<std::size_t>(size()));
+  std::vector<T> flat;
+  if (rank_ == 0) {
+    for (int r = 0; r < size(); ++r) {
+      lens[r] = gathered[r].size();
+      flat.insert(flat.end(), gathered[r].begin(), gathered[r].end());
+    }
+  }
+  bcast_vector(lens, 0);
+  bcast_vector(flat, 0);
+  std::vector<std::vector<T>> out(static_cast<std::size_t>(size()));
+  std::size_t off = 0;
+  for (int r = 0; r < size(); ++r) {
+    out[r].assign(flat.begin() + off, flat.begin() + off + lens[r]);
+    off += lens[r];
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::alltoallv(
+    const std::vector<std::vector<T>>& outgoing) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  if (static_cast<int>(outgoing.size()) != p)
+    throw std::runtime_error("alltoallv: outgoing.size() != p");
+  const std::int64_t base_tag = next_collective_tag();
+  std::vector<std::vector<T>> incoming(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    if (d == rank_) {
+      incoming[d] = outgoing[d];
+      continue;
+    }
+    send_impl(d, base_tag, outgoing[d].data(), outgoing[d].size() * sizeof(T),
+              /*internal=*/true, /*sync=*/false);
+  }
+  for (int s = 0; s < p; ++s) {
+    if (s == rank_) continue;
+    auto bytes = recv_impl(s, base_tag, /*internal=*/true, nullptr);
+    incoming[s].resize(bytes.size() / sizeof(T));
+    std::memcpy(incoming[s].data(), bytes.data(), bytes.size());
+  }
+  return incoming;
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::staged_alltoallv(
+    const std::vector<std::vector<T>>& outgoing) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  if (static_cast<int>(outgoing.size()) != p)
+    throw std::runtime_error("staged_alltoallv: outgoing.size() != p");
+  const std::int64_t base_tag = next_collective_tag();
+  std::vector<std::vector<T>> incoming(static_cast<std::size_t>(p));
+  incoming[rank_] = outgoing[rank_];
+  for (int round = 1; round < p; ++round) {
+    const int to = (rank_ + round) % p;
+    const int from = (rank_ - round + p) % p;
+    const std::int64_t tag = base_tag + round;
+    send_impl(to, tag, outgoing[to].data(), outgoing[to].size() * sizeof(T),
+              /*internal=*/true, /*sync=*/false);
+    auto bytes = recv_impl(from, tag, /*internal=*/true, nullptr);
+    incoming[from].resize(bytes.size() / sizeof(T));
+    std::memcpy(incoming[from].data(), bytes.data(), bytes.size());
+  }
+  return incoming;
+}
+
+}  // namespace pgasm::vmpi

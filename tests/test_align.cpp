@@ -1,0 +1,275 @@
+// Tests for the alignment kernels: reference checks on tiny inputs,
+// banded == unbanded with a covering band, overlap classification, and the
+// clustering accept test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "align/overlap.hpp"
+#include "align/pairwise.hpp"
+#include "test_helpers.hpp"
+
+namespace pgasm {
+namespace {
+
+using align::AlignOptions;
+using align::AlignResult;
+using align::OverlapParams;
+using align::OverlapType;
+using align::Scoring;
+using Seq = align::Seq;
+
+std::vector<seq::Code> enc(const std::string& s) { return seq::encode(s); }
+
+/// Exponential-time reference: best global alignment score, linear gaps.
+int brute_global(Seq a, Seq b, const Scoring& sc, std::size_t i = 0,
+                 std::size_t j = 0) {
+  if (i == a.size()) return static_cast<int>(b.size() - j) * sc.gap;
+  if (j == b.size()) return static_cast<int>(a.size() - i) * sc.gap;
+  const int diag =
+      sc.substitution(a[i], b[j]) + brute_global(a, b, sc, i + 1, j + 1);
+  const int up = sc.gap + brute_global(a, b, sc, i + 1, j);
+  const int left = sc.gap + brute_global(a, b, sc, i, j + 1);
+  return std::max({diag, up, left});
+}
+
+class AlignRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlignRandom, GlobalMatchesBruteForce) {
+  util::Prng rng(GetParam());
+  const Scoring sc;
+  const auto a = test::random_dna(rng, 3 + rng.below(6));
+  const auto b = test::random_dna(rng, 3 + rng.below(6));
+  const auto r = align::global_align(a, b, sc);
+  EXPECT_EQ(r.score, brute_global(a, b, sc));
+}
+
+TEST_P(AlignRandom, BandedEqualsUnbandedWithCoveringBand) {
+  util::Prng rng(GetParam() + 100);
+  const Scoring sc;
+  const auto a = test::random_dna(rng, 10 + rng.below(40));
+  const auto b = test::random_dna(rng, 10 + rng.below(40));
+  const auto full = align::global_align(a, b, sc);
+  const auto band = align::banded_global_align(
+      a, b, sc, 0, static_cast<std::uint32_t>(a.size() + b.size()));
+  EXPECT_EQ(band.score, full.score);
+}
+
+TEST_P(AlignRandom, TracebackCountsConsistent) {
+  util::Prng rng(GetParam() + 200);
+  const Scoring sc;
+  const auto a = test::random_dna(rng, 20 + rng.below(30));
+  const auto b = test::random_dna(rng, 20 + rng.below(30));
+  const auto r = align::global_align(a, b, sc, {.keep_ops = true});
+  EXPECT_EQ(r.ops.size(), r.columns);
+  std::uint32_t ca = 0, cb = 0, matches = 0;
+  for (auto op : r.ops) {
+    switch (op) {
+      case align::Op::kMatch:
+        ++matches;
+        [[fallthrough]];
+      case align::Op::kMismatch:
+        ++ca;
+        ++cb;
+        break;
+      case align::Op::kInsertA:
+        ++ca;
+        break;
+      case align::Op::kInsertB:
+        ++cb;
+        break;
+    }
+  }
+  EXPECT_EQ(ca, a.size());
+  EXPECT_EQ(cb, b.size());
+  EXPECT_EQ(matches, r.matches);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignRandom,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST(Align, GlobalIdentical) {
+  const auto a = enc("ACGTACGT");
+  const auto r = align::global_align(a, a, Scoring{});
+  EXPECT_EQ(r.score, 8 * Scoring{}.match);
+  EXPECT_EQ(r.matches, 8u);
+  EXPECT_DOUBLE_EQ(r.identity(), 1.0);
+}
+
+TEST(Align, MaskedNeverMatches) {
+  const auto a = enc("ACNNGT");
+  const auto r = align::global_align(a, a, Scoring{});
+  // The two N positions are mismatches even against themselves.
+  EXPECT_EQ(r.matches, 4u);
+}
+
+TEST(Align, LocalFindsEmbeddedMatch) {
+  const auto a = enc("TTTTTACGTACGTTTTT");
+  const auto b = enc("GGGGACGTACGGGG");
+  const auto r = align::local_align(a, b, Scoring{});
+  EXPECT_GE(r.matches, 7u);
+  EXPECT_DOUBLE_EQ(r.identity(), 1.0);
+}
+
+TEST(Align, AffinePrefersOneLongGap) {
+  // With affine gaps, a single 2-gap costs open+2*ext; two separate
+  // 1-gaps cost 2*open+2*ext. The alignment should group the gap.
+  const auto a = enc("ACGTACGTACGT");
+  const auto b = enc("ACGTACGT");  // 4 chars missing
+  const Scoring sc{.match = 2, .mismatch = -3, .gap = -4, .gap_open = -5,
+                   .gap_extend = -1};
+  const auto r = align::global_affine_align(a, b, sc, {.keep_ops = true});
+  EXPECT_EQ(r.score, 8 * 2 - 5 - 4 * 1);
+  // Exactly one contiguous run of InsertA ops.
+  int runs = 0;
+  bool in_run = false;
+  for (auto op : r.ops) {
+    const bool is_gap = op == align::Op::kInsertA;
+    if (is_gap && !in_run) ++runs;
+    in_run = is_gap;
+  }
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Align, AffineEqualsLinearWhenCostsMatch) {
+  util::Prng rng(55);
+  for (int t = 0; t < 8; ++t) {
+    const auto a = test::random_dna(rng, 10 + rng.below(20));
+    const auto b = test::random_dna(rng, 10 + rng.below(20));
+    // gap_open = 0 reduces affine to linear with gap = gap_extend.
+    const Scoring lin{.match = 2, .mismatch = -3, .gap = -2};
+    const Scoring aff{.match = 2, .mismatch = -3, .gap = -2, .gap_open = 0,
+                      .gap_extend = -2};
+    EXPECT_EQ(align::global_affine_align(a, b, aff).score,
+              align::global_align(a, b, lin).score);
+  }
+}
+
+// --- Overlap (suffix-prefix) alignment -------------------------------------
+
+TEST(Overlap, PerfectDovetail) {
+  // a suffix == b prefix, 10 chars.
+  const auto a = enc("TTTTTTACGTACGTAC");
+  const auto b = enc("ACGTACGTACGGGGGG");
+  const auto r = align::overlap_align(a, b, Scoring{});
+  EXPECT_EQ(r.type, OverlapType::kDovetailAB);
+  EXPECT_GE(r.aln.matches, 10u);
+  EXPECT_EQ(r.aln.a_end, a.size());
+  EXPECT_EQ(r.aln.b_begin, 0u);
+}
+
+TEST(Overlap, DovetailOtherOrder) {
+  const auto a = enc("ACGTACGTACGGGGGG");
+  const auto b = enc("TTTTTTACGTACGTAC");
+  const auto r = align::overlap_align(a, b, Scoring{});
+  EXPECT_EQ(r.type, OverlapType::kDovetailBA);
+}
+
+TEST(Overlap, Containment) {
+  const auto a = enc("TTTTTACGTACGTACGTTTTTT");
+  const auto b = enc("ACGTACGTACGT");
+  const auto r = align::overlap_align(a, b, Scoring{});
+  EXPECT_EQ(r.type, OverlapType::kContainsB);
+  const auto r2 = align::overlap_align(b, a, Scoring{});
+  EXPECT_EQ(r2.type, OverlapType::kContainedInB);
+}
+
+TEST(Overlap, ToleratesErrors) {
+  util::Prng rng(77);
+  auto a = test::random_dna(rng, 120);
+  // b = last 60 of a + 60 fresh, with 3 substitutions in the overlap.
+  std::vector<seq::Code> b(a.begin() + 60, a.end());
+  auto fresh = test::random_dna(rng, 60);
+  b.insert(b.end(), fresh.begin(), fresh.end());
+  for (std::uint32_t posn : {5u, 25u, 45u}) {
+    b[posn] = static_cast<seq::Code>((b[posn] + 1) % 4);
+  }
+  const auto r = align::overlap_align(a, b, Scoring{});
+  EXPECT_EQ(r.type, OverlapType::kDovetailAB);
+  EXPECT_GE(r.aln.identity(), 0.9);
+  EXPECT_GE(r.overlap_len(), 55u);
+}
+
+TEST(Overlap, BandedAgreesWithFullOnSeededPairs) {
+  util::Prng rng(31);
+  for (int t = 0; t < 12; ++t) {
+    auto a = test::random_dna(rng, 100);
+    // b shares a's suffix starting at 40: seed anchor at (40, 0).
+    std::vector<seq::Code> b(a.begin() + 40, a.end());
+    auto fresh = test::random_dna(rng, 50);
+    b.insert(b.end(), fresh.begin(), fresh.end());
+    // A couple of random errors inside the overlap.
+    for (int e = 0; e < 2; ++e) {
+      const auto posn = rng.below(55);
+      b[posn] = static_cast<seq::Code>((b[posn] + 1 + rng.below(3)) % 4);
+    }
+    const auto full = align::overlap_align(a, b, Scoring{});
+    const auto banded =
+        align::banded_overlap_align(a, b, Scoring{}, /*shift=*/-40,
+                                    /*band=*/8);
+    EXPECT_EQ(banded.type, full.type);
+    EXPECT_NEAR(banded.aln.score, full.aln.score, 0);
+  }
+}
+
+TEST(Overlap, BandedMissesWhenBandExcludesEnds) {
+  const auto a = enc("AAAAAAAAAACGCGCGCG");
+  const auto b = enc("TTTTTTTTTTTTTTTTTT");
+  const auto r = align::banded_overlap_align(a, b, Scoring{}, 100, 2);
+  EXPECT_EQ(r.type, OverlapType::kNone);
+}
+
+TEST(Overlap, AcceptTestEnforcesCutoffs) {
+  OverlapParams p;
+  p.min_overlap = 40;
+  p.min_identity = 0.94;
+
+  util::Prng rng(8);
+  auto a = test::random_dna(rng, 100);
+  std::vector<seq::Code> b(a.begin() + 50, a.end());
+  auto fresh = test::random_dna(rng, 50);
+  b.insert(b.end(), fresh.begin(), fresh.end());
+
+  auto good = align::test_overlap(a, b, -50, p);
+  EXPECT_TRUE(align::accept_overlap(good, p));
+
+  // Too-short overlap: only 20 shared chars.
+  std::vector<seq::Code> c(a.begin() + 80, a.end());
+  c.insert(c.end(), fresh.begin(), fresh.end());
+  auto shortr = align::test_overlap(a, c, -80, p);
+  EXPECT_FALSE(align::accept_overlap(shortr, p));
+
+  // Low identity: corrupt 20% of the overlap.
+  auto noisy = b;
+  for (std::uint32_t i = 0; i < 50; i += 5)
+    noisy[i] = static_cast<seq::Code>((noisy[i] + 2) % 4);
+  auto bad = align::test_overlap(a, noisy, -50, p);
+  EXPECT_FALSE(align::accept_overlap(bad, p));
+}
+
+TEST(Overlap, RcSymmetry) {
+  // overlap(a, b) as dovetail A->B should mirror overlap(rc(b), rc(a)).
+  util::Prng rng(21);
+  auto a = test::random_dna(rng, 80);
+  std::vector<seq::Code> b(a.begin() + 30, a.end());
+  auto fresh = test::random_dna(rng, 30);
+  b.insert(b.end(), fresh.begin(), fresh.end());
+  const auto fwd = align::overlap_align(a, b, Scoring{});
+  const auto ra = seq::reverse_complement(a);
+  const auto rb = seq::reverse_complement(b);
+  const auto rev = align::overlap_align(rb, ra, Scoring{});
+  EXPECT_EQ(fwd.aln.score, rev.aln.score);
+  EXPECT_EQ(fwd.type, OverlapType::kDovetailAB);
+  EXPECT_EQ(rev.type, OverlapType::kDovetailAB);
+}
+
+TEST(Overlap, FormatAlignmentRenders) {
+  const auto a = enc("ACGTAC");
+  const auto b = enc("CGTACG");
+  const auto r = align::overlap_align(a, b, Scoring{}, {.keep_ops = true});
+  const auto s = align::format_alignment(a, b, r.aln);
+  EXPECT_NE(s.find('|'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pgasm

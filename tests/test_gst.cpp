@@ -1,0 +1,361 @@
+// Tests for the generalized suffix tree and promising-pair generation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gst/lookup_filter.hpp"
+#include "gst/pair_generator.hpp"
+#include "gst/suffix_tree.hpp"
+#include "test_helpers.hpp"
+
+namespace pgasm {
+namespace {
+
+using gst::GstParams;
+using gst::PairGenParams;
+using gst::PairGenerator;
+using gst::PromisingPair;
+using gst::SuffixTree;
+using test::random_store;
+
+TEST(SuffixEnumeration, SkipsMaskedAndShort) {
+  seq::FragmentStore store;
+  // ACG N ACGTA  -> runs: [0,3) and [4,9)
+  store.add_ascii("ACGNACGTA");
+  const auto suffixes = gst::enumerate_suffixes(store, 3);
+  // Run 1 (len 3): positions 0 (len 3). Run 2 (len 5): positions 4..6.
+  ASSERT_EQ(suffixes.size(), 4u);
+  EXPECT_EQ(suffixes[0].pos, 0u);
+  EXPECT_EQ(suffixes[0].len, 3u);
+  EXPECT_EQ(suffixes[0].cls, gst::kClassLambda);
+  EXPECT_EQ(suffixes[1].pos, 4u);
+  EXPECT_EQ(suffixes[1].len, 5u);
+  // Position 4 follows a masked char: class must be λ.
+  EXPECT_EQ(suffixes[1].cls, gst::kClassLambda);
+  EXPECT_EQ(suffixes[2].pos, 5u);
+  EXPECT_EQ(suffixes[2].len, 4u);
+  // Position 5 follows 'A' (code 0): class 1.
+  EXPECT_EQ(suffixes[2].cls, 1);
+  EXPECT_EQ(suffixes[3].pos, 6u);
+  EXPECT_EQ(suffixes[3].len, 3u);
+}
+
+TEST(SuffixTree, InvariantsTinyKnownInput) {
+  seq::FragmentStore store;
+  store.add_ascii("ACGTACGT");
+  store.add_ascii("CGTACGTT");
+  SuffixTree tree(store, GstParams{.min_match = 2, .prefix_w = 0});
+  EXPECT_EQ(tree.check_invariants(), "");
+  EXPECT_GT(tree.num_nodes(), 0u);
+  EXPECT_GT(tree.num_leaves(), 0u);
+}
+
+class SuffixTreeRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SuffixTreeRandom, InvariantsHold) {
+  util::Prng rng(GetParam());
+  const auto store = random_store(rng, 8 + rng.below(8), 20, 120, 0.05);
+  SuffixTree tree(store, GstParams{.min_match = 3, .prefix_w = 0});
+  EXPECT_EQ(tree.check_invariants(), "") << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuffixTreeRandom,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+TEST(SuffixTree, HighlyRepetitiveInput) {
+  seq::FragmentStore store;
+  store.add_ascii("AAAAAAAAAAAAAAAAAAAA");
+  store.add_ascii("AAAAAAAAAA");
+  store.add_ascii("ACACACACACACACACAC");
+  store.add_ascii("CACACACACACACACA");
+  SuffixTree tree(store, GstParams{.min_match = 2, .prefix_w = 0});
+  EXPECT_EQ(tree.check_invariants(), "");
+}
+
+TEST(SuffixTree, BucketedBuildEqualsUnbucketed) {
+  util::Prng rng(77);
+  const auto store = random_store(rng, 12, 30, 90);
+  const std::uint32_t psi = 4, w = 2;
+  SuffixTree plain(store, GstParams{.min_match = psi, .prefix_w = 0});
+
+  // Manually bucket the suffixes by w-prefix and build with bucket starts.
+  auto suffixes = gst::enumerate_suffixes(store, psi);
+  std::map<std::uint32_t, std::vector<gst::Suffix>> buckets;
+  for (const auto& s : suffixes) buckets[gst::bucket_of(store, s, w)].push_back(s);
+  std::vector<gst::Suffix> grouped;
+  std::vector<std::uint32_t> begins;
+  for (auto& [b, v] : buckets) {
+    begins.push_back(static_cast<std::uint32_t>(grouped.size()));
+    grouped.insert(grouped.end(), v.begin(), v.end());
+  }
+  SuffixTree bucketed(store, std::move(grouped), begins, w,
+                      GstParams{.min_match = psi, .prefix_w = w});
+  EXPECT_EQ(bucketed.check_invariants(), "");
+
+  // Same pair stream content (as multisets of maximal matches).
+  auto pa = PairGenerator::generate_all(plain, {.dup_elim = false});
+  auto pb = PairGenerator::generate_all(bucketed, {.dup_elim = false});
+  auto key = [](const PromisingPair& p) {
+    return std::tuple(p.seq_a, p.pos_a, p.seq_b, p.pos_b, p.match_len);
+  };
+  std::multiset<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                           std::uint32_t, std::uint32_t>>
+      ma, mb;
+  for (const auto& p : pa) ma.insert(key(p));
+  for (const auto& p : pb) mb.insert(key(p));
+  EXPECT_EQ(ma, mb);
+}
+
+// --- Pair generation: the heart of the paper -------------------------------
+
+class PairGenRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PairGenRandom, SuffixLevelMatchesBruteForce) {
+  util::Prng rng(GetParam());
+  const std::uint32_t psi = 3 + static_cast<std::uint32_t>(rng.below(4));
+  const auto store = random_store(rng, 6 + rng.below(6), 15, 60, 0.04);
+  SuffixTree tree(store, GstParams{.min_match = psi, .prefix_w = 0});
+  ASSERT_EQ(tree.check_invariants(), "");
+
+  const auto expected = test::brute_force_maximal_matches(store, psi);
+  const auto pairs = PairGenerator::generate_all(tree, {.dup_elim = false});
+  std::set<test::MaxMatch> got;
+  for (const auto& p : pairs) {
+    auto [it, fresh] =
+        got.insert({p.seq_a, p.pos_a, p.seq_b, p.pos_b, p.match_len});
+    EXPECT_TRUE(fresh) << "duplicate maximal match emitted (seed "
+                       << GetParam() << ")";
+  }
+  EXPECT_EQ(got, expected) << "seed " << GetParam() << " psi " << psi;
+}
+
+TEST_P(PairGenRandom, EmittedInNonIncreasingMatchLengthOrder) {
+  util::Prng rng(GetParam() * 977 + 5);
+  const auto store = random_store(rng, 10, 20, 80);
+  SuffixTree tree(store, GstParams{.min_match = 3, .prefix_w = 0});
+  PairGenerator gen(tree, {.dup_elim = false});
+  PromisingPair p;
+  std::uint32_t last = UINT32_MAX;
+  while (gen.next(p)) {
+    EXPECT_LE(p.match_len, last);
+    last = p.match_len;
+  }
+}
+
+TEST_P(PairGenRandom, DupElimCoversAllPairsAtLeastOnce) {
+  util::Prng rng(GetParam() * 31 + 7);
+  const std::uint32_t psi = 3;
+  const auto store = random_store(rng, 8 + rng.below(8), 15, 70, 0.03);
+  SuffixTree tree(store, GstParams{.min_match = psi, .prefix_w = 0});
+
+  const auto expected = test::brute_force_promising_pairs(store, psi);
+  const auto pairs = PairGenerator::generate_all(tree, {.dup_elim = true});
+  std::set<std::pair<std::uint32_t, std::uint32_t>> got;
+  for (const auto& p : pairs) got.insert({p.seq_a, p.seq_b});
+  EXPECT_EQ(got, expected) << "seed " << GetParam();
+
+  // At most once per node => no more emissions than distinct maximal
+  // matches (suffix-level count bounds fragment-level count).
+  const auto suffix_level =
+      PairGenerator::generate_all(tree, {.dup_elim = false});
+  EXPECT_LE(pairs.size(), suffix_level.size());
+}
+
+TEST_P(PairGenRandom, DupElimAnchorsAreRealMatches) {
+  util::Prng rng(GetParam() * 131 + 3);
+  const auto store = random_store(rng, 10, 20, 60);
+  SuffixTree tree(store, GstParams{.min_match = 3, .prefix_w = 0});
+  const auto pairs = PairGenerator::generate_all(tree, {.dup_elim = true});
+  for (const auto& p : pairs) {
+    const auto ta = store.seq(p.seq_a);
+    const auto tb = store.seq(p.seq_b);
+    ASSERT_LE(p.pos_a + p.match_len, ta.size());
+    ASSERT_LE(p.pos_b + p.match_len, tb.size());
+    for (std::uint32_t k = 0; k < p.match_len; ++k) {
+      ASSERT_TRUE(seq::is_base(ta[p.pos_a + k]));
+      ASSERT_EQ(ta[p.pos_a + k], tb[p.pos_b + k]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairGenRandom,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(PairGen, DoubledInputFiltersSelfAndMirror) {
+  util::Prng rng(123);
+  seq::FragmentStore plain = random_store(rng, 6, 40, 80);
+  const auto doubled = seq::make_doubled_store(plain);
+  SuffixTree tree(doubled, GstParams{.min_match = 8, .prefix_w = 0});
+  PairGenerator gen(tree, {.dup_elim = true, .doubled_input = true});
+  PromisingPair p;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> frag_pairs;
+  while (gen.next(p)) {
+    // Never pairs a fragment with itself or its own reverse complement.
+    EXPECT_NE(p.seq_a >> 1, p.seq_b >> 1);
+    // Canonical form: lower fragment appears on its forward strand.
+    EXPECT_LT(p.seq_a >> 1, p.seq_b >> 1);
+    EXPECT_EQ(p.seq_a & 1u, 0u);
+    frag_pairs.insert({p.seq_a >> 1, p.seq_b >> 1});
+  }
+}
+
+TEST(PairGen, FindsReverseComplementOverlap) {
+  // f2 is the reverse complement of f1's tail + extra: they overlap only
+  // through the RC strand.
+  util::Prng rng(9);
+  const auto base = test::random_dna(rng, 60);
+  std::vector<seq::Code> f1(base.begin(), base.begin() + 40);
+  std::vector<seq::Code> tail(base.begin() + 20, base.begin() + 60);
+  const auto f2 = seq::reverse_complement(tail);
+  seq::FragmentStore plain;
+  plain.add(f1);
+  plain.add(f2);
+  const auto doubled = seq::make_doubled_store(plain);
+  SuffixTree tree(doubled, GstParams{.min_match = 10, .prefix_w = 0});
+  const auto pairs = PairGenerator::generate_all(
+      tree, {.dup_elim = true, .doubled_input = true});
+  bool found = false;
+  for (const auto& p : pairs) {
+    if ((p.seq_a >> 1) == 0 && (p.seq_b >> 1) == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PairGen, NoPairsBelowPsi) {
+  seq::FragmentStore store;
+  store.add_ascii("ACGTACGTAA");
+  store.add_ascii("TTTTGGGGCC");  // shares no 4-mer with the first
+  SuffixTree tree(store, GstParams{.min_match = 4, .prefix_w = 0});
+  const auto pairs = PairGenerator::generate_all(tree, {.dup_elim = false});
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(PairGen, MaskingSuppressesPairs) {
+  // Identical fragments, but one has the shared region masked out.
+  seq::FragmentStore store;
+  store.add_ascii("ACGTACGTACGTACGTACGT");
+  store.add_ascii("ACGTACGTACGTACGTACGT");
+  store.mask(1, 0, 20);
+  SuffixTree tree(store, GstParams{.min_match = 8, .prefix_w = 0});
+  const auto pairs = PairGenerator::generate_all(tree, {.dup_elim = true});
+  EXPECT_TRUE(pairs.empty());
+}
+
+// --- Lookup-table baseline filter (paper Section 2) -------------------------
+
+class LookupVsGst : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LookupVsGst, SameFragmentPairSetAtEqualCutoff) {
+  // With psi == w, a fragment pair shares a maximal match >= psi iff it
+  // shares at least one w-mer: the two filters must produce the same
+  // distinct pair set, but the lookup table emits (many) more copies.
+  util::Prng rng(GetParam() * 7 + 1);
+  const auto store = random_store(rng, 12, 40, 100);
+  const std::uint32_t w = 8;
+  SuffixTree tree(store, GstParams{.min_match = w, .prefix_w = 0});
+  const auto gst_pairs =
+      PairGenerator::generate_all(tree, {.dup_elim = true});
+  std::set<std::pair<std::uint32_t, std::uint32_t>> gst_set;
+  for (const auto& p : gst_pairs) gst_set.insert({p.seq_a, p.seq_b});
+
+  gst::LookupFilter filter(store, {.w = w});
+  std::set<std::pair<std::uint32_t, std::uint32_t>> lut_set;
+  std::uint64_t lut_count = 0;
+  PromisingPair p;
+  while (filter.next(p)) {
+    lut_set.insert({p.seq_a, p.seq_b});
+    ++lut_count;
+    // Anchors are real exact w-mers.
+    const auto a = store.seq(p.seq_a);
+    const auto b = store.seq(p.seq_b);
+    for (std::uint32_t k = 0; k < w; ++k) {
+      ASSERT_EQ(a[p.pos_a + k], b[p.pos_b + k]);
+    }
+  }
+  EXPECT_EQ(lut_set, gst_set) << "seed " << GetParam();
+  EXPECT_GE(lut_count, gst_pairs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LookupVsGst,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(LookupFilter, LongMatchEmitsManyCopies) {
+  // The Section 2 argument: an exact match of length l appears as
+  // (l - w + 1) w-mer hits.
+  util::Prng rng(5);
+  const auto shared = test::random_dna(rng, 60);
+  seq::FragmentStore store;
+  std::vector<seq::Code> f1 = test::random_dna(rng, 20);
+  f1.insert(f1.end(), shared.begin(), shared.end());
+  std::vector<seq::Code> f2(shared);
+  auto tail = test::random_dna(rng, 20);
+  f2.insert(f2.end(), tail.begin(), tail.end());
+  store.add(f1);
+  store.add(f2);
+  const std::uint32_t w = 11;
+  gst::LookupFilter filter(store, {.w = w});
+  std::uint64_t count = 0;
+  PromisingPair p;
+  while (filter.next(p)) ++count;
+  EXPECT_GE(count, 60u - w + 1u - 2u);  // ~l - w + 1 (allow random extras)
+
+  // The GST generator emits the pair once.
+  SuffixTree tree(store, GstParams{.min_match = w, .prefix_w = 0});
+  const auto gst_pairs = PairGenerator::generate_all(tree, {.dup_elim = true});
+  EXPECT_EQ(gst_pairs.size(), 1u);
+}
+
+TEST(LookupFilter, DedupPerWordAndDoubledInput) {
+  util::Prng rng(9);
+  seq::FragmentStore plain = random_store(rng, 6, 40, 80);
+  const auto doubled = seq::make_doubled_store(plain);
+  gst::LookupFilter filter(doubled,
+                           {.w = 9, .doubled_input = true,
+                            .dedup_per_word = true});
+  PromisingPair p;
+  std::set<std::tuple<std::uint32_t, std::uint32_t>> seen;
+  while (filter.next(p)) {
+    EXPECT_LT(p.seq_a >> 1, p.seq_b >> 1);
+    EXPECT_EQ(p.seq_a & 1u, 0u);  // canonical mirror
+  }
+  EXPECT_GT(filter.stats().table_entries, 0u);
+}
+
+TEST(PairGen, PairSetMonotoneInPsi) {
+  // Lower psi admits every pair a higher psi admits (a maximal match of
+  // length >= psi2 is also >= psi1 < psi2).
+  util::Prng rng(777);
+  const auto store = random_store(rng, 14, 30, 90);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> prev;
+  bool first = true;
+  for (std::uint32_t psi : {12u, 8u, 5u, 3u}) {
+    SuffixTree tree(store, GstParams{.min_match = psi, .prefix_w = 0});
+    const auto pairs = PairGenerator::generate_all(tree, {.dup_elim = true});
+    std::set<std::pair<std::uint32_t, std::uint32_t>> cur;
+    for (const auto& p : pairs) cur.insert({p.seq_a, p.seq_b});
+    if (!first) {
+      for (const auto& pr : prev) {
+        EXPECT_TRUE(cur.count(pr)) << "pair lost when lowering psi";
+      }
+    }
+    prev = std::move(cur);
+    first = false;
+  }
+}
+
+TEST(PairGen, MemoryIsLinear) {
+  util::Prng rng(4242);
+  const auto store = random_store(rng, 60, 80, 120);
+  SuffixTree tree(store, GstParams{.min_match = 6, .prefix_w = 0});
+  PairGenerator gen(tree, {.dup_elim = true});
+  PromisingPair p;
+  std::uint64_t peak = 0;
+  while (gen.next(p)) peak = std::max(peak, gen.memory_bytes());
+  // Generous linear bound: a small constant times input characters.
+  EXPECT_LT(peak, 64 * store.total_length() + (1u << 16));
+}
+
+}  // namespace
+}  // namespace pgasm

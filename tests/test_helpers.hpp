@@ -1,0 +1,86 @@
+// Shared helpers for the test suite: random sequence generation and
+// brute-force reference implementations the fast paths are checked against.
+#pragma once
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "seq/fragment_store.hpp"
+#include "util/prng.hpp"
+
+namespace pgasm::test {
+
+inline std::vector<seq::Code> random_dna(util::Prng& rng, std::size_t len,
+                                         double mask_prob = 0.0) {
+  std::vector<seq::Code> out(len);
+  for (auto& c : out) {
+    c = rng.chance(mask_prob) ? seq::kMask
+                              : static_cast<seq::Code>(rng.below(4));
+  }
+  return out;
+}
+
+inline seq::FragmentStore random_store(util::Prng& rng, std::size_t n_frags,
+                                       std::size_t min_len, std::size_t max_len,
+                                       double mask_prob = 0.0) {
+  seq::FragmentStore store;
+  for (std::size_t i = 0; i < n_frags; ++i) {
+    const std::size_t len =
+        min_len + rng.below(max_len - min_len + 1);
+    store.add(random_dna(rng, len, mask_prob));
+  }
+  return store;
+}
+
+/// A maximal match occurrence: (seq_a, pos_a, seq_b, pos_b, length),
+/// normalized with seq_a < seq_b.
+using MaxMatch =
+    std::tuple<std::uint32_t, std::uint32_t, std::uint32_t, std::uint32_t,
+               std::uint32_t>;
+
+/// Brute force enumeration of all maximal matches of length >= psi between
+/// *different* sequences, under mask semantics (masked characters never
+/// match and break extension). O(n^2 * L^2) — test sizes only.
+inline std::set<MaxMatch> brute_force_maximal_matches(
+    const seq::FragmentStore& store, std::uint32_t psi) {
+  std::set<MaxMatch> out;
+  const auto eq = [](seq::Code a, seq::Code b) {
+    return seq::is_base(a) && a == b;
+  };
+  for (std::uint32_t sa = 0; sa < store.size(); ++sa) {
+    for (std::uint32_t sb = sa + 1; sb < store.size(); ++sb) {
+      const auto ta = store.seq(sa);
+      const auto tb = store.seq(sb);
+      for (std::uint32_t i = 0; i < ta.size(); ++i) {
+        for (std::uint32_t j = 0; j < tb.size(); ++j) {
+          if (!eq(ta[i], tb[j])) continue;
+          // Left-maximal?
+          if (i > 0 && j > 0 && eq(ta[i - 1], tb[j - 1])) continue;
+          // Extend right.
+          std::uint32_t len = 0;
+          while (i + len < ta.size() && j + len < tb.size() &&
+                 eq(ta[i + len], tb[j + len]))
+            ++len;
+          if (len >= psi) out.insert({sa, i, sb, j, len});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Brute-force set of *fragment pairs* sharing a maximal match >= psi.
+inline std::set<std::pair<std::uint32_t, std::uint32_t>>
+brute_force_promising_pairs(const seq::FragmentStore& store,
+                            std::uint32_t psi) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> out;
+  for (const auto& mm : brute_force_maximal_matches(store, psi)) {
+    out.insert({std::get<0>(mm), std::get<2>(mm)});
+  }
+  return out;
+}
+
+}  // namespace pgasm::test

@@ -1,0 +1,209 @@
+// Tests for preprocessing: quality trimming, vector screening, statistical
+// repeat masking, invalidation rules, and Table-2 style type accounting.
+#include <gtest/gtest.h>
+
+#include "preprocess/preprocess.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+#include "test_helpers.hpp"
+
+namespace pgasm {
+namespace {
+
+using preprocess::PreprocessParams;
+using preprocess::RepeatMasker;
+using preprocess::RepeatMaskParams;
+
+TEST(RepeatMasker, CanonicalKmerStrandIndependent) {
+  const auto fwd = seq::encode("ACGTACGTACGTACGT");
+  const auto rev = seq::reverse_complement(fwd);
+  std::uint64_t a = 0, b = 0;
+  ASSERT_TRUE(RepeatMasker::canonical_kmer(fwd, 0, 16, &a));
+  ASSERT_TRUE(RepeatMasker::canonical_kmer(rev, 0, 16, &b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(RepeatMasker, RejectsMaskedWindow) {
+  auto s = seq::encode("ACGTNACGTACGTACGTT");
+  std::uint64_t k = 0;
+  EXPECT_FALSE(RepeatMasker::canonical_kmer(s, 0, 16, &k));
+  EXPECT_TRUE(RepeatMasker::canonical_kmer(s, 5, 12, &k));
+}
+
+TEST(RepeatMasker, MasksHighCopySequence) {
+  // 40 copies of a repeat read + 20 unique reads.
+  util::Prng rng(3);
+  const auto repeat = test::random_dna(rng, 200);
+  seq::FragmentStore store;
+  for (int i = 0; i < 40; ++i) store.add(repeat);
+  for (int i = 0; i < 20; ++i) store.add(test::random_dna(rng, 200));
+
+  RepeatMaskParams params;
+  params.k = 16;
+  params.sample_fraction = 0.5;
+  RepeatMasker masker(store, params);
+  EXPECT_GT(masker.num_repetitive_kmers(), 0u);
+
+  std::uint64_t masked_repeat = masker.mask_fragment(store, 0);
+  std::uint64_t masked_unique = masker.mask_fragment(store, 45);
+  EXPECT_GT(masked_repeat, 150u);
+  EXPECT_EQ(masked_unique, 0u);
+}
+
+TEST(RepeatMasker, LibraryScreening) {
+  util::Prng rng(5);
+  const auto known = test::random_dna(rng, 100);
+  seq::FragmentStore store;
+  // One read embedding the known repeat.
+  std::vector<seq::Code> read = test::random_dna(rng, 50);
+  read.insert(read.end(), known.begin(), known.end());
+  auto tail = test::random_dna(rng, 50);
+  read.insert(read.end(), tail.begin(), tail.end());
+  store.add(read);
+
+  RepeatMaskParams params;
+  params.threshold_multiple = 0;  // disable statistical detection
+  RepeatMasker masker(store, params);
+  masker.add_library_sequence(known);
+  const auto masked = masker.mask_fragment(store, 0);
+  EXPECT_GE(masked, 100u);
+  EXPECT_LT(masked, 140u);  // flanks survive
+}
+
+TEST(Preprocess, QualityTrimRemovesBadEnds) {
+  seq::FragmentStore store;
+  std::vector<seq::Code> read(300, seq::kA);
+  std::vector<std::uint8_t> qual(300, 40);
+  for (int i = 0; i < 30; ++i) qual[i] = 5;           // bad 5' end
+  for (int i = 0; i < 20; ++i) qual[299 - i] = 5;     // bad 3' end
+  store.add(read, seq::FragType::kWGS, "r", qual);
+
+  PreprocessParams params;
+  params.mask_repeats = false;
+  params.min_len = 50;
+  const auto result = preprocess::preprocess(store, {}, params);
+  ASSERT_EQ(result.store.size(), 1u);
+  EXPECT_LE(result.store.length(0), 252u);
+  EXPECT_GE(result.store.length(0), 240u);
+  EXPECT_GT(result.stats.quality_trimmed_bases, 40u);
+}
+
+TEST(Preprocess, VectorScreenTrimsContamination) {
+  util::Prng rng(7);
+  const auto& lib = sim::vector_library();
+  std::vector<seq::Code> read(lib[0].begin(), lib[0].begin() + 40);
+  const auto genomic = test::random_dna(rng, 260);
+  read.insert(read.end(), genomic.begin(), genomic.end());
+  seq::FragmentStore store;
+  store.add(read);
+
+  PreprocessParams params;
+  params.mask_repeats = false;
+  params.min_len = 50;
+  const auto result = preprocess::preprocess(store, lib, params);
+  ASSERT_EQ(result.store.size(), 1u);
+  EXPECT_LE(result.store.length(0), 260u);
+  EXPECT_GT(result.stats.vector_trimmed_bases, 20u);
+}
+
+TEST(Preprocess, DiscardsShortAndFullyMasked) {
+  util::Prng rng(9);
+  const auto repeat = test::random_dna(rng, 300);
+  seq::FragmentStore store;
+  for (int i = 0; i < 30; ++i) store.add(repeat);   // pure repeat reads
+  store.add(test::random_dna(rng, 60));             // too short
+  store.add(test::random_dna(rng, 300));            // good unique read
+
+  PreprocessParams params;
+  params.min_len = 100;
+  params.repeat.sample_fraction = 1.0;
+  // All-identical reads are adversarial for the coverage-peak statistic
+  // (the repeat *is* the apparent peak); pin the absolute threshold.
+  params.repeat.fixed_threshold = 4;
+  params.max_masked_fraction = 0.5;
+  const auto result = preprocess::preprocess(store, {}, params);
+  EXPECT_EQ(result.stats.discarded_short, 1u);
+  EXPECT_GE(result.stats.discarded_masked, 28u);
+  // The unique read survives.
+  bool unique_kept = false;
+  for (auto id : result.kept_ids) unique_kept |= (id == 31u);
+  EXPECT_TRUE(unique_kept);
+}
+
+TEST(Preprocess, UnmaskedStoreParallelsMasked) {
+  util::Prng rng(10);
+  const auto repeat = test::random_dna(rng, 250);
+  seq::FragmentStore store;
+  for (int i = 0; i < 20; ++i) store.add(repeat);
+  // Half-repeat half-unique reads survive with masking.
+  for (int i = 0; i < 10; ++i) {
+    std::vector<seq::Code> r(repeat.begin(), repeat.begin() + 100);
+    const auto uniq = test::random_dna(rng, 200);
+    r.insert(r.end(), uniq.begin(), uniq.end());
+    store.add(r);
+  }
+  PreprocessParams params;
+  params.repeat.sample_fraction = 1.0;
+  params.max_masked_fraction = 0.6;
+  const auto result = preprocess::preprocess(store, {}, params);
+  ASSERT_EQ(result.store.size(), result.unmasked_store.size());
+  ASSERT_EQ(result.store.size(), result.kept_ids.size());
+  std::uint64_t masked_bases = 0, unmasked_bases = 0;
+  for (seq::FragmentId id = 0; id < result.store.size(); ++id) {
+    EXPECT_EQ(result.store.length(id), result.unmasked_store.length(id));
+    masked_bases += result.store.length(id) -
+                    static_cast<std::uint64_t>(
+                        result.store.masked_fraction(id) *
+                        result.store.length(id) + 0.5);
+    unmasked_bases += result.unmasked_store.length(id);
+    EXPECT_DOUBLE_EQ(result.unmasked_store.masked_fraction(id), 0.0);
+  }
+  EXPECT_GT(result.stats.masked_bases, 0u);
+}
+
+TEST(Preprocess, Table2ShapeGeneEnrichedSurvivesShotgunDoesNot) {
+  // The paper's Table 2 effect: on a repeat-rich genome, most WGS reads are
+  // invalidated by repeat masking while gene-enriched (MF/HC) reads
+  // largely survive.
+  const auto g = sim::simulate_genome(sim::maize_like(150'000, 33));
+  util::Prng rng(11);
+  sim::ReadSet rs;
+  sim::ReadParams rp;
+  rp.len_mean = 400;
+  rp.len_spread = 50;
+  rp.vector_contam_prob = 0.02;
+  sim::sample_wgs(rs, g, 1.0, rp, rng);
+  sim::sample_gene_enriched(rs, g, 300, 0.95, rp, rng, seq::FragType::kMF);
+
+  PreprocessParams params;
+  params.repeat.sample_fraction = 1.0;  // our test project is only ~1X deep
+  params.max_masked_fraction = 0.5;
+  const auto result =
+      preprocess::preprocess(rs.store, sim::vector_library(), params);
+
+  const auto& wgs = result.stats.by_type.at(seq::FragType::kWGS);
+  const auto& mf = result.stats.by_type.at(seq::FragType::kMF);
+  const double wgs_survival = static_cast<double>(wgs.fragments_after) /
+                              static_cast<double>(wgs.fragments_before);
+  const double mf_survival = static_cast<double>(mf.fragments_after) /
+                             static_cast<double>(mf.fragments_before);
+  EXPECT_LT(wgs_survival, 0.65);
+  EXPECT_GT(mf_survival, 0.6);
+  EXPECT_GT(mf_survival, wgs_survival + 0.25);
+}
+
+TEST(Preprocess, MaskingAblationSwitch) {
+  util::Prng rng(13);
+  const auto repeat = test::random_dna(rng, 300);
+  seq::FragmentStore store;
+  for (int i = 0; i < 30; ++i) store.add(repeat);
+  PreprocessParams params;
+  params.repeat.sample_fraction = 1.0;
+  params.mask_repeats = false;
+  const auto result = preprocess::preprocess(store, {}, params);
+  EXPECT_EQ(result.stats.masked_bases, 0u);
+  EXPECT_EQ(result.store.size(), 30u);
+}
+
+}  // namespace
+}  // namespace pgasm

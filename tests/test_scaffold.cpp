@@ -1,0 +1,205 @@
+// Tests for clone-mate simulation and scaffolding.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "olc/assembler.hpp"
+#include "olc/scaffold.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+#include "test_helpers.hpp"
+
+namespace pgasm {
+namespace {
+
+using olc::Contig;
+using olc::MateLink;
+using olc::Placement;
+using olc::scaffold;
+using olc::ScaffoldParams;
+
+/// Hand-built contig with given length and fragment placements.
+Contig make_contig(std::uint64_t len,
+                   std::vector<Placement> layout = {}) {
+  Contig c;
+  c.consensus.assign(len, seq::kA);
+  if (layout.empty()) {
+    // Ensure at least one placement so it is not a "singleton" artifact.
+    layout.push_back(Placement{0, false, 0, static_cast<std::uint32_t>(len)});
+  }
+  c.layout = std::move(layout);
+  return c;
+}
+
+TEST(MateSim, GeometryAndTruth) {
+  const auto g = sim::simulate_genome(sim::shotgun_like(40'000, 61));
+  util::Prng rng(62);
+  sim::ReadSet rs;
+  std::vector<sim::MatePair> mates;
+  sim::ReadParams rp;
+  rp.errors = {};
+  rp.errors.sub_rate = 0;
+  rp.errors.ins_rate = 0;
+  rp.errors.del_rate = 0;
+  rp.vector_contam_prob = 0;
+  sim::sample_mate_pairs(rs, mates, g, 50, 3000, 300, rp, rng);
+  ASSERT_GT(mates.size(), 30u);
+  for (const auto& m : mates) {
+    const auto& ta = rs.truth[m.read_a];
+    const auto& tb = rs.truth[m.read_b];
+    EXPECT_FALSE(ta.rc);  // 5' read genome-forward
+    EXPECT_TRUE(tb.rc);   // 3' read genome-reverse
+    EXPECT_EQ(tb.end - ta.begin, m.insert_len);  // clone spans the insert
+    EXPECT_GE(m.insert_len, 2700u);
+    EXPECT_LE(m.insert_len, 3300u);
+  }
+}
+
+TEST(Scaffold, TwoContigsForwardForward) {
+  // Contig 0 [0,1000) and contig 1 [1500,2500) on the genome; clone insert
+  // 1200 from read A (contig 0, offset 600, fwd) to read B (contig 1,
+  // offset 100, placed flipped because the read was sequenced genome-
+  // reverse and the contig is genome-forward).
+  std::vector<Contig> contigs;
+  contigs.push_back(make_contig(1000, {{0, false, 600, 100}}));
+  contigs.push_back(make_contig(1000, {{1, true, 100, 100}}));
+  // Genome: A starts 600; B spans [1600,1700) genome-forward, i.e. B's end
+  // is 1700; insert = 1700 - 600 = 1100. Gap between contigs = 500.
+  std::vector<MateLink> links(3, MateLink{0, 1, 1100});
+  ScaffoldParams params;
+  params.min_links = 2;
+  const auto result = scaffold(contigs, links, params);
+  ASSERT_EQ(result.scaffolds.size(), 1u);
+  const auto& sc = result.scaffolds[0];
+  ASSERT_EQ(sc.entries.size(), 2u);
+  // Order 0 then 1 (or mirrored 1 then 0 with both flipped).
+  const bool fwd_order = sc.entries[0].contig == 0;
+  if (fwd_order) {
+    EXPECT_FALSE(sc.entries[0].flip);
+    EXPECT_FALSE(sc.entries[1].flip);
+  } else {
+    EXPECT_TRUE(sc.entries[0].flip);
+    EXPECT_TRUE(sc.entries[1].flip);
+  }
+  // Implied gap: D = a_start + insert - b_end = 600+1100-200 = 1500;
+  // gap = D - len(contig0) = 500.
+  EXPECT_NEAR(static_cast<double>(sc.entries[1].gap_before), 500, 1);
+  EXPECT_EQ(sc.span(contigs), 2500u);
+}
+
+TEST(Scaffold, RequiresMinimumLinks) {
+  std::vector<Contig> contigs;
+  contigs.push_back(make_contig(1000, {{0, false, 600, 100}}));
+  contigs.push_back(make_contig(1000, {{1, true, 100, 100}}));
+  std::vector<MateLink> links = {{0, 1, 1100}};  // a single link
+  ScaffoldParams params;
+  params.min_links = 2;
+  const auto result = scaffold(contigs, links, params);
+  EXPECT_EQ(result.scaffolds.size(), 2u);  // not joined
+  EXPECT_EQ(result.num_multi(), 0u);
+}
+
+TEST(Scaffold, DisagreeingLinksDoNotBundle) {
+  std::vector<Contig> contigs;
+  contigs.push_back(make_contig(1000, {{0, false, 600, 100}}));
+  contigs.push_back(make_contig(1000, {{1, true, 100, 100}}));
+  // Two links implying wildly different gaps: no agreeing window of 2.
+  std::vector<MateLink> links = {{0, 1, 1100}, {0, 1, 4000}};
+  ScaffoldParams params;
+  params.min_links = 2;
+  params.gap_tolerance = 300;
+  const auto result = scaffold(contigs, links, params);
+  EXPECT_EQ(result.num_multi(), 0u);
+}
+
+TEST(Scaffold, IntraContigAndUnplacedCounted) {
+  std::vector<Contig> contigs;
+  contigs.push_back(make_contig(1000, {{0, false, 0, 100},
+                                       {1, false, 500, 100}}));
+  std::vector<MateLink> links = {{0, 1, 700},   // both in contig 0
+                                 {0, 99, 700}}; // 99 unplaced
+  const auto result = scaffold(contigs, links, ScaffoldParams{});
+  EXPECT_EQ(result.stats.links_intra_contig, 1u);
+  EXPECT_EQ(result.stats.links_unplaced, 1u);
+}
+
+TEST(Scaffold, ChainOfThree) {
+  // Three contigs in genome order 0-1-2, gaps 300 each, all forward.
+  std::vector<Contig> contigs;
+  contigs.push_back(make_contig(1000, {{0, false, 700, 100}}));
+  contigs.push_back(make_contig(1000, {{1, true, 200, 100},
+                                       {2, false, 700, 100}}));
+  contigs.push_back(make_contig(1000, {{3, true, 200, 100}}));
+  // Clone A: contig0 read at 700 fwd -> contig1 read [1500,1600) genome
+  // (contig1 starts at genome 1300): insert = (1300+200+100) - 700 = 900.
+  // Clone B: contig1 read at 700 fwd (genome 2000) -> contig2 read at
+  // genome [2800,2900): insert = 2900 - 2000 = 900.
+  std::vector<MateLink> links = {{0, 1, 900}, {0, 1, 900},
+                                 {2, 3, 900}, {2, 3, 900}};
+  const auto result = scaffold(contigs, links, ScaffoldParams{});
+  ASSERT_EQ(result.scaffolds.size(), 1u);
+  ASSERT_EQ(result.scaffolds[0].entries.size(), 3u);
+  // Monotone chain 0-1-2 in some direction.
+  std::vector<std::uint32_t> order;
+  for (const auto& e : result.scaffolds[0].entries) order.push_back(e.contig);
+  const bool fwd = order == std::vector<std::uint32_t>{0, 1, 2};
+  const bool rev = order == std::vector<std::uint32_t>{2, 1, 0};
+  EXPECT_TRUE(fwd || rev);
+  EXPECT_NEAR(static_cast<double>(result.scaffolds[0].entries[1].gap_before),
+              300, 1);
+}
+
+TEST(Scaffold, EndToEndRecoversGenomeOrder) {
+  // Genome with unclonable gaps -> several contigs; mates (insert 3000,
+  // longer than any gap) must chain them back in genome order.
+  sim::GenomeParams gp = sim::shotgun_like(30'000, 71);
+  gp.repeat_families.clear();  // keep the assembly itself easy
+  gp.unclonable_fraction = 0.03;
+  const auto g = sim::simulate_genome(gp);
+  util::Prng rng(72);
+  sim::ReadSet rs;
+  std::vector<sim::MatePair> mates;
+  sim::ReadParams rp;
+  rp.len_mean = 400;
+  rp.len_spread = 80;
+  rp.errors.sub_rate = 0.003;
+  rp.errors.ins_rate = 0.0005;
+  rp.errors.del_rate = 0.0005;
+  rp.vector_contam_prob = 0;
+  sim::sample_wgs(rs, g, 6.0, rp, rng);
+  sim::sample_mate_pairs(rs, mates, g, 120, 3000, 300, rp, rng);
+
+  olc::AssemblyParams ap;
+  ap.overlap.min_identity = 0.95;
+  const auto assembly = olc::assemble(rs.store, ap);
+  ASSERT_GE(assembly.num_multi_contigs(), 2u);
+
+  std::vector<MateLink> links;
+  for (const auto& m : mates)
+    links.push_back(MateLink{m.read_a, m.read_b, m.insert_len});
+  const auto result = scaffold(assembly.contigs, links, ScaffoldParams{});
+  EXPECT_GE(result.num_multi(), 1u);
+  // Scaffold spans exceed contig N50: joining happened.
+  EXPECT_GE(result.span_n50(assembly.contigs), assembly.n50());
+
+  // Contig order within each scaffold must be monotone in true genome
+  // coordinates (either direction).
+  auto contig_truth_pos = [&](const Contig& c) {
+    double sum = 0;
+    for (const auto& pl : c.layout) sum += rs.truth[pl.fragment].begin;
+    return sum / c.layout.size();
+  };
+  for (const auto& sc : result.scaffolds) {
+    if (sc.entries.size() < 2) continue;
+    std::vector<double> pos;
+    for (const auto& e : sc.entries)
+      pos.push_back(contig_truth_pos(assembly.contigs[e.contig]));
+    const bool inc = std::is_sorted(pos.begin(), pos.end());
+    const bool dec = std::is_sorted(pos.rbegin(), pos.rend());
+    EXPECT_TRUE(inc || dec) << "scaffold order not genome-monotone";
+  }
+}
+
+}  // namespace
+}  // namespace pgasm

@@ -1,0 +1,186 @@
+// Tests for seq: alphabet, reverse complement, FragmentStore, FASTA I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/fasta.hpp"
+#include "seq/fastq.hpp"
+#include "seq/fragment_store.hpp"
+#include "test_helpers.hpp"
+
+namespace pgasm {
+namespace {
+
+TEST(Alphabet, EncodeDecode) {
+  EXPECT_EQ(seq::encode_char('A'), seq::kA);
+  EXPECT_EQ(seq::encode_char('C'), seq::kC);
+  EXPECT_EQ(seq::encode_char('G'), seq::kG);
+  EXPECT_EQ(seq::encode_char('T'), seq::kT);
+  EXPECT_EQ(seq::encode_char('N'), seq::kMask);
+  EXPECT_EQ(seq::encode_char('a'), seq::kMask);  // soft-masked
+  EXPECT_EQ(seq::encode_char('x'), seq::kMask);
+  EXPECT_EQ(seq::decode(seq::encode("ACGTN")), "ACGTN");
+}
+
+TEST(Alphabet, ComplementPairs) {
+  EXPECT_EQ(seq::complement(seq::kA), seq::kT);
+  EXPECT_EQ(seq::complement(seq::kT), seq::kA);
+  EXPECT_EQ(seq::complement(seq::kC), seq::kG);
+  EXPECT_EQ(seq::complement(seq::kG), seq::kC);
+  EXPECT_EQ(seq::complement(seq::kMask), seq::kMask);
+}
+
+TEST(Alphabet, ReverseComplementKnown) {
+  const auto codes = seq::encode("AACGT");
+  EXPECT_EQ(seq::decode(seq::reverse_complement(codes)), "ACGTT");
+}
+
+class RevCompProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RevCompProperty, IsInvolution) {
+  util::Prng rng(GetParam());
+  const auto s = test::random_dna(rng, 50 + rng.below(200), 0.05);
+  EXPECT_EQ(seq::reverse_complement(seq::reverse_complement(s)), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RevCompProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FragmentStore, BasicAccessors) {
+  seq::FragmentStore store;
+  const auto id0 = store.add_ascii("ACGT", seq::FragType::kWGS, "r0");
+  const auto id1 = store.add_ascii("GGGTTTAA", seq::FragType::kMF, "r1");
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.total_length(), 12u);
+  EXPECT_EQ(store.length(id0), 4u);
+  EXPECT_EQ(store.length(id1), 8u);
+  EXPECT_EQ(store.to_ascii(id0), "ACGT");
+  EXPECT_EQ(store.to_ascii(id1), "GGGTTTAA");
+  EXPECT_EQ(store.type(id0), seq::FragType::kWGS);
+  EXPECT_EQ(store.name(id1), "r1");
+  EXPECT_EQ(store.max_length(), 8u);
+  EXPECT_EQ(store.count_of_type(seq::FragType::kMF), 1u);
+  EXPECT_EQ(store.total_length_of_type(seq::FragType::kWGS), 4u);
+}
+
+TEST(FragmentStore, MaskingAndFractions) {
+  seq::FragmentStore store;
+  store.add_ascii("ACGTACGTAC");
+  store.mask(0, 2, 6);
+  EXPECT_EQ(store.to_ascii(0), "ACNNNNGTAC");
+  EXPECT_DOUBLE_EQ(store.masked_fraction(0), 0.4);
+  EXPECT_EQ(store.unmasked_length(), 6u);
+}
+
+TEST(FragmentStore, DoubledStoreLayout) {
+  seq::FragmentStore store;
+  store.add_ascii("AACG");
+  store.add_ascii("TTGC");
+  const auto doubled = seq::make_doubled_store(store);
+  ASSERT_EQ(doubled.size(), 4u);
+  EXPECT_EQ(doubled.to_ascii(0), "AACG");
+  EXPECT_EQ(doubled.to_ascii(1), "CGTT");  // revcomp of AACG
+  EXPECT_EQ(doubled.to_ascii(2), "TTGC");
+  EXPECT_EQ(doubled.to_ascii(3), "GCAA");
+  EXPECT_EQ(seq::DoubledView::fragment_of(3), 1u);
+  EXPECT_TRUE(seq::DoubledView::is_rc(3));
+  EXPECT_FALSE(seq::DoubledView::is_rc(2));
+  EXPECT_EQ(seq::DoubledView::forward_id(1), 2u);
+  EXPECT_EQ(seq::DoubledView::rc_id(1), 3u);
+}
+
+TEST(Fasta, RoundTrip) {
+  seq::FragmentStore store;
+  store.add_ascii("ACGTACGTACGT", seq::FragType::kWGS, "alpha");
+  store.add_ascii("GGGG", seq::FragType::kMF, "beta");
+  std::ostringstream out;
+  seq::write_fasta(out, store, {.line_width = 5, .emit_type_token = true});
+
+  seq::FragmentStore back;
+  std::istringstream in(out.str());
+  const auto n = seq::read_fasta(in, back);
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ(back.to_ascii(0), "ACGTACGTACGT");
+  EXPECT_EQ(back.name(0), "alpha");
+  EXPECT_EQ(back.type(0), seq::FragType::kWGS);
+  EXPECT_EQ(back.type(1), seq::FragType::kMF);
+}
+
+TEST(Fasta, HandlesWindowsLineEndingsAndBlankLines) {
+  std::istringstream in(">x\r\nACGT\r\n\r\nGG\r\n>y\r\nTT\r\n");
+  seq::FragmentStore store;
+  ASSERT_EQ(seq::read_fasta(in, store), 2u);
+  EXPECT_EQ(store.to_ascii(0), "ACGTGG");
+  EXPECT_EQ(store.to_ascii(1), "TT");
+}
+
+TEST(Fasta, RejectsDataBeforeHeader) {
+  std::istringstream in("ACGT\n>x\nACGT\n");
+  seq::FragmentStore store;
+  EXPECT_THROW(seq::read_fasta(in, store), std::runtime_error);
+}
+
+TEST(Fasta, MapsAmbiguityToMask) {
+  std::istringstream in(">x\nACRYGT\n");
+  seq::FragmentStore store;
+  seq::read_fasta(in, store);
+  EXPECT_EQ(store.to_ascii(0), "ACNNGT");
+}
+
+TEST(Fastq, RoundTrip) {
+  seq::FragmentStore store;
+  const auto codes = seq::encode("ACGTACGT");
+  const std::vector<std::uint8_t> qual = {2, 10, 20, 30, 40, 50, 60, 5};
+  store.add(codes, seq::FragType::kWGS, "readA", qual);
+  std::ostringstream out;
+  seq::write_fastq(out, store);
+
+  seq::FragmentStore back;
+  std::istringstream in(out.str());
+  ASSERT_EQ(seq::read_fastq(in, back), 1u);
+  EXPECT_EQ(back.to_ascii(0), "ACGTACGT");
+  EXPECT_EQ(back.name(0), "readA");
+  ASSERT_TRUE(back.has_quality());
+  const auto q = back.quality(0);
+  EXPECT_TRUE(std::equal(q.begin(), q.end(), qual.begin()));
+}
+
+TEST(Fastq, NoQualityStoreWritesDefault) {
+  seq::FragmentStore store;
+  store.add_ascii("ACGT");
+  std::ostringstream out;
+  seq::write_fastq(out, store, {.default_quality = 40});
+  const std::string expected_quals(4, static_cast<char>(33 + 40));
+  EXPECT_NE(out.str().find(expected_quals), std::string::npos);
+}
+
+TEST(Fastq, MalformedInputs) {
+  seq::FragmentStore store;
+  {
+    std::istringstream in("ACGT\n");  // missing '@'
+    EXPECT_THROW(seq::read_fastq(in, store), std::runtime_error);
+  }
+  {
+    std::istringstream in("@r\nACGT\nIIII\n");  // missing '+'
+    EXPECT_THROW(seq::read_fastq(in, store), std::runtime_error);
+  }
+  {
+    std::istringstream in("@r\nACGT\n+\nII\n");  // length mismatch
+    EXPECT_THROW(seq::read_fastq(in, store), std::runtime_error);
+  }
+  {
+    std::istringstream in("@r\nACGT\n+\n");  // truncated
+    EXPECT_THROW(seq::read_fastq(in, store), std::runtime_error);
+  }
+}
+
+TEST(Fastq, QualityClampAndCrlf) {
+  seq::FragmentStore store;
+  std::istringstream in("@r desc\r\nAC\r\n+\r\n~~\r\n");  // '~' = phred 93
+  ASSERT_EQ(seq::read_fastq(in, store), 1u);
+  EXPECT_EQ(store.name(0), "r");
+  EXPECT_EQ(store.quality(0)[0], 60);  // clamped
+}
+
+}  // namespace
+}  // namespace pgasm

@@ -1,0 +1,231 @@
+// Tests for the workload simulators: genome structure, read sampling
+// strategies, error model, community generation, truth bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/community.hpp"
+#include "sim/genome.hpp"
+#include "sim/reads.hpp"
+
+namespace pgasm {
+namespace {
+
+using sim::Genome;
+using sim::GenomeParams;
+using sim::ReadParams;
+using sim::ReadSet;
+
+TEST(GenomeSim, DeterministicForSeed) {
+  const auto p = sim::maize_like(50'000, 7);
+  const auto a = sim::simulate_genome(p);
+  const auto b = sim::simulate_genome(p);
+  EXPECT_EQ(a.sequence, b.sequence);
+  EXPECT_EQ(a.gene_islands.size(), b.gene_islands.size());
+}
+
+TEST(GenomeSim, MaizeLikeComposition) {
+  const auto g = sim::simulate_genome(sim::maize_like(300'000, 3));
+  EXPECT_EQ(g.length(), 300'000u);
+  // Repeat-rich, gene-poor, as in the paper's description of maize.
+  EXPECT_GT(g.repeat_fraction(), 0.45);
+  EXPECT_LT(g.gene_fraction(), 0.20);
+  EXPECT_GT(g.gene_fraction(), 0.05);
+}
+
+TEST(GenomeSim, ShotgunLikeModerateRepeats) {
+  const auto g = sim::simulate_genome(sim::shotgun_like(200'000, 3));
+  EXPECT_LT(g.repeat_fraction(), 0.30);
+}
+
+TEST(GenomeSim, IslandLookup) {
+  const auto g = sim::simulate_genome(sim::maize_like(100'000, 5));
+  ASSERT_FALSE(g.gene_islands.empty());
+  for (std::size_t i = 0; i < g.gene_islands.size(); ++i) {
+    const auto& iv = g.gene_islands[i];
+    EXPECT_EQ(g.island_of(iv.begin), static_cast<int>(i));
+    EXPECT_EQ(g.island_of(iv.end - 1), static_cast<int>(i));
+  }
+  // Positions between islands are non-genic.
+  if (g.gene_islands.size() >= 2) {
+    const auto gap = g.gene_islands[0].end;
+    if (gap < g.gene_islands[1].begin) EXPECT_EQ(g.island_of(gap), -1);
+  }
+}
+
+TEST(GenomeSim, IslandsSortedDisjoint) {
+  const auto g = sim::simulate_genome(sim::maize_like(150'000, 11));
+  for (std::size_t i = 1; i < g.gene_islands.size(); ++i) {
+    EXPECT_LE(g.gene_islands[i - 1].end, g.gene_islands[i].begin);
+  }
+}
+
+TEST(ReadSim, WgsCoverageApproximate) {
+  const auto g = sim::simulate_genome(sim::shotgun_like(60'000, 2));
+  util::Prng rng(4);
+  ReadSet rs;
+  ReadParams rp;
+  rp.len_mean = 500;
+  rp.len_spread = 100;
+  sim::sample_wgs(rs, g, 5.0, rp, rng);
+  const double cov = static_cast<double>(rs.store.total_length()) /
+                     static_cast<double>(g.length());
+  EXPECT_NEAR(cov, 5.0, 0.6);
+  EXPECT_EQ(rs.store.size(), rs.truth.size());
+}
+
+TEST(ReadSim, TruthCoordinatesReproduceReads) {
+  const auto g = sim::simulate_genome(sim::shotgun_like(40'000, 9));
+  util::Prng rng(5);
+  ReadSet rs;
+  ReadParams rp;
+  rp.errors = {};            // no errors
+  rp.errors.sub_rate = 0;
+  rp.errors.ins_rate = 0;
+  rp.errors.del_rate = 0;
+  rp.vector_contam_prob = 0; // no contamination
+  rp.with_quality = false;
+  sim::sample_wgs(rs, g, 1.0, rp, rng);
+  for (std::uint32_t i = 0; i < rs.store.size(); ++i) {
+    const auto& t = rs.truth[i];
+    std::vector<seq::Code> src(g.sequence.begin() + t.begin,
+                               g.sequence.begin() + t.end);
+    if (t.rc) src = seq::reverse_complement(src);
+    const auto read = rs.store.seq(i);
+    ASSERT_EQ(read.size(), src.size());
+    EXPECT_TRUE(std::equal(read.begin(), read.end(), src.begin()));
+  }
+}
+
+TEST(ReadSim, ErrorRateWithinTolerance) {
+  const auto g = sim::simulate_genome(sim::shotgun_like(50'000, 13));
+  util::Prng rng(6);
+  ReadSet rs;
+  ReadParams rp;
+  rp.errors.sub_rate = 0.02;
+  rp.errors.ins_rate = 0;
+  rp.errors.del_rate = 0;
+  rp.vector_contam_prob = 0;
+  rp.strand_flip_prob = 0;  // keep forward for direct comparison
+  sim::sample_wgs(rs, g, 2.0, rp, rng);
+  std::uint64_t mismatches = 0, bases = 0;
+  for (std::uint32_t i = 0; i < rs.store.size(); ++i) {
+    const auto& t = rs.truth[i];
+    const auto read = rs.store.seq(i);
+    ASSERT_EQ(read.size(), t.end - t.begin);
+    for (std::size_t k = 0; k < read.size(); ++k) {
+      mismatches += (read[k] != g.sequence[t.begin + k]);
+      ++bases;
+    }
+  }
+  const double rate = static_cast<double>(mismatches) / bases;
+  EXPECT_NEAR(rate, 0.02, 0.005);
+}
+
+TEST(ReadSim, GeneEnrichmentBiasesSampling) {
+  const auto g = sim::simulate_genome(sim::maize_like(200'000, 21));
+  util::Prng rng(7);
+  ReadSet enriched, uniform;
+  ReadParams rp;
+  sim::sample_gene_enriched(enriched, g, 600, 0.9, rp, rng,
+                            seq::FragType::kMF);
+  sim::sample_gene_enriched(uniform, g, 600, 0.0, rp, rng,
+                            seq::FragType::kWGS);
+  auto genic_fraction = [&](const ReadSet& rs) {
+    std::size_t genic = 0;
+    for (const auto& t : rs.truth) genic += (t.island_id >= 0);
+    return static_cast<double>(genic) / rs.truth.size();
+  };
+  EXPECT_GT(genic_fraction(enriched), genic_fraction(uniform) + 0.3);
+  EXPECT_EQ(enriched.store.type(0), seq::FragType::kMF);
+}
+
+TEST(ReadSim, BacReadsStayInClone) {
+  const auto g = sim::simulate_genome(sim::shotgun_like(100'000, 17));
+  util::Prng rng(8);
+  ReadSet rs;
+  ReadParams rp;
+  sim::sample_bac(rs, g, 3, 20'000, 1.0, rp, rng);
+  EXPECT_GT(rs.store.size(), 6u);  // ends + interior
+  for (const auto& t : rs.truth) {
+    EXPECT_LE(t.end - t.begin, 20'000u);
+  }
+  EXPECT_EQ(rs.store.type(0), seq::FragType::kBAC);
+}
+
+TEST(ReadSim, VectorContaminationPrepends) {
+  const auto g = sim::simulate_genome(sim::shotgun_like(30'000, 23));
+  util::Prng rng(9);
+  ReadSet rs;
+  ReadParams rp;
+  rp.vector_contam_prob = 1.0;  // always contaminate
+  rp.errors.sub_rate = 0;
+  rp.errors.ins_rate = 0;
+  rp.errors.del_rate = 0;
+  sim::sample_wgs(rs, g, 0.5, rp, rng);
+  const auto& lib = sim::vector_library();
+  std::size_t with_vector = 0;
+  for (std::uint32_t i = 0; i < rs.store.size(); ++i) {
+    const auto read = rs.store.seq(i);
+    for (const auto& vec : lib) {
+      if (read.size() >= 15 &&
+          std::equal(vec.begin(), vec.begin() + 15, read.begin())) {
+        ++with_vector;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(with_vector, rs.store.size());
+}
+
+TEST(ReadSim, QualityRampsAtEnds) {
+  const auto g = sim::simulate_genome(sim::shotgun_like(30'000, 29));
+  util::Prng rng(10);
+  ReadSet rs;
+  ReadParams rp;
+  rp.vector_contam_prob = 0;
+  sim::sample_wgs(rs, g, 0.5, rp, rng);
+  ASSERT_TRUE(rs.store.has_quality());
+  double edge_sum = 0, mid_sum = 0;
+  std::size_t edge_n = 0, mid_n = 0;
+  for (std::uint32_t i = 0; i < rs.store.size(); ++i) {
+    const auto q = rs.store.quality(i);
+    for (std::size_t k = 0; k < q.size(); ++k) {
+      const std::size_t from_edge = std::min(k, q.size() - 1 - k);
+      if (from_edge < 5) {
+        edge_sum += q[k];
+        ++edge_n;
+      } else if (from_edge > 40) {
+        mid_sum += q[k];
+        ++mid_n;
+      }
+    }
+  }
+  EXPECT_LT(edge_sum / edge_n, mid_sum / mid_n - 10);
+}
+
+TEST(CommunitySim, SpeciesAndAbundance) {
+  sim::CommunityParams cp;
+  cp.num_species = 20;
+  cp.genome_len_min = 5'000;
+  cp.genome_len_max = 10'000;
+  const auto community = sim::simulate_community(cp);
+  ASSERT_EQ(community.genomes.size(), 20u);
+  double total = 0;
+  for (double a : community.abundance) total += a;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Zipf: first species much more abundant than last.
+  EXPECT_GT(community.abundance.front(), community.abundance.back() * 5);
+
+  util::Prng rng(11);
+  ReadSet rs;
+  sim::sample_community(rs, community, 500, ReadParams{}, rng);
+  EXPECT_EQ(rs.store.size(), 500u);
+  std::set<std::uint32_t> genomes;
+  for (const auto& t : rs.truth) genomes.insert(t.genome_id);
+  EXPECT_GT(genomes.size(), 5u);  // a diverse sample
+  EXPECT_EQ(rs.store.type(0), seq::FragType::kEnv);
+}
+
+}  // namespace
+}  // namespace pgasm
