@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_consistency.dir/ablation_consistency.cpp.o"
+  "CMakeFiles/ablation_consistency.dir/ablation_consistency.cpp.o.d"
+  "ablation_consistency"
+  "ablation_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

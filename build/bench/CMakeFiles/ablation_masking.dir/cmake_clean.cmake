@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_masking.dir/ablation_masking.cpp.o"
+  "CMakeFiles/ablation_masking.dir/ablation_masking.cpp.o.d"
+  "ablation_masking"
+  "ablation_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

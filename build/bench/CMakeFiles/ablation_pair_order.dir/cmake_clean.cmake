@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pair_order.dir/ablation_pair_order.cpp.o"
+  "CMakeFiles/ablation_pair_order.dir/ablation_pair_order.cpp.o.d"
+  "ablation_pair_order"
+  "ablation_pair_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pair_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/baseline_lookup_filter.cpp" "bench/CMakeFiles/baseline_lookup_filter.dir/baseline_lookup_filter.cpp.o" "gcc" "bench/CMakeFiles/baseline_lookup_filter.dir/baseline_lookup_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/pgasm_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pgasm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/pgasm_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pgasm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/olc/CMakeFiles/pgasm_olc.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pgasm_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/gst/CMakeFiles/pgasm_gst.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/pgasm_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/pgasm_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_lookup_filter.dir/baseline_lookup_filter.cpp.o"
+  "CMakeFiles/baseline_lookup_filter.dir/baseline_lookup_filter.cpp.o.d"
+  "baseline_lookup_filter"
+  "baseline_lookup_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_lookup_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gst_scaling.dir/fig5_gst_scaling.cpp.o"
+  "CMakeFiles/fig5_gst_scaling.dir/fig5_gst_scaling.cpp.o.d"
+  "fig5_gst_scaling"
+  "fig5_gst_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gst_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

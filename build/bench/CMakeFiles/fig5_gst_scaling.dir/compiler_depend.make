@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_gst_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cluster_scaling.dir/fig9_cluster_scaling.cpp.o"
+  "CMakeFiles/fig9_cluster_scaling.dir/fig9_cluster_scaling.cpp.o.d"
+  "fig9_cluster_scaling"
+  "fig9_cluster_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

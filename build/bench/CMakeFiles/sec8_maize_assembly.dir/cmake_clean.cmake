@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec8_maize_assembly.dir/sec8_maize_assembly.cpp.o"
+  "CMakeFiles/sec8_maize_assembly.dir/sec8_maize_assembly.cpp.o.d"
+  "sec8_maize_assembly"
+  "sec8_maize_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8_maize_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

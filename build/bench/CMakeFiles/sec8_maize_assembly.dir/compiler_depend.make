@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec8_maize_assembly.
+# This may be replaced when dependencies are built.

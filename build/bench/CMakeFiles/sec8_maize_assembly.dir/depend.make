@@ -1,0 +1,2 @@
+# Empty dependencies file for sec8_maize_assembly.
+# This may be replaced when dependencies are built.

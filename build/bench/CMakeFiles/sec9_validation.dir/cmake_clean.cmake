@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec9_validation.dir/sec9_validation.cpp.o"
+  "CMakeFiles/sec9_validation.dir/sec9_validation.cpp.o.d"
+  "sec9_validation"
+  "sec9_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec9_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/space_accounting.dir/space_accounting.cpp.o"
+  "CMakeFiles/space_accounting.dir/space_accounting.cpp.o.d"
+  "space_accounting"
+  "space_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_promising_pairs.dir/table1_promising_pairs.cpp.o"
+  "CMakeFiles/table1_promising_pairs.dir/table1_promising_pairs.cpp.o.d"
+  "table1_promising_pairs"
+  "table1_promising_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_promising_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

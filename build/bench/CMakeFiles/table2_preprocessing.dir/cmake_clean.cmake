@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_preprocessing.dir/table2_preprocessing.cpp.o"
+  "CMakeFiles/table2_preprocessing.dir/table2_preprocessing.cpp.o.d"
+  "table2_preprocessing"
+  "table2_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

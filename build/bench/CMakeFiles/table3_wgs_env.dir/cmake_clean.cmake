@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_wgs_env.dir/table3_wgs_env.cpp.o"
+  "CMakeFiles/table3_wgs_env.dir/table3_wgs_env.cpp.o.d"
+  "table3_wgs_env"
+  "table3_wgs_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_wgs_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maize_pipeline.dir/maize_pipeline.cpp.o"
+  "CMakeFiles/maize_pipeline.dir/maize_pipeline.cpp.o.d"
+  "maize_pipeline"
+  "maize_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maize_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

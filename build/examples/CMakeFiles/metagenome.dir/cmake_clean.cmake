@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metagenome.dir/metagenome.cpp.o"
+  "CMakeFiles/metagenome.dir/metagenome.cpp.o.d"
+  "metagenome"
+  "metagenome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metagenome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

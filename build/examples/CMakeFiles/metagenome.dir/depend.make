@@ -1,0 +1,2 @@
+# Empty dependencies file for metagenome.
+# This may be replaced when dependencies are built.

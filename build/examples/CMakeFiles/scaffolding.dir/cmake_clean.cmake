@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaffolding.dir/scaffolding.cpp.o"
+  "CMakeFiles/scaffolding.dir/scaffolding.cpp.o.d"
+  "scaffolding"
+  "scaffolding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaffolding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

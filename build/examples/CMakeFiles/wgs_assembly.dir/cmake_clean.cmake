@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wgs_assembly.dir/wgs_assembly.cpp.o"
+  "CMakeFiles/wgs_assembly.dir/wgs_assembly.cpp.o.d"
+  "wgs_assembly"
+  "wgs_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wgs_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wgs_assembly.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/linear_space.cpp" "src/align/CMakeFiles/pgasm_align.dir/linear_space.cpp.o" "gcc" "src/align/CMakeFiles/pgasm_align.dir/linear_space.cpp.o.d"
+  "/root/repo/src/align/overlap.cpp" "src/align/CMakeFiles/pgasm_align.dir/overlap.cpp.o" "gcc" "src/align/CMakeFiles/pgasm_align.dir/overlap.cpp.o.d"
+  "/root/repo/src/align/pairwise.cpp" "src/align/CMakeFiles/pgasm_align.dir/pairwise.cpp.o" "gcc" "src/align/CMakeFiles/pgasm_align.dir/pairwise.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/pgasm_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasm_align.dir/linear_space.cpp.o"
+  "CMakeFiles/pgasm_align.dir/linear_space.cpp.o.d"
+  "CMakeFiles/pgasm_align.dir/overlap.cpp.o"
+  "CMakeFiles/pgasm_align.dir/overlap.cpp.o.d"
+  "CMakeFiles/pgasm_align.dir/pairwise.cpp.o"
+  "CMakeFiles/pgasm_align.dir/pairwise.cpp.o.d"
+  "libpgasm_align.a"
+  "libpgasm_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasm_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consistency.cpp" "src/core/CMakeFiles/pgasm_core.dir/consistency.cpp.o" "gcc" "src/core/CMakeFiles/pgasm_core.dir/consistency.cpp.o.d"
+  "/root/repo/src/core/parallel_cluster.cpp" "src/core/CMakeFiles/pgasm_core.dir/parallel_cluster.cpp.o" "gcc" "src/core/CMakeFiles/pgasm_core.dir/parallel_cluster.cpp.o.d"
+  "/root/repo/src/core/serial_cluster.cpp" "src/core/CMakeFiles/pgasm_core.dir/serial_cluster.cpp.o" "gcc" "src/core/CMakeFiles/pgasm_core.dir/serial_cluster.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/pgasm_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/pgasm_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gst/CMakeFiles/pgasm_gst.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/pgasm_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/olc/CMakeFiles/pgasm_olc.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/pgasm_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/pgasm_vmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasm_core.dir/consistency.cpp.o"
+  "CMakeFiles/pgasm_core.dir/consistency.cpp.o.d"
+  "CMakeFiles/pgasm_core.dir/parallel_cluster.cpp.o"
+  "CMakeFiles/pgasm_core.dir/parallel_cluster.cpp.o.d"
+  "CMakeFiles/pgasm_core.dir/serial_cluster.cpp.o"
+  "CMakeFiles/pgasm_core.dir/serial_cluster.cpp.o.d"
+  "CMakeFiles/pgasm_core.dir/wire.cpp.o"
+  "CMakeFiles/pgasm_core.dir/wire.cpp.o.d"
+  "libpgasm_core.a"
+  "libpgasm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gst/lookup_filter.cpp" "src/gst/CMakeFiles/pgasm_gst.dir/lookup_filter.cpp.o" "gcc" "src/gst/CMakeFiles/pgasm_gst.dir/lookup_filter.cpp.o.d"
+  "/root/repo/src/gst/pair_generator.cpp" "src/gst/CMakeFiles/pgasm_gst.dir/pair_generator.cpp.o" "gcc" "src/gst/CMakeFiles/pgasm_gst.dir/pair_generator.cpp.o.d"
+  "/root/repo/src/gst/parallel_build.cpp" "src/gst/CMakeFiles/pgasm_gst.dir/parallel_build.cpp.o" "gcc" "src/gst/CMakeFiles/pgasm_gst.dir/parallel_build.cpp.o.d"
+  "/root/repo/src/gst/suffix.cpp" "src/gst/CMakeFiles/pgasm_gst.dir/suffix.cpp.o" "gcc" "src/gst/CMakeFiles/pgasm_gst.dir/suffix.cpp.o.d"
+  "/root/repo/src/gst/suffix_tree.cpp" "src/gst/CMakeFiles/pgasm_gst.dir/suffix_tree.cpp.o" "gcc" "src/gst/CMakeFiles/pgasm_gst.dir/suffix_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/pgasm_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vmpi/CMakeFiles/pgasm_vmpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasm_gst.dir/lookup_filter.cpp.o"
+  "CMakeFiles/pgasm_gst.dir/lookup_filter.cpp.o.d"
+  "CMakeFiles/pgasm_gst.dir/pair_generator.cpp.o"
+  "CMakeFiles/pgasm_gst.dir/pair_generator.cpp.o.d"
+  "CMakeFiles/pgasm_gst.dir/parallel_build.cpp.o"
+  "CMakeFiles/pgasm_gst.dir/parallel_build.cpp.o.d"
+  "CMakeFiles/pgasm_gst.dir/suffix.cpp.o"
+  "CMakeFiles/pgasm_gst.dir/suffix.cpp.o.d"
+  "CMakeFiles/pgasm_gst.dir/suffix_tree.cpp.o"
+  "CMakeFiles/pgasm_gst.dir/suffix_tree.cpp.o.d"
+  "libpgasm_gst.a"
+  "libpgasm_gst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasm_gst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

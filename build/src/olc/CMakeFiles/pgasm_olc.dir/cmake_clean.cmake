@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasm_olc.dir/assembler.cpp.o"
+  "CMakeFiles/pgasm_olc.dir/assembler.cpp.o.d"
+  "CMakeFiles/pgasm_olc.dir/layout.cpp.o"
+  "CMakeFiles/pgasm_olc.dir/layout.cpp.o.d"
+  "CMakeFiles/pgasm_olc.dir/scaffold.cpp.o"
+  "CMakeFiles/pgasm_olc.dir/scaffold.cpp.o.d"
+  "libpgasm_olc.a"
+  "libpgasm_olc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasm_olc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgasm_olc.a"
+)

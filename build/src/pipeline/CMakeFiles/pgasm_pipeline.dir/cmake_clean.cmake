@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasm_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/pgasm_pipeline.dir/pipeline.cpp.o.d"
+  "CMakeFiles/pgasm_pipeline.dir/validation.cpp.o"
+  "CMakeFiles/pgasm_pipeline.dir/validation.cpp.o.d"
+  "libpgasm_pipeline.a"
+  "libpgasm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

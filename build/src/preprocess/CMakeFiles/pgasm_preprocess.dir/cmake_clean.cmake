@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasm_preprocess.dir/preprocess.cpp.o"
+  "CMakeFiles/pgasm_preprocess.dir/preprocess.cpp.o.d"
+  "CMakeFiles/pgasm_preprocess.dir/repeat_masker.cpp.o"
+  "CMakeFiles/pgasm_preprocess.dir/repeat_masker.cpp.o.d"
+  "libpgasm_preprocess.a"
+  "libpgasm_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasm_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

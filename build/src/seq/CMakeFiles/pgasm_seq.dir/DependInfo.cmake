@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/alphabet.cpp" "src/seq/CMakeFiles/pgasm_seq.dir/alphabet.cpp.o" "gcc" "src/seq/CMakeFiles/pgasm_seq.dir/alphabet.cpp.o.d"
+  "/root/repo/src/seq/fasta.cpp" "src/seq/CMakeFiles/pgasm_seq.dir/fasta.cpp.o" "gcc" "src/seq/CMakeFiles/pgasm_seq.dir/fasta.cpp.o.d"
+  "/root/repo/src/seq/fastq.cpp" "src/seq/CMakeFiles/pgasm_seq.dir/fastq.cpp.o" "gcc" "src/seq/CMakeFiles/pgasm_seq.dir/fastq.cpp.o.d"
+  "/root/repo/src/seq/fragment_store.cpp" "src/seq/CMakeFiles/pgasm_seq.dir/fragment_store.cpp.o" "gcc" "src/seq/CMakeFiles/pgasm_seq.dir/fragment_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pgasm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasm_seq.dir/alphabet.cpp.o"
+  "CMakeFiles/pgasm_seq.dir/alphabet.cpp.o.d"
+  "CMakeFiles/pgasm_seq.dir/fasta.cpp.o"
+  "CMakeFiles/pgasm_seq.dir/fasta.cpp.o.d"
+  "CMakeFiles/pgasm_seq.dir/fastq.cpp.o"
+  "CMakeFiles/pgasm_seq.dir/fastq.cpp.o.d"
+  "CMakeFiles/pgasm_seq.dir/fragment_store.cpp.o"
+  "CMakeFiles/pgasm_seq.dir/fragment_store.cpp.o.d"
+  "libpgasm_seq.a"
+  "libpgasm_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasm_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

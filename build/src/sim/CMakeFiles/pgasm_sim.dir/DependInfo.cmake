@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/community.cpp" "src/sim/CMakeFiles/pgasm_sim.dir/community.cpp.o" "gcc" "src/sim/CMakeFiles/pgasm_sim.dir/community.cpp.o.d"
+  "/root/repo/src/sim/genome.cpp" "src/sim/CMakeFiles/pgasm_sim.dir/genome.cpp.o" "gcc" "src/sim/CMakeFiles/pgasm_sim.dir/genome.cpp.o.d"
+  "/root/repo/src/sim/reads.cpp" "src/sim/CMakeFiles/pgasm_sim.dir/reads.cpp.o" "gcc" "src/sim/CMakeFiles/pgasm_sim.dir/reads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/pgasm_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pgasm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

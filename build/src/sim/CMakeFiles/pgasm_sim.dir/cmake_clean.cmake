@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasm_sim.dir/community.cpp.o"
+  "CMakeFiles/pgasm_sim.dir/community.cpp.o.d"
+  "CMakeFiles/pgasm_sim.dir/genome.cpp.o"
+  "CMakeFiles/pgasm_sim.dir/genome.cpp.o.d"
+  "CMakeFiles/pgasm_sim.dir/reads.cpp.o"
+  "CMakeFiles/pgasm_sim.dir/reads.cpp.o.d"
+  "libpgasm_sim.a"
+  "libpgasm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasm_util.dir/flags.cpp.o"
+  "CMakeFiles/pgasm_util.dir/flags.cpp.o.d"
+  "CMakeFiles/pgasm_util.dir/log.cpp.o"
+  "CMakeFiles/pgasm_util.dir/log.cpp.o.d"
+  "CMakeFiles/pgasm_util.dir/stats.cpp.o"
+  "CMakeFiles/pgasm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pgasm_util.dir/union_find.cpp.o"
+  "CMakeFiles/pgasm_util.dir/union_find.cpp.o.d"
+  "libpgasm_util.a"
+  "libpgasm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

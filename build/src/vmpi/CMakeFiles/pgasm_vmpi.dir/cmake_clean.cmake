@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgasm_vmpi.dir/cost_model.cpp.o"
+  "CMakeFiles/pgasm_vmpi.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pgasm_vmpi.dir/runtime.cpp.o"
+  "CMakeFiles/pgasm_vmpi.dir/runtime.cpp.o.d"
+  "libpgasm_vmpi.a"
+  "libpgasm_vmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgasm_vmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pgasm_vmpi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gst.dir/test_gst.cpp.o"
+  "CMakeFiles/test_gst.dir/test_gst.cpp.o.d"
+  "test_gst"
+  "test_gst.pdb"
+  "test_gst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

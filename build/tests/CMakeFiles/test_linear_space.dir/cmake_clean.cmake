@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_space.dir/test_linear_space.cpp.o"
+  "CMakeFiles/test_linear_space.dir/test_linear_space.cpp.o.d"
+  "test_linear_space"
+  "test_linear_space.pdb"
+  "test_linear_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

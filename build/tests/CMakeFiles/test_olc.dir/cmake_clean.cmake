@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_olc.dir/test_olc.cpp.o"
+  "CMakeFiles/test_olc.dir/test_olc.cpp.o.d"
+  "test_olc"
+  "test_olc.pdb"
+  "test_olc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_olc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

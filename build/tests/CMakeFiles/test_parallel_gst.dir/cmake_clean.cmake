@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_gst.dir/test_parallel_gst.cpp.o"
+  "CMakeFiles/test_parallel_gst.dir/test_parallel_gst.cpp.o.d"
+  "test_parallel_gst"
+  "test_parallel_gst.pdb"
+  "test_parallel_gst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_gst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

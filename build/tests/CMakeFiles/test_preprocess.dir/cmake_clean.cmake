@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preprocess.dir/test_preprocess.cpp.o"
+  "CMakeFiles/test_preprocess.dir/test_preprocess.cpp.o.d"
+  "test_preprocess"
+  "test_preprocess.pdb"
+  "test_preprocess[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

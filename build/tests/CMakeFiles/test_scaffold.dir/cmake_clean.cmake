@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scaffold.dir/test_scaffold.cpp.o"
+  "CMakeFiles/test_scaffold.dir/test_scaffold.cpp.o.d"
+  "test_scaffold"
+  "test_scaffold.pdb"
+  "test_scaffold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scaffold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seq.dir/test_seq.cpp.o"
+  "CMakeFiles/test_seq.dir/test_seq.cpp.o.d"
+  "test_seq"
+  "test_seq.pdb"
+  "test_seq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_vmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_seq[1]_include.cmake")
+include("/root/repo/build/tests/test_align[1]_include.cmake")
+include("/root/repo/build/tests/test_gst[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_gst[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_scaffold[1]_include.cmake")
+include("/root/repo/build/tests/test_linear_space[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_preprocess[1]_include.cmake")
+include("/root/repo/build/tests/test_olc[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
