@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "align/overlap.hpp"
 
@@ -44,6 +45,23 @@ struct ClusterParams {
   /// Section 7.2 suggestion: scale the dispatch granularity with the
   /// worker count so the master's message rate stays constant as p grows.
   bool adaptive_batch = false;
+
+  // --- fault tolerance (see DESIGN.md "Fault model & recovery") ---------
+  /// Master-side report-probe timeout (seconds) before a failure-detection
+  /// round; grows with capped exponential backoff across consecutive quiet
+  /// rounds and resets on any received report.
+  double worker_timeout = 0.25;
+  /// Cap for the backed-off probe timeout (seconds).
+  double worker_timeout_cap = 2.0;
+  /// Worker-side bound (seconds) on master silence — no reply and no
+  /// heartbeat ping — before the worker gives up (TimeoutError aborts the
+  /// run; resume from the last checkpoint).
+  double master_timeout = 10.0;
+  /// Write a ClusterCheckpoint every N processed worker reports
+  /// (0 = checkpointing disabled). Requires checkpoint_path.
+  std::uint32_t checkpoint_every_reports = 0;
+  /// Checkpoint file location (written atomically via temp + rename).
+  std::string checkpoint_path;
 };
 
 struct ClusterStats {
@@ -62,6 +80,17 @@ struct ClusterStats {
   double cluster_modeled_seconds = 0;
   double master_availability = 0;  ///< 1 - master busy / makespan
   double worker_idle_fraction = 0;
+
+  // --- fault tolerance & recovery ---------------------------------------
+  std::uint64_t workers_lost = 0;          ///< workers declared dead
+  std::uint64_t batches_reassigned = 0;    ///< in-flight batches requeued
+  std::uint64_t pairs_reassigned = 0;      ///< pairs in those batches
+  std::uint64_t generator_takeovers = 0;   ///< roles adopted by survivors
+  std::uint64_t timeouts_fired = 0;        ///< master probe timeouts
+  std::uint64_t heartbeats_sent = 0;       ///< pings from the master
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t pairs_skipped_resume = 0;  ///< generation fast-forwarded
+  std::uint64_t resumed_from_epoch = 0;    ///< 0 = fresh (not resumed) run
 
   double savings_fraction() const noexcept {
     return pairs_generated == 0

@@ -1,14 +1,16 @@
 #include "core/parallel_cluster.hpp"
 
 #include <algorithm>
-#include <memory>
 #include <deque>
+#include <limits>
+#include <memory>
 #include <stdexcept>
 
-#include "core/wire.hpp"
 #include "core/consistency.hpp"
+#include "core/wire.hpp"
 #include "gst/pair_generator.hpp"
 #include "gst/parallel_build.hpp"
+#include "util/backoff.hpp"
 #include "util/timer.hpp"
 
 namespace pgasm::core {
@@ -17,6 +19,8 @@ namespace {
 
 constexpr int kTagReport = 101;  // worker -> master
 constexpr int kTagReply = 102;   // master -> worker
+constexpr int kTagPing = 103;    // master -> worker heartbeat (u64 epoch)
+constexpr int kTagAck = 104;     // worker -> master heartbeat ack (u64 epoch)
 
 struct MasterState {
   util::UnionFind uf;
@@ -28,22 +32,133 @@ struct MasterState {
   // master must keep a worker cycling until its owed results have arrived
   // or merges would be lost at termination.
   std::vector<std::uint64_t> owed;
-  std::vector<std::uint8_t> exhausted;  // worker generator done (passive)
+  std::vector<std::uint8_t> exhausted;  // worker generators done (passive)
+
+  // --- fault tolerance ---------------------------------------------------
+  std::vector<std::uint8_t> alive;       // not declared dead
+  std::vector<std::uint8_t> terminated;  // terminate reply sent
+  // Batches dispatched whose results have not arrived, oldest first. On
+  // worker death these are requeued for survivors (replay is idempotent).
+  std::vector<std::deque<std::vector<PairMsg>>> in_flight;
+  // Generation roles: role r is rank r's GST portion. Owners migrate to
+  // survivors on death; positions are absolute in the role's deterministic
+  // pair stream, so a takeover fast-forwards to exactly where it stopped.
+  std::vector<std::int32_t> role_owner;  // -1 = orphaned
+  std::vector<std::uint8_t> role_done;
+  std::vector<std::uint64_t> role_pos;
+  std::vector<TakeoverOrder> orphans;  // roles awaiting a new owner
+  std::uint64_t hb_epoch = 0;          // current heartbeat round
+
   std::uint64_t generated = 0;  // NP pairs received
   std::uint64_t selected = 0;   // pairs admitted to Pending_Work_Buf
   std::uint64_t aligned = 0;    // results received
   std::uint64_t accepted = 0;
   std::uint64_t merges = 0;
   std::uint64_t rejected_inconsistent = 0;
+
+  std::uint64_t workers_lost = 0;
+  std::uint64_t batches_reassigned = 0;
+  std::uint64_t pairs_reassigned = 0;
+  std::uint64_t takeovers = 0;
+  std::uint64_t timeouts_fired = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t pairs_skipped_resume = 0;
+  std::uint64_t resumed_from_epoch = 0;
+  std::uint64_t ckpt_epoch = 0;
+  std::uint64_t reports_since_ckpt = 0;
 };
 
+/// Answer any queued heartbeat pings from the master. Returns how many were
+/// answered (the worker's master-silence clock resets on contact).
+int poll_heartbeats(vmpi::Comm& comm) {
+  int n = 0;
+  vmpi::Status st;
+  while (comm.iprobe(0, kTagPing, &st)) {
+    const auto epoch = comm.recv_value<std::uint64_t>(0, kTagPing);
+    comm.send_value<std::uint64_t>(0, kTagAck, epoch);
+    ++n;
+  }
+  return n;
+}
+
+/// Worker-side wait for the master's reply, polling heartbeats in short
+/// timeout slices. Throws TimeoutError when the master has failed or has
+/// been silent (no reply, no ping) for params.master_timeout seconds.
+std::vector<std::uint8_t> wait_reply_raw(vmpi::Comm& comm,
+                                         const ClusterParams& params) {
+  util::WallTimer contact;
+  for (;;) {
+    if (poll_heartbeats(comm) > 0) contact.restart();
+    if (comm.rank_failed(0))
+      throw vmpi::TimeoutError("worker: master rank failed");
+    const double left = params.master_timeout - contact.elapsed();
+    if (left <= 0)
+      throw vmpi::TimeoutError("worker: no contact from master within " +
+                               std::to_string(params.master_timeout) + "s");
+    try {
+      return comm.recv_vector_timeout<std::uint8_t>(0, kTagReply,
+                                                    std::min(0.05, left));
+    } catch (const vmpi::TimeoutError&) {
+      // Slice expired; answer pings and keep waiting until the bound.
+    }
+  }
+}
+
 void master_loop(vmpi::Comm& comm, const ClusterParams& params,
-                 const seq::FragmentStore& doubled, MasterState& st) {
+                 const seq::FragmentStore& doubled, MasterState& st,
+                 const ClusterCheckpoint* resume) {
   const int p = comm.size();
   const std::size_t n_fragments = doubled.size() / 2;
   st.uf.reset(n_fragments);
   st.owed.assign(p, 0);
   st.exhausted.assign(p, 0);
+  st.alive.assign(p, 1);
+  st.terminated.assign(p, 0);
+  st.in_flight.assign(p, {});
+  st.role_owner.assign(p, -1);
+  st.role_done.assign(p, 0);
+  st.role_pos.assign(p, 0);
+  for (int w = 1; w < p; ++w) st.role_owner[w] = w;
+
+  int active_workers = p - 1;  // workers that may still generate pairs
+
+  if (resume) {
+    if (resume->n_fragments != n_fragments)
+      throw std::invalid_argument("resume checkpoint fragment count mismatch");
+    st.resumed_from_epoch = resume->epoch;
+    // Dense labels -> union-find: unite each element with the first element
+    // seen carrying its label.
+    std::vector<std::uint32_t> first(resume->labels.size(),
+                                     std::numeric_limits<std::uint32_t>::max());
+    for (std::uint32_t i = 0; i < resume->labels.size(); ++i) {
+      const std::uint32_t l = resume->labels[i];
+      if (first[l] == std::numeric_limits<std::uint32_t>::max()) {
+        first[l] = i;
+      } else if (st.uf.unite(first[l], i)) {
+        ++st.merges;
+      }
+    }
+    st.pending.assign(resume->pending.begin(), resume->pending.end());
+    st.selected = st.pending.size();
+    if (static_cast<int>(resume->num_ranks) == p) {
+      // Same topology: fast-forward each role's generator past the pairs
+      // the master had already received. Workers read the same checkpoint.
+      for (const RoleProgress& e : resume->progress) {
+        if (e.role == 0 || static_cast<int>(e.role) >= p) continue;
+        st.role_pos[e.role] = e.emitted;
+        st.role_done[e.role] = static_cast<std::uint8_t>(e.done != 0);
+        if (!e.done) st.pairs_skipped_resume += e.emitted;
+      }
+      for (int w = 1; w < p; ++w) {
+        if (st.role_done[w]) {
+          st.exhausted[w] = 1;
+          --active_workers;
+        }
+      }
+    }
+  }
+
   // Inconsistent-overlap resolution extension (paper §10 future work). The
   // verification alignments run on the master; they are few (one to three
   // per attempted merge) and are charged to the master's compute ledger.
@@ -58,8 +173,6 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       params.adaptive_batch
           ? params.batch_size * std::max(1, (p - 1) / 4)
           : params.batch_size;
-
-  int active_workers = p - 1;  // workers that may still generate pairs
 
   auto compute_r = [&]() -> std::uint32_t {
     // Request as many pairs as needed so that ~batch_size of them are
@@ -84,24 +197,247 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     const std::size_t take = std::min<std::size_t>(batch, st.pending.size());
     reply.batch.assign(st.pending.begin(), st.pending.begin() + take);
     st.pending.erase(st.pending.begin(), st.pending.begin() + take);
+    if (!st.orphans.empty()) {
+      // Hand every orphaned generation role to this worker; it rebuilds the
+      // dead rank's GST portion and fast-forwards to the recorded position.
+      reply.takeovers = std::move(st.orphans);
+      st.orphans.clear();
+      for (const TakeoverOrder& t : reply.takeovers) {
+        st.role_owner[t.role] = worker;
+        ++st.takeovers;
+      }
+      if (st.exhausted[worker]) {
+        st.exhausted[worker] = 0;
+        ++active_workers;
+      }
+    }
     reply.request_r = st.exhausted[worker] ? 0 : compute_r();
     reply.terminate = 0;
     const auto bytes = encode_reply(reply);
     comm.send(worker, kTagReply, bytes.data(), bytes.size());
     st.owed[worker] += reply.batch.size();
+    if (!reply.batch.empty())
+      st.in_flight[worker].push_back(std::move(reply.batch));
   };
 
-  int remaining = p - 1;  // workers not yet terminated
+  int remaining = p - 1;  // workers neither terminated nor declared dead
+
+  auto declare_dead = [&](int w) {
+    if (!st.alive[w]) return;
+    st.alive[w] = 0;
+    ++st.workers_lost;
+    --remaining;
+    if (!st.exhausted[w]) {
+      st.exhausted[w] = 1;
+      --active_workers;
+    }
+    // Requeue everything in flight: the pairs were never folded, and even
+    // if the worker did align some of them before dying, replaying a merge
+    // in the union-find is idempotent.
+    for (auto& b : st.in_flight[w]) {
+      ++st.batches_reassigned;
+      st.pairs_reassigned += b.size();
+      for (const PairMsg& pm : b) st.pending.push_back(pm);
+    }
+    st.in_flight[w].clear();
+    st.owed[w] = 0;
+    for (int role = 1; role < p; ++role) {
+      if (st.role_owner[role] == w && !st.role_done[role]) {
+        st.role_owner[role] = -1;
+        st.orphans.push_back(TakeoverOrder{static_cast<std::uint32_t>(role), 0,
+                                           st.role_pos[role]});
+      }
+    }
+    st.idle.erase(std::remove(st.idle.begin(), st.idle.end(), w),
+                  st.idle.end());
+    // If this declaration is a false positive, the worker is still alive and
+    // may be parked waiting on a master that will never contact it again.
+    // Send it a terminate so it exits instead of starving past its
+    // master_timeout; a genuinely dead rank simply never reads the message.
+    MasterReply bye;
+    bye.terminate = 1;
+    const auto bytes = encode_reply(bye);
+    comm.send(w, kTagReply, bytes.data(), bytes.size());
+    st.terminated[w] = 1;
+  };
+
+  // Epoch-stamped heartbeat round. A worker whose report is already queued
+  // is alive by definition (this also covers workers blocked in a
+  // synchronous send to us). Anyone else gets a ping and a bounded window
+  // to ack; non-responders are declared dead. A false positive is safe:
+  // the "zombie"'s later reports still fold idempotently and it is
+  // terminated on its next contact, at the cost of some duplicated work.
+  auto detect_failures = [&]() {
+    ++st.hb_epoch;
+    std::vector<int> pinged;
+    for (int w = 1; w < p; ++w) {
+      if (!st.alive[w] || st.terminated[w]) continue;
+      if (comm.rank_failed(w)) {
+        declare_dead(w);
+        continue;
+      }
+      vmpi::Status s;
+      if (comm.iprobe(w, kTagReport, &s)) continue;
+      comm.send_value<std::uint64_t>(w, kTagPing, st.hb_epoch);
+      ++st.heartbeats_sent;
+      pinged.push_back(w);
+    }
+    util::WallTimer t;
+    while (!pinged.empty()) {
+      const double left = params.worker_timeout - t.elapsed();
+      if (left <= 0) break;
+      try {
+        vmpi::Status ack;
+        const auto epoch = comm.recv_value_timeout<std::uint64_t>(
+            vmpi::kAnySource, kTagAck, left, &ack);
+        if (epoch != st.hb_epoch) continue;  // stale ack from an old round
+        pinged.erase(std::remove(pinged.begin(), pinged.end(), ack.source),
+                     pinged.end());
+      } catch (const vmpi::TimeoutError&) {
+        break;
+      }
+    }
+    for (int w : pinged) {
+      vmpi::Status s;
+      if (comm.iprobe(w, kTagReport, &s)) continue;  // reported meanwhile
+      declare_dead(w);
+    }
+  };
+
+  auto feed_idle = [&]() {
+    while (!st.idle.empty() &&
+           (!st.pending.empty() || !st.orphans.empty())) {
+      const int iw = st.idle.front();
+      st.idle.pop_front();
+      dispatch(iw);
+    }
+  };
+
+  // Termination: all passive, nothing pending or orphaned, no results in
+  // flight from live workers.
+  auto try_terminate = [&]() {
+    if (active_workers != 0 || !st.pending.empty() || !st.orphans.empty())
+      return;
+    const bool in_flight =
+        std::any_of(st.owed.begin(), st.owed.end(),
+                    [](std::uint64_t o) { return o != 0; });
+    if (in_flight) return;
+    while (!st.idle.empty()) {
+      const int iw = st.idle.front();
+      st.idle.pop_front();
+      MasterReply bye;
+      bye.terminate = 1;
+      const auto bytes = encode_reply(bye);
+      comm.send(iw, kTagReply, bytes.data(), bytes.size());
+      st.terminated[iw] = 1;
+      --remaining;
+    }
+  };
+
+  auto write_checkpoint = [&]() {
+    auto scope = comm.compute_scope();
+    ClusterCheckpoint ck;
+    ck.epoch = ++st.ckpt_epoch;
+    ck.num_ranks = static_cast<std::uint32_t>(p);
+    ck.n_fragments = static_cast<std::uint32_t>(n_fragments);
+    ck.labels = st.uf.labels();
+    ck.pending.assign(st.pending.begin(), st.pending.end());
+    // In-flight batches are part of the recoverable pending set: their
+    // results may never arrive if this run dies.
+    for (int w = 1; w < p; ++w)
+      for (const auto& b : st.in_flight[w])
+        ck.pending.insert(ck.pending.end(), b.begin(), b.end());
+    for (int role = 1; role < p; ++role)
+      ck.progress.push_back(RoleProgress{static_cast<std::uint32_t>(role),
+                                         st.role_done[role],
+                                         st.role_pos[role]});
+    ck.pairs_generated = st.generated;
+    ck.pairs_selected = st.selected;
+    ck.pairs_aligned = st.aligned;
+    ck.pairs_accepted = st.accepted;
+    ck.merges = st.merges;
+    ck.merges_rejected_inconsistent = st.rejected_inconsistent;
+    save_checkpoint(params.checkpoint_path, ck);
+    ++st.checkpoints_written;
+  };
+
+  util::ExponentialBackoff probe_backoff(params.worker_timeout, 2.0,
+                                         params.worker_timeout_cap);
+  // Parked (idle) workers receive no replies; ping them periodically so
+  // their master-silence clocks don't expire during long healthy runs.
+  util::WallTimer keepalive_timer;
+  const double keepalive_every =
+      std::max(params.worker_timeout, params.master_timeout / 4.0);
+  auto keepalive_idle = [&]() {
+    if (keepalive_timer.elapsed() < keepalive_every) return;
+    keepalive_timer.restart();
+    vmpi::Status s;
+    while (comm.iprobe(vmpi::kAnySource, kTagAck, &s))
+      (void)comm.recv_value<std::uint64_t>(s.source, kTagAck);
+    for (int w : st.idle) {
+      if (!st.alive[w]) continue;
+      comm.send_value<std::uint64_t>(w, kTagPing, st.hb_epoch);
+      ++st.heartbeats_sent;
+    }
+  };
+
   while (remaining > 0) {
-    const vmpi::Status probe = comm.probe(vmpi::kAnySource, kTagReport);
-    const auto raw = comm.recv_vector<std::uint8_t>(probe.source, kTagReport);
-    const int w = probe.source;
+    vmpi::Status ps;
+    try {
+      ps = comm.probe_timeout(vmpi::kAnySource, kTagReport,
+                              probe_backoff.current());
+    } catch (const vmpi::TimeoutError&) {
+      ++st.timeouts_fired;
+      probe_backoff.advance();
+      detect_failures();
+      feed_idle();
+      try_terminate();
+      continue;
+    }
+    probe_backoff.reset();
+    const auto raw = comm.recv_vector<std::uint8_t>(ps.source, kTagReport);
+    const int w = ps.source;
     WorkerReport report;
     {
       auto scope = comm.compute_scope();
       report = decode_report(raw);
+    }
 
-      st.owed[w] -= report.results.size();
+    if (!st.alive[w]) {
+      // A worker we declared dead reported after all: fold its results
+      // (idempotent; its batches were requeued, so at worst pairs align
+      // twice) and dismiss it. Its roles have new owners — ignore progress.
+      auto scope = comm.compute_scope();
+      for (const ResultMsg& r : report.results) {
+        if (!r.accepted) continue;
+        if (resolver && !st.uf.same(r.frag_a, r.frag_b)) {
+          if (!resolver->admit(r.frag_a, r.frag_b, r.rc_a != 0, r.rc_b != 0,
+                               r.delta)) {
+            continue;
+          }
+        }
+        if (st.uf.unite(r.frag_a, r.frag_b)) ++st.merges;
+      }
+      MasterReply bye;
+      bye.terminate = 1;
+      const auto bytes = encode_reply(bye);
+      comm.send(w, kTagReply, bytes.data(), bytes.size());
+      continue;
+    }
+
+    {
+      auto scope = comm.compute_scope();
+      for (const RoleProgress& e : report.progress) {
+        if (e.role == 0 || static_cast<int>(e.role) >= p) continue;
+        if (st.role_owner[e.role] != w) continue;  // stale claim
+        st.role_pos[e.role] = std::max(st.role_pos[e.role], e.emitted);
+        if (e.done) st.role_done[e.role] = 1;
+      }
+      if (!report.results.empty()) {
+        st.owed[w] -= std::min<std::uint64_t>(st.owed[w],
+                                              report.results.size());
+        if (!st.in_flight[w].empty()) st.in_flight[w].pop_front();
+      }
       if (report.exhausted && !st.exhausted[w]) {
         st.exhausted[w] = 1;
         --active_workers;
@@ -133,12 +469,8 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     }
 
     // Feed idle workers first, then answer the reporter.
-    while (!st.pending.empty() && !st.idle.empty()) {
-      const int iw = st.idle.front();
-      st.idle.pop_front();
-      dispatch(iw);
-    }
-    if (!st.pending.empty() || !st.exhausted[w]) {
+    feed_idle();
+    if (!st.pending.empty() || !st.orphans.empty() || !st.exhausted[w]) {
       dispatch(w);  // work to do, or more pairs to request
     } else if (st.owed[w] > 0) {
       // Passive but still holding computed-but-unreported results: reply
@@ -148,38 +480,96 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       st.idle.push_back(w);  // passive, drained, nothing to align right now
     }
 
-    // Termination: all passive, nothing pending, no results in flight.
-    if (active_workers == 0 && st.pending.empty()) {
-      const bool in_flight =
-          std::any_of(st.owed.begin(), st.owed.end(),
-                      [](std::uint64_t o) { return o != 0; });
-      if (!in_flight) {
-        while (!st.idle.empty()) {
-          MasterReply bye;
-          bye.terminate = 1;
-          const auto bytes = encode_reply(bye);
-          comm.send(st.idle.front(), kTagReply, bytes.data(), bytes.size());
-          st.idle.pop_front();
-          --remaining;
-        }
-      }
+    if (params.checkpoint_every_reports > 0 &&
+        !params.checkpoint_path.empty() &&
+        ++st.reports_since_ckpt >= params.checkpoint_every_reports) {
+      st.reports_since_ckpt = 0;
+      write_checkpoint();
     }
+
+    try_terminate();
+    keepalive_idle();
+  }
+
+  // All workers terminated or dead. If work remains, too many failures.
+  const bool roles_open =
+      std::any_of(st.role_done.begin() + 1, st.role_done.end(),
+                  [](std::uint8_t d) { return d == 0; });
+  if (!st.pending.empty() || !st.orphans.empty() || roles_open) {
+    throw vmpi::TimeoutError(
+        "clustering failed: all workers lost with work remaining");
   }
 }
 
-void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
-                 const seq::FragmentStore& doubled,
-                 const gst::DistributedGst& dist) {
-  gst::PairGenerator gen(*dist.tree,
-                         {.dup_elim = params.dup_elim,
-                          .doubled_input = true,
-                          .global_ids = &dist.local_to_global});
+/// One pair-generation role held by a worker: its own GST portion, or a
+/// dead rank's portion rebuilt locally after a takeover order.
+struct RoleGen {
+  int role = 0;
+  std::unique_ptr<gst::DistributedGst> owned;  // set for takeovers
+  const gst::DistributedGst* dist = nullptr;
+  std::unique_ptr<gst::PairGenerator> gen;
+};
 
-  std::vector<PairMsg> batch;       // AW: allocated by master last reply
-  std::vector<ResultMsg> results;   // AR: results of the previous batch
+void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
+                 const gst::ParallelGstParams& gp,
+                 const seq::FragmentStore& doubled,
+                 const gst::DistributedGst& dist,
+                 const ClusterCheckpoint* resume) {
+  std::vector<RoleGen> gens;
+
+  auto add_role = [&](int role, std::uint64_t resume_at,
+                      std::unique_ptr<gst::DistributedGst> owned) {
+    RoleGen rg;
+    rg.role = role;
+    rg.owned = std::move(owned);
+    rg.dist = rg.owned ? rg.owned.get() : &dist;
+    {
+      auto scope = comm.compute_scope();
+      rg.gen = std::make_unique<gst::PairGenerator>(
+          *rg.dist->tree,
+          gst::PairGenParams{.dup_elim = params.dup_elim,
+                             .doubled_input = true,
+                             .global_ids = &rg.dist->local_to_global});
+      // Fast-forward: the stream is deterministic, so skipping resume_at
+      // pairs resumes exactly where the previous owner stopped.
+      gst::PromisingPair q;
+      std::uint64_t done = 0;
+      while (done < resume_at && rg.gen->next(q)) {
+        ++done;
+        if ((done & 0xFFFu) == 0) poll_heartbeats(comm);
+      }
+    }
+    gens.push_back(std::move(rg));
+  };
+
+  // Own role, unless a resume checkpoint says it already finished.
+  {
+    bool my_done = false;
+    std::uint64_t my_resume = 0;
+    if (resume && static_cast<int>(resume->num_ranks) == comm.size()) {
+      for (const RoleProgress& e : resume->progress) {
+        if (static_cast<int>(e.role) == comm.rank()) {
+          my_done = e.done != 0;
+          my_resume = e.emitted;
+        }
+      }
+    }
+    if (!my_done) add_role(comm.rank(), my_resume, nullptr);
+  }
+
+  auto next_pair = [&](gst::PromisingPair& q) -> bool {
+    for (RoleGen& rg : gens) {
+      if (rg.gen->next(q)) return true;
+    }
+    return false;
+  };
+
+  std::vector<PairMsg> batch;      // AW: allocated by master last reply
+  std::vector<ResultMsg> results;  // AR: results of the previous batch
   std::uint32_t r = params.batch_size;
 
   for (;;) {
+    poll_heartbeats(comm);
     WorkerReport report;
     report.results = std::move(results);
     results.clear();
@@ -187,13 +577,20 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
       auto scope = comm.compute_scope();
       gst::PromisingPair q;
       const std::uint32_t want = std::min(r, params.new_pairs_buf);
-      while (report.new_pairs.size() < want && gen.next(q)) {
+      while (report.new_pairs.size() < want && next_pair(q)) {
         // The generator already emits global doubled-store ids in
         // canonical orientation (global_ids translation).
         report.new_pairs.push_back(
             PairMsg{q.seq_a, q.pos_a, q.seq_b, q.pos_b, q.match_len});
       }
-      report.exhausted = gen.done() ? 1 : 0;
+      bool all_done = true;
+      for (const RoleGen& rg : gens) {
+        report.progress.push_back(
+            RoleProgress{static_cast<std::uint32_t>(rg.role),
+                         rg.gen->done() ? 1u : 0u, rg.gen->pairs_emitted()});
+        if (!rg.gen->done()) all_done = false;
+      }
+      report.exhausted = all_done ? 1 : 0;
     }
     const auto bytes = encode_report(report);
     if (params.use_ssend) {
@@ -203,26 +600,32 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
     }
 
     // Mask the wait for the master's reply with the alignment work of the
-    // batch allocated in the previous iteration (Fig. 8).
-    {
+    // batch allocated in the previous iteration (Fig. 8). Chunked so
+    // heartbeat pings are answered even during long alignment stretches.
+    std::size_t ai = 0;
+    while (ai < batch.size()) {
+      poll_heartbeats(comm);
       auto scope = comm.compute_scope();
-      for (const PairMsg& pm : batch) {
+      const std::size_t chunk_end = std::min(batch.size(), ai + 64);
+      for (; ai < chunk_end; ++ai) {
+        const PairMsg& pm = batch[ai];
         ResultMsg res;
         res.frag_a = pm.seq_a >> 1;
         res.frag_b = pm.seq_b >> 1;
         res.rc_a = static_cast<std::uint8_t>(pm.seq_a & 1u);
         res.rc_b = static_cast<std::uint8_t>(pm.seq_b & 1u);
-        const auto r = pair_overlap_details(doubled, pm.seq_a, pm.pos_a,
-                                            pm.seq_b, pm.pos_b, params.overlap);
-        res.accepted = align::accept_overlap(r, params.overlap) ? 1 : 0;
-        res.delta = static_cast<std::int32_t>(r.aln.a_begin) -
-                    static_cast<std::int32_t>(r.aln.b_begin);
+        const auto od = pair_overlap_details(doubled, pm.seq_a, pm.pos_a,
+                                             pm.seq_b, pm.pos_b,
+                                             params.overlap);
+        res.accepted = align::accept_overlap(od, params.overlap) ? 1 : 0;
+        res.delta = static_cast<std::int32_t>(od.aln.a_begin) -
+                    static_cast<std::int32_t>(od.aln.b_begin);
         results.push_back(res);
       }
-      batch.clear();
     }
+    batch.clear();
 
-    const auto reply_raw = comm.recv_vector<std::uint8_t>(0, kTagReply);
+    const auto reply_raw = wait_reply_raw(comm, params);
     MasterReply reply;
     {
       auto scope = comm.compute_scope();
@@ -231,6 +634,16 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
     if (reply.terminate) break;
     batch = std::move(reply.batch);
     r = reply.request_r;
+    for (const TakeoverOrder& order : reply.takeovers) {
+      std::unique_ptr<gst::DistributedGst> portion;
+      {
+        auto scope = comm.compute_scope();
+        portion = std::make_unique<gst::DistributedGst>(gst::rebuild_rank_portion(
+            doubled, dist.bucket_owner, static_cast<int>(order.role), gp));
+      }
+      add_role(static_cast<int>(order.role), order.resume_at,
+               std::move(portion));
+    }
   }
 }
 
@@ -239,7 +652,9 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
 ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
                                        const ClusterParams& params,
                                        int num_ranks,
-                                       vmpi::CostParams cost_params) {
+                                       vmpi::CostParams cost_params,
+                                       const vmpi::FaultPlan& faults,
+                                       const ClusterCheckpoint* resume) {
   if (num_ranks < 2)
     throw std::invalid_argument("cluster_parallel needs >= 2 ranks");
   if (!params.ordered)
@@ -255,7 +670,7 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   MasterState master;
 
   util::WallTimer total_timer;
-  vmpi::Runtime rt(num_ranks, cost_params);
+  vmpi::Runtime rt(num_ranks, cost_params, faults);
   result.cost = rt.run([&](vmpi::Comm& comm) {
     util::WallTimer phase_timer;
     gst::ParallelGstParams gp;
@@ -269,9 +684,9 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
     gst_wall[comm.rank()] = phase_timer.elapsed();
 
     if (comm.rank() == 0) {
-      master_loop(comm, params, doubled, master);
+      master_loop(comm, params, doubled, master, resume);
     } else {
-      worker_loop(comm, params, doubled, dist);
+      worker_loop(comm, params, gp, doubled, dist, resume);
     }
   });
   const double total_wall = total_timer.elapsed();
@@ -283,6 +698,15 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   stats.pairs_accepted = master.accepted;
   stats.merges = master.merges;
   stats.merges_rejected_inconsistent = master.rejected_inconsistent;
+  stats.workers_lost = master.workers_lost;
+  stats.batches_reassigned = master.batches_reassigned;
+  stats.pairs_reassigned = master.pairs_reassigned;
+  stats.generator_takeovers = master.takeovers;
+  stats.timeouts_fired = master.timeouts_fired;
+  stats.heartbeats_sent = master.heartbeats_sent;
+  stats.checkpoints_written = master.checkpoints_written;
+  stats.pairs_skipped_resume = master.pairs_skipped_resume;
+  stats.resumed_from_epoch = master.resumed_from_epoch;
 
   double gst_model = 0, total_model = 0;
   for (int rk = 0; rk < num_ranks; ++rk) {

@@ -11,10 +11,20 @@
 // allocates — overlapping alignment computation with the wait for the
 // master's reply, exactly as in Fig. 8. Passive workers (out of pairs) keep
 // computing alignments until the master terminates them.
+//
+// Fault tolerance (see DESIGN.md "Fault model & recovery"): the master
+// probes with a backed-off timeout and runs epoch-stamped heartbeat rounds
+// to detect dead or stalled workers; a dead worker's in-flight batches are
+// requeued (union-find merges are idempotent, so replay is safe) and its
+// pair-generation role is rebuilt and fast-forwarded on a survivor. The
+// master periodically checkpoints its recoverable state; cluster_parallel
+// accepts a checkpoint to resume a killed run without re-aligning
+// already-merged pairs.
 #pragma once
 
 #include "core/cluster_params.hpp"
 #include "core/serial_cluster.hpp"
+#include "core/wire.hpp"
 #include "seq/fragment_store.hpp"
 #include "vmpi/runtime.hpp"
 
@@ -29,9 +39,17 @@ struct ParallelClusterResult {
 /// Run the full parallel clustering pipeline (distributed GST build +
 /// master-worker overlap detection) on `num_ranks` virtual ranks.
 /// Requires num_ranks >= 2 (one master + at least one worker).
+///
+/// `faults` is forwarded to the vmpi Runtime for fault injection. `resume`
+/// (optional) restores master state from a previous run's checkpoint; the
+/// generation fast-forward applies only when the rank count matches the
+/// checkpoint's (pair streams are per-role), otherwise generation restarts
+/// and the union-find filter discards the already-merged pairs.
 ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
                                        const ClusterParams& params,
                                        int num_ranks,
-                                       vmpi::CostParams cost_params = {});
+                                       vmpi::CostParams cost_params = {},
+                                       const vmpi::FaultPlan& faults = {},
+                                       const ClusterCheckpoint* resume = nullptr);
 
 }  // namespace pgasm::core

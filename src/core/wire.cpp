@@ -1,11 +1,32 @@
 #include "core/wire.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
 namespace pgasm::core {
 
 namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x4b434750;  // "PGCK"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, const T& v) {
+  const std::size_t base = out.size();
+  out.resize(base + sizeof(T));
+  std::memcpy(out.data() + base, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::vector<std::uint8_t>& in, std::size_t& off) {
+  if (off + sizeof(T) > in.size())
+    throw std::runtime_error("wire: truncated field");
+  T v;
+  std::memcpy(&v, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
 
 template <typename T>
 void append_vec(std::vector<std::uint8_t>& out, const std::vector<T>& v) {
@@ -35,10 +56,12 @@ std::vector<T> read_vec(const std::vector<std::uint8_t>& in,
 
 std::vector<std::uint8_t> encode_report(const WorkerReport& r) {
   std::vector<std::uint8_t> out;
-  out.reserve(9 + r.results.size() * sizeof(ResultMsg) +
-              r.new_pairs.size() * sizeof(PairMsg));
+  out.reserve(13 + r.results.size() * sizeof(ResultMsg) +
+              r.new_pairs.size() * sizeof(PairMsg) +
+              r.progress.size() * sizeof(RoleProgress));
   append_vec(out, r.results);
   append_vec(out, r.new_pairs);
+  append_vec(out, r.progress);
   out.push_back(r.exhausted);
   return out;
 }
@@ -48,6 +71,7 @@ WorkerReport decode_report(const std::vector<std::uint8_t>& bytes) {
   std::size_t off = 0;
   r.results = read_vec<ResultMsg>(bytes, off);
   r.new_pairs = read_vec<PairMsg>(bytes, off);
+  r.progress = read_vec<RoleProgress>(bytes, off);
   if (off + 1 > bytes.size()) throw std::runtime_error("wire: bad report");
   r.exhausted = bytes[off];
   return r;
@@ -55,8 +79,10 @@ WorkerReport decode_report(const std::vector<std::uint8_t>& bytes) {
 
 std::vector<std::uint8_t> encode_reply(const MasterReply& r) {
   std::vector<std::uint8_t> out;
-  out.reserve(9 + r.batch.size() * sizeof(PairMsg));
+  out.reserve(13 + r.batch.size() * sizeof(PairMsg) +
+              r.takeovers.size() * sizeof(TakeoverOrder));
   append_vec(out, r.batch);
+  append_vec(out, r.takeovers);
   const std::size_t base = out.size();
   out.resize(base + 5);
   std::memcpy(out.data() + base, &r.request_r, 4);
@@ -68,10 +94,86 @@ MasterReply decode_reply(const std::vector<std::uint8_t>& bytes) {
   MasterReply r;
   std::size_t off = 0;
   r.batch = read_vec<PairMsg>(bytes, off);
+  r.takeovers = read_vec<TakeoverOrder>(bytes, off);
   if (off + 5 > bytes.size()) throw std::runtime_error("wire: bad reply");
   std::memcpy(&r.request_r, bytes.data() + off, 4);
   r.terminate = bytes[off + 4];
   return r;
+}
+
+std::vector<std::uint8_t> encode_checkpoint(const ClusterCheckpoint& c) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + c.labels.size() * 4 + c.pending.size() * sizeof(PairMsg) +
+              c.progress.size() * sizeof(RoleProgress));
+  append_pod(out, kCheckpointMagic);
+  append_pod(out, kCheckpointVersion);
+  append_pod(out, c.epoch);
+  append_pod(out, c.num_ranks);
+  append_pod(out, c.n_fragments);
+  append_vec(out, c.labels);
+  append_vec(out, c.pending);
+  append_vec(out, c.progress);
+  append_pod(out, c.pairs_generated);
+  append_pod(out, c.pairs_selected);
+  append_pod(out, c.pairs_aligned);
+  append_pod(out, c.pairs_accepted);
+  append_pod(out, c.merges);
+  append_pod(out, c.merges_rejected_inconsistent);
+  return out;
+}
+
+ClusterCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  if (read_pod<std::uint32_t>(bytes, off) != kCheckpointMagic)
+    throw std::runtime_error("checkpoint: bad magic");
+  if (read_pod<std::uint32_t>(bytes, off) != kCheckpointVersion)
+    throw std::runtime_error("checkpoint: unsupported version");
+  ClusterCheckpoint c;
+  c.epoch = read_pod<std::uint64_t>(bytes, off);
+  c.num_ranks = read_pod<std::uint32_t>(bytes, off);
+  c.n_fragments = read_pod<std::uint32_t>(bytes, off);
+  c.labels = read_vec<std::uint32_t>(bytes, off);
+  c.pending = read_vec<PairMsg>(bytes, off);
+  c.progress = read_vec<RoleProgress>(bytes, off);
+  c.pairs_generated = read_pod<std::uint64_t>(bytes, off);
+  c.pairs_selected = read_pod<std::uint64_t>(bytes, off);
+  c.pairs_aligned = read_pod<std::uint64_t>(bytes, off);
+  c.pairs_accepted = read_pod<std::uint64_t>(bytes, off);
+  c.merges = read_pod<std::uint64_t>(bytes, off);
+  c.merges_rejected_inconsistent = read_pod<std::uint64_t>(bytes, off);
+  if (c.labels.size() != c.n_fragments)
+    throw std::runtime_error("checkpoint: label count mismatch");
+  return c;
+}
+
+void save_checkpoint(const std::string& path, const ClusterCheckpoint& c) {
+  const auto bytes = encode_checkpoint(c);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw std::runtime_error("checkpoint: cannot open " + tmp);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename failed for " + path);
+  }
+}
+
+ClusterCheckpoint load_checkpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return decode_checkpoint(bytes);
 }
 
 }  // namespace pgasm::core

@@ -2,11 +2,16 @@
 //
 // One worker->master message carries AR (alignment results for the last
 // allocated batch) plus NP (a batch of freshly generated promising pairs)
-// plus the worker's active/passive flag; one master->worker reply carries
-// AW (the next alignment batch) plus r (how many new pairs to send next).
+// plus the worker's active/passive flag and per-role generator progress; one
+// master->worker reply carries AW (the next alignment batch) plus r (how
+// many new pairs to send next) plus any generator-takeover orders.
+//
+// ClusterCheckpoint serializes the master's recoverable state (union-find
+// labels, pending pairs, generator progress) so a killed run can resume.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace pgasm::core {
@@ -31,15 +36,35 @@ struct ResultMsg {
   std::uint8_t pad = 0;
 };
 
+/// Progress of one pair-generation role (a role = one rank's GST portion;
+/// roles migrate to survivors when their owner dies). `emitted` is the
+/// absolute position in the role's deterministic pair stream, so a takeover
+/// can rebuild the portion and fast-forward to exactly where the dead
+/// worker left off.
+struct RoleProgress {
+  std::uint32_t role = 0;
+  std::uint32_t done = 0;
+  std::uint64_t emitted = 0;
+};
+
+/// Master -> worker order to adopt a dead worker's generation role.
+struct TakeoverOrder {
+  std::uint32_t role = 0;
+  std::uint32_t pad = 0;
+  std::uint64_t resume_at = 0;  ///< pairs of the role's stream to skip
+};
+
 struct WorkerReport {
-  std::vector<ResultMsg> results;  ///< AR
-  std::vector<PairMsg> new_pairs;  ///< NP
-  std::uint8_t exhausted = 0;      ///< worker's generator is done (passive)
+  std::vector<ResultMsg> results;     ///< AR
+  std::vector<PairMsg> new_pairs;     ///< NP
+  std::vector<RoleProgress> progress; ///< per generation role held
+  std::uint8_t exhausted = 0;         ///< all held generators done (passive)
 };
 
 struct MasterReply {
-  std::vector<PairMsg> batch;   ///< AW
-  std::uint32_t request_r = 0;  ///< pairs to send in the next report
+  std::vector<PairMsg> batch;           ///< AW
+  std::vector<TakeoverOrder> takeovers; ///< roles to adopt (usually empty)
+  std::uint32_t request_r = 0;          ///< pairs to send in the next report
   std::uint8_t terminate = 0;
 };
 
@@ -48,5 +73,34 @@ WorkerReport decode_report(const std::vector<std::uint8_t>& bytes);
 
 std::vector<std::uint8_t> encode_reply(const MasterReply& r);
 MasterReply decode_reply(const std::vector<std::uint8_t>& bytes);
+
+/// Master-side recoverable state, written periodically during a run.
+/// Invariant at write time: every pair the master has ever received is
+/// either reflected in `labels` (merged), filtered out (redundant), or
+/// present in `pending` (which includes batches in flight to workers), so
+/// resuming loses no work and re-aligns nothing already merged.
+struct ClusterCheckpoint {
+  std::uint64_t epoch = 0;      ///< checkpoint sequence number, 1-based
+  std::uint32_t num_ranks = 0;  ///< ranks of the writing run
+  std::uint32_t n_fragments = 0;
+  std::vector<std::uint32_t> labels;  ///< union-find dense labeling
+  std::vector<PairMsg> pending;       ///< selected pairs not yet folded
+  std::vector<RoleProgress> progress; ///< per-role generation positions
+  std::uint64_t pairs_generated = 0;
+  std::uint64_t pairs_selected = 0;
+  std::uint64_t pairs_aligned = 0;
+  std::uint64_t pairs_accepted = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t merges_rejected_inconsistent = 0;
+};
+
+std::vector<std::uint8_t> encode_checkpoint(const ClusterCheckpoint& c);
+ClusterCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& bytes);
+
+/// Atomic write (temp file + rename) / read of a checkpoint on disk.
+/// load_checkpoint throws std::runtime_error if the file is missing or
+/// malformed.
+void save_checkpoint(const std::string& path, const ClusterCheckpoint& c);
+ClusterCheckpoint load_checkpoint(const std::string& path);
 
 }  // namespace pgasm::core

@@ -114,6 +114,7 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
     } else {
       bucket_owner = assign_buckets(hist, p);
     }
+    result.bucket_owner = bucket_owner;
   }
 
   // ---- Step 3: redistribute suffixes to bucket owners. ------------------
@@ -293,6 +294,87 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
       ledger_after.compute_seconds - ledger_before.compute_seconds;
   stats.comm_seconds = ledger_after.comm_seconds - ledger_before.comm_seconds;
   stats.bytes_sent = ledger_after.bytes_sent - ledger_before.bytes_sent;
+  return result;
+}
+
+DistributedGst rebuild_rank_portion(
+    const seq::FragmentStore& global,
+    const std::vector<std::int32_t>& bucket_owner, int role,
+    const ParallelGstParams& params) {
+  const std::uint32_t w = params.gst.prefix_w;
+  if (num_buckets(w) != bucket_owner.size())
+    throw std::runtime_error("rebuild_rank_portion: bucket table mismatch");
+
+  DistributedGst result;
+  GstBuildStats& stats = result.stats;
+
+  // Enumerate the full store (equals the concatenation of every rank's
+  // slice enumeration) and keep only the role's buckets, preserving order.
+  std::vector<Suffix> local_suffixes;
+  {
+    auto all = enumerate_suffixes(global, params.gst.min_match);
+    local_suffixes.reserve(all.size() / 4 + 1);
+    for (const Suffix& s : all) {
+      if (bucket_owner[bucket_of(global, s, w)] == role)
+        local_suffixes.push_back(s);
+    }
+  }
+  stats.local_suffixes = local_suffixes.size();
+
+  // Needed global ids, sorted — local ids are assigned in sorted order,
+  // matching the distributed build's rule.
+  std::vector<std::uint32_t> needed;
+  needed.reserve(local_suffixes.size() / 4 + 1);
+  for (const Suffix& s : local_suffixes) needed.push_back(s.seq);
+  std::sort(needed.begin(), needed.end());
+  needed.erase(std::unique(needed.begin(), needed.end()), needed.end());
+  result.local_to_global = needed;
+  result.bucket_owner = bucket_owner;
+
+  std::uint64_t needed_chars = 0;
+  for (std::uint32_t g : needed) needed_chars += global.length(g);
+  result.local_store.reserve(needed.size(), needed_chars);
+  for (std::uint32_t g : needed)
+    result.local_store.add(global.seq(g), global.type(g));
+
+  auto local_index_of = [&](std::uint32_t g) {
+    return static_cast<std::size_t>(
+        std::lower_bound(needed.begin(), needed.end(), g) - needed.begin());
+  };
+  for (Suffix& s : local_suffixes)
+    s.seq = static_cast<std::uint32_t>(local_index_of(s.seq));
+
+  // Group by bucket: dense relabel in first-seen order + counting sort,
+  // exactly as in build_distributed_gst step 5.
+  const std::uint32_t nbuckets = num_buckets(w);
+  std::vector<std::uint32_t> bucket_ids(local_suffixes.size());
+  std::vector<std::uint32_t> mine;
+  {
+    std::vector<std::int32_t> dense(nbuckets, -1);
+    for (std::size_t i = 0; i < local_suffixes.size(); ++i) {
+      const std::uint32_t b =
+          bucket_of(result.local_store, local_suffixes[i], w);
+      if (dense[b] < 0) {
+        dense[b] = static_cast<std::int32_t>(mine.size());
+        mine.push_back(b);
+      }
+      bucket_ids[i] = static_cast<std::uint32_t>(dense[b]);
+    }
+  }
+  stats.local_buckets = mine.size();
+  std::vector<std::uint32_t> count(mine.size() + 1, 0);
+  for (std::uint32_t b : bucket_ids) ++count[b + 1];
+  for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
+  std::vector<std::uint32_t> bucket_begin(count.begin(), count.end() - 1);
+  std::vector<Suffix> grouped(local_suffixes.size());
+  for (std::size_t i = 0; i < local_suffixes.size(); ++i) {
+    grouped[count[bucket_ids[i]]++] = local_suffixes[i];
+  }
+  local_suffixes.clear();
+
+  result.tree = std::make_unique<SuffixTree>(
+      result.local_store, std::move(grouped), bucket_begin, w, params.gst);
+  stats.tree_nodes = result.tree->num_nodes();
   return result;
 }
 

@@ -56,6 +56,9 @@ struct DistributedGst {
   seq::FragmentStore local_store;              ///< fetched fragment copies
   std::vector<std::uint32_t> local_to_global;  ///< local seq id -> global
   std::unique_ptr<SuffixTree> tree;            ///< forest over local ids
+  /// bucket id -> owning rank, identical on every rank (deterministic
+  /// assignment). Kept so a survivor can rebuild a dead rank's portion.
+  std::vector<std::int32_t> bucket_owner;
   GstBuildStats stats;
 };
 
@@ -76,5 +79,18 @@ std::vector<std::int32_t> assign_buckets(
 DistributedGst build_distributed_gst(vmpi::Comm& comm,
                                      const seq::FragmentStore& global,
                                      const ParallelGstParams& params);
+
+/// Serially rebuild the GST portion that `role` owned under the given
+/// bucket assignment (no communication; reads the full global store).
+/// Produces a tree identical to the one `role` built in
+/// build_distributed_gst: the global suffix enumeration order equals the
+/// concatenation of the per-rank slice enumerations (slices are contiguous
+/// and ascending), filtering preserves relative order, and the grouping and
+/// local-id assignment rules are deterministic. A survivor adopting a dead
+/// worker's generation role therefore replays exactly the same pair stream
+/// and can fast-forward to the dead worker's last reported position.
+DistributedGst rebuild_rank_portion(const seq::FragmentStore& global,
+                                    const std::vector<std::int32_t>& bucket_owner,
+                                    int role, const ParallelGstParams& params);
 
 }  // namespace pgasm::gst

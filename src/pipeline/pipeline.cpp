@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include <cstdio>
 #include <cstring>
 
 #include "util/stats.hpp"
@@ -125,8 +126,29 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
 
   // --- Clustering -----------------------------------------------------------
   if (params.ranks >= 2) {
-    auto pr = core::cluster_parallel(result.pre.store, params.cluster,
-                                     params.ranks, params.cost);
+    core::ClusterParams cp = params.cluster;
+    core::ClusterCheckpoint resume_ck;
+    bool has_resume = false;
+    if (!params.checkpoint_dir.empty()) {
+      if (cp.checkpoint_path.empty())
+        cp.checkpoint_path = params.checkpoint_dir + "/cluster.ckpt";
+      if (cp.checkpoint_every_reports == 0) cp.checkpoint_every_reports = 64;
+      try {
+        resume_ck = core::load_checkpoint(cp.checkpoint_path);
+        // Only resume a checkpoint written for this very input.
+        has_resume = resume_ck.n_fragments == result.pre.store.size();
+      } catch (const std::exception&) {
+        has_resume = false;  // no (or unreadable) checkpoint: fresh run
+      }
+    }
+    auto pr = core::cluster_parallel(result.pre.store, cp, params.ranks,
+                                     params.cost, params.faults,
+                                     has_resume ? &resume_ck : nullptr);
+    if (!cp.checkpoint_path.empty()) {
+      // Clustering completed: a leftover checkpoint would make the next
+      // fresh run "resume" a finished state.
+      std::remove(cp.checkpoint_path.c_str());
+    }
     result.clusters = std::move(pr.clusters);
     result.cluster_stats = pr.stats;
     result.cost = std::move(pr.cost);

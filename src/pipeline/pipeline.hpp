@@ -29,6 +29,13 @@ struct PipelineParams {
   vmpi::CostParams cost{};
   bool run_preprocess = true;
   bool run_assembly = true;
+  /// Fault-injection plan applied to the parallel clustering runtime
+  /// (testing/chaos runs; see DESIGN.md "Fault model & recovery").
+  vmpi::FaultPlan faults{};
+  /// Non-empty: enable periodic cluster checkpoints in this directory and
+  /// auto-resume from an existing one. The checkpoint file is removed once
+  /// clustering completes, so a finished run leaves nothing to resume.
+  std::string checkpoint_dir;
 };
 
 /// Paper Section 8's clustering effectiveness measures.

@@ -1,0 +1,40 @@
+// Capped exponential backoff for retry and timeout schedules.
+//
+// Deliberately jitter-free: fault-tolerance tests rely on deterministic
+// detection timing, and the vmpi ranks share one process so thundering-herd
+// concerns don't apply.
+#pragma once
+
+#include <algorithm>
+
+namespace pgasm::util {
+
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(double initial, double multiplier, double cap)
+      : initial_(initial), multiplier_(multiplier), cap_(cap),
+        value_(initial) {}
+
+  /// Current delay, without advancing the schedule.
+  double current() const noexcept { return value_; }
+
+  /// Grow the delay for the next round (capped).
+  void advance() noexcept { value_ = std::min(cap_, value_ * multiplier_); }
+
+  /// Current delay, advancing the schedule for the next call.
+  double next() noexcept {
+    const double v = value_;
+    advance();
+    return v;
+  }
+
+  void reset() noexcept { value_ = initial_; }
+
+ private:
+  double initial_;
+  double multiplier_;
+  double cap_;
+  double value_;
+};
+
+}  // namespace pgasm::util

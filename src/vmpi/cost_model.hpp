@@ -61,9 +61,21 @@ struct RankLedger {
   }
 };
 
+/// Fault-injection and failure-handling counters for a run. All zeros for a
+/// fault-free run with no timeout-carrying receives.
+struct FaultStats {
+  std::uint64_t crashes_injected = 0;   ///< ranks killed by a FaultPlan
+  std::uint64_t messages_dropped = 0;   ///< user sends silently lost
+  std::uint64_t messages_delayed = 0;   ///< user sends delivered late
+  std::uint64_t sends_to_dead = 0;      ///< sends discarded (dest had failed)
+  std::uint64_t timeouts_fired = 0;     ///< TimeoutError throws (recv/probe)
+  std::uint64_t ranks_failed = 0;       ///< ranks marked dead during the run
+};
+
 /// Aggregate view over all ranks of a finished run.
 struct RunCost {
   std::vector<RankLedger> per_rank;
+  FaultStats faults;
 
   double modeled_parallel_seconds() const noexcept;
   double max_compute_seconds() const noexcept;

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "util/prng.hpp"
+
 namespace pgasm::vmpi {
 
 namespace {
@@ -15,12 +17,77 @@ bool matches(const detail::Message& m, int source, std::int64_t tag,
   return true;
 }
 
+/// Uniform [0,1) hash of (seed, rank, send index) for probabilistic faults.
+double fault_uniform(std::uint64_t seed, int rank, std::uint64_t idx,
+                     std::uint64_t salt) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (idx + 1)) ^
+                        (0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(rank + 1)) ^
+                        salt;
+  const std::uint64_t h = util::splitmix64(state);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::string rank_failed_msg(const char* what, int source) {
+  return std::string(what) + ": rank " + std::to_string(source) + " failed";
+}
+
 }  // namespace
+
+bool Comm::apply_faults() {
+  const FaultPlan& fp = shared_->faults;
+  const std::uint64_t idx = ++user_send_seq_;
+  if (!fp.enabled()) return false;
+
+  for (const auto& c : fp.crashes) {
+    if (c.rank == rank_ && idx >= c.at_send) {
+      ++shared_->fault_counters.crashes_injected;
+      throw KilledError("fault injection: rank " + std::to_string(rank_) +
+                        " killed at user send " + std::to_string(idx));
+    }
+  }
+  bool drop = false;
+  double delay_s = 0;
+  for (const auto& d : fp.drops) {
+    if (d.rank == rank_ && d.at_send == idx) drop = true;
+  }
+  for (const auto& d : fp.delays) {
+    if (d.rank == rank_ && d.at_send == idx) delay_s = d.seconds;
+  }
+  if (!drop && fp.drop_prob > 0 &&
+      fault_uniform(fp.seed, rank_, idx, /*salt=*/0x1) < fp.drop_prob) {
+    drop = true;
+  }
+  if (delay_s <= 0 && fp.delay_prob > 0 &&
+      fault_uniform(fp.seed, rank_, idx, /*salt=*/0x2) < fp.delay_prob) {
+    delay_s = fp.delay_seconds;
+  }
+  if (delay_s > 0) {
+    ++shared_->fault_counters.messages_delayed;
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+  }
+  if (drop) ++shared_->fault_counters.messages_dropped;
+  return drop;
+}
 
 void Comm::send_impl(int dest, std::int64_t tag, const void* data,
                      std::size_t n, bool internal, bool sync) {
   if (dest < 0 || dest >= size()) throw std::runtime_error("send: bad dest");
   if (shared_->aborted.load()) throw AbortError("vmpi aborted");
+
+  // Fault injection applies to the user channel only: a dropped or crashed
+  // collective-internal message is unrecoverable by construction, whereas
+  // user-level protocols are expected to tolerate these faults.
+  bool drop = false;
+  if (!internal) drop = apply_faults();
+
+  // The send is charged even when the message is lost or the destination is
+  // dead — the sender did the work of sending it.
+  ledger_.charge_send(n, shared_->cost);
+  if (drop) return;
+  if (shared_->dead[static_cast<std::size_t>(dest)].load()) {
+    ++shared_->fault_counters.sends_to_dead;
+    return;  // synchronous sends complete immediately: no one will consume
+  }
 
   detail::Message msg;
   msg.source = rank_;
@@ -29,37 +96,54 @@ void Comm::send_impl(int dest, std::int64_t tag, const void* data,
   msg.payload.resize(n);
   if (n > 0) std::memcpy(msg.payload.data(), data, n);
 
-  std::shared_ptr<std::promise<void>> done;
-  std::future<void> done_future;
+  std::shared_ptr<std::atomic<bool>> consumed;
   if (sync) {
-    done = std::make_shared<std::promise<void>>();
-    done_future = done->get_future();
-    msg.consumed = done;
+    consumed = std::make_shared<std::atomic<bool>>(false);
+    msg.consumed = consumed;
   }
-
-  ledger_.charge_send(n, shared_->cost);
 
   auto& box = shared_->boxes[static_cast<std::size_t>(dest)];
-  {
-    std::lock_guard<std::mutex> lock(box.mu);
-    box.queue.push_back(std::move(msg));
-    box.cv.notify_all();
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.queue.push_back(std::move(msg));
+  box.cv.notify_all();
+  if (sync) {
+    // Rendezvous on the destination mailbox cv. The predicate re-checks
+    // abort and destination death on every wake, so a receiver that never
+    // consumes cannot strand the sender (the old promise/future rendezvous
+    // deadlocked here).
+    box.cv.wait(lock, [&] {
+      return consumed->load() || shared_->aborted.load() ||
+             shared_->dead[static_cast<std::size_t>(dest)].load();
+    });
+    if (!consumed->load()) {
+      if (shared_->dead[static_cast<std::size_t>(dest)].load()) {
+        ++shared_->fault_counters.sends_to_dead;
+        return;
+      }
+      throw AbortError("vmpi aborted during ssend");
+    }
   }
-  if (sync) done_future.wait();
 }
 
-std::vector<std::byte> Comm::recv_impl(int source, std::int64_t tag,
-                                       bool internal, Status* status) {
+std::vector<std::byte> Comm::recv_impl(
+    int source, std::int64_t tag, bool internal, Status* status,
+    const std::chrono::steady_clock::time_point* deadline) {
   auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
+    // Both the abort flag and the dead flags are re-checked under the
+    // mailbox mutex before every sleep; abort_all/mark_dead notify under
+    // the same mutex, so no wake can be lost.
     if (shared_->aborted.load()) throw AbortError("vmpi aborted");
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
       if (!matches(*it, source, tag, internal)) continue;
       detail::Message msg = std::move(*it);
       box.queue.erase(it);
+      if (msg.consumed) {
+        msg.consumed->store(true);
+        box.cv.notify_all();  // wake the rendezvoused synchronous sender
+      }
       lock.unlock();
-      if (msg.consumed) msg.consumed->set_value();
       ledger_.charge_recv(msg.payload.size(), shared_->cost);
       if (status) {
         status->source = msg.source;
@@ -68,7 +152,26 @@ std::vector<std::byte> Comm::recv_impl(int source, std::int64_t tag,
       }
       return std::move(msg.payload);
     }
-    box.cv.wait(lock);
+    // No match queued. A specific failed source can never deliver: fail
+    // fast instead of blocking until the deadline (or forever).
+    if (source != kAnySource && source != rank_ &&
+        shared_->dead[static_cast<std::size_t>(source)].load()) {
+      if (deadline) {
+        ++shared_->fault_counters.timeouts_fired;
+        throw TimeoutError(rank_failed_msg("recv", source));
+      }
+      throw AbortError(rank_failed_msg("recv", source));
+    }
+    if (deadline) {
+      if (std::chrono::steady_clock::now() >= *deadline) {
+        ++shared_->fault_counters.timeouts_fired;
+        throw TimeoutError("recv: timeout (source " + std::to_string(source) +
+                           ", tag " + std::to_string(tag) + ")");
+      }
+      box.cv.wait_until(lock, *deadline);
+    } else {
+      box.cv.wait(lock);
+    }
   }
 }
 
@@ -76,7 +179,17 @@ std::vector<std::byte> Comm::recv(int source, int tag, Status* status) {
   return recv_impl(source, tag, /*internal=*/false, status);
 }
 
-Status Comm::probe(int source, int tag) {
+std::vector<std::byte> Comm::recv_timeout(int source, int tag,
+                                          double timeout_s, Status* status) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  return recv_impl(source, tag, /*internal=*/false, status, &deadline);
+}
+
+Status Comm::probe_impl(int source, int tag,
+                        const std::chrono::steady_clock::time_point* deadline) {
   auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
   std::unique_lock<std::mutex> lock(box.mu);
   for (;;) {
@@ -86,8 +199,37 @@ Status Comm::probe(int source, int tag) {
         return Status{m.source, static_cast<int>(m.tag), m.payload.size()};
       }
     }
-    box.cv.wait(lock);
+    if (source != kAnySource && source != rank_ &&
+        shared_->dead[static_cast<std::size_t>(source)].load()) {
+      if (deadline) {
+        ++shared_->fault_counters.timeouts_fired;
+        throw TimeoutError(rank_failed_msg("probe", source));
+      }
+      throw AbortError(rank_failed_msg("probe", source));
+    }
+    if (deadline) {
+      if (std::chrono::steady_clock::now() >= *deadline) {
+        ++shared_->fault_counters.timeouts_fired;
+        throw TimeoutError("probe: timeout (source " + std::to_string(source) +
+                           ", tag " + std::to_string(tag) + ")");
+      }
+      box.cv.wait_until(lock, *deadline);
+    } else {
+      box.cv.wait(lock);
+    }
   }
+}
+
+Status Comm::probe(int source, int tag) {
+  return probe_impl(source, tag, nullptr);
+}
+
+Status Comm::probe_timeout(int source, int tag, double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  return probe_impl(source, tag, &deadline);
 }
 
 bool Comm::iprobe(int source, int tag, Status* status) {
@@ -148,8 +290,9 @@ void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
   }
 }
 
-Runtime::Runtime(int num_ranks, CostParams cost)
-    : shared_(std::make_unique<detail::SharedState>(num_ranks, cost)) {
+Runtime::Runtime(int num_ranks, CostParams cost, FaultPlan faults)
+    : shared_(std::make_unique<detail::SharedState>(num_ranks, cost,
+                                                    std::move(faults))) {
   if (num_ranks < 1) throw std::runtime_error("Runtime: num_ranks < 1");
 }
 
@@ -157,8 +300,10 @@ Runtime::~Runtime() = default;
 
 RunCost Runtime::run(const std::function<void(Comm&)>& body) {
   const int p = shared_->num_ranks;
-  // Fresh state per run: clear mailboxes and abort flag.
+  // Fresh state per run: clear mailboxes, abort flag, dead flags, counters.
   shared_->aborted.store(false);
+  for (auto& d : shared_->dead) d.store(false);
+  shared_->fault_counters.reset();
   for (auto& box : shared_->boxes) {
     std::lock_guard<std::mutex> lock(box.mu);
     box.queue.clear();
@@ -176,6 +321,10 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
       Comm comm(*shared_, r);
       try {
         body(comm);
+      } catch (const KilledError&) {
+        // Injected crash: this rank dies quietly. Survivors observe the
+        // failure via timeouts / rank_failed, not a run-wide abort.
+        shared_->mark_dead(r);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mu);
@@ -187,6 +336,7 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
+  cost.faults = shared_->fault_counters.snapshot();
 
   if (first_error) {
     try {

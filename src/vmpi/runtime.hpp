@@ -11,6 +11,16 @@
 // bcast/reduce), so the cost ledger sees the same message pattern a real
 // cluster would.
 //
+// Fault model: a Runtime can carry a deterministic FaultPlan that injects
+// rank crashes, message drops, and message delays keyed on each rank's
+// user-channel send index. A crashed rank dies silently (its thread exits
+// without aborting the run); surviving ranks observe the failure only
+// through the deadline-carrying recv_timeout/probe_timeout calls (which
+// throw TimeoutError) or the rank_failed() failure-detector oracle.
+// Faults apply to the user channel only — losing a collective-internal
+// message cannot be recovered by any protocol built above it, so a rank
+// death during a collective aborts the run instead.
+//
 // Usage:
 //   vmpi::Runtime rt(8);
 //   vmpi::RunCost cost = rt.run([&](vmpi::Comm& comm) {
@@ -21,16 +31,17 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
-#include <future>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -54,6 +65,57 @@ struct AbortError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown by recv_timeout/probe_timeout when the deadline passes or the
+/// awaited source rank has failed. Distinct from AbortError: a timeout is
+/// local and recoverable (the caller may retry, reassign work, or declare
+/// the peer dead); an abort is global and fatal to the run.
+struct TimeoutError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown inside a rank to simulate its crash (used by FaultPlan). The
+/// Runtime terminates only that rank: its thread exits, the rank is marked
+/// failed, and the run continues on the survivors.
+struct KilledError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Deterministic, seeded fault-injection plan. All rules key on a rank's
+/// *user-channel* send index (1-based count of that rank's send/ssend
+/// calls; collective-internal traffic is excluded so plans stay stable
+/// against collective implementation details).
+struct FaultPlan {
+  struct Crash {
+    int rank = -1;
+    std::uint64_t at_send = 1;  ///< die in place of this send (and later)
+  };
+  struct Drop {
+    int rank = -1;
+    std::uint64_t at_send = 1;  ///< this send is silently lost
+  };
+  struct Delay {
+    int rank = -1;
+    std::uint64_t at_send = 1;  ///< this send is delivered late
+    double seconds = 0;
+  };
+  std::vector<Crash> crashes;
+  std::vector<Drop> drops;
+  std::vector<Delay> delays;
+
+  /// Probabilistic rules: each user send is independently dropped/delayed
+  /// with the given probability, decided by a hash of (seed, rank, send
+  /// index) — deterministic across runs with the same seed.
+  std::uint64_t seed = 0;
+  double drop_prob = 0;
+  double delay_prob = 0;
+  double delay_seconds = 0;  ///< applied by probabilistic delays
+
+  bool enabled() const noexcept {
+    return !crashes.empty() || !drops.empty() || !delays.empty() ||
+           drop_prob > 0 || delay_prob > 0;
+  }
+};
+
 namespace detail {
 
 struct Message {
@@ -61,7 +123,11 @@ struct Message {
   std::int64_t tag = 0;  ///< user tags are >= 0 and < 2^31; internal larger
   bool internal = false;
   std::vector<std::byte> payload;
-  std::shared_ptr<std::promise<void>> consumed;  ///< set for ssend rendezvous
+  /// Set for ssend rendezvous: flipped true when the receiver consumes the
+  /// message (or the destination rank dies), then the destination mailbox
+  /// cv is notified. A plain atomic + cv (not a promise) so abort_all and
+  /// rank death can wake a blocked synchronous sender.
+  std::shared_ptr<std::atomic<bool>> consumed;
 };
 
 struct Mailbox {
@@ -70,17 +136,71 @@ struct Mailbox {
   std::deque<Message> queue;
 };
 
+/// Run-wide fault bookkeeping (atomics: touched from every rank thread).
+struct FaultCounters {
+  std::atomic<std::uint64_t> crashes_injected{0};
+  std::atomic<std::uint64_t> messages_dropped{0};
+  std::atomic<std::uint64_t> messages_delayed{0};
+  std::atomic<std::uint64_t> sends_to_dead{0};
+  std::atomic<std::uint64_t> timeouts_fired{0};
+  std::atomic<std::uint64_t> ranks_failed{0};
+
+  void reset() noexcept {
+    crashes_injected = 0;
+    messages_dropped = 0;
+    messages_delayed = 0;
+    sends_to_dead = 0;
+    timeouts_fired = 0;
+    ranks_failed = 0;
+  }
+  FaultStats snapshot() const noexcept {
+    return FaultStats{crashes_injected.load(), messages_dropped.load(),
+                      messages_delayed.load(), sends_to_dead.load(),
+                      timeouts_fired.load(),   ranks_failed.load()};
+  }
+};
+
 struct SharedState {
-  explicit SharedState(int p, CostParams params)
-      : num_ranks(p), cost(params), boxes(static_cast<std::size_t>(p)) {}
+  SharedState(int p, CostParams params, FaultPlan plan)
+      : num_ranks(p),
+        cost(params),
+        faults(std::move(plan)),
+        boxes(static_cast<std::size_t>(p)),
+        dead(static_cast<std::size_t>(p)) {}
 
   int num_ranks;
   CostParams cost;
+  FaultPlan faults;
   std::vector<Mailbox> boxes;
+  std::vector<std::atomic<bool>> dead;
   std::atomic<bool> aborted{false};
+  FaultCounters fault_counters;
 
   void abort_all() {
     aborted.store(true);
+    // Notify under each mailbox mutex: a receiver that checked the flag and
+    // is about to sleep holds the mutex until its wait releases it, so the
+    // notify cannot land in the gap between its check and its sleep.
+    for (auto& box : boxes) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.cv.notify_all();
+    }
+  }
+
+  /// Record rank r's death: complete any synchronous sends rendezvoused on
+  /// its mailbox, drop its queued messages, and wake every waiter so
+  /// blocked peers can re-evaluate (fail fast or time out).
+  void mark_dead(int r) {
+    dead[static_cast<std::size_t>(r)].store(true);
+    ++fault_counters.ranks_failed;
+    {
+      auto& box = boxes[static_cast<std::size_t>(r)];
+      std::lock_guard<std::mutex> lock(box.mu);
+      for (auto& m : box.queue) {
+        if (m.consumed) m.consumed->store(true);
+      }
+      box.queue.clear();
+    }
     for (auto& box : boxes) {
       std::lock_guard<std::mutex> lock(box.mu);
       box.cv.notify_all();
@@ -112,7 +232,8 @@ class Comm {
 
   /// Synchronous send: returns only after the receiver has consumed the
   /// message (the paper uses MPI_Ssend to avoid master-side buffer
-  /// overflow; we reproduce the semantics).
+  /// overflow; we reproduce the semantics). Returns immediately if the
+  /// destination rank has failed (the message is charged and discarded).
   void ssend(int dest, int tag, const void* data, std::size_t n) {
     send_impl(dest, tag, data, n, /*internal=*/false, /*sync=*/true);
   }
@@ -120,11 +241,28 @@ class Comm {
   /// Blocking receive; wildcards kAnySource / kAnyTag allowed.
   std::vector<std::byte> recv(int source, int tag, Status* status = nullptr);
 
+  /// Receive with a deadline: throws TimeoutError if no matching message
+  /// arrives within timeout_s seconds, or immediately if `source` names a
+  /// rank that has failed and no matching message is queued.
+  std::vector<std::byte> recv_timeout(int source, int tag, double timeout_s,
+                                      Status* status = nullptr);
+
   /// Blocking probe: waits until a matching message is available.
   Status probe(int source, int tag);
 
+  /// Probe with a deadline; TimeoutError semantics as recv_timeout.
+  Status probe_timeout(int source, int tag, double timeout_s);
+
   /// Non-blocking probe.
   bool iprobe(int source, int tag, Status* status);
+
+  /// Failure-detector oracle: has rank r died (injected crash)? Real
+  /// deployments substitute an out-of-band detector; protocols built here
+  /// should treat it as a hint and keep timeout paths for silent stalls.
+  bool rank_failed(int r) const {
+    return r >= 0 && r < size() &&
+           shared_->dead[static_cast<std::size_t>(r)].load();
+  }
 
   // --- typed convenience wrappers ---------------------------------------
 
@@ -137,11 +275,20 @@ class Comm {
   template <typename T>
   T recv_value(int source, int tag, Status* status = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto bytes = recv(source, tag, status);
-    if (bytes.size() != sizeof(T)) throw std::runtime_error("recv_value size");
-    T v;
-    std::memcpy(&v, bytes.data(), sizeof(T));
-    return v;
+    Status st;
+    auto bytes = recv(source, tag, &st);
+    if (status) *status = st;
+    return value_from_bytes<T>(bytes, st);
+  }
+
+  template <typename T>
+  T recv_value_timeout(int source, int tag, double timeout_s,
+                       Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Status st;
+    auto bytes = recv_timeout(source, tag, timeout_s, &st);
+    if (status) *status = st;
+    return value_from_bytes<T>(bytes, st);
   }
 
   template <typename T>
@@ -159,12 +306,20 @@ class Comm {
   template <typename T>
   std::vector<T> recv_vector(int source, int tag, Status* status = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto bytes = recv(source, tag, status);
-    if (bytes.size() % sizeof(T) != 0)
-      throw std::runtime_error("recv_vector size");
-    std::vector<T> v(bytes.size() / sizeof(T));
-    std::memcpy(v.data(), bytes.data(), bytes.size());
-    return v;
+    Status st;
+    auto bytes = recv(source, tag, &st);
+    if (status) *status = st;
+    return vector_from_bytes<T>(bytes, st);
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector_timeout(int source, int tag, double timeout_s,
+                                     Status* status = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Status st;
+    auto bytes = recv_timeout(source, tag, timeout_s, &st);
+    if (status) *status = st;
+    return vector_from_bytes<T>(bytes, st);
   }
 
   // --- collectives (must be called by all ranks, in the same order) -----
@@ -282,8 +437,46 @@ class Comm {
 
   void send_impl(int dest, std::int64_t tag, const void* data, std::size_t n,
                  bool internal, bool sync);
-  std::vector<std::byte> recv_impl(int source, std::int64_t tag, bool internal,
-                                   Status* status);
+  /// deadline == nullptr blocks forever (throws AbortError on abort or on a
+  /// specific failed source); with a deadline it throws TimeoutError.
+  std::vector<std::byte> recv_impl(
+      int source, std::int64_t tag, bool internal, Status* status,
+      const std::chrono::steady_clock::time_point* deadline = nullptr);
+  Status probe_impl(int source, int tag,
+                    const std::chrono::steady_clock::time_point* deadline);
+
+  /// Apply the runtime's FaultPlan to this rank's next user send. Returns
+  /// true if the message must be dropped; throws KilledError for a crash.
+  bool apply_faults();
+
+  template <typename T>
+  T value_from_bytes(const std::vector<std::byte>& bytes, const Status& st) {
+    if (bytes.size() != sizeof(T)) {
+      throw std::runtime_error(
+          "recv_value: size mismatch from rank " + std::to_string(st.source) +
+          " tag " + std::to_string(st.tag) + ": expected " +
+          std::to_string(sizeof(T)) + " bytes, got " +
+          std::to_string(bytes.size()));
+    }
+    T v;
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  std::vector<T> vector_from_bytes(const std::vector<std::byte>& bytes,
+                                   const Status& st) {
+    if (bytes.size() % sizeof(T) != 0) {
+      throw std::runtime_error(
+          "recv_vector: size mismatch from rank " + std::to_string(st.source) +
+          " tag " + std::to_string(st.tag) + ": got " +
+          std::to_string(bytes.size()) + " bytes, not a multiple of element size " +
+          std::to_string(sizeof(T)));
+    }
+    std::vector<T> v(bytes.size() / sizeof(T));
+    std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+  }
 
   /// Next internal tag for a collective operation. All ranks execute
   /// collectives in the same order, so sequence numbers agree globally.
@@ -294,13 +487,14 @@ class Comm {
   detail::SharedState* shared_;
   int rank_;
   std::int64_t collective_seq_ = 0;
+  std::uint64_t user_send_seq_ = 0;  ///< 1-based index of user-channel sends
   RankLedger ledger_;
 };
 
 /// Owns the shared mailboxes and runs SPMD bodies across rank threads.
 class Runtime {
  public:
-  explicit Runtime(int num_ranks, CostParams cost = {});
+  explicit Runtime(int num_ranks, CostParams cost = {}, FaultPlan faults = {});
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
@@ -310,6 +504,8 @@ class Runtime {
 
   /// Run `body(comm)` on every rank; joins all threads; returns the merged
   /// cost ledgers. Rethrows the first rank exception (after aborting all).
+  /// A rank that dies of an injected crash (KilledError) does NOT abort the
+  /// run: the survivors keep running and the ledger records the failure.
   RunCost run(const std::function<void(Comm&)>& body);
 
  private:

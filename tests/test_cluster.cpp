@@ -77,6 +77,7 @@ TEST(Wire, ReportRoundTrip) {
   m2.frag_b = 4;
   r.results = {m1, m2};
   r.new_pairs = {{10, 5, 20, 7, 31}};
+  r.progress = {{1, 0, 940}, {3, 1, 12}};
   r.exhausted = 1;
   const auto bytes = core::encode_report(r);
   const auto back = core::decode_report(bytes);
@@ -88,17 +89,25 @@ TEST(Wire, ReportRoundTrip) {
   EXPECT_EQ(back.results[1].accepted, 0u);
   ASSERT_EQ(back.new_pairs.size(), 1u);
   EXPECT_EQ(back.new_pairs[0].match_len, 31u);
+  ASSERT_EQ(back.progress.size(), 2u);
+  EXPECT_EQ(back.progress[0].emitted, 940u);
+  EXPECT_EQ(back.progress[1].role, 3u);
+  EXPECT_EQ(back.progress[1].done, 1u);
   EXPECT_EQ(back.exhausted, 1);
 }
 
 TEST(Wire, ReplyRoundTrip) {
   core::MasterReply r;
   r.batch = {{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}};
+  r.takeovers = {{2, 0, 4096}};
   r.request_r = 777;
   r.terminate = 0;
   const auto back = core::decode_reply(core::encode_reply(r));
   ASSERT_EQ(back.batch.size(), 2u);
   EXPECT_EQ(back.batch[1].seq_a, 6u);
+  ASSERT_EQ(back.takeovers.size(), 1u);
+  EXPECT_EQ(back.takeovers[0].role, 2u);
+  EXPECT_EQ(back.takeovers[0].resume_at, 4096u);
   EXPECT_EQ(back.request_r, 777u);
   EXPECT_EQ(back.terminate, 0);
 }

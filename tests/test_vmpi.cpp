@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 
 #include "vmpi/runtime.hpp"
@@ -316,6 +318,54 @@ TEST(Vmpi, TagSelectiveReceiveOutOfOrder) {
       EXPECT_EQ(c.recv_value<int>(0, 5), 55);
     }
   });
+}
+
+TEST(Vmpi, CollectivesAbortInsteadOfDeadlockWhenRankDies) {
+  // One rank throws partway through a sequence of collectives. Every
+  // surviving rank must come out of its blocked collective with AbortError —
+  // not hang on a message that will never arrive. A watchdog bounds the
+  // whole run so a regression fails instead of deadlocking the suite.
+  struct Case {
+    const char* name;
+    void (*op)(Comm&);
+  };
+  const Case cases[] = {
+      {"barrier", [](Comm& c) { c.barrier(); }},
+      {"alltoallv",
+       [](Comm& c) {
+         std::vector<std::vector<std::uint32_t>> out(c.size());
+         for (int d = 0; d < c.size(); ++d) out[d].assign(4, 7);
+         (void)c.alltoallv(out);
+       }},
+      {"staged_alltoallv",
+       [](Comm& c) {
+         std::vector<std::vector<std::uint32_t>> out(c.size());
+         for (int d = 0; d < c.size(); ++d) out[d].assign(4, 7);
+         (void)c.staged_alltoallv(out);
+       }},
+  };
+  for (const auto& cs : cases) {
+    SCOPED_TRACE(cs.name);
+    Runtime rt(4);
+    std::atomic<int> aborted_survivors{0};
+    auto fut = std::async(std::launch::async, [&] {
+      return rt.run([&](Comm& c) {
+        try {
+          cs.op(c);  // round 1: everyone participates
+          if (c.rank() == 2) throw std::runtime_error("rank 2 dies");
+          for (int i = 0; i < 8; ++i) cs.op(c);  // rank 2 never joins
+        } catch (const vmpi::AbortError&) {
+          ++aborted_survivors;  // rank 2's own exception is not an abort
+          throw;
+        }
+      });
+    });
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready)
+        << "collective deadlocked after a rank died";
+    EXPECT_THROW(fut.get(), std::runtime_error);
+    EXPECT_EQ(aborted_survivors.load(), 3);
+  }
 }
 
 TEST(Vmpi, StagedAlltoallvEmptyBlocks) {
