@@ -57,6 +57,17 @@ struct ClusterParams {
   /// heartbeat ping — before the worker gives up (TimeoutError aborts the
   /// run; resume from the last checkpoint).
   double master_timeout = 10.0;
+  /// Worker-side bound (seconds) on waiting for the reply to a sent report
+  /// while the master is otherwise in contact. Heartbeat pings prove the
+  /// master alive but not that it received the report, so they must NOT
+  /// extend this deadline: on expiry the worker retransmits the report
+  /// (same sequence number — the master discards duplicates and re-sends
+  /// its cached reply). Without the bound, one dropped report or reply
+  /// livelocks the run with both sides looking healthy.
+  double reply_timeout = 2.0;
+  /// Retransmissions of one report before the worker gives up
+  /// (TimeoutError): the reply channel is considered irrecoverably lossy.
+  std::uint32_t reply_max_retries = 8;
   /// Write a ClusterCheckpoint every N processed worker reports
   /// (0 = checkpointing disabled). Requires checkpoint_path.
   std::uint32_t checkpoint_every_reports = 0;
@@ -88,6 +99,10 @@ struct ClusterStats {
   std::uint64_t generator_takeovers = 0;   ///< roles adopted by survivors
   std::uint64_t timeouts_fired = 0;        ///< master probe timeouts
   std::uint64_t heartbeats_sent = 0;       ///< pings from the master
+  /// Duplicate (retransmitted) reports the master discarded — each one
+  /// means a report's reply was lost or overdue and the cached reply was
+  /// re-sent instead of folding the results twice.
+  std::uint64_t reports_retransmitted = 0;
   std::uint64_t checkpoints_written = 0;
   std::uint64_t pairs_skipped_resume = 0;  ///< generation fast-forwarded
   std::uint64_t resumed_from_epoch = 0;    ///< 0 = fresh (not resumed) run

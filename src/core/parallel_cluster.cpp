@@ -1,6 +1,7 @@
 #include "core/parallel_cluster.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "gst/pair_generator.hpp"
 #include "gst/parallel_build.hpp"
 #include "util/backoff.hpp"
+#include "util/prng.hpp"
 #include "util/timer.hpp"
 
 namespace pgasm::core {
@@ -48,6 +50,17 @@ struct MasterState {
   std::vector<std::uint64_t> role_pos;
   std::vector<TakeoverOrder> orphans;  // roles awaiting a new owner
   std::uint64_t hb_epoch = 0;          // current heartbeat round
+  // Retransmission defence: seq of each worker's last processed report and
+  // the encoded bytes of the last reply sent to it. A duplicate report
+  // (same seq — the worker's reply went missing) is not re-folded; the
+  // cached reply is re-sent instead.
+  std::vector<std::uint64_t> last_seq;
+  std::vector<std::vector<std::uint8_t>> last_reply;
+
+  // Checkpoint validity: hashes of the input store and the
+  // partition-relevant params this run was started with.
+  std::uint64_t input_hash = 0;
+  std::uint64_t params_hash = 0;
 
   std::uint64_t generated = 0;  // NP pairs received
   std::uint64_t selected = 0;   // pairs admitted to Pending_Work_Buf
@@ -63,6 +76,7 @@ struct MasterState {
   std::uint64_t timeouts_fired = 0;
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t checkpoints_written = 0;
+  std::uint64_t reports_retransmitted = 0;
   std::uint64_t pairs_skipped_resume = 0;
   std::uint64_t resumed_from_epoch = 0;
   std::uint64_t ckpt_epoch = 0;
@@ -82,26 +96,81 @@ int poll_heartbeats(vmpi::Comm& comm) {
   return n;
 }
 
-/// Worker-side wait for the master's reply, polling heartbeats in short
-/// timeout slices. Throws TimeoutError when the master has failed or has
-/// been silent (no reply, no ping) for params.master_timeout seconds.
-std::vector<std::uint8_t> wait_reply_raw(vmpi::Comm& comm,
-                                         const ClusterParams& params) {
-  util::WallTimer contact;
+/// Worker-side wait for the reply answering report `seq`, polling
+/// heartbeats in short timeout slices. Pings prove the master alive but not
+/// that it got the report, so they do not extend the reply deadline: after
+/// params.reply_timeout without a matching reply (and not parked), the
+/// report is retransmitted — the master discards the duplicate by seq and
+/// re-sends its cached reply, which recovers a dropped report or a dropped
+/// reply alike. Throws TimeoutError when the master has failed, has been
+/// silent (no reply, no ping) for params.master_timeout seconds, or has
+/// not answered params.reply_max_retries retransmissions. A master that
+/// finished without this worker ever hearing a terminate (the terminate
+/// was lost) is treated as an implied terminate.
+MasterReply await_reply(vmpi::Comm& comm, const ClusterParams& params,
+                        std::uint64_t seq,
+                        const std::vector<std::uint8_t>& report_bytes) {
+  util::WallTimer contact;     // master silence: reset by pings and replies
+  util::WallTimer reply_wait;  // since the report was (re)sent
+  bool parked = false;
+  std::uint32_t retransmits = 0;
   for (;;) {
     if (poll_heartbeats(comm) > 0) contact.restart();
     if (comm.rank_failed(0))
       throw vmpi::TimeoutError("worker: master rank failed");
+    if (comm.rank_done(0)) {
+      vmpi::Status qs;
+      if (!comm.iprobe(0, kTagReply, &qs)) {
+        // The master finished and nothing is queued for us: our terminate
+        // was lost in flight. Act on the implied terminate.
+        MasterReply bye;
+        bye.terminate = 1;
+        return bye;
+      }
+    }
     const double left = params.master_timeout - contact.elapsed();
     if (left <= 0)
       throw vmpi::TimeoutError("worker: no contact from master within " +
                                std::to_string(params.master_timeout) + "s");
-    try {
-      return comm.recv_vector_timeout<std::uint8_t>(0, kTagReply,
-                                                    std::min(0.05, left));
-    } catch (const vmpi::TimeoutError&) {
-      // Slice expired; answer pings and keep waiting until the bound.
+    if (reply_wait.elapsed() >= params.reply_timeout) {
+      // Parked retransmits are uncapped keepalives: the park proved the
+      // master received the report, and the duplicate solicits the cached
+      // reply again in case the eventual dispatch was itself dropped.
+      if (!parked && ++retransmits > params.reply_max_retries)
+        throw vmpi::TimeoutError(
+            "worker: no reply from master after " +
+            std::to_string(params.reply_max_retries) + " retransmits");
+      if (params.use_ssend) {
+        comm.ssend(0, kTagReport, report_bytes.data(), report_bytes.size());
+      } else {
+        comm.send(0, kTagReport, report_bytes.data(), report_bytes.size());
+      }
+      reply_wait.restart();
     }
+    std::vector<std::uint8_t> raw;
+    try {
+      raw = comm.recv_vector_timeout<std::uint8_t>(0, kTagReply,
+                                                   std::min(0.05, left));
+    } catch (const vmpi::TimeoutError&) {
+      continue;  // slice expired; answer pings and re-check the bounds
+    }
+    contact.restart();
+    MasterReply reply;
+    {
+      auto scope = comm.compute_scope();
+      reply = decode_reply(raw);
+    }
+    if (reply.terminate) return reply;
+    if (reply.seq != seq) continue;  // stale duplicate of an older reply
+    if (reply.park) {
+      // Report acknowledged, nothing to do yet: wait for the next dispatch
+      // with keepalive (uncapped) retransmission only.
+      parked = true;
+      retransmits = 0;
+      reply_wait.restart();
+      continue;
+    }
+    return reply;
   }
 }
 
@@ -119,6 +188,8 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
   st.role_owner.assign(p, -1);
   st.role_done.assign(p, 0);
   st.role_pos.assign(p, 0);
+  st.last_seq.assign(p, 0);
+  st.last_reply.assign(p, {});
   for (int w = 1; w < p; ++w) st.role_owner[w] = w;
 
   int active_workers = p - 1;  // workers that may still generate pairs
@@ -127,6 +198,7 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     if (resume->n_fragments != n_fragments)
       throw std::invalid_argument("resume checkpoint fragment count mismatch");
     st.resumed_from_epoch = resume->epoch;
+    st.ckpt_epoch = resume->epoch;
     // Dense labels -> union-find: unite each element with the first element
     // seen carrying its label.
     std::vector<std::uint32_t> first(resume->labels.size(),
@@ -135,12 +207,20 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       const std::uint32_t l = resume->labels[i];
       if (first[l] == std::numeric_limits<std::uint32_t>::max()) {
         first[l] = i;
-      } else if (st.uf.unite(first[l], i)) {
-        ++st.merges;
+      } else {
+        st.uf.unite(first[l], i);
       }
     }
     st.pending.assign(resume->pending.begin(), resume->pending.end());
-    st.selected = st.pending.size();
+    // Resume the stats counters where the checkpoint left them, so a
+    // resumed run reports totals for the whole logical run (the counters
+    // stay consistent: selected - aligned == |pending incl. in-flight|).
+    st.generated = resume->pairs_generated;
+    st.selected = resume->pairs_selected;
+    st.aligned = resume->pairs_aligned;
+    st.accepted = resume->pairs_accepted;
+    st.merges = resume->merges;
+    st.rejected_inconsistent = resume->merges_rejected_inconsistent;
     if (static_cast<int>(resume->num_ranks) == p) {
       // Same topology: fast-forward each role's generator past the pairs
       // the master had already received. Workers read the same checkpoint.
@@ -192,6 +272,16 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
         std::min(want, room), batch, params.new_pairs_buf));
   };
 
+  // Every reply echoes the seq of the worker's last processed report and
+  // is cached, so a duplicate (retransmitted) report can be answered by
+  // re-sending the exact same reply.
+  auto send_reply = [&](int worker, MasterReply& reply) {
+    reply.seq = st.last_seq[worker];
+    const auto bytes = encode_reply(reply);
+    st.last_reply[worker] = bytes;
+    comm.send(worker, kTagReply, bytes.data(), bytes.size());
+  };
+
   auto dispatch = [&](int worker) {
     MasterReply reply;
     const std::size_t take = std::min<std::size_t>(batch, st.pending.size());
@@ -213,11 +303,10 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     }
     reply.request_r = st.exhausted[worker] ? 0 : compute_r();
     reply.terminate = 0;
-    const auto bytes = encode_reply(reply);
-    comm.send(worker, kTagReply, bytes.data(), bytes.size());
     st.owed[worker] += reply.batch.size();
     if (!reply.batch.empty())
-      st.in_flight[worker].push_back(std::move(reply.batch));
+      st.in_flight[worker].push_back(reply.batch);
+    send_reply(worker, reply);
   };
 
   int remaining = p - 1;  // workers neither terminated nor declared dead
@@ -256,8 +345,7 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     // master_timeout; a genuinely dead rank simply never reads the message.
     MasterReply bye;
     bye.terminate = 1;
-    const auto bytes = encode_reply(bye);
-    comm.send(w, kTagReply, bytes.data(), bytes.size());
+    send_reply(w, bye);
     st.terminated[w] = 1;
   };
 
@@ -327,8 +415,7 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       st.idle.pop_front();
       MasterReply bye;
       bye.terminate = 1;
-      const auto bytes = encode_reply(bye);
-      comm.send(iw, kTagReply, bytes.data(), bytes.size());
+      send_reply(iw, bye);
       st.terminated[iw] = 1;
       --remaining;
     }
@@ -340,6 +427,8 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     ck.epoch = ++st.ckpt_epoch;
     ck.num_ranks = static_cast<std::uint32_t>(p);
     ck.n_fragments = static_cast<std::uint32_t>(n_fragments);
+    ck.input_hash = st.input_hash;
+    ck.params_hash = st.params_hash;
     ck.labels = st.uf.labels();
     ck.pending.assign(st.pending.begin(), st.pending.end());
     // In-flight batches are part of the recoverable pending set: their
@@ -420,10 +509,22 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       }
       MasterReply bye;
       bye.terminate = 1;
-      const auto bytes = encode_reply(bye);
-      comm.send(w, kTagReply, bytes.data(), bytes.size());
+      send_reply(w, bye);
       continue;
     }
+
+    if (report.seq != 0 && report.seq == st.last_seq[w]) {
+      // Retransmitted report: the reply we sent for it was lost or is
+      // overdue. Do not fold the results again — re-send the cached reply
+      // (dispatch, park, or terminate, whichever it was).
+      ++st.reports_retransmitted;
+      if (!st.last_reply[w].empty()) {
+        comm.send(w, kTagReply, st.last_reply[w].data(),
+                  st.last_reply[w].size());
+      }
+      continue;
+    }
+    st.last_seq[w] = report.seq;
 
     {
       auto scope = comm.compute_scope();
@@ -477,7 +578,13 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       // with an empty batch so the next report flushes them.
       dispatch(w);
     } else {
-      st.idle.push_back(w);  // passive, drained, nothing to align right now
+      // Passive, drained, nothing to align right now: park it. The explicit
+      // park reply acknowledges the report so the worker stops
+      // retransmitting and waits quietly for a dispatch or terminate.
+      MasterReply park;
+      park.park = 1;
+      send_reply(w, park);
+      st.idle.push_back(w);
     }
 
     if (params.checkpoint_every_reports > 0 &&
@@ -567,10 +674,30 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
   std::vector<PairMsg> batch;      // AW: allocated by master last reply
   std::vector<ResultMsg> results;  // AR: results of the previous batch
   std::uint32_t r = params.batch_size;
+  std::uint64_t report_seq = 0;
 
   for (;;) {
     poll_heartbeats(comm);
+    // An unsolicited reply can already be queued: a terminate (this worker
+    // was declared dead — a false positive, since it is here) or a stale
+    // duplicate of the reply just consumed (retransmission crossfire).
+    // Consuming a terminate *before* the synchronous report send closes the
+    // deadlock window where the master stops listening while this worker
+    // blocks in ssend; duplicates are simply discarded.
+    {
+      bool terminated = false;
+      vmpi::Status qs;
+      while (comm.iprobe(0, kTagReply, &qs)) {
+        const auto raw = comm.recv_vector<std::uint8_t>(0, kTagReply);
+        if (decode_reply(raw).terminate) {
+          terminated = true;
+          break;
+        }
+      }
+      if (terminated) break;
+    }
     WorkerReport report;
+    report.seq = ++report_seq;
     report.results = std::move(results);
     results.clear();
     {
@@ -625,12 +752,7 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
     }
     batch.clear();
 
-    const auto reply_raw = wait_reply_raw(comm, params);
-    MasterReply reply;
-    {
-      auto scope = comm.compute_scope();
-      reply = decode_reply(reply_raw);
-    }
+    const MasterReply reply = await_reply(comm, params, report_seq, bytes);
     if (reply.terminate) break;
     batch = std::move(reply.batch);
     r = reply.request_r;
@@ -648,6 +770,58 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
 }
 
 }  // namespace
+
+std::uint64_t cluster_input_hash(const seq::FragmentStore& fragments) {
+  // FNV-1a per fragment (codes + length), folded through splitmix64 so
+  // fragment boundaries and order matter.
+  std::uint64_t h = 0x50474153ULL ^
+                    (fragments.size() * 0x9e3779b97f4a7c15ULL);
+  for (seq::FragmentId id = 0; id < fragments.size(); ++id) {
+    const auto s = fragments.seq(id);
+    std::uint64_t f = 0xcbf29ce484222325ULL;
+    for (const auto c : s) {
+      f ^= static_cast<std::uint64_t>(c);
+      f *= 0x100000001b3ULL;
+    }
+    std::uint64_t state = h ^ f ^ (s.size() + 1);
+    h = util::splitmix64(state);
+  }
+  return h;
+}
+
+std::uint64_t cluster_params_hash(const ClusterParams& params) {
+  // Only fields that influence the resulting partition or the pair streams
+  // a checkpoint's generator positions refer to. Operational knobs
+  // (timeouts, checkpoint cadence, ssend ablation) are deliberately left
+  // out: changing them between a run and its resume is legitimate.
+  std::uint64_t h = 0x636b70682d7632ULL;  // "ckph-v2"
+  auto mix = [&h](std::uint64_t v) {
+    std::uint64_t state = h ^ v;
+    h = util::splitmix64(state);
+  };
+  auto mix_double = [&](double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  };
+  mix(params.psi);
+  mix(params.prefix_w);
+  mix(static_cast<std::uint64_t>(params.overlap.scoring.match));
+  mix(static_cast<std::uint64_t>(params.overlap.scoring.mismatch));
+  mix(static_cast<std::uint64_t>(params.overlap.scoring.gap));
+  mix(static_cast<std::uint64_t>(params.overlap.scoring.gap_open));
+  mix(static_cast<std::uint64_t>(params.overlap.scoring.gap_extend));
+  mix(params.overlap.min_overlap);
+  mix_double(params.overlap.min_identity);
+  mix(params.overlap.band);
+  mix(params.batch_size);
+  mix(params.dup_elim ? 1 : 0);
+  mix(params.ordered ? 1 : 0);
+  mix(params.resolve_inconsistent ? 1 : 0);
+  mix(static_cast<std::uint64_t>(params.placement_tolerance));
+  mix(params.adaptive_batch ? 1 : 0);
+  return h;
+}
 
 ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
                                        const ClusterParams& params,
@@ -668,6 +842,20 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   std::vector<double> gst_busy(num_ranks, 0.0);
   std::vector<double> gst_wall(num_ranks, 0.0);
   MasterState master;
+  master.input_hash = cluster_input_hash(fragments);
+  master.params_hash = cluster_params_hash(params);
+  if (resume) {
+    if (resume->n_fragments != fragments.size())
+      throw std::invalid_argument(
+          "resume checkpoint fragment count mismatch");
+    if (resume->input_hash != 0 && resume->input_hash != master.input_hash)
+      throw std::invalid_argument(
+          "resume checkpoint was written for a different input");
+    if (resume->params_hash != 0 && resume->params_hash != master.params_hash)
+      throw std::invalid_argument(
+          "resume checkpoint was written with different clustering "
+          "parameters");
+  }
 
   util::WallTimer total_timer;
   vmpi::Runtime rt(num_ranks, cost_params, faults);
@@ -704,6 +892,7 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   stats.generator_takeovers = master.takeovers;
   stats.timeouts_fired = master.timeouts_fired;
   stats.heartbeats_sent = master.heartbeats_sent;
+  stats.reports_retransmitted = master.reports_retransmitted;
   stats.checkpoints_written = master.checkpoints_written;
   stats.pairs_skipped_resume = master.pairs_skipped_resume;
   stats.resumed_from_epoch = master.resumed_from_epoch;

@@ -36,6 +36,16 @@ struct ParallelClusterResult {
   vmpi::RunCost cost;  ///< per-rank ledgers of the whole run
 };
 
+/// Content hash of a fragment store (order- and boundary-sensitive), stored
+/// in checkpoints so resume can refuse a file written for different input.
+std::uint64_t cluster_input_hash(const seq::FragmentStore& fragments);
+
+/// Hash of the partition-relevant clustering parameters (ψ, w, scoring,
+/// batch/ordering knobs). Operational knobs — timeouts, checkpoint cadence,
+/// the ssend ablation — are excluded: changing them across a resume is
+/// legitimate.
+std::uint64_t cluster_params_hash(const ClusterParams& params);
+
 /// Run the full parallel clustering pipeline (distributed GST build +
 /// master-worker overlap detection) on `num_ranks` virtual ranks.
 /// Requires num_ranks >= 2 (one master + at least one worker).
@@ -44,7 +54,9 @@ struct ParallelClusterResult {
 /// (optional) restores master state from a previous run's checkpoint; the
 /// generation fast-forward applies only when the rank count matches the
 /// checkpoint's (pair streams are per-role), otherwise generation restarts
-/// and the union-find filter discards the already-merged pairs.
+/// and the union-find filter discards the already-merged pairs. Throws
+/// std::invalid_argument if the checkpoint's fragment count or (nonzero)
+/// input/params hashes do not match this run's.
 ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
                                        const ClusterParams& params,
                                        int num_ranks,

@@ -9,7 +9,7 @@ namespace pgasm::core {
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x4b434750;  // "PGCK"
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;  // v2: input/params hashes
 
 template <typename T>
 void append_pod(std::vector<std::uint8_t>& out, const T& v) {
@@ -56,9 +56,10 @@ std::vector<T> read_vec(const std::vector<std::uint8_t>& in,
 
 std::vector<std::uint8_t> encode_report(const WorkerReport& r) {
   std::vector<std::uint8_t> out;
-  out.reserve(13 + r.results.size() * sizeof(ResultMsg) +
+  out.reserve(21 + r.results.size() * sizeof(ResultMsg) +
               r.new_pairs.size() * sizeof(PairMsg) +
               r.progress.size() * sizeof(RoleProgress));
+  append_pod(out, r.seq);
   append_vec(out, r.results);
   append_vec(out, r.new_pairs);
   append_vec(out, r.progress);
@@ -69,6 +70,7 @@ std::vector<std::uint8_t> encode_report(const WorkerReport& r) {
 WorkerReport decode_report(const std::vector<std::uint8_t>& bytes) {
   WorkerReport r;
   std::size_t off = 0;
+  r.seq = read_pod<std::uint64_t>(bytes, off);
   r.results = read_vec<ResultMsg>(bytes, off);
   r.new_pairs = read_vec<PairMsg>(bytes, off);
   r.progress = read_vec<RoleProgress>(bytes, off);
@@ -79,25 +81,29 @@ WorkerReport decode_report(const std::vector<std::uint8_t>& bytes) {
 
 std::vector<std::uint8_t> encode_reply(const MasterReply& r) {
   std::vector<std::uint8_t> out;
-  out.reserve(13 + r.batch.size() * sizeof(PairMsg) +
+  out.reserve(22 + r.batch.size() * sizeof(PairMsg) +
               r.takeovers.size() * sizeof(TakeoverOrder));
+  append_pod(out, r.seq);
   append_vec(out, r.batch);
   append_vec(out, r.takeovers);
   const std::size_t base = out.size();
-  out.resize(base + 5);
+  out.resize(base + 6);
   std::memcpy(out.data() + base, &r.request_r, 4);
   out[base + 4] = r.terminate;
+  out[base + 5] = r.park;
   return out;
 }
 
 MasterReply decode_reply(const std::vector<std::uint8_t>& bytes) {
   MasterReply r;
   std::size_t off = 0;
+  r.seq = read_pod<std::uint64_t>(bytes, off);
   r.batch = read_vec<PairMsg>(bytes, off);
   r.takeovers = read_vec<TakeoverOrder>(bytes, off);
-  if (off + 5 > bytes.size()) throw std::runtime_error("wire: bad reply");
+  if (off + 6 > bytes.size()) throw std::runtime_error("wire: bad reply");
   std::memcpy(&r.request_r, bytes.data() + off, 4);
   r.terminate = bytes[off + 4];
+  r.park = bytes[off + 5];
   return r;
 }
 
@@ -110,6 +116,8 @@ std::vector<std::uint8_t> encode_checkpoint(const ClusterCheckpoint& c) {
   append_pod(out, c.epoch);
   append_pod(out, c.num_ranks);
   append_pod(out, c.n_fragments);
+  append_pod(out, c.input_hash);
+  append_pod(out, c.params_hash);
   append_vec(out, c.labels);
   append_vec(out, c.pending);
   append_vec(out, c.progress);
@@ -132,6 +140,8 @@ ClusterCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& bytes) {
   c.epoch = read_pod<std::uint64_t>(bytes, off);
   c.num_ranks = read_pod<std::uint32_t>(bytes, off);
   c.n_fragments = read_pod<std::uint32_t>(bytes, off);
+  c.input_hash = read_pod<std::uint64_t>(bytes, off);
+  c.params_hash = read_pod<std::uint64_t>(bytes, off);
   c.labels = read_vec<std::uint32_t>(bytes, off);
   c.pending = read_vec<PairMsg>(bytes, off);
   c.progress = read_vec<RoleProgress>(bytes, off);

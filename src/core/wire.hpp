@@ -55,6 +55,11 @@ struct TakeoverOrder {
 };
 
 struct WorkerReport {
+  /// 1-based per-worker report sequence number. A retransmitted report
+  /// (reply lost or overdue) carries the same seq, so the master can
+  /// discard the duplicate and re-send its cached reply instead of folding
+  /// the results twice. 0 = unsequenced (never matches a duplicate).
+  std::uint64_t seq = 0;
   std::vector<ResultMsg> results;     ///< AR
   std::vector<PairMsg> new_pairs;     ///< NP
   std::vector<RoleProgress> progress; ///< per generation role held
@@ -62,10 +67,15 @@ struct WorkerReport {
 };
 
 struct MasterReply {
+  std::uint64_t seq = 0;  ///< echoes the report seq this reply answers
   std::vector<PairMsg> batch;           ///< AW
   std::vector<TakeoverOrder> takeovers; ///< roles to adopt (usually empty)
   std::uint32_t request_r = 0;          ///< pairs to send in the next report
   std::uint8_t terminate = 0;
+  /// Passive worker, nothing to align: wait quietly for the next dispatch
+  /// or terminate without retransmitting the report (heartbeat pings keep
+  /// the worker's master-silence clock fresh meanwhile).
+  std::uint8_t park = 0;
 };
 
 std::vector<std::uint8_t> encode_report(const WorkerReport& r);
@@ -83,6 +93,14 @@ struct ClusterCheckpoint {
   std::uint64_t epoch = 0;      ///< checkpoint sequence number, 1-based
   std::uint32_t num_ranks = 0;  ///< ranks of the writing run
   std::uint32_t n_fragments = 0;
+  /// Content hash of the input fragment store and of the partition-relevant
+  /// clustering parameters (cluster_input_hash / cluster_params_hash).
+  /// Resume refuses a checkpoint whose hashes do not match the run's — a
+  /// stale file from a different input or configuration would otherwise be
+  /// resumed silently and produce a wrong partition. 0 = unknown (hand-built
+  /// checkpoints), which skips the check.
+  std::uint64_t input_hash = 0;
+  std::uint64_t params_hash = 0;
   std::vector<std::uint32_t> labels;  ///< union-find dense labeling
   std::vector<PairMsg> pending;       ///< selected pairs not yet folded
   std::vector<RoleProgress> progress; ///< per-role generation positions

@@ -60,6 +60,32 @@ struct DistributedGst {
   /// assignment). Kept so a survivor can rebuild a dead rank's portion.
   std::vector<std::int32_t> bucket_owner;
   GstBuildStats stats;
+
+  // `tree` references `local_store`, so moves must re-seat that reference
+  // at the store's new address — the defaults would leave the tree pointing
+  // into the moved-from (soon destroyed) object. Bites whenever a factory
+  // return value is moved into place, e.g. the generator-takeover path's
+  // make_unique<DistributedGst>(rebuild_rank_portion(...)).
+  DistributedGst() = default;
+  DistributedGst(DistributedGst&& o) noexcept
+      : local_store(std::move(o.local_store)),
+        local_to_global(std::move(o.local_to_global)),
+        tree(std::move(o.tree)),
+        bucket_owner(std::move(o.bucket_owner)),
+        stats(o.stats) {
+    if (tree) tree->rebind_store(local_store);
+  }
+  DistributedGst& operator=(DistributedGst&& o) noexcept {
+    if (this != &o) {
+      local_store = std::move(o.local_store);
+      local_to_global = std::move(o.local_to_global);
+      tree = std::move(o.tree);
+      bucket_owner = std::move(o.bucket_owner);
+      stats = o.stats;
+      if (tree) tree->rebind_store(local_store);
+    }
+    return *this;
+  }
 };
 
 /// Contiguous fragment partition: rank r owns sequence ids

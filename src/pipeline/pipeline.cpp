@@ -135,8 +135,15 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
       if (cp.checkpoint_every_reports == 0) cp.checkpoint_every_reports = 64;
       try {
         resume_ck = core::load_checkpoint(cp.checkpoint_path);
-        // Only resume a checkpoint written for this very input.
-        has_resume = resume_ck.n_fragments == result.pre.store.size();
+        // Only resume a checkpoint written for this very input and
+        // configuration; a stale file falls back to a fresh run.
+        has_resume =
+            resume_ck.n_fragments == result.pre.store.size() &&
+            (resume_ck.input_hash == 0 ||
+             resume_ck.input_hash ==
+                 core::cluster_input_hash(result.pre.store)) &&
+            (resume_ck.params_hash == 0 ||
+             resume_ck.params_hash == core::cluster_params_hash(cp));
       } catch (const std::exception&) {
         has_resume = false;  // no (or unreadable) checkpoint: fresh run
       }

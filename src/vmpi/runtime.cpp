@@ -27,8 +27,9 @@ double fault_uniform(std::uint64_t seed, int rank, std::uint64_t idx,
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
-std::string rank_failed_msg(const char* what, int source) {
-  return std::string(what) + ": rank " + std::to_string(source) + " failed";
+std::string rank_gone_msg(const char* what, int source, bool failed) {
+  return std::string(what) + ": rank " + std::to_string(source) +
+         (failed ? " failed" : " finished");
 }
 
 }  // namespace
@@ -88,6 +89,9 @@ void Comm::send_impl(int dest, std::int64_t tag, const void* data,
     ++shared_->fault_counters.sends_to_dead;
     return;  // synchronous sends complete immediately: no one will consume
   }
+  if (shared_->done[static_cast<std::size_t>(dest)].load()) {
+    return;  // receiver finished its body: discard, never block
+  }
 
   detail::Message msg;
   msg.source = rank_;
@@ -108,18 +112,20 @@ void Comm::send_impl(int dest, std::int64_t tag, const void* data,
   box.cv.notify_all();
   if (sync) {
     // Rendezvous on the destination mailbox cv. The predicate re-checks
-    // abort and destination death on every wake, so a receiver that never
-    // consumes cannot strand the sender (the old promise/future rendezvous
-    // deadlocked here).
+    // abort and destination death/completion on every wake, so a receiver
+    // that never consumes cannot strand the sender (the old promise/future
+    // rendezvous deadlocked here).
     box.cv.wait(lock, [&] {
       return consumed->load() || shared_->aborted.load() ||
-             shared_->dead[static_cast<std::size_t>(dest)].load();
+             shared_->dead[static_cast<std::size_t>(dest)].load() ||
+             shared_->done[static_cast<std::size_t>(dest)].load();
     });
     if (!consumed->load()) {
       if (shared_->dead[static_cast<std::size_t>(dest)].load()) {
         ++shared_->fault_counters.sends_to_dead;
         return;
       }
+      if (shared_->done[static_cast<std::size_t>(dest)].load()) return;
       throw AbortError("vmpi aborted during ssend");
     }
   }
@@ -152,15 +158,17 @@ std::vector<std::byte> Comm::recv_impl(
       }
       return std::move(msg.payload);
     }
-    // No match queued. A specific failed source can never deliver: fail
-    // fast instead of blocking until the deadline (or forever).
+    // No match queued. A specific failed or finished source can never
+    // deliver: fail fast instead of blocking until the deadline (forever).
     if (source != kAnySource && source != rank_ &&
-        shared_->dead[static_cast<std::size_t>(source)].load()) {
+        (shared_->dead[static_cast<std::size_t>(source)].load() ||
+         shared_->done[static_cast<std::size_t>(source)].load())) {
+      const bool failed = shared_->dead[static_cast<std::size_t>(source)].load();
       if (deadline) {
         ++shared_->fault_counters.timeouts_fired;
-        throw TimeoutError(rank_failed_msg("recv", source));
+        throw TimeoutError(rank_gone_msg("recv", source, failed));
       }
-      throw AbortError(rank_failed_msg("recv", source));
+      throw AbortError(rank_gone_msg("recv", source, failed));
     }
     if (deadline) {
       if (std::chrono::steady_clock::now() >= *deadline) {
@@ -200,12 +208,14 @@ Status Comm::probe_impl(int source, int tag,
       }
     }
     if (source != kAnySource && source != rank_ &&
-        shared_->dead[static_cast<std::size_t>(source)].load()) {
+        (shared_->dead[static_cast<std::size_t>(source)].load() ||
+         shared_->done[static_cast<std::size_t>(source)].load())) {
+      const bool failed = shared_->dead[static_cast<std::size_t>(source)].load();
       if (deadline) {
         ++shared_->fault_counters.timeouts_fired;
-        throw TimeoutError(rank_failed_msg("probe", source));
+        throw TimeoutError(rank_gone_msg("probe", source, failed));
       }
-      throw AbortError(rank_failed_msg("probe", source));
+      throw AbortError(rank_gone_msg("probe", source, failed));
     }
     if (deadline) {
       if (std::chrono::steady_clock::now() >= *deadline) {
@@ -303,6 +313,7 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
   // Fresh state per run: clear mailboxes, abort flag, dead flags, counters.
   shared_->aborted.store(false);
   for (auto& d : shared_->dead) d.store(false);
+  for (auto& d : shared_->done) d.store(false);
   shared_->fault_counters.reset();
   for (auto& box : shared_->boxes) {
     std::lock_guard<std::mutex> lock(box.mu);
@@ -321,6 +332,10 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
       Comm comm(*shared_, r);
       try {
         body(comm);
+        // Normal return: complete any synchronous sends still rendezvoused
+        // on this rank's mailbox so no peer hangs on a message this rank
+        // will never consume.
+        shared_->mark_done(r);
       } catch (const KilledError&) {
         // Injected crash: this rank dies quietly. Survivors observe the
         // failure via timeouts / rank_failed, not a run-wide abort.

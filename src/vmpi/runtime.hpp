@@ -17,6 +17,10 @@
 // without aborting the run); surviving ranks observe the failure only
 // through the deadline-carrying recv_timeout/probe_timeout calls (which
 // throw TimeoutError) or the rank_failed() failure-detector oracle.
+// A rank whose body returns normally is marked *finished*: sends to it are
+// discarded (synchronous sends complete instead of blocking on a receiver
+// that will never consume), and receives from it fail fast once its queued
+// messages are drained. Peers distinguish the two via rank_done().
 // Faults apply to the user channel only — losing a collective-internal
 // message cannot be recovered by any protocol built above it, so a rank
 // death during a collective aborts the run instead.
@@ -166,13 +170,15 @@ struct SharedState {
         cost(params),
         faults(std::move(plan)),
         boxes(static_cast<std::size_t>(p)),
-        dead(static_cast<std::size_t>(p)) {}
+        dead(static_cast<std::size_t>(p)),
+        done(static_cast<std::size_t>(p)) {}
 
   int num_ranks;
   CostParams cost;
   FaultPlan faults;
   std::vector<Mailbox> boxes;
   std::vector<std::atomic<bool>> dead;
+  std::vector<std::atomic<bool>> done;  ///< body returned normally
   std::atomic<bool> aborted{false};
   FaultCounters fault_counters;
 
@@ -193,6 +199,28 @@ struct SharedState {
   void mark_dead(int r) {
     dead[static_cast<std::size_t>(r)].store(true);
     ++fault_counters.ranks_failed;
+    {
+      auto& box = boxes[static_cast<std::size_t>(r)];
+      std::lock_guard<std::mutex> lock(box.mu);
+      for (auto& m : box.queue) {
+        if (m.consumed) m.consumed->store(true);
+      }
+      box.queue.clear();
+    }
+    for (auto& box : boxes) {
+      std::lock_guard<std::mutex> lock(box.mu);
+      box.cv.notify_all();
+    }
+  }
+
+  /// Record rank r's normal completion. Like mark_dead, pending synchronous
+  /// sends rendezvoused on its mailbox are completed and every waiter is
+  /// woken — a peer blocked in an ssend to a rank that has already returned
+  /// (e.g. a worker falsely declared dead reporting to a master that
+  /// finished) would otherwise hang the join forever — but the rank is not
+  /// counted as failed and rank_failed() stays false for it.
+  void mark_done(int r) {
+    done[static_cast<std::size_t>(r)].store(true);
     {
       auto& box = boxes[static_cast<std::size_t>(r)];
       std::lock_guard<std::mutex> lock(box.mu);
@@ -233,7 +261,8 @@ class Comm {
   /// Synchronous send: returns only after the receiver has consumed the
   /// message (the paper uses MPI_Ssend to avoid master-side buffer
   /// overflow; we reproduce the semantics). Returns immediately if the
-  /// destination rank has failed (the message is charged and discarded).
+  /// destination rank has failed or finished (the message is charged and
+  /// discarded — no one is left to consume it).
   void ssend(int dest, int tag, const void* data, std::size_t n) {
     send_impl(dest, tag, data, n, /*internal=*/false, /*sync=*/true);
   }
@@ -243,7 +272,7 @@ class Comm {
 
   /// Receive with a deadline: throws TimeoutError if no matching message
   /// arrives within timeout_s seconds, or immediately if `source` names a
-  /// rank that has failed and no matching message is queued.
+  /// rank that has failed or finished and no matching message is queued.
   std::vector<std::byte> recv_timeout(int source, int tag, double timeout_s,
                                       Status* status = nullptr);
 
@@ -262,6 +291,15 @@ class Comm {
   bool rank_failed(int r) const {
     return r >= 0 && r < size() &&
            shared_->dead[static_cast<std::size_t>(r)].load();
+  }
+
+  /// Has rank r's body returned normally? A finished rank sends nothing
+  /// further, so anything it ever sent is already queued (or lost to
+  /// injected drops); a peer still waiting on it can act on that instead of
+  /// running out its silence timeout.
+  bool rank_done(int r) const {
+    return r >= 0 && r < size() &&
+           shared_->done[static_cast<std::size_t>(r)].load();
   }
 
   // --- typed convenience wrappers ---------------------------------------

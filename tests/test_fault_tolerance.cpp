@@ -216,6 +216,47 @@ TEST(FaultVmpi, SsendToDeadRankCompletes) {
   EXPECT_GE(cost.faults.sends_to_dead, 1u);
 }
 
+TEST(FaultVmpi, SsendToFinishedRankCompletes) {
+  // A rank that returns normally (finished, not failed) must release
+  // synchronous senders blocked on it and fail pending receives fast —
+  // otherwise a worker falsely declared dead that ssends one last report
+  // after the master exits would hang the whole run at thread join.
+  vmpi::Runtime rt(2);
+  run_with_watchdog([&] {
+    return rt.run([&](vmpi::Comm& comm) {
+      if (comm.rank() == 1) {
+        // Never receives; finishes while the peer is mid-rendezvous.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      } else {
+        const int v = 42;
+        comm.ssend(1, 4, &v, sizeof(v));  // blocks until rank 1 finishes
+        EXPECT_TRUE(comm.rank_done(1));
+        EXPECT_FALSE(comm.rank_failed(1));
+        // Nothing will ever arrive from a finished rank: prompt timeout,
+        // not a 5-second wait.
+        util::WallTimer t;
+        EXPECT_THROW(comm.recv_timeout(1, 9, 5.0), vmpi::TimeoutError);
+        EXPECT_LT(t.elapsed(), 1.0);
+      }
+    });
+  });
+}
+
+TEST(FaultVmpi, SendToFinishedRankIsDiscarded) {
+  vmpi::Runtime rt(2);
+  run_with_watchdog([&] {
+    return rt.run([&](vmpi::Comm& comm) {
+      if (comm.rank() == 0) {
+        while (!comm.rank_done(1))
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        comm.send_value(1, 5, 7);  // discarded, must not throw or block
+        const int v = 9;
+        comm.ssend(1, 5, &v, sizeof(v));  // completes immediately
+      }
+    });
+  });
+}
+
 TEST(FaultVmpi, SeededDropsAreDeterministic) {
   auto count_drops = [&] {
     vmpi::FaultPlan plan;
@@ -251,12 +292,16 @@ TEST(Checkpoint, EncodeDecodeRoundTrip) {
   c.labels = {0, 1, 0};
   c.pending = {{1, 2, 3, 4, 5}, {6, 7, 8, 9, 10}};
   c.progress = {{1, 0, 100}, {2, 1, 50}, {3, 0, 0}};
+  c.input_hash = 0x1122334455667788ULL;
+  c.params_hash = 0x99aabbccddeeff00ULL;
   c.pairs_generated = 1000;
   c.pairs_aligned = 400;
   c.merges = 7;
   const auto back = core::decode_checkpoint(core::encode_checkpoint(c));
   EXPECT_EQ(back.epoch, 9u);
   EXPECT_EQ(back.num_ranks, 4u);
+  EXPECT_EQ(back.input_hash, 0x1122334455667788ULL);
+  EXPECT_EQ(back.params_hash, 0x99aabbccddeeff00ULL);
   ASSERT_EQ(back.labels.size(), 3u);
   EXPECT_EQ(back.labels[2], 0u);
   ASSERT_EQ(back.pending.size(), 2u);
@@ -294,6 +339,68 @@ TEST(Checkpoint, SaveLoadRoundTrip) {
   ASSERT_EQ(back.pending.size(), 1u);
   std::remove(path.c_str());
   EXPECT_THROW(core::load_checkpoint(path), std::runtime_error);
+}
+
+TEST(Checkpoint, HashesTrackInputAndParams) {
+  util::Prng rng(11);
+  const auto store = sampled_reads(rng, 800, 24, 100, 0.01);
+  util::Prng rng2(11);
+  const auto same = sampled_reads(rng2, 800, 24, 100, 0.01);
+  EXPECT_EQ(core::cluster_input_hash(store), core::cluster_input_hash(same));
+
+  // Same read count, different content: content must drive the hash.
+  util::Prng rng3(13);
+  const auto other = sampled_reads(rng3, 800, 24, 100, 0.01);
+  EXPECT_NE(core::cluster_input_hash(store), core::cluster_input_hash(other));
+
+  const auto params = fault_params();
+  auto partition_relevant = params;
+  partition_relevant.psi += 2;
+  EXPECT_NE(core::cluster_params_hash(params),
+            core::cluster_params_hash(partition_relevant));
+  // Operational knobs must NOT invalidate a checkpoint: retuning timeouts
+  // or checkpoint cadence between a run and its resume is legitimate.
+  auto operational = params;
+  operational.worker_timeout *= 3;
+  operational.master_timeout *= 2;
+  operational.reply_timeout *= 2;
+  operational.checkpoint_every_reports = 7;
+  operational.use_ssend = !operational.use_ssend;
+  EXPECT_EQ(core::cluster_params_hash(params),
+            core::cluster_params_hash(operational));
+}
+
+TEST(Checkpoint, MismatchedResumeRefused) {
+  util::Prng rng(12);
+  const auto store = sampled_reads(rng, 800, 24, 100, 0.01);
+  const auto params = fault_params();
+
+  core::ClusterCheckpoint ck;
+  ck.epoch = 1;
+  ck.num_ranks = 3;
+  ck.n_fragments = static_cast<std::uint32_t>(store.size());
+  ck.labels.resize(store.size());
+  for (std::uint32_t i = 0; i < ck.labels.size(); ++i) ck.labels[i] = i;
+
+  // Wrong input content (same fragment count).
+  ck.input_hash = core::cluster_input_hash(store) ^ 1;
+  ck.params_hash = core::cluster_params_hash(params);
+  EXPECT_THROW(cluster_parallel(store, params, 3, {}, {}, &ck),
+               std::invalid_argument);
+
+  // Wrong partition-relevant parameters.
+  ck.input_hash = core::cluster_input_hash(store);
+  auto other = params;
+  other.psi += 2;
+  EXPECT_THROW(cluster_parallel(store, other, 3, {}, {}, &ck),
+               std::invalid_argument);
+
+  // Wrong fragment count (checked even with unknown hashes).
+  ck.input_hash = 0;
+  ck.params_hash = 0;
+  ck.n_fragments += 1;
+  EXPECT_THROW(cluster_parallel(store, params, 3, {}, {}, &ck),
+               std::invalid_argument);
 }
 
 // --- clustering under faults ----------------------------------------------
@@ -345,6 +452,74 @@ TEST(FaultCluster, CrashPlusDelaysStillSamePartition) {
   expect_same_partition(faulty.clusters, faulty2.clusters);
 }
 
+TEST(FaultCluster, DroppedReportRecovers) {
+  util::Prng rng(404);
+  const auto store = sampled_reads(rng, 1600, 48, 100, 0.01);
+  auto params = fault_params();
+  // No heartbeat pings (huge probe timeout): user-send indices are then
+  // deterministic, so worker 1's send #1 is exactly its first report.
+  params.worker_timeout = 30.0;
+  params.worker_timeout_cap = 30.0;
+  params.reply_timeout = 0.2;
+
+  const auto baseline =
+      run_with_watchdog([&] { return cluster_parallel(store, params, 3); });
+
+  vmpi::FaultPlan plan;
+  plan.drops.push_back({.rank = 1, .at_send = 1});  // first report lost
+  const auto faulty = run_with_watchdog(
+      [&] { return cluster_parallel(store, params, 3, {}, plan); });
+
+  EXPECT_EQ(faulty.cost.faults.messages_dropped, 1u);
+  // The master never saw the original, so the retransmission is folded as a
+  // fresh report (not discarded as a duplicate) and no work is lost.
+  EXPECT_EQ(faulty.stats.workers_lost, 0u);
+  expect_same_partition(baseline.clusters, faulty.clusters);
+}
+
+TEST(FaultCluster, DroppedReplyRecoversViaRetransmit) {
+  util::Prng rng(405);
+  const auto store = sampled_reads(rng, 1600, 48, 100, 0.01);
+  auto params = fault_params();
+  params.worker_timeout = 30.0;  // no pings: master's send #1 is a reply
+  params.worker_timeout_cap = 30.0;
+  params.reply_timeout = 0.2;
+
+  const auto baseline =
+      run_with_watchdog([&] { return cluster_parallel(store, params, 3); });
+
+  vmpi::FaultPlan plan;
+  plan.drops.push_back({.rank = 0, .at_send = 1});  // first reply lost
+  const auto faulty = run_with_watchdog(
+      [&] { return cluster_parallel(store, params, 3, {}, plan); });
+
+  EXPECT_EQ(faulty.cost.faults.messages_dropped, 1u);
+  // The worker retransmitted the unanswered report; the master discarded
+  // the duplicate by sequence number and re-sent its cached reply.
+  EXPECT_GE(faulty.stats.reports_retransmitted, 1u);
+  EXPECT_EQ(faulty.stats.workers_lost, 0u);
+  expect_same_partition(baseline.clusters, faulty.clusters);
+}
+
+TEST(FaultCluster, RandomDropsStillSamePartition) {
+  util::Prng rng(406);
+  const auto store = sampled_reads(rng, 1600, 48, 100, 0.01);
+  auto params = fault_params();
+  params.reply_timeout = 0.2;
+
+  const auto baseline =
+      run_with_watchdog([&] { return cluster_parallel(store, params, 4); });
+
+  vmpi::FaultPlan plan;
+  plan.seed = 4242;
+  plan.drop_prob = 0.03;  // reports, replies, pings, acks all at risk
+  const auto faulty = run_with_watchdog(
+      [&] { return cluster_parallel(store, params, 4, {}, plan); });
+
+  EXPECT_GT(faulty.cost.faults.messages_dropped, 0u);
+  expect_same_partition(baseline.clusters, faulty.clusters);
+}
+
 TEST(FaultCluster, MasterCrashThenCheckpointResumeCompletes) {
   util::Prng rng(31415);
   const auto store = sampled_reads(rng, 2400, 64, 100, 0.01);
@@ -372,17 +547,26 @@ TEST(FaultCluster, MasterCrashThenCheckpointResumeCompletes) {
   EXPECT_GE(ckpt.epoch, 1u);
   EXPECT_EQ(ckpt.n_fragments, store.size());
   EXPECT_GT(ckpt.merges + ckpt.pending.size() + ckpt.pairs_aligned, 0u);
+  // The checkpoint carries the hashes resume validation checks against.
+  EXPECT_EQ(ckpt.input_hash, core::cluster_input_hash(store));
+  EXPECT_EQ(ckpt.params_hash, core::cluster_params_hash(params));
 
-  // Resume fault-free: identical partition, and strictly less work than a
-  // fresh run — completed merges are not re-aligned, and generation
+  // Resume fault-free: identical partition. Stats counters continue from
+  // the checkpoint (whole-logical-run totals), so the resumed run's *new*
+  // work — the delta over the checkpoint — must be strictly less than a
+  // fresh run: completed merges are not re-aligned, and generation
   // fast-forwards past the checkpointed positions.
   const auto resumed = run_with_watchdog([&] {
     return cluster_parallel(store, params, 3, {}, {}, &ckpt);
   });
   expect_same_partition(baseline.clusters, resumed.clusters);
   EXPECT_EQ(resumed.stats.resumed_from_epoch, ckpt.epoch);
-  EXPECT_LT(resumed.stats.pairs_aligned, baseline.stats.pairs_aligned);
-  EXPECT_LT(resumed.stats.pairs_generated, baseline.stats.pairs_generated);
+  EXPECT_GE(resumed.stats.pairs_aligned, ckpt.pairs_aligned);
+  EXPECT_LT(resumed.stats.pairs_aligned - ckpt.pairs_aligned,
+            baseline.stats.pairs_aligned);
+  EXPECT_GE(resumed.stats.pairs_generated, ckpt.pairs_generated);
+  EXPECT_LT(resumed.stats.pairs_generated - ckpt.pairs_generated,
+            baseline.stats.pairs_generated);
   EXPECT_GT(resumed.stats.pairs_skipped_resume, 0u);
   std::remove(params.checkpoint_path.c_str());
 }
@@ -395,6 +579,7 @@ TEST(FaultCluster, FaultFreeRunReportsNoRecoveryActivity) {
   EXPECT_EQ(result.stats.workers_lost, 0u);
   EXPECT_EQ(result.stats.batches_reassigned, 0u);
   EXPECT_EQ(result.stats.generator_takeovers, 0u);
+  EXPECT_EQ(result.stats.reports_retransmitted, 0u);
   EXPECT_EQ(result.stats.checkpoints_written, 0u);
   EXPECT_EQ(result.cost.faults.crashes_injected, 0u);
   EXPECT_EQ(result.cost.faults.messages_dropped, 0u);

@@ -137,6 +137,38 @@ TEST_P(ParallelGstRanks, StatsArePopulated) {
 INSTANTIATE_TEST_SUITE_P(RankCounts, ParallelGstRanks,
                          ::testing::Values(1, 2, 3, 5, 8));
 
+TEST(ParallelGst, RebuiltPortionSurvivesMove) {
+  // rebuild_rank_portion's tree references the portion's own local_store;
+  // moving the DistributedGst (as the generator-takeover path does via
+  // make_unique) must re-seat that reference, or the tree dangles into the
+  // destroyed temporary and pair generation reads freed memory.
+  util::Prng rng(77);
+  const auto store = test::random_store(rng, 30, 40, 120, 0.02);
+  ParallelGstParams params;
+  params.gst = GstParams{.min_match = 8, .prefix_w = 3};
+  const auto owner =
+      std::vector<std::int32_t>(gst::num_buckets(3), 1);  // role 1 owns all
+
+  auto moved = std::make_unique<gst::DistributedGst>(
+      gst::rebuild_rank_portion(store, owner, 1, params));
+  ASSERT_TRUE(moved->tree);
+  EXPECT_EQ(&moved->tree->store(), &moved->local_store);
+  ASSERT_EQ(moved->tree->check_invariants(), "");
+
+  gst::DistributedGst assigned;
+  assigned = std::move(*moved);
+  EXPECT_EQ(&assigned.tree->store(), &assigned.local_store);
+
+  // The rebuilt-and-moved portion must still generate the full pair stream.
+  PairGenerator gen(*assigned.tree, {.dup_elim = false});
+  PromisingPair q;
+  std::size_t pairs = 0;
+  while (gen.next(q)) ++pairs;
+  SuffixTree serial(store, GstParams{.min_match = 8, .prefix_w = 0});
+  const auto ref = PairGenerator::generate_all(serial, {.dup_elim = false});
+  EXPECT_EQ(pairs, ref.size());
+}
+
 TEST(ParallelGst, RejectsBadPrefix) {
   util::Prng rng(5);
   const auto store = test::random_store(rng, 5, 40, 60);
