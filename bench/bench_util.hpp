@@ -5,8 +5,15 @@
 // deterministic in the seed so EXPERIMENTS.md numbers are replayable.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "pipeline/pipeline.hpp"
 #include "pipeline/validation.hpp"
@@ -101,5 +108,122 @@ inline void print_header(const char* paper_ref, const char* what) {
   std::printf("%s\n", what);
   std::printf("=====================================================\n");
 }
+
+/// Machine-readable companion to the printed tables: collects run
+/// parameters and per-configuration data points, then writes
+/// BENCH_<name>.json in the working directory so CI and plotting scripts
+/// can diff runs without scraping stdout.
+///
+///   bench::BenchJson bj("fig5_gst_scaling");
+///   bj.param("ranks", 16);
+///   auto& pt = bj.point();
+///   pt.set("ranks", 4).set("total_s", 0.123);
+///   bj.write();
+class BenchJson {
+ public:
+  /// One data point: an ordered list of key -> JSON-value pairs.
+  class Point {
+   public:
+    Point& set(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, quote(v));
+      return *this;
+    }
+    Point& set(const std::string& key, const char* v) {
+      return set(key, std::string(v));
+    }
+    Point& set(const std::string& key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      // JSON has no inf/nan literals.
+      fields_.emplace_back(key, std::isfinite(v) ? buf : "null");
+      return *this;
+    }
+    Point& set(const std::string& key, bool v) {
+      fields_.emplace_back(key, v ? "true" : "false");
+      return *this;
+    }
+    template <typename T,
+              typename = std::enable_if_t<std::is_integral_v<T>>>
+    Point& set(const std::string& key, T v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    static std::string quote(const std::string& s) {
+      std::string out = "\"";
+      for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              char buf[8];
+              std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+              out += buf;
+            } else {
+              out += c;
+            }
+        }
+      }
+      out += '"';
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// Record a run parameter (flag value, dataset size, ...).
+  template <typename T>
+  void param(const std::string& key, T v) {
+    params_.set(key, v);
+  }
+
+  /// Start a new data point; returned reference stays valid until the next
+  /// point() call or write().
+  Point& point() {
+    points_.emplace_back();
+    return points_.back();
+  }
+
+  /// Write BENCH_<name>.json (or to an explicit path). Prints the path to
+  /// stderr so bench logs record where the data went.
+  void write(const std::string& path = "") const {
+    const std::string out_path =
+        path.empty() ? "BENCH_" + name_ + ".json" : path;
+    std::ofstream out(out_path);
+    if (!out) throw std::runtime_error("cannot write " + out_path);
+    out << "{\n  \"bench\": " << Point::quote(name_) << ",\n  \"params\": ";
+    write_object(out, params_, "  ");
+    out << ",\n  \"points\": [";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      out << (i ? ",\n    " : "\n    ");
+      write_object(out, points_[i], "    ");
+    }
+    out << (points_.empty() ? "]" : "\n  ]") << "\n}\n";
+    if (!out.flush()) throw std::runtime_error("cannot write " + out_path);
+    std::fprintf(stderr, "wrote %s (%zu points)\n", out_path.c_str(),
+                 points_.size());
+  }
+
+ private:
+  static void write_object(std::ofstream& out, const Point& p,
+                           const std::string&) {
+    out << "{";
+    for (std::size_t i = 0; i < p.fields_.size(); ++i) {
+      out << (i ? ", " : "") << Point::quote(p.fields_[i].first) << ": "
+          << p.fields_[i].second;
+    }
+    out << "}";
+  }
+
+  std::string name_;
+  Point params_;
+  std::vector<Point> points_;
+};
 
 }  // namespace pgasm::bench

@@ -60,6 +60,12 @@ int main(int argc, char** argv) {
       "paper: 250M/500M bp on 256..1024 nodes; here: scaled inputs on "
       "2..16 vmpi ranks, alpha-beta modeled seconds");
 
+  bench::BenchJson bj("fig5_gst_scaling");
+  bj.param("small_bp", small_bp);
+  bj.param("large_bp", large_bp);
+  bj.param("max_ranks", max_ranks);
+  bj.param("seed", seed);
+
   for (const std::uint64_t bp : {small_bp, large_bp}) {
     const auto rs = bench::maize_dataset(bp, seed);
     const auto doubled = seq::make_doubled_store(rs.store);
@@ -76,9 +82,18 @@ int main(int argc, char** argv) {
                  util::fmt_double(row.comm, 4), util::fmt_double(row.total, 4),
                  util::fmt_double(base / ranks / row.total, 2),
                  util::fmt_count(row.suffixes)});
+      bj.point()
+          .set("input_bp", bp)
+          .set("ranks", ranks)
+          .set("compute_s", row.comp)
+          .set("comm_s", row.comm)
+          .set("total_s", row.total)
+          .set("efficiency", base / ranks / row.total)
+          .set("suffixes", row.suffixes);
     }
     t.print();
   }
+  bj.write();
   std::printf(
       "\nexpected shape (paper Fig. 5): total time ~halves when ranks "
       "double;\ncommunication stays a minor fraction of computation.\n");

@@ -28,6 +28,12 @@ int main(int argc, char** argv) {
       "paper: 250M/500M bp on 256..1024 nodes; here: scaled inputs on "
       "3..16 vmpi ranks (1 master + workers), modeled seconds");
 
+  bench::BenchJson bj("fig9_cluster_scaling");
+  bj.param("small_bp", small_bp);
+  bj.param("large_bp", large_bp);
+  bj.param("max_ranks", max_ranks);
+  bj.param("seed", seed);
+
   const auto params = bench::bench_cluster_params();
   for (const std::uint64_t bp : {small_bp, large_bp}) {
     const auto rs = bench::maize_dataset(bp, seed);
@@ -56,6 +62,15 @@ int main(int argc, char** argv) {
                  util::fmt_percent(result.stats.master_availability),
                  util::fmt_count(result.stats.pairs_aligned),
                  util::fmt_count(result.stats.pairs_accepted)});
+      bj.point()
+          .set("input_bp", bp)
+          .set("ranks", ranks)
+          .set("cluster_modeled_s", time)
+          .set("rel_speedup", base_time / time)
+          .set("worker_idle_fraction", result.stats.worker_idle_fraction)
+          .set("master_availability", result.stats.master_availability)
+          .set("pairs_aligned", result.stats.pairs_aligned)
+          .set("pairs_accepted", result.stats.pairs_accepted);
     }
     t.print();
   }
@@ -79,9 +94,17 @@ int main(int argc, char** argv) {
                  util::fmt_count(result.cost.per_rank[0].msgs_recv),
                  util::fmt_percent(result.stats.master_availability),
                  util::fmt_double(result.stats.cluster_modeled_seconds, 4)});
+      bj.point()
+          .set("input_bp", large_bp)
+          .set("ranks", max_ranks)
+          .set("adaptive_batch", adaptive)
+          .set("master_msgs_recv", result.cost.per_rank[0].msgs_recv)
+          .set("master_availability", result.stats.master_availability)
+          .set("cluster_modeled_s", result.stats.cluster_modeled_seconds);
     }
     t.print();
   }
+  bj.write();
   std::printf(
       "\nexpected shape (paper Fig. 9 / §7.2): the larger input scales "
       "better;\nworker idle %% grows with ranks at fixed input; master "

@@ -1,13 +1,21 @@
 // Micro-benchmarks of the framework's kernels (google-benchmark):
 // alignment DP variants, GST construction, promising-pair generation,
-// union-find, reverse complement, k-mer extraction, vmpi messaging.
+// union-find, reverse complement, k-mer extraction, vmpi messaging, and the
+// obs tracer/registry hot paths. Results also land in
+// BENCH_micro_kernels.json (google-benchmark's JSON schema).
 #include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "align/linear_space.hpp"
 #include "align/overlap.hpp"
 #include "align/pairwise.hpp"
 #include "gst/pair_generator.hpp"
 #include "gst/suffix_tree.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "preprocess/repeat_masker.hpp"
 #include "seq/fragment_store.hpp"
 #include "util/prng.hpp"
@@ -232,6 +240,78 @@ void BM_Alltoallv(benchmark::State& state) {
 }
 BENCHMARK(BM_Alltoallv)->Arg(4)->Arg(8);
 
+// The acceptance bar for instrumenting hot paths: a span on a disabled
+// tracer must cost a single relaxed load + branch (sub-nanosecond), so the
+// vmpi/cluster/gst layers can stay instrumented unconditionally.
+void BM_TracerDisabledSpan(benchmark::State& state) {
+  obs::tracer().set_enabled(false);
+  for (auto _ : state) {
+    obs::Span sp = obs::span(0, "bench", "obs");
+    benchmark::DoNotOptimize(sp);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerDisabledSpan);
+
+void BM_TracerEnabledSpan(benchmark::State& state) {
+  obs::tracer().clear();
+  obs::tracer().set_enabled(true);
+  for (auto _ : state) {
+    obs::Span sp = obs::span(0, "bench", "obs");
+    benchmark::DoNotOptimize(sp);
+  }
+  obs::tracer().set_enabled(false);
+  obs::tracer().clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerEnabledSpan);
+
+void BM_RegistryCounterInc(benchmark::State& state) {
+  obs::registry().clear();
+  auto& c = obs::registry().counter("bench.counter", 0, "");
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+  obs::registry().clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryCounterInc);
+
+void BM_RegistryHistogramObserve(benchmark::State& state) {
+  obs::registry().clear();
+  auto& h = obs::registry().histogram("bench.histogram", 0, "");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v * 3 + 1;  // walk the buckets
+  }
+  benchmark::DoNotOptimize(h.count());
+  obs::registry().clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryHistogramObserve);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), except runs default to a JSON sidecar
+// (BENCH_micro_kernels.json) next to the console table; an explicit
+// --benchmark_out on the command line takes precedence.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_kernels.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (!has_out) std::cerr << "wrote BENCH_micro_kernels.json\n";
+  benchmark::Shutdown();
+  return 0;
+}

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   const int ranks = static_cast<int>(flags.get_i64("ranks", 4));
   const std::uint64_t seed = flags.get_u64("seed", 2006);
   const double wgs_cov = flags.get_double("wgs-coverage", 1.0);
+  const std::string obs_out = flags.get_string("obs-out", "");
   flags.finish();
 
   // --- Simulate the maize-like pilot data set -----------------------------
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
   params.cluster.overlap.min_overlap = 40;
   params.cluster.overlap.min_identity = 0.93;
   params.assembly.overlap.min_identity = 0.96;  // CAP3-like stringency
+  params.obs_dir = obs_out;
   const auto result =
       pipeline::run_pipeline(rs.store, sim::vector_library(), params);
 

@@ -4,6 +4,7 @@
 //   ./quickstart --in reads.fa         # assemble your own FASTA
 //   ./quickstart --out contigs.fa      # write contigs to a file
 //   ./quickstart --ranks 4             # parallel clustering on 4 ranks
+//   ./quickstart --obs-out obs/        # write metrics + Chrome trace there
 //
 // Pipeline: reads -> preprocess (trim/screen/mask) -> cluster (transitive
 // suffix-prefix overlaps via GST promising pairs) -> per-cluster greedy OLC
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   const std::string out_path = flags.get_string("out", "");
   const int ranks = static_cast<int>(flags.get_i64("ranks", 0));
   const std::uint64_t seed = flags.get_u64("seed", 1);
+  const std::string obs_out = flags.get_string("obs-out", "");
   flags.finish();
 
   // 1. Get reads: from a FASTA file, or a simulated 30 kb genome at 6X.
@@ -57,8 +59,15 @@ int main(int argc, char** argv) {
   params.cluster.psi = 20;        // minimum maximal-match for a pair
   params.cluster.overlap.min_overlap = 40;
   params.cluster.overlap.min_identity = 0.93;
+  params.obs_dir = obs_out;       // "" = observability off
   const auto result =
       pipeline::run_pipeline(reads, sim::vector_library(), params);
+  if (!obs_out.empty()) {
+    std::fprintf(stderr,
+                 "wrote run observability to %s/ (summary.txt, "
+                 "metrics.jsonl, trace.json)\n",
+                 obs_out.c_str());
+  }
 
   // 3. Report.
   const auto& cs = result.cluster_summary;

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   const int ranks = static_cast<int>(flags.get_i64("ranks", 4));
   const std::uint64_t seed = flags.get_u64("seed", 205);
   const bool mask = flags.get_bool("mask", true);
+  const std::string obs_out = flags.get_string("obs-out", "");
   flags.finish();
 
   const auto genome =
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
   params.cluster.psi = 20;
   params.cluster.overlap.min_overlap = 40;
   params.cluster.overlap.min_identity = 0.93;
+  params.obs_dir = obs_out;
   const auto result =
       pipeline::run_pipeline(rs.store, sim::vector_library(), params);
 

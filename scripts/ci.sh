@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Repository CI gate, runnable locally:
+#
+#   scripts/ci.sh           # tier-1 verify + fault suite + TSan obs/vmpi
+#   scripts/ci.sh tier1     # just the tier-1 build + full ctest
+#   scripts/ci.sh faults    # just the fault-injection suite
+#   scripts/ci.sh tsan      # just the TSan build of the concurrent layers
+#
+# Build trees: build/ (tier-1) and build-tsan/ (PGASM_SANITIZE=thread).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+STAGE=${1:-all}
+
+tier1() {
+  echo "== tier-1: configure + build + full test suite =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -j "$JOBS")
+}
+
+faults() {
+  echo "== fault-injection suite (ctest -L faults) =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  (cd build && ctest --output-on-failure -L faults)
+}
+
+tsan() {
+  echo "== TSan: obs + vmpi concurrency tests =="
+  cmake -B build-tsan -S . -DPGASM_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" --target test_obs test_vmpi
+  (cd build-tsan && ctest --output-on-failure -R 'Registry|Tracer|Histogram|Vmpi')
+}
+
+case "$STAGE" in
+  tier1) tier1 ;;
+  faults) faults ;;
+  tsan) tsan ;;
+  all)
+    tier1
+    faults
+    tsan
+    ;;
+  *)
+    echo "usage: scripts/ci.sh [tier1|faults|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI OK"

@@ -11,6 +11,8 @@
 #include "core/wire.hpp"
 #include "gst/pair_generator.hpp"
 #include "gst/parallel_build.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/backoff.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
@@ -140,6 +142,8 @@ MasterReply await_reply(vmpi::Comm& comm, const ClusterParams& params,
         throw vmpi::TimeoutError(
             "worker: no reply from master after " +
             std::to_string(params.reply_max_retries) + " retransmits");
+      obs::instant(comm.rank(), "retransmit", "cluster", "seq", seq, "parked",
+                   parked ? 1 : 0);
       if (params.use_ssend) {
         comm.ssend(0, kTagReport, report_bytes.data(), report_bytes.size());
       } else {
@@ -306,6 +310,14 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     st.owed[worker] += reply.batch.size();
     if (!reply.batch.empty())
       st.in_flight[worker].push_back(reply.batch);
+    if (!reply.takeovers.empty()) {
+      obs::instant(0, "takeover_assigned", "cluster", "worker",
+                   static_cast<std::uint64_t>(worker), "roles",
+                   reply.takeovers.size());
+    }
+    obs::instant(0, "dispatch", "cluster", "worker",
+                 static_cast<std::uint64_t>(worker), "pairs",
+                 reply.batch.size());
     send_reply(worker, reply);
   };
 
@@ -316,6 +328,8 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     st.alive[w] = 0;
     ++st.workers_lost;
     --remaining;
+    obs::instant(0, "death_declared", "cluster", "worker",
+                 static_cast<std::uint64_t>(w), "hb_epoch", st.hb_epoch);
     if (!st.exhausted[w]) {
       st.exhausted[w] = 1;
       --active_workers;
@@ -356,6 +370,7 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
   // the "zombie"'s later reports still fold idempotently and it is
   // terminated on its next contact, at the cost of some duplicated work.
   auto detect_failures = [&]() {
+    obs::Span hb_span = obs::span(0, "heartbeat_round", "cluster");
     ++st.hb_epoch;
     std::vector<int> pinged;
     for (int w = 1; w < p; ++w) {
@@ -370,6 +385,8 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       ++st.heartbeats_sent;
       pinged.push_back(w);
     }
+    hb_span.arg("epoch", st.hb_epoch);
+    hb_span.arg("pinged", pinged.size());
     util::WallTimer t;
     while (!pinged.empty()) {
       const double left = params.worker_timeout - t.elapsed();
@@ -422,6 +439,7 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
   };
 
   auto write_checkpoint = [&]() {
+    obs::Span ck_span = obs::span(0, "checkpoint", "cluster");
     auto scope = comm.compute_scope();
     ClusterCheckpoint ck;
     ck.epoch = ++st.ckpt_epoch;
@@ -448,6 +466,8 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     ck.merges_rejected_inconsistent = st.rejected_inconsistent;
     save_checkpoint(params.checkpoint_path, ck);
     ++st.checkpoints_written;
+    ck_span.arg("epoch", ck.epoch);
+    ck_span.arg("pending", ck.pending.size());
   };
 
   util::ExponentialBackoff probe_backoff(params.worker_timeout, 2.0,
@@ -486,6 +506,9 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     probe_backoff.reset();
     const auto raw = comm.recv_vector<std::uint8_t>(ps.source, kTagReport);
     const int w = ps.source;
+    obs::Span report_span = obs::span(0, "report", "cluster");
+    report_span.arg("worker", static_cast<std::uint64_t>(w));
+    report_span.arg("bytes", raw.size());
     WorkerReport report;
     {
       auto scope = comm.compute_scope();
@@ -701,6 +724,7 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
     report.results = std::move(results);
     results.clear();
     {
+      obs::Span gen_span = obs::span(comm.rank(), "generate_pairs", "cluster");
       auto scope = comm.compute_scope();
       gst::PromisingPair q;
       const std::uint32_t want = std::min(r, params.new_pairs_buf);
@@ -718,6 +742,7 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
         if (!rg.gen->done()) all_done = false;
       }
       report.exhausted = all_done ? 1 : 0;
+      gen_span.arg("pairs", report.new_pairs.size());
     }
     const auto bytes = encode_report(report);
     if (params.use_ssend) {
@@ -729,6 +754,10 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
     // Mask the wait for the master's reply with the alignment work of the
     // batch allocated in the previous iteration (Fig. 8). Chunked so
     // heartbeat pings are answered even during long alignment stretches.
+    obs::Span align_span =
+        batch.empty() ? obs::Span()
+                      : obs::span(comm.rank(), "align_batch", "cluster");
+    align_span.arg("pairs", batch.size());
     std::size_t ai = 0;
     while (ai < batch.size()) {
       poll_heartbeats(comm);
@@ -751,12 +780,16 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
       }
     }
     batch.clear();
+    align_span.finish();
 
     const MasterReply reply = await_reply(comm, params, report_seq, bytes);
     if (reply.terminate) break;
     batch = std::move(reply.batch);
     r = reply.request_r;
     for (const TakeoverOrder& order : reply.takeovers) {
+      obs::instant(comm.rank(), "takeover", "cluster", "role",
+                   static_cast<std::uint64_t>(order.role), "resume_at",
+                   order.resume_at);
       std::unique_ptr<gst::DistributedGst> portion;
       {
         auto scope = comm.compute_scope();
@@ -906,6 +939,33 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   stats.gst_modeled_seconds = gst_model;
   stats.cluster_modeled_seconds = std::max(0.0, total_model - gst_model);
   stats.cluster_seconds = std::max(0.0, total_wall - stats.gst_seconds);
+
+  // Publish the clustering counters into the metrics registry (rank 0 owns
+  // the master state) so ClusterStats and the obs export agree.
+  if (obs::tracer().enabled()) {
+    auto& reg = obs::registry();
+    const char* phase = obs::current_phase();
+    const auto c = [&](const char* name, std::uint64_t v) {
+      reg.counter(name, 0, phase).inc(v);
+    };
+    c("cluster.pairs_generated", master.generated);
+    c("cluster.pairs_selected", master.selected);
+    c("cluster.pairs_aligned", master.aligned);
+    c("cluster.pairs_accepted", master.accepted);
+    c("cluster.merges", master.merges);
+    c("cluster.merges_rejected_inconsistent", master.rejected_inconsistent);
+    c("cluster.workers_lost", master.workers_lost);
+    c("cluster.batches_reassigned", master.batches_reassigned);
+    c("cluster.pairs_reassigned", master.pairs_reassigned);
+    c("cluster.takeovers", master.takeovers);
+    c("cluster.probe_timeouts", master.timeouts_fired);
+    c("cluster.heartbeats_sent", master.heartbeats_sent);
+    c("cluster.checkpoints_written", master.checkpoints_written);
+    c("cluster.reports_retransmitted", master.reports_retransmitted);
+    c("cluster.pairs_skipped_resume", master.pairs_skipped_resume);
+    reg.gauge("cluster.gst_seconds", 0, phase).set(stats.gst_seconds);
+    reg.gauge("cluster.cluster_seconds", 0, phase).set(stats.cluster_seconds);
+  }
 
   const double makespan = result.cost.modeled_parallel_seconds();
   if (makespan > 0) {

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace pgasm::gst {
@@ -88,22 +90,27 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
   const auto slice = partition_store(global, p);
   std::vector<Suffix> my_suffixes;
   {
+    obs::Span sp = obs::span(rank, "enumerate_suffixes", "gst");
     auto scope = comm.compute_scope();
     my_suffixes = enumerate_suffixes_range(global, slice[rank], slice[rank + 1],
                                            params.gst.min_match);
+    sp.arg("suffixes", my_suffixes.size());
   }
 
   // ---- Step 2: global bucket histogram and deterministic assignment. ----
   const std::uint32_t nbuckets = num_buckets(w);
   std::vector<std::uint64_t> hist(nbuckets, 0);
   {
-    auto scope = comm.compute_scope();
-    for (const Suffix& s : my_suffixes) ++hist[bucket_of(global, s, w)];
+    obs::Span sp = obs::span(rank, "bucket_histogram", "gst");
+    {
+      auto scope = comm.compute_scope();
+      for (const Suffix& s : my_suffixes) ++hist[bucket_of(global, s, w)];
+    }
+    hist = comm.allreduce_vector(std::move(hist),
+                                 [](std::uint64_t a, std::uint64_t b) {
+                                   return a + b;
+                                 });
   }
-  hist = comm.allreduce_vector(std::move(hist),
-                               [](std::uint64_t a, std::uint64_t b) {
-                                 return a + b;
-                               });
   std::vector<std::int32_t> bucket_owner;
   {
     auto scope = comm.compute_scope();
@@ -118,6 +125,8 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
   }
 
   // ---- Step 3: redistribute suffixes to bucket owners. ------------------
+  obs::Span redist_span = obs::span(rank, "redistribute", "gst");
+  const std::uint64_t bytes_before_redist = comm.ledger().bytes_sent;
   std::vector<std::vector<Suffix>> outgoing(static_cast<std::size_t>(p));
   {
     auto scope = comm.compute_scope();
@@ -129,6 +138,8 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
   }
   auto incoming = comm.staged_alltoallv(outgoing);
   outgoing.clear();
+  redist_span.arg("bytes_sent", comm.ledger().bytes_sent - bytes_before_redist);
+  redist_span.finish();
 
   std::vector<Suffix> local_suffixes;
   {
@@ -177,6 +188,8 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
   };
 
   for (;;) {
+    obs::Span round_span = obs::span(rank, "fetch_round", "gst");
+    round_span.arg("round", stats.fetch_rounds);
     // Build this round's batch of requests (own-slice ids are read directly
     // from the global store: no message needed for data we already own).
     std::vector<std::vector<std::uint32_t>> req(static_cast<std::size_t>(p));
@@ -251,6 +264,7 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
 
   // ---- Step 5: remap suffixes to local ids, group by bucket, build. -----
   {
+    obs::Span sp = obs::span(rank, "build_subtrees", "gst");
     auto scope = comm.compute_scope();
     // Group suffixes by bucket: counting sort over this rank's buckets.
     // Recompute bucket ids from the local store after remapping.
@@ -273,6 +287,8 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
       }
     }
     stats.local_buckets = mine.size();
+    sp.arg("buckets", mine.size());
+    sp.arg("suffixes", local_suffixes.size());
     std::vector<std::uint32_t> count(mine.size() + 1, 0);
     for (std::uint32_t b : bucket_ids) ++count[b + 1];
     for (std::size_t i = 1; i < count.size(); ++i) count[i] += count[i - 1];
@@ -294,6 +310,22 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
       ledger_after.compute_seconds - ledger_before.compute_seconds;
   stats.comm_seconds = ledger_after.comm_seconds - ledger_before.comm_seconds;
   stats.bytes_sent = ledger_after.bytes_sent - ledger_before.bytes_sent;
+
+  // Publish this rank's build stats so GstBuildStats and the obs export
+  // agree. Safe from rank threads: instrument updates are atomic.
+  if (obs::tracer().enabled()) {
+    auto& reg = obs::registry();
+    const char* phase = obs::current_phase();
+    reg.counter("gst.local_suffixes", rank, phase).inc(stats.local_suffixes);
+    reg.counter("gst.local_buckets", rank, phase).inc(stats.local_buckets);
+    reg.counter("gst.fetched_fragments", rank, phase)
+        .inc(stats.fetched_fragments);
+    reg.counter("gst.fetch_rounds", rank, phase).inc(stats.fetch_rounds);
+    reg.counter("gst.tree_nodes", rank, phase).inc(stats.tree_nodes);
+    reg.counter("gst.bytes_sent", rank, phase).inc(stats.bytes_sent);
+    reg.gauge("gst.compute_seconds", rank, phase).add(stats.compute_seconds);
+    reg.gauge("gst.comm_seconds", rank, phase).add(stats.comm_seconds);
+  }
   return result;
 }
 

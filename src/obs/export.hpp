@@ -1,0 +1,22 @@
+// Directory sink for a run's observability outputs. Used by
+// PipelineParams::obs_dir / the examples' --obs-out flag.
+//
+// write_run_outputs(dir) writes three files into dir (created if needed):
+//   summary.txt   — per-phase/per-rank metric table (util::Table render)
+//   metrics.jsonl — registry snapshot, one JSON object per line
+//   trace.json    — Chrome trace_event JSON; open in chrome://tracing or
+//                   ui.perfetto.dev ("Open trace file")
+#pragma once
+
+#include <string>
+
+namespace pgasm::obs {
+
+/// Enable metrics + tracing and reset any state left by a previous run.
+void begin_run();
+
+/// Write summary.txt, metrics.jsonl, and trace.json into `dir`.
+/// Creates the directory if missing. Throws std::runtime_error on I/O error.
+void write_run_outputs(const std::string& dir);
+
+}  // namespace pgasm::obs

@@ -1,0 +1,289 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <ctime>
+
+namespace pgasm::obs {
+
+namespace {
+
+std::uint64_t wall_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t thread_cpu_us() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000;
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+void append_args_json(std::string& out, const TraceEvent& ev) {
+  out += "\"args\":{\"seq\":";
+  out += std::to_string(ev.seq);
+  if (ev.kind == TraceEvent::Kind::kSpan) {
+    out += ",\"cpu_us\":";
+    out += std::to_string(ev.cpu_us);
+  }
+  if (ev.arg0_name != nullptr) {
+    out += ",\"";
+    append_json_escaped(out, ev.arg0_name);
+    out += "\":";
+    out += std::to_string(ev.arg0);
+  }
+  if (ev.arg1_name != nullptr) {
+    out += ",\"";
+    append_json_escaped(out, ev.arg1_name);
+    out += "\":";
+    out += std::to_string(ev.arg1);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::uint64_t RankRing::record(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ev.seq = next_seq_++;
+  if (!wrapped_) {
+    events_.push_back(ev);
+    if (events_.size() == capacity_) wrapped_ = true;
+  } else {
+    ++dropped_;
+    events_[head_] = ev;
+    head_ = (head_ + 1) % capacity_;
+  }
+  return ev.seq;
+}
+
+std::uint64_t RankRing::peek_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::vector<TraceEvent> RankRing::drain() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  if (!wrapped_) {
+    out = events_;
+  } else {
+    out.insert(out.end(), events_.begin() + static_cast<long>(head_),
+               events_.end());
+    out.insert(out.end(), events_.begin(),
+               events_.begin() + static_cast<long>(head_));
+  }
+  return out;
+}
+
+std::uint64_t RankRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::size_t RankRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = cap == 0 ? 1 : cap;
+}
+
+RankRing* Tracer::ring(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (epoch_ns_.load(std::memory_order_relaxed) == 0) {
+    epoch_ns_.store(wall_ns(), std::memory_order_relaxed);
+  }
+  auto it = rings_.find(rank);
+  if (it != rings_.end()) return it->second.get();
+  auto ring = std::make_unique<RankRing>(capacity_);
+  RankRing* raw = ring.get();
+  rings_.emplace(rank, std::move(ring));
+  return raw;
+}
+
+void Tracer::instant(int rank, const char* name, const char* cat,
+                     const char* arg0_name, std::uint64_t arg0,
+                     const char* arg1_name, std::uint64_t arg1) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.kind = TraceEvent::Kind::kInstant;
+  ev.rank = rank;
+  ev.ts_us = now_us();
+  ev.arg0_name = arg0_name;
+  ev.arg0 = arg0;
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  ring(rank)->record(ev);
+}
+
+std::uint64_t Tracer::now_us() const {
+  const std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t now = wall_ns();
+  return epoch == 0 || now < epoch ? 0 : (now - epoch) / 1000;
+}
+
+std::map<int, std::vector<TraceEvent>> Tracer::drain_all() const {
+  std::vector<std::pair<int, RankRing*>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings.reserve(rings_.size());
+    for (const auto& [rank, ring] : rings_) rings.emplace_back(rank, ring.get());
+  }
+  std::map<int, std::vector<TraceEvent>> out;
+  for (const auto& [rank, ring] : rings) out.emplace(rank, ring->drain());
+  return out;
+}
+
+std::uint64_t Tracer::total_dropped() const {
+  std::vector<RankRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [rank, ring] : rings_) rings.push_back(ring.get());
+  }
+  std::uint64_t n = 0;
+  for (const auto* ring : rings) n += ring->dropped();
+  return n;
+}
+
+std::size_t Tracer::total_events() const {
+  std::vector<RankRing*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [rank, ring] : rings_) rings.push_back(ring.get());
+  }
+  std::size_t n = 0;
+  for (const auto* ring : rings) n += ring->size();
+  return n;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const auto all = drain_all();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& record) {
+    if (!first) out += ',';
+    first = false;
+    out += record;
+  };
+  // Thread-name metadata so Perfetto labels each track.
+  for (const auto& [rank, events] : all) {
+    (void)events;
+    std::string rec = "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":";
+    rec += std::to_string(rank);
+    rec += ",\"args\":{\"name\":\"";
+    rec += rank == kDriverTid ? "driver" : "rank " + std::to_string(rank);
+    rec += "\"}}";
+    emit(rec);
+  }
+  for (const auto& [rank, events] : all) {
+    for (const TraceEvent& ev : events) {
+      std::string rec = "{\"ph\":\"";
+      rec += ev.kind == TraceEvent::Kind::kSpan ? 'X' : 'i';
+      rec += "\",\"name\":\"";
+      append_json_escaped(rec, ev.name);
+      rec += "\",\"cat\":\"";
+      append_json_escaped(rec, ev.cat);
+      rec += "\",\"pid\":1,\"tid\":";
+      rec += std::to_string(rank);
+      rec += ",\"ts\":";
+      rec += std::to_string(ev.ts_us);
+      if (ev.kind == TraceEvent::Kind::kSpan) {
+        rec += ",\"dur\":";
+        rec += std::to_string(ev.dur_us);
+      } else {
+        rec += ",\"s\":\"t\"";  // instant scope: thread
+      }
+      rec += ',';
+      append_args_json(rec, ev);
+      rec += '}';
+      emit(rec);
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  epoch_ns_.store(0, std::memory_order_relaxed);
+}
+
+Span::Span(RankRing* ring, std::uint64_t epoch_start_us, const char* name,
+           const char* cat, int rank) noexcept
+    : ring_(ring) {
+  if (ring_ == nullptr) return;
+  ev_.name = name;
+  ev_.cat = cat;
+  ev_.kind = TraceEvent::Kind::kSpan;
+  ev_.rank = rank;
+  ev_.ts_us = epoch_start_us;
+  cpu_start_us_ = thread_cpu_us();
+}
+
+Span& Span::operator=(Span&& o) noexcept {
+  if (this != &o) {
+    finish();
+    ring_ = o.ring_;
+    ev_ = o.ev_;
+    cpu_start_us_ = o.cpu_start_us_;
+    o.ring_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::arg(const char* name, std::uint64_t value) noexcept {
+  if (ring_ == nullptr) return;
+  if (ev_.arg0_name == nullptr) {
+    ev_.arg0_name = name;
+    ev_.arg0 = value;
+  } else {
+    ev_.arg1_name = name;
+    ev_.arg1 = value;
+  }
+}
+
+void Span::finish() noexcept {
+  if (ring_ == nullptr) return;
+  const std::uint64_t end_us = tracer().now_us();
+  ev_.dur_us = end_us > ev_.ts_us ? end_us - ev_.ts_us : 0;
+  const std::uint64_t cpu_end = thread_cpu_us();
+  ev_.cpu_us = cpu_end > cpu_start_us_ ? cpu_end - cpu_start_us_ : 0;
+  ring_->record(ev_);
+  ring_ = nullptr;
+}
+
+Tracer& tracer() {
+  static Tracer* instance = new Tracer();  // leaked: outlives all threads
+  return *instance;
+}
+
+Span span(int rank, const char* name, const char* cat) {
+  Tracer& t = tracer();
+  if (!t.enabled()) return Span();
+  return Span(t.ring(rank), t.now_us(), name, cat, rank);
+}
+
+}  // namespace pgasm::obs

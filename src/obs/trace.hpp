@@ -1,0 +1,169 @@
+// Lightweight per-rank event tracer: ring-buffered spans and instant events
+// with wall-clock + thread-CPU timestamps and a monotonic per-rank sequence
+// number. The sequence number is the cross-rank correlation device: vmpi
+// ranks are threads of one process, but the tracer deliberately does not
+// assume that — matching a send instant on rank a to the recv instant on
+// rank b uses (peer, seq) args, not a shared clock.
+//
+// Cost model: when tracing is disabled (the default), recording is a single
+// relaxed atomic load + branch — Span carries a null ring and its destructor
+// does nothing. When enabled, each event takes two clock_gettime calls and a
+// short critical section on the rank's own ring mutex. Ring mutexes are leaf
+// locks: the tracer never calls back into vmpi or the registry, so recording
+// is safe from any context, including while a mailbox mutex is held.
+//
+// Rings are fixed-capacity (default 8192 events/rank); on overflow the
+// oldest events are dropped and a per-ring drop counter keeps the loss
+// visible in the export.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pgasm::obs {
+
+/// tid used for driver-level (non-rank) events in the Chrome trace export.
+inline constexpr int kDriverTid = -1;
+
+/// One recorded event. Name/category/arg-name strings must have static
+/// lifetime (string literals): the ring stores raw pointers.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSpan, kInstant };
+
+  const char* name = "";
+  const char* cat = "";
+  Kind kind = Kind::kInstant;
+  int rank = kDriverTid;
+  std::uint64_t seq = 0;      ///< per-rank monotonic sequence number
+  std::uint64_t ts_us = 0;    ///< wall time since trace epoch, microseconds
+  std::uint64_t dur_us = 0;   ///< span duration (0 for instants)
+  std::uint64_t cpu_us = 0;   ///< thread-CPU time consumed (spans only)
+  // Up to two integer args, exported into the Chrome-trace "args" object.
+  const char* arg0_name = nullptr;
+  std::uint64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  std::uint64_t arg1 = 0;
+};
+
+/// Fixed-capacity event ring for one rank. All mutation under mu_; the
+/// mutex is a leaf lock (see file comment).
+class RankRing {
+ public:
+  explicit RankRing(std::size_t capacity) : capacity_(capacity) {
+    events_.reserve(capacity);
+  }
+
+  /// Returns the per-rank sequence number assigned to the event.
+  std::uint64_t record(TraceEvent ev);
+
+  /// Next sequence number without recording (used to stamp message args).
+  std::uint64_t peek_seq() const;
+
+  std::vector<TraceEvent> drain() const;  ///< oldest-first copy
+  std::uint64_t dropped() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;  // ring storage once full
+  std::size_t head_ = 0;            // next write position once wrapped
+  bool wrapped_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  /// Enable/disable recording. Disabled recording costs one relaxed load.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-rank ring capacity for rings created after this call.
+  void set_capacity(std::size_t cap);
+
+  /// Ring for a rank (kDriverTid for the driver). Creates it on first use.
+  /// The returned pointer stays valid until clear().
+  RankRing* ring(int rank);
+
+  /// Record an instant event on a rank (no-op when disabled).
+  void instant(int rank, const char* name, const char* cat,
+               const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
+               const char* arg1_name = nullptr, std::uint64_t arg1 = 0);
+
+  /// Microseconds since the trace epoch (process start of the tracer).
+  std::uint64_t now_us() const;
+
+  /// All events from all rings, plus rank list, for export.
+  std::map<int, std::vector<TraceEvent>> drain_all() const;
+  std::uint64_t total_dropped() const;
+  std::size_t total_events() const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}): spans as ph:"X",
+  /// instants as ph:"i", one thread_name metadata record per rank.
+  /// Loads directly in chrome://tracing and ui.perfetto.dev.
+  std::string to_chrome_json() const;
+
+  /// Drop all rings and events (rings' pointers become invalid).
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards rings_ map shape, not ring contents
+  std::map<int, std::unique_ptr<RankRing>> rings_;
+  std::size_t capacity_ = kDefaultCapacity;
+  // Lazily set on first ring creation; atomic so now_us() (called on every
+  // recorded event) stays lock-free.
+  std::atomic<std::uint64_t> epoch_ns_{0};
+};
+
+/// RAII span. Construct via Tracer-aware helpers below; when tracing is
+/// disabled the ring pointer is null and the destructor is a single branch.
+class Span {
+ public:
+  Span() = default;
+  Span(RankRing* ring, std::uint64_t epoch_start_us, const char* name,
+       const char* cat, int rank) noexcept;
+  Span(Span&& o) noexcept { *this = std::move(o); }
+  Span& operator=(Span&& o) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  /// Attach integer args reported when the span closes.
+  void arg(const char* name, std::uint64_t value) noexcept;
+
+  /// Close the span early (destructor is then a no-op).
+  void finish() noexcept;
+
+ private:
+  RankRing* ring_ = nullptr;
+  TraceEvent ev_{};
+  std::uint64_t cpu_start_us_ = 0;
+};
+
+/// Process-global tracer (same lifetime contract as obs::registry()).
+Tracer& tracer();
+
+/// Open a span on the global tracer; returns an inert Span when disabled.
+Span span(int rank, const char* name, const char* cat);
+
+/// Instant event on the global tracer (no-op when disabled).
+inline void instant(int rank, const char* name, const char* cat,
+                    const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
+                    const char* arg1_name = nullptr, std::uint64_t arg1 = 0) {
+  tracer().instant(rank, name, cat, arg0_name, arg0, arg1_name, arg1);
+}
+
+}  // namespace pgasm::obs

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 #include "vmpi/runtime.hpp"
@@ -112,19 +115,49 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
                             const std::vector<std::vector<seq::Code>>& vectors,
                             const PipelineParams& params) {
   PipelineResult result;
+  const bool obs_on = !params.obs_dir.empty();
+  if (obs_on) obs::begin_run();
 
   // --- Preprocessing --------------------------------------------------------
-  if (params.run_preprocess) {
-    result.pre = preprocess::preprocess(raw, vectors, params.pre);
-  } else {
-    for (seq::FragmentId id = 0; id < raw.size(); ++id) {
-      result.pre.store.add(raw.seq(id), raw.type(id), raw.name(id));
-      result.pre.unmasked_store.add(raw.seq(id), raw.type(id), raw.name(id));
-      result.pre.kept_ids.push_back(id);
+  {
+    if (obs_on) obs::set_phase("preprocess");
+    obs::Span phase_span = obs::span(obs::kDriverTid, "preprocess", "pipeline");
+    if (params.run_preprocess) {
+      result.pre = preprocess::preprocess(raw, vectors, params.pre);
+    } else {
+      for (seq::FragmentId id = 0; id < raw.size(); ++id) {
+        result.pre.store.add(raw.seq(id), raw.type(id), raw.name(id));
+        result.pre.unmasked_store.add(raw.seq(id), raw.type(id), raw.name(id));
+        result.pre.kept_ids.push_back(id);
+      }
     }
+    phase_span.arg("fragments_in", raw.size());
+    phase_span.arg("fragments_kept", result.pre.store.size());
+  }
+  if (obs_on) {
+    auto& reg = obs::registry();
+    const preprocess::PreprocessStats& ps = result.pre.stats;
+    const char* ph = "preprocess";
+    reg.counter("preprocess.fragments_in", obs::kNoRank, ph).inc(raw.size());
+    reg.counter("preprocess.fragments_kept", obs::kNoRank, ph)
+        .inc(result.pre.store.size());
+    reg.counter("preprocess.quality_trimmed_bases", obs::kNoRank, ph)
+        .inc(ps.quality_trimmed_bases);
+    reg.counter("preprocess.vector_trimmed_bases", obs::kNoRank, ph)
+        .inc(ps.vector_trimmed_bases);
+    reg.counter("preprocess.masked_bases", obs::kNoRank, ph)
+        .inc(ps.masked_bases);
+    reg.counter("preprocess.discarded_short", obs::kNoRank, ph)
+        .inc(ps.discarded_short);
+    reg.counter("preprocess.discarded_masked", obs::kNoRank, ph)
+        .inc(ps.discarded_masked);
+    reg.counter("preprocess.repetitive_kmers", obs::kNoRank, ph)
+        .inc(ps.repetitive_kmers);
   }
 
   // --- Clustering -----------------------------------------------------------
+  if (obs_on) obs::set_phase("cluster");
+  obs::Span cluster_span = obs::span(obs::kDriverTid, "cluster", "pipeline");
   if (params.ranks >= 2) {
     core::ClusterParams cp = params.cluster;
     core::ClusterCheckpoint resume_ck;
@@ -163,8 +196,38 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
     auto sr = core::cluster_serial(result.pre.store, params.cluster);
     result.clusters = std::move(sr.clusters);
     result.cluster_stats = sr.stats;
+    // Parallel runs publish these inside cluster_parallel (rank 0); serial
+    // runs publish them here at driver level.
+    if (obs_on) {
+      auto& reg = obs::registry();
+      const core::ClusterStats& cs = result.cluster_stats;
+      const char* ph = "cluster";
+      reg.counter("cluster.pairs_generated", obs::kNoRank, ph)
+          .inc(cs.pairs_generated);
+      reg.counter("cluster.pairs_aligned", obs::kNoRank, ph)
+          .inc(cs.pairs_aligned);
+      reg.counter("cluster.pairs_accepted", obs::kNoRank, ph)
+          .inc(cs.pairs_accepted);
+      reg.counter("cluster.merges", obs::kNoRank, ph).inc(cs.merges);
+      reg.gauge("cluster.gst_seconds", obs::kNoRank, ph).set(cs.gst_seconds);
+      reg.gauge("cluster.cluster_seconds", obs::kNoRank, ph)
+          .set(cs.cluster_seconds);
+    }
   }
   result.cluster_summary = summarize_clusters(result.clusters);
+  cluster_span.arg("merges", result.cluster_stats.merges);
+  cluster_span.arg("clusters", result.cluster_summary.num_clusters);
+  cluster_span.finish();
+  if (obs_on) {
+    auto& reg = obs::registry();
+    const ClusterSummary& s = result.cluster_summary;
+    reg.counter("cluster.num_clusters", obs::kNoRank, "cluster")
+        .inc(s.num_clusters);
+    reg.counter("cluster.num_singletons", obs::kNoRank, "cluster")
+        .inc(s.num_singletons);
+    reg.counter("cluster.max_cluster_size", obs::kNoRank, "cluster")
+        .inc(s.max_cluster_size);
+  }
 
   // Materialize cluster membership: non-singletons by decreasing size.
   auto sets = result.clusters.extract_sets();
@@ -179,6 +242,8 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
   // distributing the clusters across multiple processors and running
   // multiple instances of a serial assembler in parallel" (Section 3).
   if (params.run_assembly) {
+    if (obs_on) obs::set_phase("assembly");
+    obs::Span asm_span = obs::span(obs::kDriverTid, "assembly", "pipeline");
     std::size_t n_assemble = 0;
     while (n_assemble < result.cluster_sets.size() &&
            result.cluster_sets[n_assemble].size() >= 2) {
@@ -253,6 +318,28 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
           static_cast<double>(result.assembly_summary.total_contigs) /
           static_cast<double>(result.assembly_summary.clusters_assembled);
     }
+    asm_span.arg("clusters", n_assemble);
+    asm_span.arg("contigs", result.assembly_summary.total_contigs);
+    asm_span.finish();
+    if (obs_on) {
+      auto& reg = obs::registry();
+      const AssemblySummary& a = result.assembly_summary;
+      const char* ph = "assembly";
+      reg.counter("assembly.clusters_assembled", obs::kNoRank, ph)
+          .inc(a.clusters_assembled);
+      reg.counter("assembly.total_contigs", obs::kNoRank, ph)
+          .inc(a.total_contigs);
+      reg.counter("assembly.n50", obs::kNoRank, ph).inc(a.n50);
+      reg.counter("assembly.consensus_bases", obs::kNoRank, ph)
+          .inc(a.consensus_bases);
+      reg.gauge("assembly.assembly_seconds", obs::kNoRank, ph)
+          .set(a.assembly_seconds);
+    }
+  }
+  if (obs_on) {
+    obs::set_phase("");
+    obs::write_run_outputs(params.obs_dir);
+    obs::tracer().set_enabled(false);
   }
   return result;
 }

@@ -36,6 +36,11 @@ struct PipelineParams {
   /// auto-resume from an existing one. The checkpoint file is removed once
   /// clustering completes, so a finished run leaves nothing to resume.
   std::string checkpoint_dir;
+  /// Non-empty: enable the obs metrics registry + per-rank tracer for this
+  /// run and write summary.txt / metrics.jsonl / trace.json into this
+  /// directory when the pipeline finishes (see src/obs/export.hpp). The
+  /// trace opens in chrome://tracing or ui.perfetto.dev.
+  std::string obs_dir;
 };
 
 /// Paper Section 8's clustering effectiveness measures.

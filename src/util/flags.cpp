@@ -1,5 +1,6 @@
 #include "util/flags.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -54,7 +55,16 @@ bool Flags::get_bool(const std::string& name, bool def) {
   seen_[name] = true;
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return it->second != "false" && it->second != "0" && it->second != "no";
+  std::string v;
+  v.reserve(it->second.size());
+  for (char c : it->second) {
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("--" + name + "=" + it->second +
+                              ": expected a boolean "
+                              "(true/false, 1/0, yes/no, on/off)");
 }
 
 void Flags::finish() const {

@@ -24,6 +24,8 @@ class Flags {
   std::int64_t get_i64(const std::string& name, std::int64_t def);
   double get_double(const std::string& name, double def);
   std::string get_string(const std::string& name, const std::string& def);
+  /// Accepts true/false, 1/0, yes/no, on/off (case-insensitive); throws
+  /// std::invalid_argument on anything else.
   bool get_bool(const std::string& name, bool def);
 
   /// Positional (non-flag) arguments in order.

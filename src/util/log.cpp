@@ -1,12 +1,28 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/timer.hpp"
 
 namespace pgasm::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+LogLevel initial_level() {
+  return parse_log_level(std::getenv("PGASM_LOG_LEVEL"), LogLevel::kInfo);
+}
+
+std::atomic<LogLevel>& level_slot() {
+  // Magic static so the env var is consulted on first use, in any order of
+  // static initialization.
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
+thread_local int t_rank = -1;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,15 +33,46 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+double process_uptime() {
+  static const double epoch = WallTimer::now();
+  return WallTimer::now() - epoch;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
-LogLevel log_level() noexcept { return g_level.load(); }
+void set_log_level(LogLevel level) noexcept { level_slot().store(level); }
+LogLevel log_level() noexcept { return level_slot().load(); }
+
+LogLevel parse_log_level(const char* name, LogLevel fallback) noexcept {
+  if (name == nullptr) return fallback;
+  std::string s;
+  for (const char* p = name; *p != '\0'; ++p) {
+    s += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  return fallback;
+}
+
+void set_log_rank(int rank) noexcept { t_rank = rank < 0 ? -1 : rank; }
+int log_rank() noexcept { return t_rank; }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (level < g_level.load(std::memory_order_relaxed)) return;
+  if (level < level_slot().load(std::memory_order_relaxed)) return;
+  char stamp[48];
+  std::snprintf(stamp, sizeof stamp, "[%10.6f] ", process_uptime());
   std::string line;
-  line.reserve(message.size() + 16);
+  line.reserve(message.size() + 40);
+  line += stamp;
+  if (t_rank >= 0) {
+    line += "[r";
+    line += std::to_string(t_rank);
+    line += "] ";
+  }
   line += '[';
   line += level_name(level);
   line += "] ";

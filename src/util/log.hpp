@@ -1,4 +1,13 @@
 // Minimal leveled logging to stderr. Thread safe (one write() per line).
+//
+// Each line carries a monotonic timestamp (seconds since process start) and,
+// when the calling thread has registered one via set_log_rank(), a per-rank
+// prefix — so interleaved multi-rank fault-recovery logs stay attributable:
+//   [  12.345678] [r3] [WARN] worker 2 missed heartbeat epoch 7
+//
+// The initial threshold is read from the PGASM_LOG_LEVEL environment
+// variable (debug/info/warn/error, case-insensitive) the first time the
+// logger is used; set_log_level() overrides it at runtime.
 #pragma once
 
 #include <sstream>
@@ -8,11 +17,22 @@ namespace pgasm::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold; messages below it are dropped. Default: kInfo.
+/// Global threshold; messages below it are dropped. Default: kInfo, or the
+/// PGASM_LOG_LEVEL environment variable when set.
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emit one line: "[LEVEL] message\n".
+/// Parse "debug"/"info"/"warn"/"error" (case-insensitive). Returns fallback
+/// for null/unknown input.
+LogLevel parse_log_level(const char* name,
+                         LogLevel fallback = LogLevel::kInfo) noexcept;
+
+/// Register the vmpi rank of the calling thread; subsequent log lines from
+/// this thread carry an "[rN]" prefix. Pass a negative value to clear.
+void set_log_rank(int rank) noexcept;
+int log_rank() noexcept;  ///< -1 when the thread has no rank
+
+/// Emit one line: "[ seconds] [rN] [LEVEL] message\n".
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

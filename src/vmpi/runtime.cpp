@@ -2,11 +2,31 @@
 
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "util/prng.hpp"
 
 namespace pgasm::vmpi {
 
 namespace {
+
+/// Record an instant event on a cached ring (caller checked ring != null).
+void ring_instant(obs::RankRing* ring, int rank, const char* name,
+                  const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
+                  const char* arg1_name = nullptr, std::uint64_t arg1 = 0) {
+  obs::TraceEvent ev;
+  ev.name = name;
+  ev.cat = "vmpi";
+  ev.kind = obs::TraceEvent::Kind::kInstant;
+  ev.rank = rank;
+  ev.ts_us = obs::tracer().now_us();
+  ev.arg0_name = arg0_name;
+  ev.arg0 = arg0;
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  ring->record(ev);
+}
 
 /// Does a queued message match a (source, tag) request on a channel?
 bool matches(const detail::Message& m, int source, std::int64_t tag,
@@ -34,6 +54,18 @@ std::string rank_gone_msg(const char* what, int source, bool failed) {
 
 }  // namespace
 
+Comm::Comm(detail::SharedState& shared, int rank)
+    : shared_(&shared), rank_(rank) {
+  if (obs::tracer().enabled()) {
+    obs_ring_ = obs::tracer().ring(rank);
+    auto& reg = obs::registry();
+    const char* phase = obs::current_phase();
+    obs_send_bytes_ = &reg.histogram("vmpi.send_bytes", rank, phase);
+    obs_recv_bytes_ = &reg.histogram("vmpi.recv_bytes", rank, phase);
+    obs_timeouts_ = &reg.counter("vmpi.timeouts", rank, phase);
+  }
+}
+
 bool Comm::apply_faults() {
   const FaultPlan& fp = shared_->faults;
   const std::uint64_t idx = ++user_send_seq_;
@@ -42,6 +74,9 @@ bool Comm::apply_faults() {
   for (const auto& c : fp.crashes) {
     if (c.rank == rank_ && idx >= c.at_send) {
       ++shared_->fault_counters.crashes_injected;
+      if (obs_ring_ != nullptr) {
+        ring_instant(obs_ring_, rank_, "fault_crash", "send_idx", idx);
+      }
       throw KilledError("fault injection: rank " + std::to_string(rank_) +
                         " killed at user send " + std::to_string(idx));
     }
@@ -64,9 +99,19 @@ bool Comm::apply_faults() {
   }
   if (delay_s > 0) {
     ++shared_->fault_counters.messages_delayed;
+    if (obs_ring_ != nullptr) {
+      ring_instant(obs_ring_, rank_, "fault_delay", "send_idx", idx,
+                   "delay_us",
+                   static_cast<std::uint64_t>(delay_s * 1e6));
+    }
     std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
   }
-  if (drop) ++shared_->fault_counters.messages_dropped;
+  if (drop) {
+    ++shared_->fault_counters.messages_dropped;
+    if (obs_ring_ != nullptr) {
+      ring_instant(obs_ring_, rank_, "fault_drop", "send_idx", idx);
+    }
+  }
   return drop;
 }
 
@@ -84,6 +129,11 @@ void Comm::send_impl(int dest, std::int64_t tag, const void* data,
   // The send is charged even when the message is lost or the destination is
   // dead — the sender did the work of sending it.
   ledger_.charge_send(n, shared_->cost);
+  if (!internal && obs_ring_ != nullptr) {
+    obs_send_bytes_->observe(n);
+    ring_instant(obs_ring_, rank_, sync ? "ssend" : "send", "peer",
+                 static_cast<std::uint64_t>(dest), "bytes", n);
+  }
   if (drop) return;
   if (shared_->dead[static_cast<std::size_t>(dest)].load()) {
     ++shared_->fault_counters.sends_to_dead;
@@ -151,6 +201,12 @@ std::vector<std::byte> Comm::recv_impl(
       }
       lock.unlock();
       ledger_.charge_recv(msg.payload.size(), shared_->cost);
+      if (!internal && obs_ring_ != nullptr) {
+        obs_recv_bytes_->observe(msg.payload.size());
+        ring_instant(obs_ring_, rank_, "recv", "peer",
+                     static_cast<std::uint64_t>(msg.source), "bytes",
+                     msg.payload.size());
+      }
       if (status) {
         status->source = msg.source;
         status->tag = static_cast<int>(msg.tag);
@@ -166,6 +222,11 @@ std::vector<std::byte> Comm::recv_impl(
       const bool failed = shared_->dead[static_cast<std::size_t>(source)].load();
       if (deadline) {
         ++shared_->fault_counters.timeouts_fired;
+        if (obs_ring_ != nullptr) {
+          obs_timeouts_->inc();
+          ring_instant(obs_ring_, rank_, "recv_timeout", "peer",
+                       static_cast<std::uint64_t>(source), "peer_gone", 1);
+        }
         throw TimeoutError(rank_gone_msg("recv", source, failed));
       }
       throw AbortError(rank_gone_msg("recv", source, failed));
@@ -173,6 +234,11 @@ std::vector<std::byte> Comm::recv_impl(
     if (deadline) {
       if (std::chrono::steady_clock::now() >= *deadline) {
         ++shared_->fault_counters.timeouts_fired;
+        if (obs_ring_ != nullptr) {
+          obs_timeouts_->inc();
+          ring_instant(obs_ring_, rank_, "recv_timeout", "peer",
+                       static_cast<std::uint64_t>(source));
+        }
         throw TimeoutError("recv: timeout (source " + std::to_string(source) +
                            ", tag " + std::to_string(tag) + ")");
       }
@@ -213,6 +279,11 @@ Status Comm::probe_impl(int source, int tag,
       const bool failed = shared_->dead[static_cast<std::size_t>(source)].load();
       if (deadline) {
         ++shared_->fault_counters.timeouts_fired;
+        if (obs_ring_ != nullptr) {
+          obs_timeouts_->inc();
+          ring_instant(obs_ring_, rank_, "probe_timeout", "peer",
+                       static_cast<std::uint64_t>(source), "peer_gone", 1);
+        }
         throw TimeoutError(rank_gone_msg("probe", source, failed));
       }
       throw AbortError(rank_gone_msg("probe", source, failed));
@@ -220,6 +291,11 @@ Status Comm::probe_impl(int source, int tag,
     if (deadline) {
       if (std::chrono::steady_clock::now() >= *deadline) {
         ++shared_->fault_counters.timeouts_fired;
+        if (obs_ring_ != nullptr) {
+          obs_timeouts_->inc();
+          ring_instant(obs_ring_, rank_, "probe_timeout", "peer",
+                       static_cast<std::uint64_t>(source));
+        }
         throw TimeoutError("probe: timeout (source " + std::to_string(source) +
                            ", tag " + std::to_string(tag) + ")");
       }
@@ -260,6 +336,10 @@ bool Comm::iprobe(int source, int tag, Status* status) {
 }
 
 void Comm::barrier() {
+  obs::Span sp = obs_ring_ != nullptr
+                     ? obs::Span(obs_ring_, obs::tracer().now_us(), "barrier",
+                                 "vmpi", rank_)
+                     : obs::Span();
   // Dissemination barrier: ceil(log2 p) rounds, in round k exchange a token
   // with the ranks at distance 2^k.
   const int p = size();
@@ -329,6 +409,7 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
 
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r]() {
+      util::set_log_rank(r);
       Comm comm(*shared_, r);
       try {
         body(comm);
@@ -352,6 +433,35 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
   }
   for (auto& t : threads) t.join();
   cost.faults = shared_->fault_counters.snapshot();
+
+  // Publish the run's cost ledgers into the metrics registry so the ad-hoc
+  // RunCost/FaultStats structs and the obs export agree by construction.
+  if (obs::tracer().enabled()) {
+    auto& reg = obs::registry();
+    const char* phase = obs::current_phase();
+    for (int r = 0; r < p; ++r) {
+      const RankLedger& l = cost.per_rank[static_cast<std::size_t>(r)];
+      reg.counter("vmpi.msgs_sent", r, phase).inc(l.msgs_sent);
+      reg.counter("vmpi.bytes_sent", r, phase).inc(l.bytes_sent);
+      reg.counter("vmpi.msgs_recv", r, phase).inc(l.msgs_recv);
+      reg.counter("vmpi.bytes_recv", r, phase).inc(l.bytes_recv);
+      reg.gauge("vmpi.compute_seconds", r, phase).add(l.compute_seconds);
+      reg.gauge("vmpi.comm_seconds", r, phase).add(l.comm_seconds);
+    }
+    const FaultStats& fs = cost.faults;
+    reg.counter("vmpi.faults.crashes_injected", obs::kNoRank, phase)
+        .inc(fs.crashes_injected);
+    reg.counter("vmpi.faults.messages_dropped", obs::kNoRank, phase)
+        .inc(fs.messages_dropped);
+    reg.counter("vmpi.faults.messages_delayed", obs::kNoRank, phase)
+        .inc(fs.messages_delayed);
+    reg.counter("vmpi.faults.sends_to_dead", obs::kNoRank, phase)
+        .inc(fs.sends_to_dead);
+    reg.counter("vmpi.faults.timeouts_fired", obs::kNoRank, phase)
+        .inc(fs.timeouts_fired);
+    reg.counter("vmpi.faults.ranks_failed", obs::kNoRank, phase)
+        .inc(fs.ranks_failed);
+  }
 
   if (first_error) {
     try {

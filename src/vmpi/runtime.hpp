@@ -52,6 +52,12 @@
 #include "util/timer.hpp"
 #include "vmpi/cost_model.hpp"
 
+namespace pgasm::obs {
+class Counter;
+class Histogram;
+class RankRing;
+}  // namespace pgasm::obs
+
 namespace pgasm::vmpi {
 
 inline constexpr int kAnySource = -1;
@@ -242,8 +248,9 @@ struct SharedState {
 /// not thread-safe across threads (like an MPI rank).
 class Comm {
  public:
-  Comm(detail::SharedState& shared, int rank)
-      : shared_(&shared), rank_(rank) {}
+  /// Caches this rank's observability handles (tracer ring + per-rank
+  /// message instruments) when obs is enabled at construction time.
+  Comm(detail::SharedState& shared, int rank);
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -527,6 +534,14 @@ class Comm {
   std::int64_t collective_seq_ = 0;
   std::uint64_t user_send_seq_ = 0;  ///< 1-based index of user-channel sends
   RankLedger ledger_;
+
+  // Observability handles, cached once at construction so hot paths pay a
+  // single null check when tracing is off (all null then). The ring mutex
+  // is a leaf lock: recording is safe while a mailbox mutex is held.
+  obs::RankRing* obs_ring_ = nullptr;
+  obs::Histogram* obs_send_bytes_ = nullptr;
+  obs::Histogram* obs_recv_bytes_ = nullptr;
+  obs::Counter* obs_timeouts_ = nullptr;
 };
 
 /// Owns the shared mailboxes and runs SPMD bodies across rank threads.

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <map>
 #include <numeric>
+#include <stdexcept>
 
 #include "util/prng.hpp"
 #include "util/radix_sort.hpp"
@@ -212,6 +213,51 @@ TEST(Flags, BoolFalseForms) {
   EXPECT_TRUE(flags.get_bool("d", false));
 }
 
+TEST(Flags, BoolAcceptedForms) {
+  struct Case {
+    const char* value;
+    bool expected;
+  };
+  // Every accepted spelling, in assorted cases; default is the opposite of
+  // the expected result so a silent fall-through would be caught.
+  const Case cases[] = {
+      {"true", true},   {"TRUE", true},   {"True", true}, {"1", true},
+      {"yes", true},    {"YES", true},    {"on", true},   {"On", true},
+      {"false", false}, {"FALSE", false}, {"0", false},   {"no", false},
+      {"No", false},    {"off", false},   {"OFF", false},
+  };
+  for (const auto& c : cases) {
+    const std::string arg = std::string("--flag=") + c.value;
+    const char* argv[] = {"prog", arg.c_str()};
+    util::Flags flags(2, const_cast<char**>(argv));
+    EXPECT_EQ(flags.get_bool("flag", !c.expected), c.expected)
+        << "--flag=" << c.value;
+  }
+}
+
+TEST(Flags, BoolRejectsGarbage) {
+  for (const char* bad : {"--flag=maybe", "--flag=2", "--flag=tru",
+                          "--flag=yess", "--flag="}) {
+    const char* argv[] = {"prog", bad};
+    util::Flags flags(2, const_cast<char**>(argv));
+    EXPECT_THROW((void)flags.get_bool("flag", false), std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(Flags, BoolDefaultWhenAbsent) {
+  const char* argv[] = {"prog"};
+  util::Flags flags(1, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.get_bool("missing", true));
+  EXPECT_FALSE(flags.get_bool("missing", false));
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  util::Flags flags(2, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+}
+
 TEST(Log, LevelsFilter) {
   const auto prev = util::log_level();
   util::set_log_level(util::LogLevel::kError);
@@ -221,6 +267,30 @@ TEST(Log, LevelsFilter) {
   util::log_error() << "emitted";
   util::set_log_level(prev);
   SUCCEED();
+}
+
+TEST(Log, ParseLogLevel) {
+  using util::LogLevel;
+  EXPECT_EQ(util::parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("Warning"), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("error"), LogLevel::kError);
+  // Unknown / null fall back.
+  EXPECT_EQ(util::parse_log_level("verbose", LogLevel::kError),
+            LogLevel::kError);
+  EXPECT_EQ(util::parse_log_level(nullptr, LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level(""), LogLevel::kInfo);
+}
+
+TEST(Log, RankPrefixRoundTrip) {
+  EXPECT_LT(util::log_rank(), 0);  // no rank registered on this thread
+  util::set_log_rank(3);
+  EXPECT_EQ(util::log_rank(), 3);
+  util::log_info() << "rank-prefixed line";
+  util::set_log_rank(-1);
+  EXPECT_LT(util::log_rank(), 0);
 }
 
 TEST(CountingSortAscending, StableByKey) {
