@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Repository CI gate, runnable locally:
 #
-#   scripts/ci.sh           # tier-1 verify + fault suite + TSan obs/vmpi
+#   scripts/ci.sh           # tier-1 verify + fault suite + TSan + ASan
 #   scripts/ci.sh tier1     # just the tier-1 build + full ctest
 #   scripts/ci.sh faults    # just the fault-injection suite
-#   scripts/ci.sh tsan      # just the TSan build of the concurrent layers
+#   scripts/ci.sh tsan     # just the TSan build of the concurrent layers
+#   scripts/ci.sh asan     # just the ASan build of the align + core suites
 #
-# Build trees: build/ (tier-1) and build-tsan/ (PGASM_SANITIZE=thread).
+# Build trees: build/ (tier-1), build-tsan/ (PGASM_SANITIZE=thread) and
+# build-asan/ (PGASM_SANITIZE=address).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,17 +36,31 @@ tsan() {
   (cd build-tsan && ctest --output-on-failure -R 'Registry|Tracer|Histogram|Vmpi')
 }
 
+asan() {
+  echo "== ASan: alignment hot path + cluster engine tests =="
+  # The overlap workspace hands out grow-only dirty buffers and the banded
+  # kernel runs a guard-free inner loop; ASan is the check that every read
+  # and write stays inside the live extents.
+  cmake -B build-asan -S . -DPGASM_SANITIZE=address
+  cmake --build build-asan -j "$JOBS" \
+    --target test_align test_workspace test_linear_space test_cluster
+  (cd build-asan && ctest --output-on-failure \
+    -R 'Align|Overlap|Banded|Workspace|OverlapEngine|ValidateParams|LinearSpace|Hirschberg|Cluster')
+}
+
 case "$STAGE" in
   tier1) tier1 ;;
   faults) faults ;;
   tsan) tsan ;;
+  asan) asan ;;
   all)
     tier1
     faults
     tsan
+    asan
     ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|faults|tsan|all]" >&2
+    echo "usage: scripts/ci.sh [tier1|faults|tsan|asan|all]" >&2
     exit 2
     ;;
 esac

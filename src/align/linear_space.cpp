@@ -4,46 +4,61 @@
 #include <limits>
 #include <vector>
 
+#include "align/workspace.hpp"
+
 namespace pgasm::align {
 
 namespace {
 
-/// Last row of the global DP (linear gaps) for a vs b, O(|b|) memory.
-void nw_score_row(Seq a, Seq b, const Scoring& sc, std::vector<int>& row) {
-  row.resize(b.size() + 1);
+/// Last row of the global DP (linear gaps) for a vs b, written into `out`
+/// (b.size()+1 entries); `scratch` is the rolling second row. Both buffers
+/// arrive dirty and are fully overwritten.
+void nw_score_row(Seq a, Seq b, const Scoring& sc, int* out, int* scratch) {
+  int* prev = out;
+  int* cur = scratch;
   for (std::size_t j = 0; j <= b.size(); ++j)
-    row[j] = static_cast<int>(j) * sc.gap;
-  std::vector<int> prev;
+    prev[j] = static_cast<int>(j) * sc.gap;
   for (std::size_t i = 1; i <= a.size(); ++i) {
-    prev = row;
-    row[0] = static_cast<int>(i) * sc.gap;
+    cur[0] = static_cast<int>(i) * sc.gap;
     for (std::size_t j = 1; j <= b.size(); ++j) {
       const int diag = prev[j - 1] + sc.substitution(a[i - 1], b[j - 1]);
       const int up = prev[j] + sc.gap;
-      const int left = row[j - 1] + sc.gap;
-      row[j] = std::max({diag, up, left});
+      const int left = cur[j - 1] + sc.gap;
+      cur[j] = std::max({diag, up, left});
     }
+    std::swap(prev, cur);
   }
+  if (prev != out) std::copy_n(prev, b.size() + 1, out);
 }
 
-void hirschberg_ops(Seq a, Seq b, const Scoring& sc, std::vector<Op>& out) {
+// Workspace buffer use per recursion level: rows 0/1 hold score_left /
+// score_right, row 2 is the rolling scratch; code buffers 0/1 hold the
+// reversed right halves. All are dead before either recursive call, so one
+// workspace serves the whole recursion (and the base case's global_align,
+// which uses rows 0/1 plus the traceback buffer).
+void hirschberg_ops(Seq a, Seq b, const Scoring& sc, Workspace& ws,
+                    std::vector<Op>& out) {
   if (a.size() <= 1 || b.size() <= 1) {
-    const auto r = global_align(a, b, sc, {.keep_ops = true});
+    const auto r = global_align(a, b, sc, ws, {.keep_ops = true});
     out.insert(out.end(), r.ops.begin(), r.ops.end());
     return;
   }
   const std::size_t mid = a.size() / 2;
   const Seq a_left(a.data(), mid);
   const Seq a_right(a.data() + mid, a.size() - mid);
+  const std::size_t row_n = b.size() + 1;
 
-  std::vector<int> score_left;
-  nw_score_row(a_left, b, sc, score_left);
+  int* score_left = ws.row(0, row_n);
+  nw_score_row(a_left, b, sc, score_left, ws.row(2, row_n));
 
   // Reversed halves for the right side.
-  std::vector<seq::Code> ar(a_right.rbegin(), a_right.rend());
-  std::vector<seq::Code> br(b.rbegin(), b.rend());
-  std::vector<int> score_right;
-  nw_score_row(ar, br, sc, score_right);
+  seq::Code* ar = ws.codes(0, a_right.size());
+  std::reverse_copy(a_right.begin(), a_right.end(), ar);
+  seq::Code* br = ws.codes(1, b.size());
+  std::reverse_copy(b.begin(), b.end(), br);
+  int* score_right = ws.row(1, row_n);
+  nw_score_row(Seq(ar, a_right.size()), Seq(br, b.size()), sc, score_right,
+               ws.row(2, row_n));
 
   std::size_t best_j = 0;
   int best = std::numeric_limits<int>::min();
@@ -54,15 +69,21 @@ void hirschberg_ops(Seq a, Seq b, const Scoring& sc, std::vector<Op>& out) {
       best_j = j;
     }
   }
-  hirschberg_ops(a_left, Seq(b.data(), best_j), sc, out);
-  hirschberg_ops(a_right, Seq(b.data() + best_j, b.size() - best_j), sc, out);
+  hirschberg_ops(a_left, Seq(b.data(), best_j), sc, ws, out);
+  hirschberg_ops(a_right, Seq(b.data() + best_j, b.size() - best_j), sc, ws,
+                 out);
 }
 
 }  // namespace
 
 AlignResult hirschberg_align(Seq a, Seq b, const Scoring& sc) {
+  Workspace ws;  // allocating path: fresh buffers every call
+  return hirschberg_align(a, b, sc, ws);
+}
+
+AlignResult hirschberg_align(Seq a, Seq b, const Scoring& sc, Workspace& ws) {
   AlignResult r;
-  hirschberg_ops(a, b, sc, r.ops);
+  hirschberg_ops(a, b, sc, ws, r.ops);
   // Derive score/counts from the op string.
   std::size_t i = 0, j = 0;
   for (const Op op : r.ops) {

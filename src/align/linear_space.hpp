@@ -24,6 +24,11 @@ namespace pgasm::align {
 /// O(min(|a|,|b|)) working memory. Always produces the op string.
 AlignResult hirschberg_align(Seq a, Seq b, const Scoring& sc);
 
+/// Workspace variant: the three rolling DP rows and the reversed-half
+/// sequence scratch come from `ws`; after warmup the only allocation left
+/// is the op string the caller asked for.
+AlignResult hirschberg_align(Seq a, Seq b, const Scoring& sc, Workspace& ws);
+
 /// Unit-cost (Levenshtein) edit distance via Myers' bit-parallel scan.
 /// Masked symbols mismatch everything, as everywhere else.
 std::uint32_t myers_edit_distance(Seq a, Seq b);

@@ -52,11 +52,40 @@ struct OverlapParams {
 OverlapResult overlap_align(Seq a, Seq b, const Scoring& sc,
                             const AlignOptions& opts = {});
 
+/// Workspace variant of the full-matrix kernel: DP cells and traceback come
+/// from `ws` (grow-only, reused dirty) — no heap allocations after warmup
+/// unless opts.keep_ops asks for the op string.
+OverlapResult overlap_align(Seq a, Seq b, const Scoring& sc, Workspace& ws,
+                            const AlignOptions& opts = {});
+
 /// Banded end-free alignment around diagonal (j - i) == shift. For a seed
 /// maximal match at positions (pos_a, pos_b), pass shift = pos_b - pos_a.
 OverlapResult banded_overlap_align(Seq a, Seq b, const Scoring& sc,
                                    std::int32_t shift, std::uint32_t band,
                                    const AlignOptions& opts = {});
+
+/// Workspace variant of the banded kernel — the clustering hot path. Every
+/// in-band cell is written before any neighbor reads it, so the workspace
+/// buffers are reused dirty with no per-call clear.
+OverlapResult banded_overlap_align(Seq a, Seq b, const Scoring& sc,
+                                   std::int32_t shift, std::uint32_t band,
+                                   Workspace& ws,
+                                   const AlignOptions& opts = {});
+
+/// Pre-refactor banded kernel: fresh full-size buffers (allocated and
+/// cleared) every call. Kept as the baseline for bench/align_throughput and
+/// as the fresh-memory oracle for dirty-buffer reuse tests; bit-identical
+/// results to the workspace variant.
+OverlapResult banded_overlap_align_reference(Seq a, Seq b, const Scoring& sc,
+                                             std::int32_t shift,
+                                             std::uint32_t band,
+                                             const AlignOptions& opts = {});
+
+/// Throws std::invalid_argument with a clear message unless band > 0,
+/// min_identity ∈ (0, 1], and min_overlap >= psi (an overlap shorter than
+/// the exact-match seed length psi can never be generated, so such a config
+/// would silently produce singleton clusters).
+void validate_overlap_params(const OverlapParams& p, std::uint32_t psi);
 
 /// Does this overlap pass the clustering accept test?
 bool accept_overlap(const OverlapResult& r, const OverlapParams& p) noexcept;

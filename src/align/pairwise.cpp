@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "align/workspace.hpp"
+
 namespace pgasm::align {
 
 namespace {
@@ -14,58 +16,77 @@ constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
 enum Tb : std::uint8_t { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
 
 /// Walk a full-matrix traceback from (i, j) until a kStop cell; fills the
-/// result's region, matches, columns and (optionally) ops.
-void walk_traceback(Seq a, Seq b, const std::vector<std::uint8_t>& tb,
-                    std::size_t stride, std::uint32_t i, std::uint32_t j,
-                    const Scoring& sc, bool keep_ops, AlignResult& r) {
-  (void)sc;
+/// result's region, matches, columns and (optionally) ops. Two passes: the
+/// first finds the path start and counts columns/matches, the second (only
+/// when ops are requested) writes each op straight into its final position
+/// of an exactly-sized vector — no reverse scratch, no reallocation.
+void walk_traceback(Seq a, Seq b, const std::uint8_t* tb, std::size_t stride,
+                    std::uint32_t i, std::uint32_t j, bool keep_ops,
+                    AlignResult& r) {
   r.a_end = i;
   r.b_end = j;
-  std::vector<Op> rev;
+  std::uint32_t ci = i, cj = j;
   std::uint32_t matches = 0, columns = 0;
-  while (tb[i * stride + j] != kStop) {
-    switch (tb[i * stride + j]) {
-      case kDiag: {
-        --i;
-        --j;
-        const bool eq = seq::is_base(a[i]) && a[i] == b[j];
-        rev.push_back(eq ? Op::kMatch : Op::kMismatch);
-        matches += eq;
-        ++columns;
+  while (tb[ci * stride + cj] != kStop) {
+    switch (tb[ci * stride + cj]) {
+      case kDiag:
+        --ci;
+        --cj;
+        matches += seq::is_base(a[ci]) && a[ci] == b[cj];
         break;
-      }
       case kUp:
-        --i;
-        rev.push_back(Op::kInsertA);
-        ++columns;
+        --ci;
         break;
       case kLeft:
-        --j;
-        rev.push_back(Op::kInsertB);
-        ++columns;
+        --cj;
         break;
       default:
         throw std::logic_error("bad traceback");
     }
+    ++columns;
   }
-  r.a_begin = i;
-  r.b_begin = j;
+  r.a_begin = ci;
+  r.b_begin = cj;
   r.matches = matches;
   r.columns = columns;
-  if (keep_ops) {
-    r.ops.assign(rev.rbegin(), rev.rend());
+  if (!keep_ops) return;
+  r.ops.resize(columns);
+  std::size_t at = columns;
+  ci = i;
+  cj = j;
+  while (tb[ci * stride + cj] != kStop) {
+    switch (tb[ci * stride + cj]) {
+      case kDiag:
+        --ci;
+        --cj;
+        r.ops[--at] = seq::is_base(a[ci]) && a[ci] == b[cj] ? Op::kMatch
+                                                            : Op::kMismatch;
+        break;
+      case kUp:
+        --ci;
+        r.ops[--at] = Op::kInsertA;
+        break;
+      default:  // kLeft; garbage already rejected by the first pass
+        --cj;
+        r.ops[--at] = Op::kInsertB;
+        break;
+    }
   }
 }
 
 }  // namespace
 
-AlignResult global_align(Seq a, Seq b, const Scoring& sc,
+AlignResult global_align(Seq a, Seq b, const Scoring& sc, Workspace& ws,
                          const AlignOptions& opts) {
   const std::size_t la = a.size(), lb = b.size();
   const std::size_t stride = lb + 1;
-  std::vector<int> prev(stride), cur(stride);
-  std::vector<std::uint8_t> tb((la + 1) * stride, kStop);
+  int* prev = ws.row(0, stride);
+  int* cur = ws.row(1, stride);
+  std::uint8_t* tb = ws.tb_cells((la + 1) * stride);
 
+  // Buffers arrive dirty: write the boundary cells explicitly (the inner
+  // loops write everything else before it is read).
+  tb[0] = kStop;
   for (std::size_t j = 1; j <= lb; ++j) {
     prev[j] = static_cast<int>(j) * sc.gap;
     tb[j] = kLeft;
@@ -97,8 +118,14 @@ AlignResult global_align(Seq a, Seq b, const Scoring& sc,
   AlignResult r;
   r.score = prev[lb];
   walk_traceback(a, b, tb, stride, static_cast<std::uint32_t>(la),
-                 static_cast<std::uint32_t>(lb), sc, opts.keep_ops, r);
+                 static_cast<std::uint32_t>(lb), opts.keep_ops, r);
   return r;
+}
+
+AlignResult global_align(Seq a, Seq b, const Scoring& sc,
+                         const AlignOptions& opts) {
+  Workspace ws;  // allocating reference path: fresh buffers every call
+  return global_align(a, b, sc, ws, opts);
 }
 
 AlignResult local_align(Seq a, Seq b, const Scoring& sc,
@@ -143,7 +170,7 @@ AlignResult local_align(Seq a, Seq b, const Scoring& sc,
 
   AlignResult r;
   r.score = best;
-  walk_traceback(a, b, tb, stride, bi, bj, sc, opts.keep_ops, r);
+  walk_traceback(a, b, tb.data(), stride, bi, bj, opts.keep_ops, r);
   return r;
 }
 
@@ -260,89 +287,175 @@ AlignResult global_affine_align(Seq a, Seq b, const Scoring& sc,
 
 AlignResult banded_global_align(Seq a, Seq b, const Scoring& sc,
                                 std::int32_t shift, std::uint32_t band,
-                                const AlignOptions& opts) {
+                                Workspace& ws, const AlignOptions& opts) {
   const std::int64_t la = static_cast<std::int64_t>(a.size());
   const std::int64_t lb = static_cast<std::int64_t>(b.size());
-  const std::size_t stride = static_cast<std::size_t>(lb) + 1;
-  std::vector<int> score((la + 1) * stride, kNegInf);
-  std::vector<std::uint8_t> tb((la + 1) * stride, kStop);
+  const std::int64_t B = static_cast<std::int64_t>(band);
+  const std::size_t width = 2 * static_cast<std::size_t>(band) + 1;
 
-  auto in_band = [&](std::int64_t i, std::int64_t j) {
-    const std::int64_t d = j - i - shift;
-    return d >= -static_cast<std::int64_t>(band) &&
-           d <= static_cast<std::int64_t>(band);
+  // Band-relative storage: row i holds columns j in [i+shift-B, i+shift+B]
+  // clipped to [0, lb]; band index c = j - (i + shift - B). Against the
+  // previous row, the diag neighbor keeps index c, the up neighbor is c+1;
+  // the left neighbor is c-1 in the same row. Cells outside a row's clipped
+  // range are never written NOR read (all reads below are range-guarded),
+  // so dirty buffers are safe.
+  int* score = ws.score_cells(static_cast<std::size_t>(la + 1) * width);
+  std::uint8_t* tb = ws.tb_cells(static_cast<std::size_t>(la + 1) * width);
+
+  auto jlo = [&](std::int64_t i) {
+    return std::max<std::int64_t>(0, i + shift - B);
+  };
+  auto jhi = [&](std::int64_t i) {
+    return std::min<std::int64_t>(lb, i + shift + B);
   };
 
-  score[0] = 0;
-  for (std::int64_t j = 1; j <= lb && in_band(0, j); ++j) {
-    score[static_cast<std::size_t>(j)] = static_cast<int>(j) * sc.gap;
-    tb[static_cast<std::size_t>(j)] = kLeft;
-  }
-  for (std::int64_t i = 1; i <= la; ++i) {
-    const std::int64_t jlo = std::max<std::int64_t>(
-        0, i + shift - static_cast<std::int64_t>(band));
-    const std::int64_t jhi =
-        std::min<std::int64_t>(lb, i + shift + static_cast<std::int64_t>(band));
-    for (std::int64_t j = jlo; j <= jhi; ++j) {
-      const std::size_t c = static_cast<std::size_t>(i) * stride +
-                            static_cast<std::size_t>(j);
-      if (j == 0) {
-        score[c] = static_cast<int>(i) * sc.gap;
-        tb[c] = kUp;
-        continue;
+  for (std::int64_t i = 0; i <= la; ++i) {
+    const std::int64_t lo = jlo(i), hi = jhi(i);
+    if (lo > hi) continue;
+    const std::int64_t base = i + shift - B;  // column of band index 0
+    const std::int64_t clo = lo - base;       // band index of the row start
+    int* cur = score + static_cast<std::size_t>(i) * width;
+    std::uint8_t* tcur = tb + static_cast<std::size_t>(i) * width;
+    if (i == 0) {
+      // Left-gap prefix along the top edge, reachable only contiguously
+      // from column 1 (and the origin itself when in band).
+      if (lo == 0) {
+        cur[clo] = 0;
+        tcur[clo] = kStop;
       }
+      const bool connected = lo <= 1 && hi >= 1;
+      for (std::int64_t j = std::max<std::int64_t>(1, lo); j <= hi; ++j) {
+        const std::size_t c = static_cast<std::size_t>(j - base);
+        cur[c] = connected ? static_cast<int>(j) * sc.gap : kNegInf;
+        tcur[c] = connected ? kLeft : kStop;
+      }
+      continue;
+    }
+    const int* prev = cur - width;  // row i-1
+    std::int64_t j = lo;
+    if (j == 0) {
+      // Top-gap prefix along the left edge (column-0 in-band rows are a
+      // contiguous prefix that always includes row 0).
+      const std::size_t c = static_cast<std::size_t>(-base);
+      cur[c] = static_cast<int>(i) * sc.gap;
+      tcur[c] = kUp;
+      ++j;
+    }
+    for (; j <= hi; ++j) {
+      const std::size_t c = static_cast<std::size_t>(j - base);
       int best = kNegInf;
       std::uint8_t dir = kStop;
-      const std::size_t cd = static_cast<std::size_t>(i - 1) * stride +
-                             static_cast<std::size_t>(j - 1);
-      if (score[cd] > kNegInf) {
-        const int v = score[cd] + sc.substitution(a[i - 1], b[j - 1]);
-        if (v > best) {
-          best = v;
-          dir = kDiag;
-        }
+      // diag (i-1, j-1) is band index c in the previous row and is always
+      // inside its clipped range when i >= 1 and j >= 1.
+      if (prev[c] > kNegInf) {
+        best = prev[c] + sc.substitution(a[i - 1], b[j - 1]);
+        dir = kDiag;
       }
-      const std::size_t cu = static_cast<std::size_t>(i - 1) * stride +
-                             static_cast<std::size_t>(j);
-      if (in_band(i - 1, j) && score[cu] > kNegInf) {
-        const int v = score[cu] + sc.gap;
+      if (c + 1 < width && prev[c + 1] > kNegInf) {
+        const int v = prev[c + 1] + sc.gap;
         if (v > best) {
           best = v;
           dir = kUp;
         }
       }
-      const std::size_t cl = static_cast<std::size_t>(i) * stride +
-                             static_cast<std::size_t>(j - 1);
-      if (in_band(i, j - 1) && score[cl] > kNegInf) {
-        const int v = score[cl] + sc.gap;
+      if (static_cast<std::int64_t>(c) > clo && cur[c - 1] > kNegInf) {
+        const int v = cur[c - 1] + sc.gap;
         if (v > best) {
           best = v;
           dir = kLeft;
         }
       }
-      if (dir != kStop) {
-        score[c] = best;
-        tb[c] = dir;
-      }
+      cur[c] = dir == kStop ? kNegInf : best;
+      tcur[c] = dir;
     }
   }
 
   AlignResult r;
-  const std::size_t end =
-      static_cast<std::size_t>(la) * stride + static_cast<std::size_t>(lb);
+  const std::int64_t end_base = la + shift - B;
+  if (lb < jlo(la) || lb > jhi(la)) {
+    r.score = kNegInf;  // band misses the terminal corner entirely
+    return r;
+  }
+  const std::size_t end = static_cast<std::size_t>(la) * width +
+                          static_cast<std::size_t>(lb - end_base);
   r.score = score[end];
   if (r.score <= kNegInf) {
     // Band does not connect the corners; report an empty, failed alignment.
     r.score = kNegInf;
     return r;
   }
-  walk_traceback(a, b, tb, stride, static_cast<std::uint32_t>(la),
-                 static_cast<std::uint32_t>(lb), sc, opts.keep_ops, r);
+
+  // Band-relative traceback from the corner.
+  std::int64_t ci = la, cj = lb;
+  r.a_end = static_cast<std::uint32_t>(la);
+  r.b_end = static_cast<std::uint32_t>(lb);
+  auto cell = [&](std::int64_t i2, std::int64_t j2) -> std::size_t {
+    return static_cast<std::size_t>(i2) * width +
+           static_cast<std::size_t>(j2 - (i2 + shift - B));
+  };
+  std::uint32_t matches = 0, columns = 0;
+  while (tb[cell(ci, cj)] != kStop) {
+    switch (tb[cell(ci, cj)]) {
+      case kDiag:
+        --ci;
+        --cj;
+        matches += seq::is_base(a[ci]) && a[ci] == b[cj];
+        break;
+      case kUp:
+        --ci;
+        break;
+      case kLeft:
+        --cj;
+        break;
+      default:
+        throw std::logic_error("bad traceback");
+    }
+    ++columns;
+  }
+  r.a_begin = static_cast<std::uint32_t>(ci);
+  r.b_begin = static_cast<std::uint32_t>(cj);
+  r.matches = matches;
+  r.columns = columns;
+  if (opts.keep_ops) {
+    r.ops.resize(columns);
+    std::size_t at = columns;
+    ci = la;
+    cj = lb;
+    while (tb[cell(ci, cj)] != kStop) {
+      switch (tb[cell(ci, cj)]) {
+        case kDiag:
+          --ci;
+          --cj;
+          r.ops[--at] = seq::is_base(a[ci]) && a[ci] == b[cj] ? Op::kMatch
+                                                              : Op::kMismatch;
+          break;
+        case kUp:
+          --ci;
+          r.ops[--at] = Op::kInsertA;
+          break;
+        default:
+          --cj;
+          r.ops[--at] = Op::kInsertB;
+          break;
+      }
+    }
+  }
   return r;
 }
 
+AlignResult banded_global_align(Seq a, Seq b, const Scoring& sc,
+                                std::int32_t shift, std::uint32_t band,
+                                const AlignOptions& opts) {
+  Workspace ws;  // allocating reference path: fresh buffers every call
+  return banded_global_align(a, b, sc, shift, band, ws, opts);
+}
+
 std::string format_alignment(Seq a, Seq b, const AlignResult& r) {
+  const std::size_t n = r.ops.size();
   std::string top, mid, bot;
+  top.reserve(n);
+  mid.reserve(n);
+  bot.reserve(n);
   std::size_t i = r.a_begin, j = r.b_begin;
   for (Op op : r.ops) {
     switch (op) {
@@ -364,7 +477,15 @@ std::string format_alignment(Seq a, Seq b, const AlignResult& r) {
         break;
     }
   }
-  return top + "\n" + mid + "\n" + bot + "\n";
+  std::string out;
+  out.reserve(3 * (n + 1));
+  out += top;
+  out += '\n';
+  out += mid;
+  out += '\n';
+  out += bot;
+  out += '\n';
+  return out;
 }
 
 }  // namespace pgasm::align

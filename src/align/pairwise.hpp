@@ -21,6 +21,8 @@
 
 namespace pgasm::align {
 
+class Workspace;
+
 using seq::Code;
 using Seq = std::span<const Code>;
 
@@ -69,6 +71,12 @@ struct AlignOptions {
 AlignResult global_align(Seq a, Seq b, const Scoring& sc,
                          const AlignOptions& opts = {});
 
+/// Workspace variant: all DP rows and the traceback matrix come from `ws`
+/// (grow-only, reused across calls) — no heap allocations after warmup
+/// unless opts.keep_ops asks for the op string.
+AlignResult global_align(Seq a, Seq b, const Scoring& sc, Workspace& ws,
+                         const AlignOptions& opts = {});
+
 /// Global alignment with affine gaps (Gotoh).
 AlignResult global_affine_align(Seq a, Seq b, const Scoring& sc,
                                 const AlignOptions& opts = {});
@@ -79,9 +87,17 @@ AlignResult local_align(Seq a, Seq b, const Scoring& sc,
 
 /// Banded global alignment: only cells with |i - j - shift| <= band are
 /// explored. With a band covering the whole matrix this equals global_align.
+/// Storage is band-relative — O((|a|+1)·(2·band+1)) cells, not the full
+/// matrix stride.
 AlignResult banded_global_align(Seq a, Seq b, const Scoring& sc,
                                 std::int32_t shift, std::uint32_t band,
                                 const AlignOptions& opts = {});
+
+/// Workspace variant of the banded kernel (buffers reused dirty; every
+/// in-band cell is written before any neighbor reads it).
+AlignResult banded_global_align(Seq a, Seq b, const Scoring& sc,
+                                std::int32_t shift, std::uint32_t band,
+                                Workspace& ws, const AlignOptions& opts = {});
 
 /// Render an op string as three display lines (for examples/debugging).
 std::string format_alignment(Seq a, Seq b, const AlignResult& r);

@@ -75,6 +75,13 @@ struct ClusterParams {
   std::string checkpoint_path;
 };
 
+/// Entry-point sanity check shared by cluster_serial, cluster_parallel and
+/// the pipeline: rejects parameter combinations that would not crash but
+/// would silently produce a useless clustering (band 0, identity outside
+/// (0,1], min_overlap below ψ). Throws std::invalid_argument with a message
+/// naming the offending field.
+void validate_cluster_params(const ClusterParams& params);
+
 struct ClusterStats {
   std::uint64_t pairs_generated = 0;  ///< promising pairs produced
   std::uint64_t pairs_aligned = 0;    ///< selected for alignment

@@ -1,0 +1,157 @@
+#include "core/cluster_protocol.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
+
+namespace pgasm::core {
+
+int poll_heartbeats(vmpi::Comm& comm) {
+  int n = 0;
+  vmpi::Status st;
+  while (comm.iprobe(0, kTagPing, &st)) {
+    const auto epoch = comm.recv_value<std::uint64_t>(0, kTagPing);
+    comm.send_value<std::uint64_t>(0, kTagAck, epoch);
+    ++n;
+  }
+  return n;
+}
+
+void send_report(vmpi::Comm& comm, const ClusterParams& params,
+                 const WorkerReport& report) {
+  auto payload = encode_report_payload(report);
+  if (params.use_ssend) {
+    comm.ssend_payload(0, kTagReport, std::move(payload));
+  } else {
+    comm.send_payload(0, kTagReport, std::move(payload));
+  }
+}
+
+MasterReply await_reply(vmpi::Comm& comm, const ClusterParams& params,
+                        std::uint64_t seq, const WorkerReport& report) {
+  util::WallTimer contact;     // master silence: reset by pings and replies
+  util::WallTimer reply_wait;  // since the report was (re)sent
+  bool parked = false;
+  std::uint32_t retransmits = 0;
+  for (;;) {
+    if (poll_heartbeats(comm) > 0) contact.restart();
+    if (comm.rank_failed(0))
+      throw vmpi::TimeoutError("worker: master rank failed");
+    if (comm.rank_done(0)) {
+      vmpi::Status qs;
+      if (!comm.iprobe(0, kTagReply, &qs)) {
+        // The master finished and nothing is queued for us: our terminate
+        // was lost in flight. Act on the implied terminate.
+        MasterReply bye;
+        bye.terminate = 1;
+        return bye;
+      }
+    }
+    const double left = params.master_timeout - contact.elapsed();
+    if (left <= 0)
+      throw vmpi::TimeoutError("worker: no contact from master within " +
+                               std::to_string(params.master_timeout) + "s");
+    if (reply_wait.elapsed() >= params.reply_timeout) {
+      // Parked retransmits are uncapped keepalives: the park proved the
+      // master received the report, and the duplicate solicits the cached
+      // reply again in case the eventual dispatch was itself dropped.
+      if (!parked && ++retransmits > params.reply_max_retries)
+        throw vmpi::TimeoutError(
+            "worker: no reply from master after " +
+            std::to_string(params.reply_max_retries) + " retransmits");
+      obs::instant(comm.rank(), "retransmit", "cluster", "seq", seq, "parked",
+                   parked ? 1 : 0);
+      send_report(comm, params, report);
+      reply_wait.restart();
+    }
+    std::vector<std::byte> raw;
+    try {
+      raw = comm.recv_timeout(0, kTagReply, std::min(0.05, left));
+    } catch (const vmpi::TimeoutError&) {
+      continue;  // slice expired; answer pings and re-check the bounds
+    }
+    contact.restart();
+    MasterReply reply;
+    {
+      auto scope = comm.compute_scope();
+      reply = decode_reply(std::span<const std::byte>(raw));
+    }
+    if (reply.terminate) return reply;
+    if (reply.seq != seq) continue;  // stale duplicate of an older reply
+    if (reply.park) {
+      // Report acknowledged, nothing to do yet: wait for the next dispatch
+      // with keepalive (uncapped) retransmission only.
+      parked = true;
+      retransmits = 0;
+      reply_wait.restart();
+      continue;
+    }
+    return reply;
+  }
+}
+
+void ReplyChannel::send(vmpi::Comm& comm, int worker, MasterReply& reply) {
+  reply.seq = last_seq_[worker];
+  auto bytes = encode_reply_payload(reply);
+  // The cache keeps its own copy — a retransmitted report may need this
+  // exact reply again after the payload below has been consumed.
+  last_reply_[worker].assign(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()),
+      reinterpret_cast<const std::uint8_t*>(bytes.data()) + bytes.size());
+  comm.send_payload(worker, kTagReply, std::move(bytes));
+}
+
+void ReplyChannel::resend_cached(vmpi::Comm& comm, int worker) {
+  const auto& cached = last_reply_[worker];
+  if (cached.empty()) return;
+  comm.send(worker, kTagReply, cached.data(), cached.size());
+}
+
+void heartbeat_round(vmpi::Comm& comm, const ClusterParams& params,
+                     std::uint64_t epoch,
+                     const std::vector<std::uint8_t>& alive,
+                     const std::vector<std::uint8_t>& terminated,
+                     std::uint64_t& heartbeats_sent,
+                     const std::function<void(int)>& declare_dead) {
+  const int p = comm.size();
+  obs::Span hb_span = obs::span(0, "heartbeat_round", "cluster");
+  std::vector<int> pinged;
+  for (int w = 1; w < p; ++w) {
+    if (!alive[w] || terminated[w]) continue;
+    if (comm.rank_failed(w)) {
+      declare_dead(w);
+      continue;
+    }
+    vmpi::Status s;
+    if (comm.iprobe(w, kTagReport, &s)) continue;
+    comm.send_value<std::uint64_t>(w, kTagPing, epoch);
+    ++heartbeats_sent;
+    pinged.push_back(w);
+  }
+  hb_span.arg("epoch", epoch);
+  hb_span.arg("pinged", pinged.size());
+  util::WallTimer t;
+  while (!pinged.empty()) {
+    const double left = params.worker_timeout - t.elapsed();
+    if (left <= 0) break;
+    try {
+      vmpi::Status ack;
+      const auto got = comm.recv_value_timeout<std::uint64_t>(
+          vmpi::kAnySource, kTagAck, left, &ack);
+      if (got != epoch) continue;  // stale ack from an old round
+      pinged.erase(std::remove(pinged.begin(), pinged.end(), ack.source),
+                   pinged.end());
+    } catch (const vmpi::TimeoutError&) {
+      break;
+    }
+  }
+  for (int w : pinged) {
+    vmpi::Status s;
+    if (comm.iprobe(w, kTagReport, &s)) continue;  // reported meanwhile
+    declare_dead(w);
+  }
+}
+
+}  // namespace pgasm::core

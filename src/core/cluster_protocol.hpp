@@ -1,0 +1,109 @@
+// Message-level protocol for the master–worker clustering loop (paper
+// Fig. 6), split out of the coordinator: wire tags, heartbeat ping/ack,
+// the worker's report-send/reply-wait state machine with retransmission,
+// and the master's per-worker reply channel with its duplicate-report
+// defence. Scheduling policy (what to dispatch, when to terminate) lives in
+// cluster_scheduler.*; this layer only moves and acknowledges messages.
+//
+// Zero-copy discipline: reports and replies are encoded straight into vmpi
+// payload buffers and MOVED into the destination mailbox
+// (Comm::send_payload). The worker's retransmission path re-encodes from
+// the kept WorkerReport — retransmits are rare, first sends are not — and
+// the master's reply cache keeps the encoded bytes because a cached reply
+// must survive to be re-sent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/cluster_params.hpp"
+#include "core/wire.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace pgasm::core {
+
+inline constexpr int kTagReport = 101;  // worker -> master
+inline constexpr int kTagReply = 102;   // master -> worker
+inline constexpr int kTagPing = 103;    // master -> worker heartbeat (u64)
+inline constexpr int kTagAck = 104;     // worker -> master heartbeat ack
+
+/// Answer any queued heartbeat pings from the master. Returns how many were
+/// answered (the worker's master-silence clock resets on contact).
+int poll_heartbeats(vmpi::Comm& comm);
+
+/// Encode and send a worker report to the master (moved payload; ssend when
+/// the params ask for synchronous reports).
+void send_report(vmpi::Comm& comm, const ClusterParams& params,
+                 const WorkerReport& report);
+
+/// Worker-side wait for the reply answering report `seq`, polling
+/// heartbeats in short timeout slices. Pings prove the master alive but not
+/// that it got the report, so they do not extend the reply deadline: after
+/// params.reply_timeout without a matching reply (and not parked), the
+/// report is retransmitted (re-encoded from `report`) — the master discards
+/// the duplicate by seq and re-sends its cached reply, which recovers a
+/// dropped report or a dropped reply alike. Throws TimeoutError when the
+/// master has failed, has been silent (no reply, no ping) for
+/// params.master_timeout seconds, or has not answered
+/// params.reply_max_retries retransmissions. A master that finished without
+/// this worker ever hearing a terminate (the terminate was lost) is treated
+/// as an implied terminate.
+MasterReply await_reply(vmpi::Comm& comm, const ClusterParams& params,
+                        std::uint64_t seq, const WorkerReport& report);
+
+/// Master-side per-worker reply channel: stamps every reply with the seq of
+/// the worker's last processed report, caches the encoded bytes, and
+/// answers duplicate (retransmitted) reports by re-sending the cached reply
+/// instead of letting the master fold the results twice.
+class ReplyChannel {
+ public:
+  explicit ReplyChannel(int p) : last_seq_(p, 0), last_reply_(p) {}
+
+  /// Was this report already processed? (seq 0 = unsequenced, never a dup.)
+  bool is_duplicate(int worker, std::uint64_t seq) const {
+    return seq != 0 && seq == last_seq_[worker];
+  }
+  void note_seq(int worker, std::uint64_t seq) { last_seq_[worker] = seq; }
+
+  /// Stamp reply.seq, encode, cache, and send to `worker`.
+  void send(vmpi::Comm& comm, int worker, MasterReply& reply);
+  /// Re-send the cached reply (no-op if none was ever sent).
+  void resend_cached(vmpi::Comm& comm, int worker);
+
+ private:
+  std::vector<std::uint64_t> last_seq_;
+  std::vector<std::vector<std::uint8_t>> last_reply_;
+};
+
+/// One epoch-stamped heartbeat round (master side). A worker whose report
+/// is already queued is alive by definition (this also covers workers
+/// blocked in a synchronous send to us). Anyone else gets a ping and a
+/// bounded window to ack; non-responders are passed to `declare_dead`. A
+/// false positive is safe: the "zombie"'s later reports still fold
+/// idempotently and it is terminated on its next contact, at the cost of
+/// some duplicated work.
+void heartbeat_round(vmpi::Comm& comm, const ClusterParams& params,
+                     std::uint64_t epoch,
+                     const std::vector<std::uint8_t>& alive,
+                     const std::vector<std::uint8_t>& terminated,
+                     std::uint64_t& heartbeats_sent,
+                     const std::function<void(int)>& declare_dead);
+
+/// Ping every parked worker (their master-silence clocks get no replies)
+/// and drain stray acks from previous rounds.
+template <typename IdleRange>
+void keepalive_pings(vmpi::Comm& comm, const IdleRange& idle,
+                     const std::vector<std::uint8_t>& alive,
+                     std::uint64_t epoch, std::uint64_t& heartbeats_sent) {
+  vmpi::Status s;
+  while (comm.iprobe(vmpi::kAnySource, kTagAck, &s))
+    (void)comm.recv_value<std::uint64_t>(s.source, kTagAck);
+  for (int w : idle) {
+    if (!alive[w]) continue;
+    comm.send_value<std::uint64_t>(w, kTagPing, epoch);
+    ++heartbeats_sent;
+  }
+}
+
+}  // namespace pgasm::core

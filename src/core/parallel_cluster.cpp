@@ -1,14 +1,21 @@
+// Coordinator for the parallel master-worker clustering run. The three
+// concerns the loop used to interleave live in their own translation units:
+// message protocol (tags, heartbeats, report/reply retransmission) in
+// cluster_protocol.*, master scheduling policy and recoverable state in
+// cluster_scheduler.*, and the per-pair alignment compute in
+// core::OverlapEngine. This file only wires them together: the master pump
+// (probe -> fold -> dispatch/park -> checkpoint -> terminate) and the
+// worker cycle (generate -> report -> align previous batch -> await reply).
 #include "core/parallel_cluster.hpp"
 
 #include <algorithm>
 #include <cstring>
-#include <deque>
-#include <limits>
 #include <memory>
 #include <stdexcept>
 
-#include "core/consistency.hpp"
-#include "core/wire.hpp"
+#include "core/cluster_protocol.hpp"
+#include "core/cluster_scheduler.hpp"
+#include "core/overlap_engine.hpp"
 #include "gst/pair_generator.hpp"
 #include "gst/parallel_build.hpp"
 #include "obs/metrics.hpp"
@@ -21,451 +28,46 @@ namespace pgasm::core {
 
 namespace {
 
-constexpr int kTagReport = 101;  // worker -> master
-constexpr int kTagReply = 102;   // master -> worker
-constexpr int kTagPing = 103;    // master -> worker heartbeat (u64 epoch)
-constexpr int kTagAck = 104;     // worker -> master heartbeat ack (u64 epoch)
-
-struct MasterState {
-  util::UnionFind uf;
-  std::deque<PairMsg> pending;  // Pending_Work_Buf
-  std::deque<int> idle;         // Idle_Workers
-  // Alignment results dispatched but not yet reported. A worker aligns a
-  // batch *after* sending its next report (Fig. 8 masks the reply wait with
-  // alignment work), so results lag their dispatch by two reports; the
-  // master must keep a worker cycling until its owed results have arrived
-  // or merges would be lost at termination.
-  std::vector<std::uint64_t> owed;
-  std::vector<std::uint8_t> exhausted;  // worker generators done (passive)
-
-  // --- fault tolerance ---------------------------------------------------
-  std::vector<std::uint8_t> alive;       // not declared dead
-  std::vector<std::uint8_t> terminated;  // terminate reply sent
-  // Batches dispatched whose results have not arrived, oldest first. On
-  // worker death these are requeued for survivors (replay is idempotent).
-  std::vector<std::deque<std::vector<PairMsg>>> in_flight;
-  // Generation roles: role r is rank r's GST portion. Owners migrate to
-  // survivors on death; positions are absolute in the role's deterministic
-  // pair stream, so a takeover fast-forwards to exactly where it stopped.
-  std::vector<std::int32_t> role_owner;  // -1 = orphaned
-  std::vector<std::uint8_t> role_done;
-  std::vector<std::uint64_t> role_pos;
-  std::vector<TakeoverOrder> orphans;  // roles awaiting a new owner
-  std::uint64_t hb_epoch = 0;          // current heartbeat round
-  // Retransmission defence: seq of each worker's last processed report and
-  // the encoded bytes of the last reply sent to it. A duplicate report
-  // (same seq — the worker's reply went missing) is not re-folded; the
-  // cached reply is re-sent instead.
-  std::vector<std::uint64_t> last_seq;
-  std::vector<std::vector<std::uint8_t>> last_reply;
-
-  // Checkpoint validity: hashes of the input store and the
-  // partition-relevant params this run was started with.
-  std::uint64_t input_hash = 0;
-  std::uint64_t params_hash = 0;
-
-  std::uint64_t generated = 0;  // NP pairs received
-  std::uint64_t selected = 0;   // pairs admitted to Pending_Work_Buf
-  std::uint64_t aligned = 0;    // results received
-  std::uint64_t accepted = 0;
-  std::uint64_t merges = 0;
-  std::uint64_t rejected_inconsistent = 0;
-
-  std::uint64_t workers_lost = 0;
-  std::uint64_t batches_reassigned = 0;
-  std::uint64_t pairs_reassigned = 0;
-  std::uint64_t takeovers = 0;
-  std::uint64_t timeouts_fired = 0;
-  std::uint64_t heartbeats_sent = 0;
-  std::uint64_t checkpoints_written = 0;
-  std::uint64_t reports_retransmitted = 0;
-  std::uint64_t pairs_skipped_resume = 0;
-  std::uint64_t resumed_from_epoch = 0;
-  std::uint64_t ckpt_epoch = 0;
-  std::uint64_t reports_since_ckpt = 0;
-};
-
-/// Answer any queued heartbeat pings from the master. Returns how many were
-/// answered (the worker's master-silence clock resets on contact).
-int poll_heartbeats(vmpi::Comm& comm) {
-  int n = 0;
-  vmpi::Status st;
-  while (comm.iprobe(0, kTagPing, &st)) {
-    const auto epoch = comm.recv_value<std::uint64_t>(0, kTagPing);
-    comm.send_value<std::uint64_t>(0, kTagAck, epoch);
-    ++n;
-  }
-  return n;
-}
-
-/// Worker-side wait for the reply answering report `seq`, polling
-/// heartbeats in short timeout slices. Pings prove the master alive but not
-/// that it got the report, so they do not extend the reply deadline: after
-/// params.reply_timeout without a matching reply (and not parked), the
-/// report is retransmitted — the master discards the duplicate by seq and
-/// re-sends its cached reply, which recovers a dropped report or a dropped
-/// reply alike. Throws TimeoutError when the master has failed, has been
-/// silent (no reply, no ping) for params.master_timeout seconds, or has
-/// not answered params.reply_max_retries retransmissions. A master that
-/// finished without this worker ever hearing a terminate (the terminate
-/// was lost) is treated as an implied terminate.
-MasterReply await_reply(vmpi::Comm& comm, const ClusterParams& params,
-                        std::uint64_t seq,
-                        const std::vector<std::uint8_t>& report_bytes) {
-  util::WallTimer contact;     // master silence: reset by pings and replies
-  util::WallTimer reply_wait;  // since the report was (re)sent
-  bool parked = false;
-  std::uint32_t retransmits = 0;
-  for (;;) {
-    if (poll_heartbeats(comm) > 0) contact.restart();
-    if (comm.rank_failed(0))
-      throw vmpi::TimeoutError("worker: master rank failed");
-    if (comm.rank_done(0)) {
-      vmpi::Status qs;
-      if (!comm.iprobe(0, kTagReply, &qs)) {
-        // The master finished and nothing is queued for us: our terminate
-        // was lost in flight. Act on the implied terminate.
-        MasterReply bye;
-        bye.terminate = 1;
-        return bye;
-      }
-    }
-    const double left = params.master_timeout - contact.elapsed();
-    if (left <= 0)
-      throw vmpi::TimeoutError("worker: no contact from master within " +
-                               std::to_string(params.master_timeout) + "s");
-    if (reply_wait.elapsed() >= params.reply_timeout) {
-      // Parked retransmits are uncapped keepalives: the park proved the
-      // master received the report, and the duplicate solicits the cached
-      // reply again in case the eventual dispatch was itself dropped.
-      if (!parked && ++retransmits > params.reply_max_retries)
-        throw vmpi::TimeoutError(
-            "worker: no reply from master after " +
-            std::to_string(params.reply_max_retries) + " retransmits");
-      obs::instant(comm.rank(), "retransmit", "cluster", "seq", seq, "parked",
-                   parked ? 1 : 0);
-      if (params.use_ssend) {
-        comm.ssend(0, kTagReport, report_bytes.data(), report_bytes.size());
-      } else {
-        comm.send(0, kTagReport, report_bytes.data(), report_bytes.size());
-      }
-      reply_wait.restart();
-    }
-    std::vector<std::uint8_t> raw;
-    try {
-      raw = comm.recv_vector_timeout<std::uint8_t>(0, kTagReply,
-                                                   std::min(0.05, left));
-    } catch (const vmpi::TimeoutError&) {
-      continue;  // slice expired; answer pings and re-check the bounds
-    }
-    contact.restart();
-    MasterReply reply;
-    {
-      auto scope = comm.compute_scope();
-      reply = decode_reply(raw);
-    }
-    if (reply.terminate) return reply;
-    if (reply.seq != seq) continue;  // stale duplicate of an older reply
-    if (reply.park) {
-      // Report acknowledged, nothing to do yet: wait for the next dispatch
-      // with keepalive (uncapped) retransmission only.
-      parked = true;
-      retransmits = 0;
-      reply_wait.restart();
-      continue;
-    }
-    return reply;
-  }
-}
-
 void master_loop(vmpi::Comm& comm, const ClusterParams& params,
-                 const seq::FragmentStore& doubled, MasterState& st,
-                 const ClusterCheckpoint* resume) {
+                 MasterScheduler& sched, const ClusterCheckpoint* resume) {
   const int p = comm.size();
-  const std::size_t n_fragments = doubled.size() / 2;
-  st.uf.reset(n_fragments);
-  st.owed.assign(p, 0);
-  st.exhausted.assign(p, 0);
-  st.alive.assign(p, 1);
-  st.terminated.assign(p, 0);
-  st.in_flight.assign(p, {});
-  st.role_owner.assign(p, -1);
-  st.role_done.assign(p, 0);
-  st.role_pos.assign(p, 0);
-  st.last_seq.assign(p, 0);
-  st.last_reply.assign(p, {});
-  for (int w = 1; w < p; ++w) st.role_owner[w] = w;
+  if (resume) sched.restore(*resume);
+  ReplyChannel replies(p);
 
-  int active_workers = p - 1;  // workers that may still generate pairs
-
-  if (resume) {
-    if (resume->n_fragments != n_fragments)
-      throw std::invalid_argument("resume checkpoint fragment count mismatch");
-    st.resumed_from_epoch = resume->epoch;
-    st.ckpt_epoch = resume->epoch;
-    // Dense labels -> union-find: unite each element with the first element
-    // seen carrying its label.
-    std::vector<std::uint32_t> first(resume->labels.size(),
-                                     std::numeric_limits<std::uint32_t>::max());
-    for (std::uint32_t i = 0; i < resume->labels.size(); ++i) {
-      const std::uint32_t l = resume->labels[i];
-      if (first[l] == std::numeric_limits<std::uint32_t>::max()) {
-        first[l] = i;
-      } else {
-        st.uf.unite(first[l], i);
-      }
-    }
-    st.pending.assign(resume->pending.begin(), resume->pending.end());
-    // Resume the stats counters where the checkpoint left them, so a
-    // resumed run reports totals for the whole logical run (the counters
-    // stay consistent: selected - aligned == |pending incl. in-flight|).
-    st.generated = resume->pairs_generated;
-    st.selected = resume->pairs_selected;
-    st.aligned = resume->pairs_aligned;
-    st.accepted = resume->pairs_accepted;
-    st.merges = resume->merges;
-    st.rejected_inconsistent = resume->merges_rejected_inconsistent;
-    if (static_cast<int>(resume->num_ranks) == p) {
-      // Same topology: fast-forward each role's generator past the pairs
-      // the master had already received. Workers read the same checkpoint.
-      for (const RoleProgress& e : resume->progress) {
-        if (e.role == 0 || static_cast<int>(e.role) >= p) continue;
-        st.role_pos[e.role] = e.emitted;
-        st.role_done[e.role] = static_cast<std::uint8_t>(e.done != 0);
-        if (!e.done) st.pairs_skipped_resume += e.emitted;
-      }
-      for (int w = 1; w < p; ++w) {
-        if (st.role_done[w]) {
-          st.exhausted[w] = 1;
-          --active_workers;
-        }
-      }
-    }
-  }
-
-  // Inconsistent-overlap resolution extension (paper §10 future work). The
-  // verification alignments run on the master; they are few (one to three
-  // per attempted merge) and are charged to the master's compute ledger.
-  std::unique_ptr<ConsistencyResolver> resolver;
-  if (params.resolve_inconsistent) {
-    resolver = std::make_unique<ConsistencyResolver>(
-        doubled, params.overlap, params.placement_tolerance);
-  }
-  // Section 7.2: keep the master's message arrival rate roughly constant
-  // as workers are added by growing the per-dispatch granularity with p.
-  const std::uint32_t batch =
-      params.adaptive_batch
-          ? params.batch_size * std::max(1, (p - 1) / 4)
-          : params.batch_size;
-
-  auto compute_r = [&]() -> std::uint32_t {
-    // Request as many pairs as needed so that ~batch_size of them are
-    // expected to be selected, without overflowing Pending_Work_Buf.
-    const double rate =
-        st.generated == 0
-            ? 1.0
-            : std::max(0.02, static_cast<double>(st.selected) /
-                                 static_cast<double>(st.generated));
-    const std::uint64_t want = static_cast<std::uint64_t>(batch / rate);
-    const std::uint64_t room =
-        st.pending.size() >= params.pending_work_buf
-            ? batch  // keep a trickle flowing; master drops fast
-            : (params.pending_work_buf - st.pending.size()) /
-                  std::max(1, active_workers);
-    return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
-        std::min(want, room), batch, params.new_pairs_buf));
+  auto send_terminate = [&](int w) {
+    MasterReply bye;
+    bye.terminate = 1;
+    replies.send(comm, w, bye);
   };
-
-  // Every reply echoes the seq of the worker's last processed report and
-  // is cached, so a duplicate (retransmitted) report can be answered by
-  // re-sending the exact same reply.
-  auto send_reply = [&](int worker, MasterReply& reply) {
-    reply.seq = st.last_seq[worker];
-    const auto bytes = encode_reply(reply);
-    st.last_reply[worker] = bytes;
-    comm.send(worker, kTagReply, bytes.data(), bytes.size());
-  };
-
-  auto dispatch = [&](int worker) {
-    MasterReply reply;
-    const std::size_t take = std::min<std::size_t>(batch, st.pending.size());
-    reply.batch.assign(st.pending.begin(), st.pending.begin() + take);
-    st.pending.erase(st.pending.begin(), st.pending.begin() + take);
-    if (!st.orphans.empty()) {
-      // Hand every orphaned generation role to this worker; it rebuilds the
-      // dead rank's GST portion and fast-forwards to the recorded position.
-      reply.takeovers = std::move(st.orphans);
-      st.orphans.clear();
-      for (const TakeoverOrder& t : reply.takeovers) {
-        st.role_owner[t.role] = worker;
-        ++st.takeovers;
-      }
-      if (st.exhausted[worker]) {
-        st.exhausted[worker] = 0;
-        ++active_workers;
-      }
-    }
-    reply.request_r = st.exhausted[worker] ? 0 : compute_r();
-    reply.terminate = 0;
-    st.owed[worker] += reply.batch.size();
-    if (!reply.batch.empty())
-      st.in_flight[worker].push_back(reply.batch);
-    if (!reply.takeovers.empty()) {
-      obs::instant(0, "takeover_assigned", "cluster", "worker",
-                   static_cast<std::uint64_t>(worker), "roles",
-                   reply.takeovers.size());
-    }
-    obs::instant(0, "dispatch", "cluster", "worker",
-                 static_cast<std::uint64_t>(worker), "pairs",
-                 reply.batch.size());
-    send_reply(worker, reply);
-  };
-
-  int remaining = p - 1;  // workers neither terminated nor declared dead
 
   auto declare_dead = [&](int w) {
-    if (!st.alive[w]) return;
-    st.alive[w] = 0;
-    ++st.workers_lost;
-    --remaining;
-    obs::instant(0, "death_declared", "cluster", "worker",
-                 static_cast<std::uint64_t>(w), "hb_epoch", st.hb_epoch);
-    if (!st.exhausted[w]) {
-      st.exhausted[w] = 1;
-      --active_workers;
-    }
-    // Requeue everything in flight: the pairs were never folded, and even
-    // if the worker did align some of them before dying, replaying a merge
-    // in the union-find is idempotent.
-    for (auto& b : st.in_flight[w]) {
-      ++st.batches_reassigned;
-      st.pairs_reassigned += b.size();
-      for (const PairMsg& pm : b) st.pending.push_back(pm);
-    }
-    st.in_flight[w].clear();
-    st.owed[w] = 0;
-    for (int role = 1; role < p; ++role) {
-      if (st.role_owner[role] == w && !st.role_done[role]) {
-        st.role_owner[role] = -1;
-        st.orphans.push_back(TakeoverOrder{static_cast<std::uint32_t>(role), 0,
-                                           st.role_pos[role]});
-      }
-    }
-    st.idle.erase(std::remove(st.idle.begin(), st.idle.end(), w),
-                  st.idle.end());
+    if (!sched.alive[w]) return;
+    sched.note_death(w);
     // If this declaration is a false positive, the worker is still alive and
     // may be parked waiting on a master that will never contact it again.
     // Send it a terminate so it exits instead of starving past its
     // master_timeout; a genuinely dead rank simply never reads the message.
-    MasterReply bye;
-    bye.terminate = 1;
-    send_reply(w, bye);
-    st.terminated[w] = 1;
+    send_terminate(w);
   };
 
-  // Epoch-stamped heartbeat round. A worker whose report is already queued
-  // is alive by definition (this also covers workers blocked in a
-  // synchronous send to us). Anyone else gets a ping and a bounded window
-  // to ack; non-responders are declared dead. A false positive is safe:
-  // the "zombie"'s later reports still fold idempotently and it is
-  // terminated on its next contact, at the cost of some duplicated work.
-  auto detect_failures = [&]() {
-    obs::Span hb_span = obs::span(0, "heartbeat_round", "cluster");
-    ++st.hb_epoch;
-    std::vector<int> pinged;
-    for (int w = 1; w < p; ++w) {
-      if (!st.alive[w] || st.terminated[w]) continue;
-      if (comm.rank_failed(w)) {
-        declare_dead(w);
-        continue;
-      }
-      vmpi::Status s;
-      if (comm.iprobe(w, kTagReport, &s)) continue;
-      comm.send_value<std::uint64_t>(w, kTagPing, st.hb_epoch);
-      ++st.heartbeats_sent;
-      pinged.push_back(w);
-    }
-    hb_span.arg("epoch", st.hb_epoch);
-    hb_span.arg("pinged", pinged.size());
-    util::WallTimer t;
-    while (!pinged.empty()) {
-      const double left = params.worker_timeout - t.elapsed();
-      if (left <= 0) break;
-      try {
-        vmpi::Status ack;
-        const auto epoch = comm.recv_value_timeout<std::uint64_t>(
-            vmpi::kAnySource, kTagAck, left, &ack);
-        if (epoch != st.hb_epoch) continue;  // stale ack from an old round
-        pinged.erase(std::remove(pinged.begin(), pinged.end(), ack.source),
-                     pinged.end());
-      } catch (const vmpi::TimeoutError&) {
-        break;
-      }
-    }
-    for (int w : pinged) {
-      vmpi::Status s;
-      if (comm.iprobe(w, kTagReport, &s)) continue;  // reported meanwhile
-      declare_dead(w);
-    }
+  auto dispatch = [&](int w) {
+    MasterReply reply = sched.make_dispatch(w);
+    replies.send(comm, w, reply);
   };
 
   auto feed_idle = [&]() {
-    while (!st.idle.empty() &&
-           (!st.pending.empty() || !st.orphans.empty())) {
-      const int iw = st.idle.front();
-      st.idle.pop_front();
-      dispatch(iw);
-    }
+    while (sched.can_feed()) dispatch(sched.pop_idle());
   };
 
-  // Termination: all passive, nothing pending or orphaned, no results in
-  // flight from live workers.
   auto try_terminate = [&]() {
-    if (active_workers != 0 || !st.pending.empty() || !st.orphans.empty())
-      return;
-    const bool in_flight =
-        std::any_of(st.owed.begin(), st.owed.end(),
-                    [](std::uint64_t o) { return o != 0; });
-    if (in_flight) return;
-    while (!st.idle.empty()) {
-      const int iw = st.idle.front();
-      st.idle.pop_front();
-      MasterReply bye;
-      bye.terminate = 1;
-      send_reply(iw, bye);
-      st.terminated[iw] = 1;
-      --remaining;
-    }
+    for (int w : sched.drain_idle_if_complete()) send_terminate(w);
   };
 
   auto write_checkpoint = [&]() {
     obs::Span ck_span = obs::span(0, "checkpoint", "cluster");
     auto scope = comm.compute_scope();
-    ClusterCheckpoint ck;
-    ck.epoch = ++st.ckpt_epoch;
-    ck.num_ranks = static_cast<std::uint32_t>(p);
-    ck.n_fragments = static_cast<std::uint32_t>(n_fragments);
-    ck.input_hash = st.input_hash;
-    ck.params_hash = st.params_hash;
-    ck.labels = st.uf.labels();
-    ck.pending.assign(st.pending.begin(), st.pending.end());
-    // In-flight batches are part of the recoverable pending set: their
-    // results may never arrive if this run dies.
-    for (int w = 1; w < p; ++w)
-      for (const auto& b : st.in_flight[w])
-        ck.pending.insert(ck.pending.end(), b.begin(), b.end());
-    for (int role = 1; role < p; ++role)
-      ck.progress.push_back(RoleProgress{static_cast<std::uint32_t>(role),
-                                         st.role_done[role],
-                                         st.role_pos[role]});
-    ck.pairs_generated = st.generated;
-    ck.pairs_selected = st.selected;
-    ck.pairs_aligned = st.aligned;
-    ck.pairs_accepted = st.accepted;
-    ck.merges = st.merges;
-    ck.merges_rejected_inconsistent = st.rejected_inconsistent;
+    const ClusterCheckpoint ck = sched.build_checkpoint();
     save_checkpoint(params.checkpoint_path, ck);
-    ++st.checkpoints_written;
     ck_span.arg("epoch", ck.epoch);
     ck_span.arg("pending", ck.pending.size());
   };
@@ -477,34 +79,23 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
   util::WallTimer keepalive_timer;
   const double keepalive_every =
       std::max(params.worker_timeout, params.master_timeout / 4.0);
-  auto keepalive_idle = [&]() {
-    if (keepalive_timer.elapsed() < keepalive_every) return;
-    keepalive_timer.restart();
-    vmpi::Status s;
-    while (comm.iprobe(vmpi::kAnySource, kTagAck, &s))
-      (void)comm.recv_value<std::uint64_t>(s.source, kTagAck);
-    for (int w : st.idle) {
-      if (!st.alive[w]) continue;
-      comm.send_value<std::uint64_t>(w, kTagPing, st.hb_epoch);
-      ++st.heartbeats_sent;
-    }
-  };
 
-  while (remaining > 0) {
+  while (sched.remaining > 0) {
     vmpi::Status ps;
     try {
       ps = comm.probe_timeout(vmpi::kAnySource, kTagReport,
                               probe_backoff.current());
     } catch (const vmpi::TimeoutError&) {
-      ++st.timeouts_fired;
+      ++sched.timeouts_fired;
       probe_backoff.advance();
-      detect_failures();
+      heartbeat_round(comm, params, ++sched.hb_epoch, sched.alive,
+                      sched.terminated, sched.heartbeats_sent, declare_dead);
       feed_idle();
       try_terminate();
       continue;
     }
     probe_backoff.reset();
-    const auto raw = comm.recv_vector<std::uint8_t>(ps.source, kTagReport);
+    const auto raw = comm.recv(ps.source, kTagReport);
     const int w = ps.source;
     obs::Span report_span = obs::span(0, "report", "cluster");
     report_span.arg("worker", static_cast<std::uint64_t>(w));
@@ -512,120 +103,67 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     WorkerReport report;
     {
       auto scope = comm.compute_scope();
-      report = decode_report(raw);
+      report = decode_report(std::span<const std::byte>(raw));
     }
 
-    if (!st.alive[w]) {
+    if (!sched.alive[w]) {
       // A worker we declared dead reported after all: fold its results
       // (idempotent; its batches were requeued, so at worst pairs align
       // twice) and dismiss it. Its roles have new owners — ignore progress.
-      auto scope = comm.compute_scope();
-      for (const ResultMsg& r : report.results) {
-        if (!r.accepted) continue;
-        if (resolver && !st.uf.same(r.frag_a, r.frag_b)) {
-          if (!resolver->admit(r.frag_a, r.frag_b, r.rc_a != 0, r.rc_b != 0,
-                               r.delta)) {
-            continue;
-          }
-        }
-        if (st.uf.unite(r.frag_a, r.frag_b)) ++st.merges;
+      {
+        auto scope = comm.compute_scope();
+        sched.fold_zombie_results(report);
       }
-      MasterReply bye;
-      bye.terminate = 1;
-      send_reply(w, bye);
+      send_terminate(w);
       continue;
     }
 
-    if (report.seq != 0 && report.seq == st.last_seq[w]) {
+    if (replies.is_duplicate(w, report.seq)) {
       // Retransmitted report: the reply we sent for it was lost or is
       // overdue. Do not fold the results again — re-send the cached reply
       // (dispatch, park, or terminate, whichever it was).
-      ++st.reports_retransmitted;
-      if (!st.last_reply[w].empty()) {
-        comm.send(w, kTagReply, st.last_reply[w].data(),
-                  st.last_reply[w].size());
-      }
+      ++sched.reports_retransmitted;
+      replies.resend_cached(comm, w);
       continue;
     }
-    st.last_seq[w] = report.seq;
+    replies.note_seq(w, report.seq);
 
     {
       auto scope = comm.compute_scope();
-      for (const RoleProgress& e : report.progress) {
-        if (e.role == 0 || static_cast<int>(e.role) >= p) continue;
-        if (st.role_owner[e.role] != w) continue;  // stale claim
-        st.role_pos[e.role] = std::max(st.role_pos[e.role], e.emitted);
-        if (e.done) st.role_done[e.role] = 1;
-      }
-      if (!report.results.empty()) {
-        st.owed[w] -= std::min<std::uint64_t>(st.owed[w],
-                                              report.results.size());
-        if (!st.in_flight[w].empty()) st.in_flight[w].pop_front();
-      }
-      if (report.exhausted && !st.exhausted[w]) {
-        st.exhausted[w] = 1;
-        --active_workers;
-      }
-
-      // Fold in alignment results (merge clusters).
-      for (const ResultMsg& r : report.results) {
-        ++st.aligned;
-        if (!r.accepted) continue;
-        ++st.accepted;
-        if (resolver && !st.uf.same(r.frag_a, r.frag_b)) {
-          if (!resolver->admit(r.frag_a, r.frag_b, r.rc_a != 0, r.rc_b != 0,
-                               r.delta)) {
-            ++st.rejected_inconsistent;
-            continue;
-          }
-        }
-        if (st.uf.unite(r.frag_a, r.frag_b)) ++st.merges;
-      }
-      // Admit only pairs whose fragments are still in different clusters.
-      for (const PairMsg& pm : report.new_pairs) {
-        ++st.generated;
-        const std::uint32_t fa = pm.seq_a >> 1;
-        const std::uint32_t fb = pm.seq_b >> 1;
-        if (st.uf.same(fa, fb)) continue;
-        st.pending.push_back(pm);
-        ++st.selected;
-      }
+      sched.fold_report(w, report);
     }
 
-    // Feed idle workers first, then answer the reporter.
+    // Feed idle workers first, then answer the reporter: dispatch while it
+    // has work to do, results owed, or pairs left to generate; park it
+    // otherwise (the explicit park acknowledges the report so the worker
+    // stops retransmitting and waits quietly for a dispatch or terminate).
     feed_idle();
-    if (!st.pending.empty() || !st.orphans.empty() || !st.exhausted[w]) {
-      dispatch(w);  // work to do, or more pairs to request
-    } else if (st.owed[w] > 0) {
-      // Passive but still holding computed-but-unreported results: reply
-      // with an empty batch so the next report flushes them.
+    if (sched.wants_dispatch(w)) {
       dispatch(w);
     } else {
-      // Passive, drained, nothing to align right now: park it. The explicit
-      // park reply acknowledges the report so the worker stops
-      // retransmitting and waits quietly for a dispatch or terminate.
-      MasterReply park;
-      park.park = 1;
-      send_reply(w, park);
-      st.idle.push_back(w);
+      MasterReply parked;
+      parked.park = 1;
+      replies.send(comm, w, parked);
+      sched.park(w);
     }
 
     if (params.checkpoint_every_reports > 0 &&
         !params.checkpoint_path.empty() &&
-        ++st.reports_since_ckpt >= params.checkpoint_every_reports) {
-      st.reports_since_ckpt = 0;
+        ++sched.reports_since_ckpt >= params.checkpoint_every_reports) {
+      sched.reports_since_ckpt = 0;
       write_checkpoint();
     }
 
     try_terminate();
-    keepalive_idle();
+    if (keepalive_timer.elapsed() >= keepalive_every) {
+      keepalive_timer.restart();
+      keepalive_pings(comm, sched.idle, sched.alive, sched.hb_epoch,
+                      sched.heartbeats_sent);
+    }
   }
 
   // All workers terminated or dead. If work remains, too many failures.
-  const bool roles_open =
-      std::any_of(st.role_done.begin() + 1, st.role_done.end(),
-                  [](std::uint8_t d) { return d == 0; });
-  if (!st.pending.empty() || !st.orphans.empty() || roles_open) {
+  if (sched.work_remaining()) {
     throw vmpi::TimeoutError(
         "clustering failed: all workers lost with work remaining");
   }
@@ -646,6 +184,7 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
                  const gst::DistributedGst& dist,
                  const ClusterCheckpoint* resume) {
   std::vector<RoleGen> gens;
+  OverlapEngine engine(doubled, params.overlap, comm.rank());
 
   auto add_role = [&](int role, std::uint64_t resume_at,
                       std::unique_ptr<gst::DistributedGst> owned) {
@@ -711,8 +250,8 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
       bool terminated = false;
       vmpi::Status qs;
       while (comm.iprobe(0, kTagReply, &qs)) {
-        const auto raw = comm.recv_vector<std::uint8_t>(0, kTagReply);
-        if (decode_reply(raw).terminate) {
+        const auto raw = comm.recv(0, kTagReply);
+        if (decode_reply(std::span<const std::byte>(raw)).terminate) {
           terminated = true;
           break;
         }
@@ -744,12 +283,7 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
       report.exhausted = all_done ? 1 : 0;
       gen_span.arg("pairs", report.new_pairs.size());
     }
-    const auto bytes = encode_report(report);
-    if (params.use_ssend) {
-      comm.ssend(0, kTagReport, bytes.data(), bytes.size());
-    } else {
-      comm.send(0, kTagReport, bytes.data(), bytes.size());
-    }
+    send_report(comm, params, report);
 
     // Mask the wait for the master's reply with the alignment work of the
     // batch allocated in the previous iteration (Fig. 8). Chunked so
@@ -758,31 +292,19 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
         batch.empty() ? obs::Span()
                       : obs::span(comm.rank(), "align_batch", "cluster");
     align_span.arg("pairs", batch.size());
+    const std::span<const PairMsg> pairs(batch);
     std::size_t ai = 0;
-    while (ai < batch.size()) {
+    while (ai < pairs.size()) {
       poll_heartbeats(comm);
       auto scope = comm.compute_scope();
-      const std::size_t chunk_end = std::min(batch.size(), ai + 64);
-      for (; ai < chunk_end; ++ai) {
-        const PairMsg& pm = batch[ai];
-        ResultMsg res;
-        res.frag_a = pm.seq_a >> 1;
-        res.frag_b = pm.seq_b >> 1;
-        res.rc_a = static_cast<std::uint8_t>(pm.seq_a & 1u);
-        res.rc_b = static_cast<std::uint8_t>(pm.seq_b & 1u);
-        const auto od = pair_overlap_details(doubled, pm.seq_a, pm.pos_a,
-                                             pm.seq_b, pm.pos_b,
-                                             params.overlap);
-        res.accepted = align::accept_overlap(od, params.overlap) ? 1 : 0;
-        res.delta = static_cast<std::int32_t>(od.aln.a_begin) -
-                    static_cast<std::int32_t>(od.aln.b_begin);
-        results.push_back(res);
-      }
+      const std::size_t chunk = std::min<std::size_t>(64, pairs.size() - ai);
+      engine.run(pairs.subspan(ai, chunk), results);
+      ai += chunk;
     }
     batch.clear();
     align_span.finish();
 
-    const MasterReply reply = await_reply(comm, params, report_seq, bytes);
+    const MasterReply reply = await_reply(comm, params, report_seq, report);
     if (reply.terminate) break;
     batch = std::move(reply.batch);
     r = reply.request_r;
@@ -793,8 +315,9 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
       std::unique_ptr<gst::DistributedGst> portion;
       {
         auto scope = comm.compute_scope();
-        portion = std::make_unique<gst::DistributedGst>(gst::rebuild_rank_portion(
-            doubled, dist.bucket_owner, static_cast<int>(order.role), gp));
+        portion = std::make_unique<gst::DistributedGst>(
+            gst::rebuild_rank_portion(doubled, dist.bucket_owner,
+                                      static_cast<int>(order.role), gp));
       }
       add_role(static_cast<int>(order.role), order.resume_at,
                std::move(portion));
@@ -867,6 +390,7 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   if (!params.ordered)
     throw std::invalid_argument(
         "the unordered ablation is serial-only (cluster_serial)");
+  validate_cluster_params(params);
 
   ParallelClusterResult result;
   const seq::FragmentStore doubled = seq::make_doubled_store(fragments);
@@ -874,17 +398,17 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   // Per-rank busy seconds at the GST/clustering phase boundary.
   std::vector<double> gst_busy(num_ranks, 0.0);
   std::vector<double> gst_wall(num_ranks, 0.0);
-  MasterState master;
-  master.input_hash = cluster_input_hash(fragments);
-  master.params_hash = cluster_params_hash(params);
+  MasterScheduler sched(doubled, params, num_ranks);
+  sched.input_hash = cluster_input_hash(fragments);
+  sched.params_hash = cluster_params_hash(params);
   if (resume) {
     if (resume->n_fragments != fragments.size())
       throw std::invalid_argument(
           "resume checkpoint fragment count mismatch");
-    if (resume->input_hash != 0 && resume->input_hash != master.input_hash)
+    if (resume->input_hash != 0 && resume->input_hash != sched.input_hash)
       throw std::invalid_argument(
           "resume checkpoint was written for a different input");
-    if (resume->params_hash != 0 && resume->params_hash != master.params_hash)
+    if (resume->params_hash != 0 && resume->params_hash != sched.params_hash)
       throw std::invalid_argument(
           "resume checkpoint was written with different clustering "
           "parameters");
@@ -905,30 +429,30 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
     gst_wall[comm.rank()] = phase_timer.elapsed();
 
     if (comm.rank() == 0) {
-      master_loop(comm, params, doubled, master, resume);
+      master_loop(comm, params, sched, resume);
     } else {
       worker_loop(comm, params, gp, doubled, dist, resume);
     }
   });
   const double total_wall = total_timer.elapsed();
 
-  result.clusters = std::move(master.uf);
+  result.clusters = std::move(sched.uf);
   ClusterStats& stats = result.stats;
-  stats.pairs_generated = master.generated;
-  stats.pairs_aligned = master.aligned;
-  stats.pairs_accepted = master.accepted;
-  stats.merges = master.merges;
-  stats.merges_rejected_inconsistent = master.rejected_inconsistent;
-  stats.workers_lost = master.workers_lost;
-  stats.batches_reassigned = master.batches_reassigned;
-  stats.pairs_reassigned = master.pairs_reassigned;
-  stats.generator_takeovers = master.takeovers;
-  stats.timeouts_fired = master.timeouts_fired;
-  stats.heartbeats_sent = master.heartbeats_sent;
-  stats.reports_retransmitted = master.reports_retransmitted;
-  stats.checkpoints_written = master.checkpoints_written;
-  stats.pairs_skipped_resume = master.pairs_skipped_resume;
-  stats.resumed_from_epoch = master.resumed_from_epoch;
+  stats.pairs_generated = sched.generated;
+  stats.pairs_aligned = sched.aligned;
+  stats.pairs_accepted = sched.accepted;
+  stats.merges = sched.merges;
+  stats.merges_rejected_inconsistent = sched.rejected_inconsistent;
+  stats.workers_lost = sched.workers_lost;
+  stats.batches_reassigned = sched.batches_reassigned;
+  stats.pairs_reassigned = sched.pairs_reassigned;
+  stats.generator_takeovers = sched.takeovers;
+  stats.timeouts_fired = sched.timeouts_fired;
+  stats.heartbeats_sent = sched.heartbeats_sent;
+  stats.reports_retransmitted = sched.reports_retransmitted;
+  stats.checkpoints_written = sched.checkpoints_written;
+  stats.pairs_skipped_resume = sched.pairs_skipped_resume;
+  stats.resumed_from_epoch = sched.resumed_from_epoch;
 
   double gst_model = 0, total_model = 0;
   for (int rk = 0; rk < num_ranks; ++rk) {
@@ -948,21 +472,21 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
     const auto c = [&](const char* name, std::uint64_t v) {
       reg.counter(name, 0, phase).inc(v);
     };
-    c("cluster.pairs_generated", master.generated);
-    c("cluster.pairs_selected", master.selected);
-    c("cluster.pairs_aligned", master.aligned);
-    c("cluster.pairs_accepted", master.accepted);
-    c("cluster.merges", master.merges);
-    c("cluster.merges_rejected_inconsistent", master.rejected_inconsistent);
-    c("cluster.workers_lost", master.workers_lost);
-    c("cluster.batches_reassigned", master.batches_reassigned);
-    c("cluster.pairs_reassigned", master.pairs_reassigned);
-    c("cluster.takeovers", master.takeovers);
-    c("cluster.probe_timeouts", master.timeouts_fired);
-    c("cluster.heartbeats_sent", master.heartbeats_sent);
-    c("cluster.checkpoints_written", master.checkpoints_written);
-    c("cluster.reports_retransmitted", master.reports_retransmitted);
-    c("cluster.pairs_skipped_resume", master.pairs_skipped_resume);
+    c("cluster.pairs_generated", sched.generated);
+    c("cluster.pairs_selected", sched.selected);
+    c("cluster.pairs_aligned", sched.aligned);
+    c("cluster.pairs_accepted", sched.accepted);
+    c("cluster.merges", sched.merges);
+    c("cluster.merges_rejected_inconsistent", sched.rejected_inconsistent);
+    c("cluster.workers_lost", sched.workers_lost);
+    c("cluster.batches_reassigned", sched.batches_reassigned);
+    c("cluster.pairs_reassigned", sched.pairs_reassigned);
+    c("cluster.takeovers", sched.takeovers);
+    c("cluster.probe_timeouts", sched.timeouts_fired);
+    c("cluster.heartbeats_sent", sched.heartbeats_sent);
+    c("cluster.checkpoints_written", sched.checkpoints_written);
+    c("cluster.reports_retransmitted", sched.reports_retransmitted);
+    c("cluster.pairs_skipped_resume", sched.pairs_skipped_resume);
     reg.gauge("cluster.gst_seconds", 0, phase).set(stats.gst_seconds);
     reg.gauge("cluster.cluster_seconds", 0, phase).set(stats.cluster_seconds);
   }

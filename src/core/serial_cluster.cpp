@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <memory>
 
-#include "gst/pair_generator.hpp"
 #include "core/consistency.hpp"
+#include "core/overlap_engine.hpp"
+#include "gst/pair_generator.hpp"
 #include "gst/suffix_tree.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
@@ -31,8 +32,13 @@ bool pair_overlaps(const seq::FragmentStore& doubled, std::uint32_t seq_a,
       pair_overlap_details(doubled, seq_a, pos_a, seq_b, pos_b, p), p);
 }
 
+void validate_cluster_params(const ClusterParams& params) {
+  align::validate_overlap_params(params.overlap, params.psi);
+}
+
 ClusterResult cluster_serial(const seq::FragmentStore& fragments,
                              const ClusterParams& params) {
+  validate_cluster_params(params);
   ClusterResult result;
   result.clusters.reset(fragments.size());
   ClusterStats& stats = result.stats;
@@ -54,14 +60,16 @@ ClusterResult cluster_serial(const seq::FragmentStore& fragments,
         doubled, params.overlap, params.placement_tolerance);
   }
 
+  // Same allocation-free compute path the parallel workers run.
+  OverlapEngine engine(doubled, params.overlap);
+
   auto process = [&](const gst::PromisingPair& pr) {
     ++stats.pairs_generated;
     const std::uint32_t fa = pr.seq_a >> 1;
     const std::uint32_t fb = pr.seq_b >> 1;
     if (result.clusters.same(fa, fb)) return;
     ++stats.pairs_aligned;
-    const auto r = pair_overlap_details(doubled, pr.seq_a, pr.pos_a, pr.seq_b,
-                                        pr.pos_b, params.overlap);
+    const auto r = engine.details(pr.seq_a, pr.pos_a, pr.seq_b, pr.pos_b);
     if (!align::accept_overlap(r, params.overlap)) return;
     ++stats.pairs_accepted;
     if (resolver) {

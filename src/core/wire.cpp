@@ -11,15 +11,19 @@ namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x4b434750;  // "PGCK"
 constexpr std::uint32_t kCheckpointVersion = 2;  // v2: input/params hashes
 
-template <typename T>
-void append_pod(std::vector<std::uint8_t>& out, const T& v) {
+// Codec helpers are generic over the byte container (std::uint8_t for the
+// legacy/test-facing API and checkpoints, std::byte for the zero-copy vmpi
+// payload path) so both front ends share one serializer.
+
+template <typename Byte, typename T>
+void append_pod(std::vector<Byte>& out, const T& v) {
   const std::size_t base = out.size();
   out.resize(base + sizeof(T));
   std::memcpy(out.data() + base, &v, sizeof(T));
 }
 
-template <typename T>
-T read_pod(const std::vector<std::uint8_t>& in, std::size_t& off) {
+template <typename T, typename Byte>
+T read_pod(std::span<const Byte> in, std::size_t& off) {
   if (off + sizeof(T) > in.size())
     throw std::runtime_error("wire: truncated field");
   T v;
@@ -28,8 +32,8 @@ T read_pod(const std::vector<std::uint8_t>& in, std::size_t& off) {
   return v;
 }
 
-template <typename T>
-void append_vec(std::vector<std::uint8_t>& out, const std::vector<T>& v) {
+template <typename Byte, typename T>
+void append_vec(std::vector<Byte>& out, const std::vector<T>& v) {
   const std::uint32_t n = static_cast<std::uint32_t>(v.size());
   const std::size_t base = out.size();
   out.resize(base + 4 + n * sizeof(T));
@@ -37,9 +41,8 @@ void append_vec(std::vector<std::uint8_t>& out, const std::vector<T>& v) {
   if (n) std::memcpy(out.data() + base + 4, v.data(), n * sizeof(T));
 }
 
-template <typename T>
-std::vector<T> read_vec(const std::vector<std::uint8_t>& in,
-                        std::size_t& off) {
+template <typename T, typename Byte>
+std::vector<T> read_vec(std::span<const Byte> in, std::size_t& off) {
   if (off + 4 > in.size()) throw std::runtime_error("wire: truncated header");
   std::uint32_t n;
   std::memcpy(&n, in.data() + off, 4);
@@ -52,10 +55,9 @@ std::vector<T> read_vec(const std::vector<std::uint8_t>& in,
   return v;
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> encode_report(const WorkerReport& r) {
-  std::vector<std::uint8_t> out;
+template <typename Byte>
+std::vector<Byte> encode_report_t(const WorkerReport& r) {
+  std::vector<Byte> out;
   out.reserve(21 + r.results.size() * sizeof(ResultMsg) +
               r.new_pairs.size() * sizeof(PairMsg) +
               r.progress.size() * sizeof(RoleProgress));
@@ -63,11 +65,12 @@ std::vector<std::uint8_t> encode_report(const WorkerReport& r) {
   append_vec(out, r.results);
   append_vec(out, r.new_pairs);
   append_vec(out, r.progress);
-  out.push_back(r.exhausted);
+  out.push_back(static_cast<Byte>(r.exhausted));
   return out;
 }
 
-WorkerReport decode_report(const std::vector<std::uint8_t>& bytes) {
+template <typename Byte>
+WorkerReport decode_report_t(std::span<const Byte> bytes) {
   WorkerReport r;
   std::size_t off = 0;
   r.seq = read_pod<std::uint64_t>(bytes, off);
@@ -75,12 +78,13 @@ WorkerReport decode_report(const std::vector<std::uint8_t>& bytes) {
   r.new_pairs = read_vec<PairMsg>(bytes, off);
   r.progress = read_vec<RoleProgress>(bytes, off);
   if (off + 1 > bytes.size()) throw std::runtime_error("wire: bad report");
-  r.exhausted = bytes[off];
+  r.exhausted = static_cast<std::uint8_t>(bytes[off]);
   return r;
 }
 
-std::vector<std::uint8_t> encode_reply(const MasterReply& r) {
-  std::vector<std::uint8_t> out;
+template <typename Byte>
+std::vector<Byte> encode_reply_t(const MasterReply& r) {
+  std::vector<Byte> out;
   out.reserve(22 + r.batch.size() * sizeof(PairMsg) +
               r.takeovers.size() * sizeof(TakeoverOrder));
   append_pod(out, r.seq);
@@ -89,12 +93,13 @@ std::vector<std::uint8_t> encode_reply(const MasterReply& r) {
   const std::size_t base = out.size();
   out.resize(base + 6);
   std::memcpy(out.data() + base, &r.request_r, 4);
-  out[base + 4] = r.terminate;
-  out[base + 5] = r.park;
+  out[base + 4] = static_cast<Byte>(r.terminate);
+  out[base + 5] = static_cast<Byte>(r.park);
   return out;
 }
 
-MasterReply decode_reply(const std::vector<std::uint8_t>& bytes) {
+template <typename Byte>
+MasterReply decode_reply_t(std::span<const Byte> bytes) {
   MasterReply r;
   std::size_t off = 0;
   r.seq = read_pod<std::uint64_t>(bytes, off);
@@ -102,9 +107,43 @@ MasterReply decode_reply(const std::vector<std::uint8_t>& bytes) {
   r.takeovers = read_vec<TakeoverOrder>(bytes, off);
   if (off + 6 > bytes.size()) throw std::runtime_error("wire: bad reply");
   std::memcpy(&r.request_r, bytes.data() + off, 4);
-  r.terminate = bytes[off + 4];
-  r.park = bytes[off + 5];
+  r.terminate = static_cast<std::uint8_t>(bytes[off + 4]);
+  r.park = static_cast<std::uint8_t>(bytes[off + 5]);
   return r;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_report(const WorkerReport& r) {
+  return encode_report_t<std::uint8_t>(r);
+}
+
+WorkerReport decode_report(const std::vector<std::uint8_t>& bytes) {
+  return decode_report_t<std::uint8_t>(bytes);
+}
+
+std::vector<std::uint8_t> encode_reply(const MasterReply& r) {
+  return encode_reply_t<std::uint8_t>(r);
+}
+
+MasterReply decode_reply(const std::vector<std::uint8_t>& bytes) {
+  return decode_reply_t<std::uint8_t>(bytes);
+}
+
+std::vector<std::byte> encode_report_payload(const WorkerReport& r) {
+  return encode_report_t<std::byte>(r);
+}
+
+WorkerReport decode_report(std::span<const std::byte> bytes) {
+  return decode_report_t<std::byte>(bytes);
+}
+
+std::vector<std::byte> encode_reply_payload(const MasterReply& r) {
+  return encode_reply_t<std::byte>(r);
+}
+
+MasterReply decode_reply(std::span<const std::byte> bytes) {
+  return decode_reply_t<std::byte>(bytes);
 }
 
 std::vector<std::uint8_t> encode_checkpoint(const ClusterCheckpoint& c) {
@@ -130,7 +169,8 @@ std::vector<std::uint8_t> encode_checkpoint(const ClusterCheckpoint& c) {
   return out;
 }
 
-ClusterCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& bytes) {
+ClusterCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& raw) {
+  const std::span<const std::uint8_t> bytes(raw);
   std::size_t off = 0;
   if (read_pod<std::uint32_t>(bytes, off) != kCheckpointMagic)
     throw std::runtime_error("checkpoint: bad magic");

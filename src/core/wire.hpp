@@ -10,7 +10,9 @@
 // labels, pending pairs, generator progress) so a killed run can resume.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -83,6 +85,16 @@ WorkerReport decode_report(const std::vector<std::uint8_t>& bytes);
 
 std::vector<std::uint8_t> encode_reply(const MasterReply& r);
 MasterReply decode_reply(const std::vector<std::uint8_t>& bytes);
+
+// Zero-copy wire path: encode straight into a vmpi payload buffer (one
+// exact-size allocation, POD batches memcpy'd from their spans) so the
+// serialized message can be MOVED into the destination mailbox via
+// Comm::send_payload, and decode straight from the received payload — no
+// intermediate uint8 staging vector on either side.
+std::vector<std::byte> encode_report_payload(const WorkerReport& r);
+WorkerReport decode_report(std::span<const std::byte> bytes);
+std::vector<std::byte> encode_reply_payload(const MasterReply& r);
+MasterReply decode_reply(std::span<const std::byte> bytes);
 
 /// Master-side recoverable state, written periodically during a run.
 /// Invariant at write time: every pair the master has ever received is

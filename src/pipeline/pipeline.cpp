@@ -114,6 +114,11 @@ ClusterSummary summarize_clusters(const util::UnionFind& clusters) {
 PipelineResult run_pipeline(const seq::FragmentStore& raw,
                             const std::vector<std::vector<seq::Code>>& vectors,
                             const PipelineParams& params) {
+  // Fail fast on parameter combinations that would run the whole pipeline
+  // and silently produce a useless clustering (zero-width band, identity
+  // outside (0,1], min_overlap below ψ).
+  core::validate_cluster_params(params.cluster);
+
   PipelineResult result;
   const bool obs_on = !params.obs_dir.empty();
   if (obs_on) obs::begin_run();

@@ -115,8 +115,7 @@ bool Comm::apply_faults() {
   return drop;
 }
 
-void Comm::send_impl(int dest, std::int64_t tag, const void* data,
-                     std::size_t n, bool internal, bool sync) {
+bool Comm::send_preflight(int dest, std::size_t n, bool internal, bool sync) {
   if (dest < 0 || dest >= size()) throw std::runtime_error("send: bad dest");
   if (shared_->aborted.load()) throw AbortError("vmpi aborted");
 
@@ -134,22 +133,18 @@ void Comm::send_impl(int dest, std::int64_t tag, const void* data,
     ring_instant(obs_ring_, rank_, sync ? "ssend" : "send", "peer",
                  static_cast<std::uint64_t>(dest), "bytes", n);
   }
-  if (drop) return;
+  if (drop) return false;
   if (shared_->dead[static_cast<std::size_t>(dest)].load()) {
     ++shared_->fault_counters.sends_to_dead;
-    return;  // synchronous sends complete immediately: no one will consume
+    return false;  // synchronous sends complete immediately: no consumer
   }
   if (shared_->done[static_cast<std::size_t>(dest)].load()) {
-    return;  // receiver finished its body: discard, never block
+    return false;  // receiver finished its body: discard, never block
   }
+  return true;
+}
 
-  detail::Message msg;
-  msg.source = rank_;
-  msg.tag = tag;
-  msg.internal = internal;
-  msg.payload.resize(n);
-  if (n > 0) std::memcpy(msg.payload.data(), data, n);
-
+void Comm::enqueue_message(int dest, detail::Message&& msg, bool sync) {
   std::shared_ptr<std::atomic<bool>> consumed;
   if (sync) {
     consumed = std::make_shared<std::atomic<bool>>(false);
@@ -179,6 +174,31 @@ void Comm::send_impl(int dest, std::int64_t tag, const void* data,
       throw AbortError("vmpi aborted during ssend");
     }
   }
+}
+
+void Comm::send_impl(int dest, std::int64_t tag, const void* data,
+                     std::size_t n, bool internal, bool sync) {
+  if (!send_preflight(dest, n, internal, sync)) return;
+
+  detail::Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.internal = internal;
+  msg.payload.resize(n);
+  if (n > 0) std::memcpy(msg.payload.data(), data, n);
+  enqueue_message(dest, std::move(msg), sync);
+}
+
+void Comm::send_payload_impl(int dest, std::int64_t tag,
+                             std::vector<std::byte>&& payload, bool sync) {
+  if (!send_preflight(dest, payload.size(), /*internal=*/false, sync)) return;
+
+  detail::Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.internal = false;
+  msg.payload = std::move(payload);
+  enqueue_message(dest, std::move(msg), sync);
 }
 
 std::vector<std::byte> Comm::recv_impl(

@@ -274,6 +274,20 @@ class Comm {
     send_impl(dest, tag, data, n, /*internal=*/false, /*sync=*/true);
   }
 
+  /// Buffered send that MOVES an already-serialized payload into the
+  /// destination mailbox instead of copying it — the zero-copy half of the
+  /// wire path (encode once, move into the mailbox, receiver takes the same
+  /// buffer by move from recv()). On a dropped/dead-destination send the
+  /// payload is destroyed, matching a lost message.
+  void send_payload(int dest, int tag, std::vector<std::byte>&& payload) {
+    send_payload_impl(dest, tag, std::move(payload), /*sync=*/false);
+  }
+
+  /// Synchronous variant of send_payload (ssend rendezvous semantics).
+  void ssend_payload(int dest, int tag, std::vector<std::byte>&& payload) {
+    send_payload_impl(dest, tag, std::move(payload), /*sync=*/true);
+  }
+
   /// Blocking receive; wildcards kAnySource / kAnyTag allowed.
   std::vector<std::byte> recv(int source, int tag, Status* status = nullptr);
 
@@ -482,6 +496,16 @@ class Comm {
 
   void send_impl(int dest, std::int64_t tag, const void* data, std::size_t n,
                  bool internal, bool sync);
+  void send_payload_impl(int dest, std::int64_t tag,
+                         std::vector<std::byte>&& payload, bool sync);
+  /// Shared send front half: dest/abort checks, fault injection, ledger and
+  /// obs charges. Returns false when the message must not be enqueued
+  /// (dropped, or the destination is dead/finished).
+  bool send_preflight(int dest, std::size_t n, bool internal, bool sync);
+  /// Shared send back half: enqueue into the destination mailbox and, for
+  /// synchronous sends, rendezvous until consumed (or the destination is
+  /// gone, or the run aborts).
+  void enqueue_message(int dest, detail::Message&& msg, bool sync);
   /// deadline == nullptr blocks forever (throws AbortError on abort or on a
   /// specific failed source); with a deadline it throws TimeoutError.
   std::vector<std::byte> recv_impl(
