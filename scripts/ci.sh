@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # Repository CI gate, runnable locally:
 #
-#   scripts/ci.sh           # tier-1 verify + fault suite + TSan + ASan
-#   scripts/ci.sh tier1     # just the tier-1 build + full ctest
-#   scripts/ci.sh faults    # just the fault-injection suite
-#   scripts/ci.sh tsan     # just the TSan build of the concurrent layers
-#   scripts/ci.sh asan     # just the ASan build of the align + core suites
+#   scripts/ci.sh            # lint + tier-1 + faults + TSan + ASan + UBSan + fuzz
+#   scripts/ci.sh tier1      # just the tier-1 build + full ctest
+#   scripts/ci.sh faults     # just the fault-injection suite
+#   scripts/ci.sh tsan       # just the TSan build of the concurrent layers
+#   scripts/ci.sh asan       # just the ASan build of the align + core suites
+#   scripts/ci.sh lint       # pgasm-lint + strict-warnings build (+ clang
+#                            # tools when installed)
+#   scripts/ci.sh ubsan      # UBSan build + full ctest under it
+#   scripts/ci.sh fuzz-smoke # bounded deterministic fuzz run (UBSan tree)
 #
-# Build trees: build/ (tier-1), build-tsan/ (PGASM_SANITIZE=thread) and
-# build-asan/ (PGASM_SANITIZE=address).
+# Build trees: build/ (tier-1), build-tsan/ (PGASM_SANITIZE=thread),
+# build-asan/ (PGASM_SANITIZE=address), build-lint/ (PGASM_EXTRA_WARNINGS +
+# PGASM_WERROR) and build-ubsan/ (PGASM_SANITIZE=undefined).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,19 +53,78 @@ asan() {
     -R 'Align|Overlap|Banded|Workspace|OverlapEngine|ValidateParams|LinearSpace|Hirschberg|Cluster')
 }
 
+lint() {
+  echo "== lint: pgasm-lint project invariants =="
+  python3 tools/lint/pgasm_lint.py
+
+  echo "== lint: strict-warnings build (PGASM_EXTRA_WARNINGS + Werror) =="
+  # Production code only: the strict set (notably -Wnull-dereference under
+  # inlining) false-positives inside gtest/benchmark headers, so tests and
+  # benches build with the regular warning set in the tier-1 stage instead.
+  cmake -B build-lint -S . -DPGASM_EXTRA_WARNINGS=ON -DPGASM_WERROR=ON
+  cmake --build build-lint -j "$JOBS" --target \
+    pgasm_util pgasm_obs pgasm_vmpi pgasm_seq pgasm_align pgasm_gst \
+    pgasm_core pgasm_preprocess pgasm_sim pgasm_olc pgasm_pipeline
+
+  # The clang tools are optional equipment: run them when installed, note
+  # the skip when not. pgasm-lint and the strict-warnings leg above are the
+  # always-on half of the gate; .clang-tidy/.clang-format keep the clang
+  # half reproducible wherever the tools exist.
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint: clang-tidy over src/ =="
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -quiet -p build-lint "src/.*\.cpp$"
+    else
+      find src -name '*.cpp' -print0 |
+        xargs -0 -n1 -P "$JOBS" clang-tidy -quiet -p build-lint
+    fi
+  else
+    echo "-- clang-tidy not installed; skipping (gcc strict-warnings leg ran)"
+  fi
+  if command -v clang-format >/dev/null 2>&1; then
+    echo "== lint: clang-format check =="
+    find src tests tools bench examples \
+      \( -name '*.cpp' -o -name '*.hpp' \) -print0 |
+      xargs -0 clang-format --dry-run --Werror
+  else
+    echo "-- clang-format not installed; skipping format check"
+  fi
+}
+
+ubsan() {
+  echo "== UBSan: full test suite under -fsanitize=undefined =="
+  cmake -B build-ubsan -S . -DPGASM_SANITIZE=undefined
+  cmake --build build-ubsan -j "$JOBS"
+  (cd build-ubsan && ctest --output-on-failure -j "$JOBS" -LE fuzz)
+}
+
+fuzz_smoke() {
+  echo "== fuzz-smoke: bounded deterministic fuzz run (UBSan tree) =="
+  cmake -B build-ubsan -S . -DPGASM_SANITIZE=undefined
+  cmake --build build-ubsan -j "$JOBS" \
+    --target fuzz_wire fuzz_fasta fuzz_fastq fuzz_checkpoint
+  (cd build-ubsan && ctest --output-on-failure -L fuzz)
+}
+
 case "$STAGE" in
   tier1) tier1 ;;
   faults) faults ;;
   tsan) tsan ;;
   asan) asan ;;
+  lint) lint ;;
+  ubsan) ubsan ;;
+  fuzz-smoke) fuzz_smoke ;;
   all)
+    lint
     tier1
     faults
     tsan
     asan
+    ubsan
+    fuzz_smoke
     ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|faults|tsan|asan|all]" >&2
+    echo "usage: scripts/ci.sh [lint|tier1|faults|tsan|asan|ubsan|fuzz-smoke|all]" >&2
     exit 2
     ;;
 esac

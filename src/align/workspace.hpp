@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "seq/alphabet.hpp"
+#include "util/contract.hpp"
 
 namespace pgasm::align {
 
@@ -34,9 +35,13 @@ class Workspace {
   /// Traceback codes with the same geometry as the score cells.
   std::uint8_t* tb_cells(std::size_t n) { return grow(tb_, n); }
   /// Rolling DP rows (kernels may hold up to three at once).
-  int* row(std::size_t which, std::size_t n) { return grow(rows_[which], n); }
+  int* row(std::size_t which, std::size_t n) {
+    PGASM_DCHECK(which < kRows, "workspace row index out of range");
+    return grow(rows_[which], n);
+  }
   /// Sequence scratch (reversed copies for Hirschberg's right halves).
   seq::Code* codes(std::size_t which, std::size_t n) {
+    PGASM_DCHECK(which < kCodeBufs, "workspace code buffer out of range");
     return grow(codes_[which], n);
   }
 

@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace pgasm::core {
+
+namespace {
+
+// A corrupt peer payload is counted, traced, logged, and dropped — never
+// decoded into garbage and never fatal. The retransmission machinery
+// recovers the exchange: a dropped report solicits the worker's retransmit,
+// a dropped reply is re-requested by the duplicate report. A persistently
+// corrupting peer starves into the heartbeat death path.
+void note_decode_error(int rank, const WireError& err) {
+  obs::registry().counter("wire.decode_errors", rank).inc();
+  obs::instant(rank, "decode_error", "cluster", "code",
+               static_cast<std::uint64_t>(err.code), "offset", err.offset);
+  util::log_warn() << "dropping undecodable payload: " << err.message();
+}
+
+}  // namespace
 
 int poll_heartbeats(vmpi::Comm& comm) {
   int n = 0;
@@ -17,6 +35,28 @@ int poll_heartbeats(vmpi::Comm& comm) {
     ++n;
   }
   return n;
+}
+
+WireResult<WorkerReport> recv_report(vmpi::Comm& comm, int source) {
+  const auto raw = comm.recv(source, kTagReport);
+  auto scope = comm.compute_scope();
+  auto decoded = try_decode_report(std::span<const std::byte>(raw));
+  if (!decoded) note_decode_error(comm.rank(), decoded.error());
+  return decoded;
+}
+
+bool consume_pending_terminate(vmpi::Comm& comm) {
+  vmpi::Status qs;
+  while (comm.iprobe(0, kTagReply, &qs)) {
+    const auto raw = comm.recv(0, kTagReply);
+    const auto reply = try_decode_reply(std::span<const std::byte>(raw));
+    if (!reply) {
+      note_decode_error(comm.rank(), reply.error());
+      continue;
+    }
+    if (reply.value().terminate) return true;
+  }
+  return false;
 }
 
 void send_report(vmpi::Comm& comm, const ClusterParams& params,
@@ -73,11 +113,17 @@ MasterReply await_reply(vmpi::Comm& comm, const ClusterParams& params,
       continue;  // slice expired; answer pings and re-check the bounds
     }
     contact.restart();
-    MasterReply reply;
-    {
+    auto decoded = [&] {
       auto scope = comm.compute_scope();
-      reply = decode_reply(std::span<const std::byte>(raw));
+      return try_decode_reply(std::span<const std::byte>(raw));
+    }();
+    if (!decoded) {
+      // Drop it: reply_wait keeps running, so the reply_timeout path
+      // retransmits the report and the master re-sends its cached reply.
+      note_decode_error(comm.rank(), decoded.error());
+      continue;
     }
+    MasterReply reply = std::move(decoded).take_or_throw();
     if (reply.terminate) return reply;
     if (reply.seq != seq) continue;  // stale duplicate of an older reply
     if (reply.park) {

@@ -23,14 +23,38 @@
 
 namespace pgasm::core {
 
+// Protocol tags. The `pgasm-wire:` annotations are machine-checked by
+// tools/lint/pgasm_lint.py: every codec-bearing tag must name exactly one
+// encode/decode pair declared in core/wire.hpp, each pair must be claimed
+// by exactly one tag, and a round-trip test exercising both halves must
+// exist under tests/.
 inline constexpr int kTagReport = 101;  // worker -> master
+                                        // pgasm-wire: encode_report/decode_report
 inline constexpr int kTagReply = 102;   // master -> worker
-inline constexpr int kTagPing = 103;    // master -> worker heartbeat (u64)
+                                        // pgasm-wire: encode_reply/decode_reply
+inline constexpr int kTagPing = 103;    // master -> worker heartbeat
+                                        // pgasm-wire: raw-u64
 inline constexpr int kTagAck = 104;     // worker -> master heartbeat ack
+                                        // pgasm-wire: raw-u64
 
 /// Answer any queued heartbeat pings from the master. Returns how many were
 /// answered (the worker's master-silence clock resets on contact).
 int poll_heartbeats(vmpi::Comm& comm);
+
+/// Master-side receive of the report already probed from `source`. A
+/// payload that fails to decode (truncated, mistagged, corrupt counts) is
+/// returned as a typed WireError — the caller drops it, the worker's
+/// retransmission timer re-sends the report, and a healthy retransmit
+/// recovers the exchange. Decode failures are counted in the
+/// `wire.decode_errors` metric and traced as `decode_error` instants.
+WireResult<WorkerReport> recv_report(vmpi::Comm& comm, int source);
+
+/// Worker-side drain of unsolicited queued replies before a (possibly
+/// synchronous) report send. Returns true when a terminate order was
+/// consumed: this worker was declared dead (a false positive, since it is
+/// here) or the run is over. Stale duplicate replies and undecodable
+/// payloads are discarded.
+bool consume_pending_terminate(vmpi::Comm& comm);
 
 /// Encode and send a worker report to the master (moved payload; ssend when
 /// the params ask for synchronous reports).

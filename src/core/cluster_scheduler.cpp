@@ -39,14 +39,20 @@ MasterScheduler::MasterScheduler(const seq::FragmentStore& doubled,
 void MasterScheduler::restore(const ClusterCheckpoint& ck) {
   if (ck.n_fragments != n_fragments_)
     throw std::invalid_argument("resume checkpoint fragment count mismatch");
+  if (ck.labels.size() != ck.n_fragments)
+    throw std::invalid_argument("resume checkpoint label count mismatch");
   resumed_from_epoch = ck.epoch;
   ckpt_epoch = ck.epoch;
   // Dense labels -> union-find: unite each element with the first element
-  // seen carrying its label.
+  // seen carrying its label. The wire decoder already validates label
+  // ranges for checkpoints read from disk; re-check here because restore
+  // also accepts hand-built checkpoints from callers and tests.
   std::vector<std::uint32_t> first(ck.labels.size(),
                                    std::numeric_limits<std::uint32_t>::max());
   for (std::uint32_t i = 0; i < ck.labels.size(); ++i) {
     const std::uint32_t l = ck.labels[i];
+    if (l >= first.size())
+      throw std::invalid_argument("resume checkpoint label out of range");
     if (first[l] == std::numeric_limits<std::uint32_t>::max()) {
       first[l] = i;
     } else {

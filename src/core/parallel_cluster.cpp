@@ -95,16 +95,18 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       continue;
     }
     probe_backoff.reset();
-    const auto raw = comm.recv(ps.source, kTagReport);
     const int w = ps.source;
     obs::Span report_span = obs::span(0, "report", "cluster");
     report_span.arg("worker", static_cast<std::uint64_t>(w));
-    report_span.arg("bytes", raw.size());
-    WorkerReport report;
-    {
-      auto scope = comm.compute_scope();
-      report = decode_report(std::span<const std::byte>(raw));
+    auto decoded = recv_report(comm, w);
+    if (!decoded) {
+      // Undecodable report (already counted by the protocol layer): drop
+      // it. The worker's reply timer will retransmit; a healthy retransmit
+      // decodes fine, and a persistently corrupt worker starves into the
+      // heartbeat death path.
+      continue;
     }
+    const WorkerReport report = std::move(decoded).value();
 
     if (!sched.alive[w]) {
       // A worker we declared dead reported after all: fold its results
@@ -246,18 +248,7 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
     // Consuming a terminate *before* the synchronous report send closes the
     // deadlock window where the master stops listening while this worker
     // blocks in ssend; duplicates are simply discarded.
-    {
-      bool terminated = false;
-      vmpi::Status qs;
-      while (comm.iprobe(0, kTagReply, &qs)) {
-        const auto raw = comm.recv(0, kTagReply);
-        if (decode_reply(std::span<const std::byte>(raw)).terminate) {
-          terminated = true;
-          break;
-        }
-      }
-      if (terminated) break;
-    }
+    if (consume_pending_terminate(comm)) break;
     WorkerReport report;
     report.seq = ++report_seq;
     report.results = std::move(results);

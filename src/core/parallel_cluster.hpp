@@ -22,6 +22,8 @@
 // already-merged pairs.
 #pragma once
 
+#include <cstdint>
+
 #include "core/cluster_params.hpp"
 #include "core/serial_cluster.hpp"
 #include "core/wire.hpp"

@@ -7,6 +7,8 @@
 // reduces the number of alignments computed.
 #pragma once
 
+#include <cstdint>
+
 #include "core/cluster_params.hpp"
 #include "seq/fragment_store.hpp"
 #include "util/union_find.hpp"

@@ -2,7 +2,6 @@
 
 #include <cstdio>
 #include <cstring>
-#include <stdexcept>
 
 namespace pgasm::core {
 
@@ -22,16 +21,6 @@ void append_pod(std::vector<Byte>& out, const T& v) {
   std::memcpy(out.data() + base, &v, sizeof(T));
 }
 
-template <typename T, typename Byte>
-T read_pod(std::span<const Byte> in, std::size_t& off) {
-  if (off + sizeof(T) > in.size())
-    throw std::runtime_error("wire: truncated field");
-  T v;
-  std::memcpy(&v, in.data() + off, sizeof(T));
-  off += sizeof(T);
-  return v;
-}
-
 template <typename Byte, typename T>
 void append_vec(std::vector<Byte>& out, const std::vector<T>& v) {
   const std::uint32_t n = static_cast<std::uint32_t>(v.size());
@@ -41,26 +30,88 @@ void append_vec(std::vector<Byte>& out, const std::vector<T>& v) {
   if (n) std::memcpy(out.data() + base + 4, v.data(), n * sizeof(T));
 }
 
-template <typename T, typename Byte>
-std::vector<T> read_vec(std::span<const Byte> in, std::size_t& off) {
-  if (off + 4 > in.size()) throw std::runtime_error("wire: truncated header");
-  std::uint32_t n;
-  std::memcpy(&n, in.data() + off, 4);
-  off += 4;
-  if (off + n * sizeof(T) > in.size())
-    throw std::runtime_error("wire: truncated payload");
-  std::vector<T> v(n);
-  if (n) std::memcpy(v.data(), in.data() + off, n * sizeof(T));
-  off += n * sizeof(T);
-  return v;
-}
+// Bounds-checked reader over a received payload. Every read_* either
+// succeeds or records a WireError and makes all subsequent reads no-ops, so
+// decoders are straight-line code with one failure check at the end.
+template <typename Byte>
+class Cursor {
+ public:
+  explicit Cursor(std::span<const Byte> in) : in_(in) {}
+
+  bool ok() const noexcept { return !failed_; }
+  const WireError& error() const noexcept { return err_; }
+  std::size_t offset() const noexcept { return off_; }
+
+  bool fail(WireErrc code, const char* detail) noexcept {
+    if (!failed_) {
+      failed_ = true;
+      err_ = WireError{code, off_, detail};
+    }
+    return false;
+  }
+
+  template <typename T>
+  bool read(T& v, const char* what) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (failed_) return false;
+    if (sizeof(T) > in_.size() - off_) {
+      return fail(WireErrc::kTruncated, what);
+    }
+    std::memcpy(&v, in_.data() + off_, sizeof(T));
+    off_ += sizeof(T);
+    return true;
+  }
+
+  template <typename T>
+  bool read_vec(std::vector<T>& v, const char* what) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (failed_) return false;
+    std::uint32_t n = 0;
+    if (!read(n, what)) return false;
+    // Check the element run against the remaining bytes BEFORE allocating:
+    // a corrupt count must produce a typed error, not a multi-gigabyte
+    // resize. 64-bit arithmetic, so n * sizeof(T) cannot wrap.
+    const std::uint64_t need = std::uint64_t{n} * sizeof(T);
+    if (need > in_.size() - off_) {
+      return fail(WireErrc::kTruncated, what);
+    }
+    v.resize(n);
+    if (n) std::memcpy(v.data(), in_.data() + off_, n * sizeof(T));
+    off_ += static_cast<std::size_t>(need);
+    return true;
+  }
+
+  bool expect_tag(std::uint8_t want, const char* what) noexcept {
+    std::uint8_t got = 0;
+    if (!read(got, what)) return false;
+    if (got != want) {
+      // Report the tag's own offset, not the post-read position.
+      --off_;
+      return fail(WireErrc::kBadTag, what);
+    }
+    return true;
+  }
+
+  bool expect_end(const char* what) noexcept {
+    if (failed_) return false;
+    if (off_ != in_.size()) return fail(WireErrc::kOversized, what);
+    return true;
+  }
+
+ private:
+  std::span<const Byte> in_;
+  std::size_t off_ = 0;
+  bool failed_ = false;
+  WireError err_{};
+};
 
 template <typename Byte>
 std::vector<Byte> encode_report_t(const WorkerReport& r) {
   std::vector<Byte> out;
-  out.reserve(21 + r.results.size() * sizeof(ResultMsg) +
+  out.reserve(22 + r.results.size() * sizeof(ResultMsg) +
               r.new_pairs.size() * sizeof(PairMsg) +
               r.progress.size() * sizeof(RoleProgress));
+  out.push_back(static_cast<Byte>(kWireKindReport));
   append_pod(out, r.seq);
   append_vec(out, r.results);
   append_vec(out, r.new_pairs);
@@ -70,56 +121,87 @@ std::vector<Byte> encode_report_t(const WorkerReport& r) {
 }
 
 template <typename Byte>
-WorkerReport decode_report_t(std::span<const Byte> bytes) {
+WireResult<WorkerReport> try_decode_report_t(std::span<const Byte> bytes) {
+  Cursor<Byte> cur(bytes);
   WorkerReport r;
-  std::size_t off = 0;
-  r.seq = read_pod<std::uint64_t>(bytes, off);
-  r.results = read_vec<ResultMsg>(bytes, off);
-  r.new_pairs = read_vec<PairMsg>(bytes, off);
-  r.progress = read_vec<RoleProgress>(bytes, off);
-  if (off + 1 > bytes.size()) throw std::runtime_error("wire: bad report");
-  r.exhausted = static_cast<std::uint8_t>(bytes[off]);
+  cur.expect_tag(kWireKindReport, "report kind tag");
+  cur.read(r.seq, "report seq");
+  cur.read_vec(r.results, "report results");
+  cur.read_vec(r.new_pairs, "report new_pairs");
+  cur.read_vec(r.progress, "report progress");
+  cur.read(r.exhausted, "report exhausted flag");
+  cur.expect_end("report trailing bytes");
+  if (!cur.ok()) return cur.error();
   return r;
 }
 
 template <typename Byte>
 std::vector<Byte> encode_reply_t(const MasterReply& r) {
   std::vector<Byte> out;
-  out.reserve(22 + r.batch.size() * sizeof(PairMsg) +
+  out.reserve(23 + r.batch.size() * sizeof(PairMsg) +
               r.takeovers.size() * sizeof(TakeoverOrder));
+  out.push_back(static_cast<Byte>(kWireKindReply));
   append_pod(out, r.seq);
   append_vec(out, r.batch);
   append_vec(out, r.takeovers);
-  const std::size_t base = out.size();
-  out.resize(base + 6);
-  std::memcpy(out.data() + base, &r.request_r, 4);
-  out[base + 4] = static_cast<Byte>(r.terminate);
-  out[base + 5] = static_cast<Byte>(r.park);
+  append_pod(out, r.request_r);
+  out.push_back(static_cast<Byte>(r.terminate));
+  out.push_back(static_cast<Byte>(r.park));
   return out;
 }
 
 template <typename Byte>
-MasterReply decode_reply_t(std::span<const Byte> bytes) {
+WireResult<MasterReply> try_decode_reply_t(std::span<const Byte> bytes) {
+  Cursor<Byte> cur(bytes);
   MasterReply r;
-  std::size_t off = 0;
-  r.seq = read_pod<std::uint64_t>(bytes, off);
-  r.batch = read_vec<PairMsg>(bytes, off);
-  r.takeovers = read_vec<TakeoverOrder>(bytes, off);
-  if (off + 6 > bytes.size()) throw std::runtime_error("wire: bad reply");
-  std::memcpy(&r.request_r, bytes.data() + off, 4);
-  r.terminate = static_cast<std::uint8_t>(bytes[off + 4]);
-  r.park = static_cast<std::uint8_t>(bytes[off + 5]);
+  cur.expect_tag(kWireKindReply, "reply kind tag");
+  cur.read(r.seq, "reply seq");
+  cur.read_vec(r.batch, "reply batch");
+  cur.read_vec(r.takeovers, "reply takeovers");
+  cur.read(r.request_r, "reply request_r");
+  cur.read(r.terminate, "reply terminate flag");
+  cur.read(r.park, "reply park flag");
+  cur.expect_end("reply trailing bytes");
+  if (!cur.ok()) return cur.error();
   return r;
 }
 
 }  // namespace
+
+const char* wire_errc_name(WireErrc code) noexcept {
+  switch (code) {
+    case WireErrc::kTruncated: return "truncated";
+    case WireErrc::kOversized: return "oversized";
+    case WireErrc::kBadTag: return "bad_tag";
+    case WireErrc::kBadMagic: return "bad_magic";
+    case WireErrc::kBadVersion: return "bad_version";
+    case WireErrc::kCountMismatch: return "count_mismatch";
+    case WireErrc::kBadValue: return "bad_value";
+    case WireErrc::kIo: return "io";
+  }
+  return "unknown";
+}
+
+std::string WireError::message() const {
+  std::string out = "wire: ";
+  out += wire_errc_name(code);
+  out += " at offset ";
+  out += std::to_string(offset);
+  if (detail != nullptr && detail[0] != '\0') {
+    out += " (";
+    out += detail;
+    out += ")";
+  }
+  return out;
+}
 
 std::vector<std::uint8_t> encode_report(const WorkerReport& r) {
   return encode_report_t<std::uint8_t>(r);
 }
 
 WorkerReport decode_report(const std::vector<std::uint8_t>& bytes) {
-  return decode_report_t<std::uint8_t>(bytes);
+  return try_decode_report(std::span<const std::uint8_t>(bytes))
+      .take_or_throw();
 }
 
 std::vector<std::uint8_t> encode_reply(const MasterReply& r) {
@@ -127,7 +209,8 @@ std::vector<std::uint8_t> encode_reply(const MasterReply& r) {
 }
 
 MasterReply decode_reply(const std::vector<std::uint8_t>& bytes) {
-  return decode_reply_t<std::uint8_t>(bytes);
+  return try_decode_reply(std::span<const std::uint8_t>(bytes))
+      .take_or_throw();
 }
 
 std::vector<std::byte> encode_report_payload(const WorkerReport& r) {
@@ -135,7 +218,7 @@ std::vector<std::byte> encode_report_payload(const WorkerReport& r) {
 }
 
 WorkerReport decode_report(std::span<const std::byte> bytes) {
-  return decode_report_t<std::byte>(bytes);
+  return try_decode_report(bytes).take_or_throw();
 }
 
 std::vector<std::byte> encode_reply_payload(const MasterReply& r) {
@@ -143,7 +226,24 @@ std::vector<std::byte> encode_reply_payload(const MasterReply& r) {
 }
 
 MasterReply decode_reply(std::span<const std::byte> bytes) {
-  return decode_reply_t<std::byte>(bytes);
+  return try_decode_reply(bytes).take_or_throw();
+}
+
+WireResult<WorkerReport> try_decode_report(
+    std::span<const std::uint8_t> bytes) {
+  return try_decode_report_t(bytes);
+}
+
+WireResult<WorkerReport> try_decode_report(std::span<const std::byte> bytes) {
+  return try_decode_report_t(bytes);
+}
+
+WireResult<MasterReply> try_decode_reply(std::span<const std::uint8_t> bytes) {
+  return try_decode_reply_t(bytes);
+}
+
+WireResult<MasterReply> try_decode_reply(std::span<const std::byte> bytes) {
+  return try_decode_reply_t(bytes);
 }
 
 std::vector<std::uint8_t> encode_checkpoint(const ClusterCheckpoint& c) {
@@ -169,31 +269,54 @@ std::vector<std::uint8_t> encode_checkpoint(const ClusterCheckpoint& c) {
   return out;
 }
 
-ClusterCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& raw) {
-  const std::span<const std::uint8_t> bytes(raw);
-  std::size_t off = 0;
-  if (read_pod<std::uint32_t>(bytes, off) != kCheckpointMagic)
-    throw std::runtime_error("checkpoint: bad magic");
-  if (read_pod<std::uint32_t>(bytes, off) != kCheckpointVersion)
-    throw std::runtime_error("checkpoint: unsupported version");
+WireResult<ClusterCheckpoint> try_decode_checkpoint(
+    std::span<const std::uint8_t> bytes) {
+  Cursor<std::uint8_t> cur(bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (cur.read(magic, "checkpoint magic") && magic != kCheckpointMagic) {
+    cur.fail(WireErrc::kBadMagic, "checkpoint magic");
+  }
+  if (cur.read(version, "checkpoint version") &&
+      version != kCheckpointVersion) {
+    cur.fail(WireErrc::kBadVersion, "checkpoint version");
+  }
   ClusterCheckpoint c;
-  c.epoch = read_pod<std::uint64_t>(bytes, off);
-  c.num_ranks = read_pod<std::uint32_t>(bytes, off);
-  c.n_fragments = read_pod<std::uint32_t>(bytes, off);
-  c.input_hash = read_pod<std::uint64_t>(bytes, off);
-  c.params_hash = read_pod<std::uint64_t>(bytes, off);
-  c.labels = read_vec<std::uint32_t>(bytes, off);
-  c.pending = read_vec<PairMsg>(bytes, off);
-  c.progress = read_vec<RoleProgress>(bytes, off);
-  c.pairs_generated = read_pod<std::uint64_t>(bytes, off);
-  c.pairs_selected = read_pod<std::uint64_t>(bytes, off);
-  c.pairs_aligned = read_pod<std::uint64_t>(bytes, off);
-  c.pairs_accepted = read_pod<std::uint64_t>(bytes, off);
-  c.merges = read_pod<std::uint64_t>(bytes, off);
-  c.merges_rejected_inconsistent = read_pod<std::uint64_t>(bytes, off);
-  if (c.labels.size() != c.n_fragments)
-    throw std::runtime_error("checkpoint: label count mismatch");
+  cur.read(c.epoch, "checkpoint epoch");
+  cur.read(c.num_ranks, "checkpoint num_ranks");
+  cur.read(c.n_fragments, "checkpoint n_fragments");
+  cur.read(c.input_hash, "checkpoint input_hash");
+  cur.read(c.params_hash, "checkpoint params_hash");
+  cur.read_vec(c.labels, "checkpoint labels");
+  cur.read_vec(c.pending, "checkpoint pending");
+  cur.read_vec(c.progress, "checkpoint progress");
+  cur.read(c.pairs_generated, "checkpoint pairs_generated");
+  cur.read(c.pairs_selected, "checkpoint pairs_selected");
+  cur.read(c.pairs_aligned, "checkpoint pairs_aligned");
+  cur.read(c.pairs_accepted, "checkpoint pairs_accepted");
+  cur.read(c.merges, "checkpoint merges");
+  cur.read(c.merges_rejected_inconsistent, "checkpoint merges_rejected");
+  cur.expect_end("checkpoint trailing bytes");
+  if (!cur.ok()) return cur.error();
+  // Semantic validation: restore indexes `first[label]` over n_fragments
+  // slots, so a label count or value out of range would corrupt memory long
+  // after the decode "succeeded". Reject it here, as a typed error.
+  if (c.labels.size() != c.n_fragments) {
+    return WireError{WireErrc::kCountMismatch, cur.offset(),
+                     "checkpoint label count != n_fragments"};
+  }
+  for (const std::uint32_t l : c.labels) {
+    if (l >= c.n_fragments) {
+      return WireError{WireErrc::kBadValue, cur.offset(),
+                       "checkpoint label out of range"};
+    }
+  }
   return c;
+}
+
+ClusterCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& raw) {
+  return try_decode_checkpoint(std::span<const std::uint8_t>(raw))
+      .take_or_throw();
 }
 
 void save_checkpoint(const std::string& path, const ClusterCheckpoint& c) {
@@ -214,16 +337,24 @@ void save_checkpoint(const std::string& path, const ClusterCheckpoint& c) {
   }
 }
 
-ClusterCheckpoint load_checkpoint(const std::string& path) {
+WireResult<ClusterCheckpoint> try_load_checkpoint(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
+  if (!f) return WireError{WireErrc::kIo, 0, "checkpoint file unreadable"};
   std::vector<std::uint8_t> bytes;
   std::uint8_t buf[1 << 16];
   std::size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
     bytes.insert(bytes.end(), buf, buf + n);
+  const bool read_ok = std::ferror(f) == 0;
   std::fclose(f);
-  return decode_checkpoint(bytes);
+  if (!read_ok) {
+    return WireError{WireErrc::kIo, bytes.size(), "checkpoint read error"};
+  }
+  return try_decode_checkpoint(std::span<const std::uint8_t>(bytes));
+}
+
+ClusterCheckpoint load_checkpoint(const std::string& path) {
+  return try_load_checkpoint(path).take_or_throw();
 }
 
 }  // namespace pgasm::core

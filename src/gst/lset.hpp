@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gst/suffix.hpp"
+#include "util/contract.hpp"
 
 namespace pgasm::gst {
 
@@ -42,6 +43,7 @@ class LsetArena {
 
   /// Append entry e (a suffix index not currently in any list) to l.
   void push_back(Lset& l, std::uint32_t e) noexcept {
+    PGASM_DCHECK(e < next_.size(), "lset entry outside arena");
     next_[e] = kNilEntry;
     if (l.empty()) {
       l.head = l.tail = e;
@@ -68,6 +70,7 @@ class LsetArena {
   /// Unlink the entry *after* prev (or the head when prev == kNilEntry).
   /// Returns the id of the removed entry.
   std::uint32_t unlink_after(Lset& l, std::uint32_t prev) noexcept {
+    PGASM_DCHECK(!l.empty(), "unlink from empty lset");
     std::uint32_t victim;
     if (prev == kNilEntry) {
       victim = l.head;

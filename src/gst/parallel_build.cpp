@@ -8,6 +8,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/contract.hpp"
 #include "util/timer.hpp"
 
 namespace pgasm::gst {
@@ -28,6 +29,8 @@ std::vector<std::uint32_t> partition_store(const seq::FragmentStore& store,
                                            int num_ranks) {
   // Greedy sweep: cut whenever the running character count passes the next
   // multiple of N/p. Contiguous and deterministic.
+  PGASM_ASSERT(num_ranks >= 1, "partition needs at least one rank");
+  if (num_ranks < 1) return {0, static_cast<std::uint32_t>(store.size())};
   const std::uint64_t total = store.total_length();
   const std::uint64_t per_rank = std::max<std::uint64_t>(1, total / num_ranks);
   std::vector<std::uint32_t> slice_begin(static_cast<std::size_t>(num_ranks) + 1,
@@ -227,7 +230,8 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
           buf.resize(base + 8 + s.size());
           std::memcpy(buf.data() + base, &g, 4);
           std::memcpy(buf.data() + base + 4, &len, 4);
-          std::memcpy(buf.data() + base + 8, s.data(), s.size());
+          if (!s.empty())
+            std::memcpy(buf.data() + base + 8, s.data(), s.size());
         }
       }
     }
@@ -242,7 +246,7 @@ DistributedGst build_distributed_gst(vmpi::Comm& comm,
           std::memcpy(&len, buf.data() + off + 4, 4);
           auto& dst = fetched[local_index_of(g)];
           dst.resize(len);
-          std::memcpy(dst.data(), buf.data() + off + 8, len);
+          if (len != 0) std::memcpy(dst.data(), buf.data() + off + 8, len);
           off += 8 + len;
           ++stats.fetched_fragments;
         }

@@ -1,5 +1,7 @@
 #include "gst/suffix.hpp"
 
+#include "util/contract.hpp"
+
 namespace pgasm::gst {
 
 std::vector<Suffix> enumerate_suffixes_range(const seq::FragmentStore& store,
@@ -40,8 +42,15 @@ std::vector<Suffix> enumerate_suffixes(const seq::FragmentStore& store,
 std::uint32_t bucket_of(const seq::FragmentStore& store, const Suffix& s,
                         std::uint32_t w) noexcept {
   const auto text = store.seq(s.seq);
+  // Caller contract: the suffix is at least w unmasked characters long
+  // (enumerate_suffixes filters by min_len >= w), so the window below stays
+  // inside the fragment and every code is a 2-bit base.
+  PGASM_DCHECK(s.pos + w <= text.size(), "bucket window past fragment end");
+  PGASM_DCHECK(w <= 16, "bucket prefix wider than 16 bases overflows u32");
   std::uint32_t b = 0;
   for (std::uint32_t i = 0; i < w; ++i) {
+    PGASM_DCHECK(seq::is_base(text[s.pos + i]),
+                 "bucket window crosses a masked character");
     b = (b << 2) | text[s.pos + i];
   }
   return b;

@@ -1,13 +1,14 @@
 #include "pipeline/pipeline.hpp"
 
 #include <algorithm>
-
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 #include "vmpi/runtime.hpp"
@@ -29,6 +30,8 @@ void put(std::vector<std::uint8_t>& out, const T& v) {
 template <typename T>
 T take(const std::vector<std::uint8_t>& in, std::size_t& off) {
   T v;
+  if (sizeof(T) > in.size() - off)
+    throw std::runtime_error("assembly wire: truncated field");
   std::memcpy(&v, in.data() + off, sizeof(T));
   off += sizeof(T);
   return v;
@@ -45,8 +48,9 @@ void append_assembly(std::vector<std::uint8_t>& out, std::uint32_t cluster,
     put(out, static_cast<std::uint64_t>(contig.consensus.size()));
     const std::size_t base = out.size();
     out.resize(base + contig.consensus.size());
-    std::memcpy(out.data() + base, contig.consensus.data(),
-                contig.consensus.size());
+    if (!contig.consensus.empty())
+      std::memcpy(out.data() + base, contig.consensus.data(),
+                  contig.consensus.size());
     put(out, static_cast<std::uint32_t>(contig.layout.size()));
     for (const auto& pl : contig.layout) {
       put(out, pl.fragment);
@@ -68,8 +72,10 @@ olc::AssemblyResult parse_assembly(const std::vector<std::uint8_t>& in,
   ar.contigs.resize(n_contigs);
   for (auto& contig : ar.contigs) {
     const auto len = take<std::uint64_t>(in, off);
+    if (len > in.size() - off)
+      throw std::runtime_error("assembly wire: truncated consensus");
     contig.consensus.resize(len);
-    std::memcpy(contig.consensus.data(), in.data() + off, len);
+    if (len != 0) std::memcpy(contig.consensus.data(), in.data() + off, len);
     off += len;
     const auto n_layout = take<std::uint32_t>(in, off);
     contig.layout.resize(n_layout);
@@ -171,8 +177,9 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
       if (cp.checkpoint_path.empty())
         cp.checkpoint_path = params.checkpoint_dir + "/cluster.ckpt";
       if (cp.checkpoint_every_reports == 0) cp.checkpoint_every_reports = 64;
-      try {
-        resume_ck = core::load_checkpoint(cp.checkpoint_path);
+      auto loaded = core::try_load_checkpoint(cp.checkpoint_path);
+      if (loaded) {
+        resume_ck = std::move(loaded).value();
         // Only resume a checkpoint written for this very input and
         // configuration; a stale file falls back to a fresh run.
         has_resume =
@@ -182,8 +189,13 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
                  core::cluster_input_hash(result.pre.store)) &&
             (resume_ck.params_hash == 0 ||
              resume_ck.params_hash == core::cluster_params_hash(cp));
-      } catch (const std::exception&) {
-        has_resume = false;  // no (or unreadable) checkpoint: fresh run
+      } else if (loaded.error().code != core::WireErrc::kIo) {
+        // Missing file is the normal first-run case; anything else means a
+        // checkpoint exists but cannot be trusted. Say so before starting
+        // fresh — silent fallback would hide corruption forever.
+        util::log_warn() << "ignoring unusable checkpoint "
+                         << cp.checkpoint_path << ": "
+                         << loaded.error().message();
       }
     }
     auto pr = core::cluster_parallel(result.pre.store, cp, params.ranks,
@@ -285,9 +297,12 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
           }
         }
         if (comm.rank() != 0) {
+          // pgasm-lint: allow(raw-comm): assembly-result gather is a one-shot
+          // all-to-root ship with its own framing, not clustering traffic.
           comm.send(0, 7, outbox.data(), outbox.size());
         } else {
           for (int src = 1; src < comm.size(); ++src) {
+            // pgasm-lint: allow(raw-comm): matching root-side recv of the gather.
             const auto bytes = comm.recv_vector<std::uint8_t>(src, 7);
             std::size_t off = 0;
             while (off < bytes.size()) {

@@ -73,8 +73,10 @@ PurityReport evaluate_purity(
   }
   if (!island_clusters.empty()) {
     double sum = 0;
-    for (const auto& [isl, cls] : island_clusters) sum += cls.size();
-    report.avg_clusters_per_island = sum / island_clusters.size();
+    for (const auto& [isl, cls] : island_clusters)
+      sum += static_cast<double>(cls.size());
+    report.avg_clusters_per_island =
+        sum / static_cast<double>(island_clusters.size());
   }
   return report;
 }

@@ -5,6 +5,7 @@
 // for masked positions and wraps lines at a configurable width.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 

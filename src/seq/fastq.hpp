@@ -3,6 +3,8 @@
 // real trace data carries them.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 

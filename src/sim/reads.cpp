@@ -114,8 +114,10 @@ void sample_wgs(ReadSet& out, const Genome& g, double coverage,
     if (!g.clonable(begin, begin + len)) {
       // Unclonable region: the sub-clone never grows (bounded retries so a
       // pathological genome cannot stall the sampler).
-      if (++rejected > 50 * static_cast<std::uint64_t>(
-                                target / std::max<std::uint64_t>(1, len))) {
+      if (++rejected >
+          50 * static_cast<std::uint64_t>(
+                   static_cast<double>(target) /
+                   static_cast<double>(std::max<std::uint64_t>(1, len)))) {
         break;
       }
       continue;

@@ -1,0 +1,34 @@
+#include "util/contract.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "util/log.hpp"
+
+namespace pgasm::util {
+
+namespace {
+
+std::string format_violation(const char* kind, const char* cond,
+                             const char* file, int line, const char* msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond << " at " << file << ":" << line;
+  if (msg != nullptr && msg[0] != '\0') os << " — " << msg;
+  return os.str();
+}
+
+}  // namespace
+
+void contract_fatal(const char* kind, const char* cond, const char* file,
+                    int line, const char* msg) {
+  log_line(LogLevel::kError, format_violation(kind, cond, file, line, msg));
+  std::abort();
+}
+
+void contract_log(const char* kind, const char* cond, const char* file,
+                  int line, const char* msg) {
+  log_line(LogLevel::kError, format_violation(kind, cond, file, line, msg));
+}
+
+}  // namespace pgasm::util

@@ -1,0 +1,66 @@
+// Contract assertions for internal invariants (DESIGN.md section 10).
+//
+// Two macros, two costs:
+//
+//   PGASM_ASSERT(cond, msg)  — always compiled in. Debug builds (!NDEBUG)
+//       abort on violation with file:line and the message; release builds
+//       log one error line and continue, so a production run degrades
+//       loudly instead of dying on an invariant that may be recoverable.
+//   PGASM_DCHECK(cond, msg)  — debug-only. Compiles to nothing under
+//       NDEBUG (the condition is not evaluated), so it is safe on hot
+//       paths: union-find finds, lset link operations, workspace buffer
+//       handout.
+//
+// Neither macro is for *input* validation: data that crosses a trust
+// boundary (wire payloads, checkpoint files, FASTA/FASTQ text) gets typed
+// errors (core::WireError, std::runtime_error), never an assert. Contracts
+// guard programmer errors — an index a caller promised was in range, a
+// state machine step that cannot happen — where the right reaction is a
+// crash in development and a loud log in the field.
+#pragma once
+
+namespace pgasm::util {
+
+/// Debug-build violation handler: logs and aborts. Never returns.
+[[noreturn]] void contract_fatal(const char* kind, const char* cond,
+                                 const char* file, int line, const char* msg);
+
+/// Release-build violation handler: logs one error line and returns.
+void contract_log(const char* kind, const char* cond, const char* file,
+                  int line, const char* msg);
+
+}  // namespace pgasm::util
+
+#ifndef NDEBUG
+
+#define PGASM_ASSERT(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::pgasm::util::contract_fatal("ASSERT", #cond, __FILE__, __LINE__, \
+                                    (msg));                              \
+    }                                                                    \
+  } while (false)
+
+#define PGASM_DCHECK(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::pgasm::util::contract_fatal("DCHECK", #cond, __FILE__, __LINE__, \
+                                    (msg));                              \
+    }                                                                    \
+  } while (false)
+
+#else  // NDEBUG
+
+#define PGASM_ASSERT(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::pgasm::util::contract_log("ASSERT", #cond, __FILE__, __LINE__, \
+                                  (msg));                              \
+    }                                                                  \
+  } while (false)
+
+#define PGASM_DCHECK(cond, msg) \
+  do {                          \
+  } while (false)
+
+#endif  // NDEBUG

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/contract.hpp"
+
 namespace pgasm::util {
 
 void UnionFind::reset(std::size_t n) {
@@ -13,6 +15,7 @@ void UnionFind::reset(std::size_t n) {
 }
 
 UnionFind::Id UnionFind::find(Id x) noexcept {
+  PGASM_DCHECK(x < parent_.size(), "union-find id out of range");
   while (parent_[x] != x) {
     parent_[x] = parent_[parent_[x]];  // path halving
     x = parent_[x];
@@ -21,11 +24,14 @@ UnionFind::Id UnionFind::find(Id x) noexcept {
 }
 
 UnionFind::Id UnionFind::find_const(Id x) const noexcept {
+  PGASM_DCHECK(x < parent_.size(), "union-find id out of range");
   while (parent_[x] != x) x = parent_[x];
   return x;
 }
 
 bool UnionFind::unite(Id a, Id b) noexcept {
+  PGASM_DCHECK(a < parent_.size() && b < parent_.size(),
+               "union-find id out of range");
   Id ra = find(a);
   Id rb = find(b);
   if (ra == rb) return false;

@@ -63,6 +63,13 @@ namespace pgasm::vmpi {
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// memcpy with the n == 0 case made well-defined: empty std::vector buffers
+/// hand out data() == nullptr, and passing nullptr to memcpy is UB even for
+/// zero-length copies (both pointer arguments are attribute-nonnull).
+inline void copy_bytes(void* dst, const void* src, std::size_t n) {
+  if (n != 0) std::memcpy(dst, src, n);
+}
+
 /// Result metadata of a receive or probe.
 struct Status {
   int source = 0;
@@ -403,11 +410,11 @@ class Comm {
     std::vector<std::byte> buf;
     if (rank_ == root) {
       buf.resize(v.size() * sizeof(T));
-      std::memcpy(buf.data(), v.data(), buf.size());
+      copy_bytes(buf.data(), v.data(), buf.size());
     }
     bcast_bytes(buf, root);
     v.resize(buf.size() / sizeof(T));
-    std::memcpy(v.data(), buf.data(), buf.size());
+    copy_bytes(v.data(), buf.data(), buf.size());
   }
 
   /// Elementwise reduction of equal-length vectors to root (binomial tree).
@@ -543,7 +550,7 @@ class Comm {
           std::to_string(sizeof(T)));
     }
     std::vector<T> v(bytes.size() / sizeof(T));
-    std::memcpy(v.data(), bytes.data(), bytes.size());
+    copy_bytes(v.data(), bytes.data(), bytes.size());
     return v;
   }
 
@@ -614,7 +621,7 @@ std::vector<T> Comm::reduce_vector(std::vector<T> local, int root,
       Status st;
       auto bytes = recv_impl(child, base_tag, /*internal=*/true, &st);
       std::vector<T> other(bytes.size() / sizeof(T));
-      std::memcpy(other.data(), bytes.data(), bytes.size());
+      copy_bytes(other.data(), bytes.data(), bytes.size());
       if (other.size() != local.size())
         throw std::runtime_error("reduce_vector length mismatch");
       for (std::size_t i = 0; i < local.size(); ++i)
@@ -642,7 +649,7 @@ std::vector<std::vector<T>> Comm::gatherv(const std::vector<T>& local,
     if (s == root) continue;
     auto bytes = recv_impl(s, base_tag, /*internal=*/true, nullptr);
     out[s].resize(bytes.size() / sizeof(T));
-    std::memcpy(out[s].data(), bytes.data(), bytes.size());
+    copy_bytes(out[s].data(), bytes.data(), bytes.size());
   }
   return out;
 }
@@ -691,7 +698,7 @@ std::vector<std::vector<T>> Comm::alltoallv(
     if (s == rank_) continue;
     auto bytes = recv_impl(s, base_tag, /*internal=*/true, nullptr);
     incoming[s].resize(bytes.size() / sizeof(T));
-    std::memcpy(incoming[s].data(), bytes.data(), bytes.size());
+    copy_bytes(incoming[s].data(), bytes.data(), bytes.size());
   }
   return incoming;
 }
@@ -714,7 +721,7 @@ std::vector<std::vector<T>> Comm::staged_alltoallv(
               /*internal=*/true, /*sync=*/false);
     auto bytes = recv_impl(from, tag, /*internal=*/true, nullptr);
     incoming[from].resize(bytes.size() / sizeof(T));
-    std::memcpy(incoming[from].data(), bytes.data(), bytes.size());
+    copy_bytes(incoming[from].data(), bytes.data(), bytes.size());
   }
   return incoming;
 }

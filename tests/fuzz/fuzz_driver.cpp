@@ -1,0 +1,156 @@
+// Deterministic standalone driver for the fuzz harnesses (see
+// fuzz_driver.hpp). Compiled out under -DPGASM_LIBFUZZER, where libFuzzer
+// supplies main().
+//
+// The loop is reproducible by construction: a fixed-seed splitmix64 stream
+// drives every mutation decision, so a given (seed, iters, corpus) triple
+// replays the identical input sequence — a crash in CI reproduces locally
+// with the same environment variables.
+//
+//   PGASM_FUZZ_ITERS    mutated inputs to run (default 2000)
+//   PGASM_FUZZ_SEED     PRNG seed (default 1)
+//   PGASM_FUZZ_MAX_LEN  max input size in bytes (default 65536)
+//
+// Any argv entries are treated as extra corpus files and run before the
+// mutation loop.
+#ifndef PGASM_LIBFUZZER
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fuzz_driver.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+std::vector<std::uint8_t> read_file(const char* path) {
+  std::vector<std::uint8_t> bytes;
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return bytes;
+  std::uint8_t buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return bytes;
+}
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return pgasm::util::splitmix64(state_); }
+  std::size_t below(std::size_t n) {
+    return n == 0 ? 0 : static_cast<std::size_t>(next() % n);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// One mutation step: pick a strategy, apply it in place. Strategies mirror
+// the classic libFuzzer set (bit flips, byte edits, truncation, extension,
+// and cross-corpus splices) in miniature.
+void mutate(std::vector<std::uint8_t>& input,
+            const std::vector<std::vector<std::uint8_t>>& corpus, Rng& rng,
+            std::size_t max_len) {
+  const int rounds = 1 + static_cast<int>(rng.below(4));
+  for (int r = 0; r < rounds; ++r) {
+    switch (rng.below(6)) {
+      case 0:  // flip one bit
+        if (!input.empty()) {
+          input[rng.below(input.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+      case 1:  // overwrite one byte
+        if (!input.empty()) {
+          input[rng.below(input.size())] =
+              static_cast<std::uint8_t>(rng.next());
+        }
+        break;
+      case 2:  // truncate
+        if (!input.empty()) input.resize(rng.below(input.size() + 1));
+        break;
+      case 3: {  // insert a short random run
+        const std::size_t n = 1 + rng.below(8);
+        if (input.size() + n <= max_len) {
+          const std::size_t at = rng.below(input.size() + 1);
+          std::vector<std::uint8_t> run(n);
+          for (auto& b : run) b = static_cast<std::uint8_t>(rng.next());
+          input.insert(input.begin() + static_cast<std::ptrdiff_t>(at),
+                       run.begin(), run.end());
+        }
+        break;
+      }
+      case 4: {  // splice a window from another corpus entry
+        const auto& other = corpus[rng.below(corpus.size())];
+        if (!other.empty() && !input.empty()) {
+          const std::size_t from = rng.below(other.size());
+          const std::size_t n =
+              std::min(1 + rng.below(32), other.size() - from);
+          const std::size_t at = rng.below(input.size());
+          for (std::size_t i = 0; i < n && at + i < input.size(); ++i) {
+            input[at + i] = other[from + i];
+          }
+        }
+        break;
+      }
+      case 5:  // tweak a byte by +/- small delta (magic-value walking)
+        if (!input.empty()) {
+          const std::size_t at = rng.below(input.size());
+          input[at] = static_cast<std::uint8_t>(
+              input[at] + static_cast<std::uint8_t>(1 + rng.below(4)) -
+              static_cast<std::uint8_t>(2));
+        }
+        break;
+    }
+  }
+  if (input.size() > max_len) input.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t iters = env_u64("PGASM_FUZZ_ITERS", 2000);
+  const std::uint64_t seed = env_u64("PGASM_FUZZ_SEED", 1);
+  const std::size_t max_len =
+      static_cast<std::size_t>(env_u64("PGASM_FUZZ_MAX_LEN", 65536));
+
+  std::vector<std::vector<std::uint8_t>> corpus = pgasm_fuzz_seeds();
+  for (int i = 1; i < argc; ++i) {
+    corpus.push_back(read_file(argv[i]));
+  }
+  if (corpus.empty()) corpus.emplace_back();
+
+  std::uint64_t executed = 0;
+  for (const auto& entry : corpus) {
+    LLVMFuzzerTestOneInput(entry.data(), entry.size());
+    ++executed;
+  }
+
+  Rng rng(seed);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    std::vector<std::uint8_t> input = corpus[rng.below(corpus.size())];
+    mutate(input, corpus, rng, max_len);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+
+  std::printf("fuzz-smoke OK: %llu inputs (seed=%llu, max_len=%zu)\n",
+              static_cast<unsigned long long>(executed),
+              static_cast<unsigned long long>(seed), max_len);
+  return 0;
+}
+
+#endif  // PGASM_LIBFUZZER

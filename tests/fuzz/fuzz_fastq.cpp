@@ -1,0 +1,68 @@
+// Fuzz harness: FASTQ parser.
+//
+// Properties enforced:
+//   1. Totality — read_fastq either succeeds or throws std::runtime_error
+//      (missing '+', length mismatch, truncation); no other exception type,
+//      no crash, no sanitizer report.
+//   2. Store consistency — parsed record count matches the store size, and
+//      every stored quality is within the clamped Sanger range.
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fuzz_driver.hpp"
+#include "seq/fastq.hpp"
+#include "seq/fragment_store.hpp"
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "fuzz_fastq property violated: %s\n", what);
+    std::abort();
+  }
+}
+
+std::vector<std::uint8_t> bytes_of(const char* text) {
+  const std::string s(text);
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> pgasm_fuzz_seeds() {
+  return {
+      bytes_of("@frag0\nACGTACGT\n+\nIIIIIIII\n"),
+      bytes_of("@frag1\nACGTNNNN\n+frag1\n!!!!IIII\n@frag2\nGGCC\n+\nJJJJ\n"),
+      bytes_of("@hi_qual\nACGT\n+\n~~~~\n"),
+      bytes_of("@short\nA\n+\n!\n"),
+      bytes_of("@truncated\nACGT\n+\n"),
+      bytes_of("@len_mismatch\nACGT\n+\nII\n"),
+  };
+}
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  pgasm::seq::FragmentStore store;
+  pgasm::seq::FastqReadOptions opts;
+  std::size_t n = 0;
+  try {
+    std::istringstream in(text);
+    n = pgasm::seq::read_fastq(in, store, opts);
+  } catch (const std::runtime_error&) {
+    return 0;  // rejected input: the only acceptable failure mode
+  }
+  check(n == store.size(), "record count disagrees with store size");
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const auto id = static_cast<pgasm::seq::FragmentId>(i);
+    for (const std::uint8_t q : store.quality(id)) {
+      check(q <= opts.max_quality, "quality exceeds the clamp ceiling");
+    }
+  }
+  return 0;
+}

@@ -38,7 +38,9 @@ TEST(Histogram, BucketPlacement) {
   for (std::uint64_t v : {0ull, 1ull, 2ull, 100ull, 65536ull, 1ull << 40}) {
     const int b = Histogram::bucket_of(v);
     EXPECT_LE(v, Histogram::bucket_upper(b)) << v;
-    if (b > 0) EXPECT_GT(v, Histogram::bucket_upper(b - 1)) << v;
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper(b - 1)) << v;
+    }
   }
 }
 

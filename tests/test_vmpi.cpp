@@ -6,6 +6,7 @@
 #include <chrono>
 #include <future>
 #include <numeric>
+#include <thread>
 
 #include "vmpi/runtime.hpp"
 
@@ -185,8 +186,7 @@ TEST(Vmpi, SsendBlocksUntilConsumed) {
       if (!consumed.load()) ssend_returned_before_consume.store(true);
     } else {
       // Give the sender a chance to (incorrectly) run ahead.
-      for (volatile int i = 0; i < 100000; ++i) {
-      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
       consumed.store(true);
       EXPECT_EQ(c.recv_value<int>(0, 1), 5);
     }
@@ -371,14 +371,16 @@ TEST(Vmpi, CollectivesAbortInsteadOfDeadlockWhenRankDies) {
 TEST(Vmpi, StagedAlltoallvEmptyBlocks) {
   Runtime rt(5);
   rt.run([&](Comm& c) {
-    std::vector<std::vector<std::uint8_t>> out(c.size());
     // Only send to rank 0; everything else empty.
-    out[0].assign(17, static_cast<std::uint8_t>(c.rank()));
+    std::vector<std::vector<std::uint8_t>> out;
+    out.emplace_back(17, static_cast<std::uint8_t>(c.rank()));
+    out.resize(c.size());
     const auto in = c.staged_alltoallv(out);
-    for (int s = 0; s < c.size(); ++s) {
+    ASSERT_EQ(in.size(), static_cast<std::size_t>(c.size()));
+    for (std::size_t s = 0; s < in.size(); ++s) {
       if (c.rank() == 0) {
         EXPECT_EQ(in[s].size(), 17u);
-      } else if (s != c.rank()) {
+      } else if (s != static_cast<std::size_t>(c.rank())) {
         EXPECT_TRUE(in[s].empty());
       }
     }

@@ -1,0 +1,301 @@
+// Regression tests for the typed wire-decode error discipline (DESIGN.md
+// section 10): truncated/mistagged/corrupt payloads must surface as
+// WireError values (or WireFormatError from the legacy entry points), never
+// as out-of-bounds reads, and the protocol layer must recover from
+// duplicates and drops via the seq/cached-reply mechanism.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cluster_protocol.hpp"
+#include "core/cluster_scheduler.hpp"
+#include "core/wire.hpp"
+#include "vmpi/runtime.hpp"
+
+namespace pgasm::core {
+namespace {
+
+WorkerReport sample_report() {
+  WorkerReport r;
+  r.seq = 3;
+  r.results.push_back(ResultMsg{1, 2, -5, 1, 0, 1, 0});
+  r.results.push_back(ResultMsg{3, 4, 9, 0, 1, 0, 0});
+  r.new_pairs.push_back(PairMsg{10, 11, 12, 13, 14});
+  r.progress.push_back(RoleProgress{1, 0, 77});
+  r.exhausted = 1;
+  return r;
+}
+
+MasterReply sample_reply() {
+  MasterReply r;
+  r.seq = 3;
+  r.batch.push_back(PairMsg{1, 2, 3, 4, 5});
+  r.takeovers.push_back(TakeoverOrder{2, 0, 1000});
+  r.request_r = 64;
+  r.park = 1;
+  return r;
+}
+
+ClusterCheckpoint sample_checkpoint() {
+  ClusterCheckpoint c;
+  c.epoch = 4;
+  c.num_ranks = 3;
+  c.n_fragments = 5;
+  c.labels = {0, 1, 1, 0, 4};
+  c.pending.push_back(PairMsg{1, 2, 3, 4, 5});
+  c.progress.push_back(RoleProgress{1, 1, 50});
+  c.pairs_generated = 9;
+  return c;
+}
+
+// Every strict prefix of a valid payload must decode to a typed error (all
+// kTruncated except the empty/1-byte prefixes of the kind tag itself).
+TEST(WireErrors, TruncatedReportPrefixesYieldTypedErrors) {
+  const auto bytes = encode_report(sample_report());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto r = try_decode_report(
+        std::span<const std::uint8_t>(bytes.data(), cut));
+    ASSERT_FALSE(r.has_value()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_EQ(r.error().code, WireErrc::kTruncated) << "cut=" << cut;
+  }
+  // The full payload still round-trips.
+  auto ok = try_decode_report(std::span<const std::uint8_t>(bytes));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(encode_report(ok.value()), bytes);
+}
+
+TEST(WireErrors, TruncatedReplyPrefixesYieldTypedErrors) {
+  const auto bytes = encode_reply(sample_reply());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto r =
+        try_decode_reply(std::span<const std::uint8_t>(bytes.data(), cut));
+    ASSERT_FALSE(r.has_value()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_EQ(r.error().code, WireErrc::kTruncated) << "cut=" << cut;
+  }
+  auto ok = try_decode_reply(std::span<const std::uint8_t>(bytes));
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(encode_reply(ok.value()), bytes);
+}
+
+TEST(WireErrors, GarbageKindTagIsBadTag) {
+  auto report_bytes = encode_report(sample_report());
+  report_bytes[0] = 0x00;
+  auto r = try_decode_report(std::span<const std::uint8_t>(report_bytes));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, WireErrc::kBadTag);
+
+  // A reply payload routed to the report decoder (the misrouting the kind
+  // byte exists to catch) also fails with kBadTag, not a misparse.
+  const auto reply_bytes = encode_reply(sample_reply());
+  auto misrouted =
+      try_decode_report(std::span<const std::uint8_t>(reply_bytes));
+  ASSERT_FALSE(misrouted.has_value());
+  EXPECT_EQ(misrouted.error().code, WireErrc::kBadTag);
+
+  auto reply_as_reply = try_decode_reply(
+      std::span<const std::uint8_t>(report_bytes.data() + 0,
+                                    report_bytes.size()));
+  ASSERT_FALSE(reply_as_reply.has_value());
+  EXPECT_EQ(reply_as_reply.error().code, WireErrc::kBadTag);
+}
+
+TEST(WireErrors, TrailingBytesAreOversized) {
+  auto bytes = encode_report(sample_report());
+  bytes.push_back(0xAB);
+  auto r = try_decode_report(std::span<const std::uint8_t>(bytes));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, WireErrc::kOversized);
+  EXPECT_EQ(r.error().offset, bytes.size() - 1);
+}
+
+TEST(WireErrors, HugeElementCountFailsBeforeAllocating) {
+  // [kind][seq u64][results count u64 = 2^61]: the decoder must reject the
+  // count against the remaining buffer size instead of trying to reserve.
+  std::vector<std::uint8_t> bytes{kWireKindReport};
+  for (int i = 0; i < 8; ++i) bytes.push_back(0);  // seq
+  bytes.insert(bytes.end(), {0, 0, 0, 0, 0, 0, 0, 0x20});  // count
+  auto r = try_decode_report(std::span<const std::uint8_t>(bytes));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, WireErrc::kTruncated);
+}
+
+TEST(WireErrors, LegacyDecodeThrowsWireFormatErrorWithCode) {
+  auto bytes = encode_reply(sample_reply());
+  bytes.resize(bytes.size() / 2);
+  try {
+    (void)decode_reply(bytes);
+    FAIL() << "decode_reply accepted a truncated payload";
+  } catch (const WireFormatError& e) {
+    EXPECT_EQ(e.error().code, WireErrc::kTruncated);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST(WireErrors, CheckpointBadMagicAndStaleVersion) {
+  auto bytes = encode_checkpoint(sample_checkpoint());
+  {
+    auto tampered = bytes;
+    tampered[0] = 'X';  // magic is the first little-endian u32
+    auto r = try_decode_checkpoint(std::span<const std::uint8_t>(tampered));
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, WireErrc::kBadMagic);
+  }
+  {
+    auto tampered = bytes;
+    tampered[4] = 0x7F;  // version u32 follows the magic
+    auto r = try_decode_checkpoint(std::span<const std::uint8_t>(tampered));
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, WireErrc::kBadVersion);
+  }
+}
+
+TEST(WireErrors, CheckpointLabelCountMismatchIsTyped) {
+  auto ck = sample_checkpoint();
+  ck.labels.pop_back();  // labels.size() != n_fragments
+  const auto bytes = encode_checkpoint(ck);
+  auto r = try_decode_checkpoint(std::span<const std::uint8_t>(bytes));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, WireErrc::kCountMismatch);
+}
+
+TEST(WireErrors, CheckpointLabelOutOfRangeIsTyped) {
+  auto ck = sample_checkpoint();
+  ck.labels[2] = ck.n_fragments;  // one past the legal label domain
+  const auto bytes = encode_checkpoint(ck);
+  auto r = try_decode_checkpoint(std::span<const std::uint8_t>(bytes));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, WireErrc::kBadValue);
+}
+
+// Regression: MasterScheduler::restore must reject hand-built checkpoints
+// with out-of-range labels instead of writing past its scratch array (the
+// decoder validation above only guards checkpoints that came over the wire).
+TEST(WireErrors, RestoreRejectsOutOfRangeLabels) {
+  seq::FragmentStore plain;
+  plain.add_ascii("ACGTACGTACGTACGT");
+  plain.add_ascii("TTTTACGTACGTACGT");
+  const auto doubled = seq::make_doubled_store(plain);
+  MasterScheduler sched(doubled, ClusterParams{}, /*p=*/2);
+
+  ClusterCheckpoint ck;
+  ck.epoch = 1;
+  ck.num_ranks = 2;
+  ck.n_fragments = 2;
+  ck.labels = {0, 1000};  // way out of range
+  EXPECT_THROW(sched.restore(ck), std::invalid_argument);
+
+  ClusterCheckpoint short_labels;
+  short_labels.epoch = 1;
+  short_labels.num_ranks = 2;
+  short_labels.n_fragments = 2;
+  short_labels.labels = {0};  // count mismatch
+  EXPECT_THROW(sched.restore(short_labels), std::invalid_argument);
+}
+
+TEST(WireErrors, TryLoadCheckpointMissingFileIsIo) {
+  auto r = try_load_checkpoint("/nonexistent/pgasm-ckpt-does-not-exist");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, WireErrc::kIo);
+}
+
+TEST(WireErrors, TryLoadCheckpointRoundTripsThroughDisk) {
+  const auto ck = sample_checkpoint();
+  const std::string path =
+      testing::TempDir() + "/pgasm_wire_errors_ckpt.bin";
+  save_checkpoint(path, ck);
+  auto r = try_load_checkpoint(path);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r.value().epoch, ck.epoch);
+  EXPECT_EQ(r.value().labels, ck.labels);
+  std::remove(path.c_str());
+}
+
+TEST(WireErrors, ErrorMessageNamesCodeAndOffset) {
+  const auto bytes = encode_report(sample_report());
+  auto r = try_decode_report(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size() - 1));
+  ASSERT_FALSE(r.has_value());
+  const std::string msg = r.error().message();
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("offset"), std::string::npos) << msg;
+  EXPECT_STREQ(wire_errc_name(WireErrc::kBadMagic), "bad_magic");
+}
+
+// A retransmitted report (same seq) must not be folded twice: the
+// ReplyChannel discards the duplicate and answers with the cached reply —
+// byte-identical to the original — so the worker recovers from a lost
+// reply without the master double-counting results.
+TEST(WireErrors, DuplicateSeqReportGetsCachedReply) {
+  vmpi::Runtime rt(2);
+  int folds = 0;
+  std::vector<MasterReply> worker_got;
+  rt.run([&](vmpi::Comm& c) {
+    if (c.rank() == 0) {
+      ReplyChannel channel(c.size());
+      for (int round = 0; round < 2; ++round) {
+        auto decoded = recv_report(c, 1);
+        ASSERT_TRUE(decoded.has_value());
+        const WorkerReport& rep = decoded.value();
+        if (channel.is_duplicate(1, rep.seq)) {
+          channel.resend_cached(c, 1);
+          continue;
+        }
+        channel.note_seq(1, rep.seq);
+        ++folds;  // stand-in for MasterScheduler::fold_report
+        MasterReply reply = sample_reply();
+        channel.send(c, 1, reply);
+      }
+    } else {
+      WorkerReport rep = sample_report();
+      rep.seq = 41;
+      for (int round = 0; round < 2; ++round) {
+        c.send_payload(0, kTagReport, encode_report_payload(rep));
+        const auto raw = c.recv(0, kTagReply);
+        auto reply = try_decode_reply(std::span<const std::byte>(raw));
+        ASSERT_TRUE(reply.has_value());
+        worker_got.push_back(std::move(reply).take_or_throw());
+      }
+    }
+  });
+  EXPECT_EQ(folds, 1) << "duplicate report was folded twice";
+  ASSERT_EQ(worker_got.size(), 2u);
+  EXPECT_EQ(worker_got[0].seq, 41u);
+  EXPECT_EQ(worker_got[1].seq, 41u);
+  EXPECT_EQ(worker_got[0].batch.size(), worker_got[1].batch.size());
+  EXPECT_EQ(worker_got[0].request_r, worker_got[1].request_r);
+}
+
+// A corrupt report payload is dropped with a typed error (and counted), not
+// decoded into garbage: recv_report surfaces the WireError to the caller.
+TEST(WireErrors, RecvReportSurfacesCorruptPayloadAsTypedError) {
+  vmpi::Runtime rt(2);
+  rt.run([&](vmpi::Comm& c) {
+    if (c.rank() == 0) {
+      auto decoded = recv_report(c, 1);
+      ASSERT_FALSE(decoded.has_value());
+      EXPECT_EQ(decoded.error().code, WireErrc::kTruncated);
+      // The retransmitted (healthy) report then decodes fine.
+      auto retry = recv_report(c, 1);
+      ASSERT_TRUE(retry.has_value());
+      EXPECT_EQ(retry.value().seq, 41u);
+      c.send_value<int>(1, 99, 1);
+    } else {
+      auto bytes = encode_report_payload([] {
+        WorkerReport r;
+        r.seq = 41;
+        return r;
+      }());
+      auto corrupt = bytes;
+      corrupt.resize(corrupt.size() - 2);
+      c.send_payload(0, kTagReport, std::move(corrupt));
+      c.send_payload(0, kTagReport, std::move(bytes));
+      (void)c.recv_value<int>(0, 99);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pgasm::core

@@ -1,0 +1,459 @@
+#!/usr/bin/env python3
+"""pgasm-lint: project-invariant checks the generic linters can't express.
+
+Checks
+------
+W001  wire-protocol hygiene: every protocol tag in core/cluster_protocol.hpp
+      carries a `pgasm-wire:` annotation naming either `raw-u64` or exactly
+      one encode_X/decode_X codec pair; each named pair must be declared in
+      core/wire.hpp, be claimed by exactly one tag, and be exercised by a
+      round-trip test under tests/ (both halves referenced).
+W002  raw-comm confinement: vmpi send/recv calls are confined to the
+      protocol layers (src/vmpi/ itself, core/cluster_protocol.*,
+      gst/parallel_build.cpp). Anywhere else needs an explicit waiver:
+      a `pgasm-lint: allow(raw-comm): <reason>` comment on or above the line.
+W003  observability naming: metric names follow subsystem.noun[_verb]
+      (1-2 dot-separated snake_case segments after a known subsystem);
+      trace span/instant names are single snake_case tokens and their
+      category is a known subsystem.
+W004  hot-path allocation ban: function bodies taking an align::Workspace&
+      must not allocate (no new/make_unique/make_shared/malloc, no local
+      by-value std containers) — the workspace exists so the alignment inner
+      loop reuses grow-only buffers.
+W005  include-what-you-use (lite): public headers under src/ must directly
+      include the std header for every std:: symbol they name, so any
+      subset of pgasm.hpp compiles standalone.
+W006  test-label audit: every registered test carries exactly one suite
+      label from {unit, parallel, faults, obs, fuzz}.
+
+Exit status: 0 when clean, 1 when any finding is reported.
+
+Waivers: append `pgasm-lint: allow(<check>): <reason>` in a comment on the
+offending line or the line above. <check> is the lowercase slug shown in
+the finding, e.g. raw-comm, alloc, naming, iwyu.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+TESTS = REPO / "tests"
+
+FINDINGS: list[str] = []
+
+
+def finding(path: Path, line_no: int, check: str, slug: str, msg: str) -> None:
+    rel = path.relative_to(REPO)
+    FINDINGS.append(f"{rel}:{line_no}: [{check}/{slug}] {msg}")
+
+
+def read_lines(path: Path) -> list[str]:
+    return path.read_text(encoding="utf-8", errors="replace").splitlines()
+
+
+def waived(lines: list[str], idx: int, slug: str) -> bool:
+    """True when line idx (0-based) or the contiguous comment block above
+    it carries a waiver."""
+    needle = f"pgasm-lint: allow({slug})"
+    if needle in lines[idx]:
+        return True
+    j = idx - 1
+    while j >= 0 and lines[j].lstrip().startswith("//"):
+        if needle in lines[j]:
+            return True
+        j -= 1
+    return False
+
+
+def strip_comments(line: str) -> str:
+    """Drop // comments (good enough: no multiline comment bodies in src)."""
+    pos = line.find("//")
+    return line if pos < 0 else line[:pos]
+
+
+def src_files(*suffixes: str) -> list[Path]:
+    out: list[Path] = []
+    for s in suffixes:
+        out.extend(sorted(SRC.rglob(f"*{s}")))
+    return out
+
+
+# --------------------------------------------------------------------------
+# W001: wire tag <-> codec pairing
+# --------------------------------------------------------------------------
+
+TAG_RE = re.compile(r"inline constexpr int (kTag\w+)\s*=")
+ANNOT_RE = re.compile(r"pgasm-wire:\s*(\S+)")
+
+
+def check_w001() -> None:
+    proto = SRC / "core" / "cluster_protocol.hpp"
+    wire = SRC / "core" / "wire.hpp"
+    lines = read_lines(proto)
+
+    # Collect tag -> annotation. The annotation sits on the tag's line or on
+    # the continuation comment line directly below it.
+    tags: dict[str, tuple[int, str | None]] = {}
+    for i, line in enumerate(lines):
+        m = TAG_RE.search(line)
+        if not m:
+            continue
+        annot = ANNOT_RE.search(line)
+        if not annot and i + 1 < len(lines) and lines[i + 1].lstrip().startswith("//"):
+            annot = ANNOT_RE.search(lines[i + 1])
+        tags[m.group(1)] = (i + 1, annot.group(1) if annot else None)
+
+    if not tags:
+        finding(proto, 1, "W001", "wire", "no protocol tags found (kTag*)")
+        return
+
+    wire_text = (wire.read_text(encoding="utf-8")
+                 if wire.exists() else "")
+    test_text = "\n".join(
+        p.read_text(encoding="utf-8", errors="replace")
+        for p in sorted(TESTS.rglob("*.cpp")))
+
+    claimed: dict[str, str] = {}  # codec pair -> tag
+    for tag, (line_no, annot) in sorted(tags.items()):
+        if annot is None:
+            finding(proto, line_no, "W001", "wire",
+                    f"{tag} has no `pgasm-wire:` annotation "
+                    "(name its codec pair or raw-u64)")
+            continue
+        if annot == "raw-u64":
+            continue
+        m = re.fullmatch(r"(encode_\w+)/(decode_\w+)", annot)
+        if not m:
+            finding(proto, line_no, "W001", "wire",
+                    f"{tag} annotation {annot!r} is neither raw-u64 nor "
+                    "encode_X/decode_X")
+            continue
+        enc, dec = m.group(1), m.group(2)
+        if annot in claimed:
+            finding(proto, line_no, "W001", "wire",
+                    f"{tag} claims codec pair {annot} already claimed by "
+                    f"{claimed[annot]}")
+        claimed[annot] = tag
+        for fn in (enc, dec):
+            if not re.search(rf"\b{fn}\s*\(", wire_text):
+                finding(proto, line_no, "W001", "wire",
+                        f"{tag} names {fn} but core/wire.hpp declares no "
+                        "such codec")
+        # Round-trip coverage: both halves (or the try_ decode variant)
+        # must appear in a test.
+        has_enc = re.search(rf"\b{enc}\s*\(|\b{enc}_payload\s*\(", test_text)
+        has_dec = re.search(rf"\b(try_)?{dec}\s*\(", test_text)
+        if not (has_enc and has_dec):
+            finding(proto, line_no, "W001", "wire",
+                    f"{tag} codec pair {annot} lacks a round-trip test "
+                    "under tests/ (both halves must be exercised)")
+
+
+# --------------------------------------------------------------------------
+# W002: raw comm confinement
+# --------------------------------------------------------------------------
+
+COMM_CALL_RE = re.compile(
+    r"\.\s*(s?send(?:_value|_payload|_vector)?|"
+    r"recv(?:_value|_vector|_timeout)?)\s*(?:<[^;>]*>)?\s*\(")
+
+COMM_ALLOWED = {
+    Path("core/cluster_protocol.hpp"),
+    Path("core/cluster_protocol.cpp"),
+    Path("gst/parallel_build.cpp"),
+}
+
+
+def check_w002() -> None:
+    for path in src_files(".cpp", ".hpp"):
+        rel = path.relative_to(SRC)
+        if rel.parts[0] == "vmpi" or rel in COMM_ALLOWED:
+            continue
+        lines = read_lines(path)
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = COMM_CALL_RE.search(line)
+            if not m:
+                continue
+            # Only comm objects: require a comm-ish receiver to cut false
+            # positives from unrelated send/recv-named methods.
+            prefix = line[: m.start()]
+            if not re.search(r"\b(comm|c|mailbox)$", prefix.rstrip()):
+                continue
+            if waived(lines, i, "raw-comm"):
+                continue
+            finding(path, i + 1, "W002", "raw-comm",
+                    f"direct vmpi {m.group(1)}() outside the protocol "
+                    "layer; route through core/cluster_protocol.* or add "
+                    "`pgasm-lint: allow(raw-comm): <reason>`")
+
+
+# --------------------------------------------------------------------------
+# W003: observability naming
+# --------------------------------------------------------------------------
+
+SUBSYSTEMS = {
+    "align", "assembly", "cluster", "engine", "gst", "obs", "olc",
+    "pipeline", "preprocess", "scaffold", "seq", "sim", "vmpi", "wire",
+}
+METRIC_RE = re.compile(r"\.(counter|gauge|histogram)\(\s*\"([^\"]+)\"")
+METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){1,2}$")
+TRACE_RE = re.compile(r"\bobs::(span|instant)\(\s*[^,]+,\s*\"([^\"]+)\"\s*,\s*\"([^\"]+)\"")
+TOKEN_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def check_w003() -> None:
+    for path in src_files(".cpp", ".hpp"):
+        if path.relative_to(SRC).parts[0] == "obs":
+            continue  # the registry/tracer themselves, not instrumentation
+        lines = read_lines(path)
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            for m in METRIC_RE.finditer(line):
+                name = m.group(2)
+                if waived(lines, i, "naming"):
+                    continue
+                if not METRIC_NAME_RE.match(name):
+                    finding(path, i + 1, "W003", "naming",
+                            f"metric {name!r} does not match "
+                            "subsystem.noun[_verb]")
+                elif name.split(".")[0] not in SUBSYSTEMS:
+                    finding(path, i + 1, "W003", "naming",
+                            f"metric {name!r} uses unknown subsystem "
+                            f"{name.split('.')[0]!r}")
+            for m in TRACE_RE.finditer(line):
+                kind, name, cat = m.groups()
+                if waived(lines, i, "naming"):
+                    continue
+                if not TOKEN_RE.match(name):
+                    finding(path, i + 1, "W003", "naming",
+                            f"trace {kind} name {name!r} is not a single "
+                            "snake_case token")
+                if cat not in SUBSYSTEMS:
+                    finding(path, i + 1, "W003", "naming",
+                            f"trace {kind} category {cat!r} is not a known "
+                            "subsystem")
+
+
+# --------------------------------------------------------------------------
+# W004: Workspace hot-path allocation ban
+# --------------------------------------------------------------------------
+
+HOT_FILES = [
+    SRC / "align" / "overlap.cpp",
+    SRC / "align" / "overlap.hpp",
+    SRC / "align" / "pairwise.cpp",
+    SRC / "align" / "linear_space.cpp",
+    SRC / "align" / "workspace.hpp",
+    SRC / "core" / "overlap_engine.cpp",
+]
+ALLOC_RES = [
+    (re.compile(r"\bnew\s"), "naked new"),
+    (re.compile(r"\bstd::make_(unique|shared)\b"), "make_unique/make_shared"),
+    (re.compile(r"\bmalloc\s*\("), "malloc"),
+    # A by-value local std container (declaration, not a reference/pointer
+    # parameter or return type).
+    (re.compile(
+        r"\bstd::(vector|string|deque|map|set|unordered_map|unordered_set)\s*"
+        r"(?:<[^;&*]*>)?\s+\w+\s*[({=;]"), "local heap container"),
+]
+
+
+def workspace_function_ranges(lines: list[str]) -> list[tuple[int, int]]:
+    """(start, end) 0-based line ranges of function bodies whose signature
+    mentions Workspace& — tracked with a brace counter, which is adequate
+    for this codebase's formatting."""
+    ranges: list[tuple[int, int]] = []
+    i = 0
+    while i < len(lines):
+        line = strip_comments(lines[i])
+        if re.search(r"\bWorkspace\s*&", line) and "(" in line:
+            # Find the opening brace of the body (may be several lines on).
+            j = i
+            depth = 0
+            body_start = None
+            while j < len(lines):
+                for ch in strip_comments(lines[j]):
+                    if ch == "{":
+                        depth += 1
+                        if body_start is None:
+                            body_start = j
+                    elif ch == "}":
+                        depth -= 1
+                if body_start is not None and depth == 0:
+                    ranges.append((body_start, j))
+                    break
+                if body_start is None and ";" in strip_comments(lines[j]):
+                    break  # declaration only, no body
+                j += 1
+            i = j + 1
+        else:
+            i += 1
+    return ranges
+
+
+def check_w004() -> None:
+    for path in HOT_FILES:
+        if not path.exists():
+            continue
+        lines = read_lines(path)
+        for start, end in workspace_function_ranges(lines):
+            for i in range(start, end + 1):
+                line = strip_comments(lines[i])
+                for alloc_re, what in ALLOC_RES:
+                    if alloc_re.search(line) and not waived(lines, i, "alloc"):
+                        finding(path, i + 1, "W004", "alloc",
+                                f"{what} inside a Workspace& hot-path "
+                                "function; use the workspace's grow-only "
+                                "buffers")
+
+
+# --------------------------------------------------------------------------
+# W005: include-what-you-use (lite)
+# --------------------------------------------------------------------------
+
+# std symbol -> header(s) that satisfy it. Conservative on purpose: only
+# symbols whose home header is unambiguous, with <iosfwd> accepted for
+# stream types named (not used) in signatures.
+IWYU_MAP: dict[str, tuple[str, ...]] = {
+    "std::vector": ("vector",),
+    "std::string": ("string",),
+    "std::string_view": ("string_view",),
+    "std::deque": ("deque",),
+    "std::array": ("array",),
+    "std::span": ("span",),
+    "std::optional": ("optional",),
+    "std::function": ("functional",),
+    "std::unique_ptr": ("memory",),
+    "std::shared_ptr": ("memory",),
+    "std::pair": ("utility",),
+    "std::tuple": ("tuple",),
+    "std::map": ("map",),
+    "std::unordered_map": ("unordered_map",),
+    "std::unordered_set": ("unordered_set",),
+    "std::atomic": ("atomic",),
+    "std::mutex": ("mutex",),
+    "std::condition_variable": ("condition_variable",),
+    "std::thread": ("thread",),
+    "std::chrono": ("chrono",),
+    "std::runtime_error": ("stdexcept",),
+    "std::logic_error": ("stdexcept",),
+    "std::invalid_argument": ("stdexcept",),
+    "std::uint8_t": ("cstdint",),
+    "std::uint16_t": ("cstdint",),
+    "std::uint32_t": ("cstdint",),
+    "std::uint64_t": ("cstdint",),
+    "std::int8_t": ("cstdint",),
+    "std::int32_t": ("cstdint",),
+    "std::int64_t": ("cstdint",),
+    "std::size_t": ("cstddef", "cstdint", "cstdio"),
+    "std::byte": ("cstddef",),
+    "std::ostream": ("ostream", "iosfwd", "sstream", "iostream"),
+    "std::istream": ("istream", "iosfwd", "sstream", "iostream"),
+}
+INCLUDE_RE = re.compile(r'^\s*#include\s*<([^>]+)>')
+SYM_RE = re.compile(r"\bstd::[a-z_0-9]+")
+
+
+def check_w005() -> None:
+    for path in src_files(".hpp"):
+        lines = read_lines(path)
+        includes = {m.group(1) for line in lines
+                    if (m := INCLUDE_RE.match(line))}
+        reported: set[str] = set()
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            for m in SYM_RE.finditer(line):
+                sym = m.group(0)
+                headers = IWYU_MAP.get(sym)
+                if headers is None or sym in reported:
+                    continue
+                if not includes.isdisjoint(headers):
+                    continue
+                if waived(lines, i, "iwyu"):
+                    reported.add(sym)
+                    continue
+                reported.add(sym)
+                finding(path, i + 1, "W005", "iwyu",
+                        f"{sym} used but <{headers[0]}> not directly "
+                        "included")
+
+
+# --------------------------------------------------------------------------
+# W006: test label audit
+# --------------------------------------------------------------------------
+
+VALID_LABELS = {"unit", "parallel", "faults", "obs", "fuzz"}
+PGASM_TEST_RE = re.compile(r"^\s*pgasm_test\((\w+)(.*)\)\s*$")
+PGASM_FUZZ_RE = re.compile(r"^\s*pgasm_fuzz\((\w+)\)\s*$")
+
+
+def check_w006() -> None:
+    cml = TESTS / "CMakeLists.txt"
+    for i, line in enumerate(read_lines(cml)):
+        m = PGASM_TEST_RE.match(line)
+        if not m:
+            continue
+        name, rest = m.groups()
+        labels = re.findall(r"LABELS\s+([\w;\s]+)", rest)
+        toks = labels[0].split() if labels else []
+        if len(toks) != 1 or toks[0] not in VALID_LABELS:
+            finding(cml, i + 1, "W006", "labels",
+                    f"test {name} must carry exactly one label from "
+                    f"{sorted(VALID_LABELS)} (got {toks or 'none'})")
+    fuzz_cml = TESTS / "fuzz" / "CMakeLists.txt"
+    if fuzz_cml.exists():
+        text = fuzz_cml.read_text(encoding="utf-8")
+        if "LABELS fuzz" not in text:
+            finding(fuzz_cml, 1, "W006", "labels",
+                    "fuzz tests must be registered with LABELS fuzz")
+    else:
+        finding(TESTS, 1, "W006", "labels", "tests/fuzz/CMakeLists.txt missing")
+
+
+# --------------------------------------------------------------------------
+
+CHECKS = {
+    "W001": check_w001,
+    "W002": check_w002,
+    "W003": check_w003,
+    "W004": check_w004,
+    "W005": check_w005,
+    "W006": check_w006,
+}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--only", metavar="WNNN", action="append",
+                    help="run only these checks (repeatable)")
+    ap.add_argument("--list-checks", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_checks:
+        for name, fn in CHECKS.items():
+            print(f"{name}: {fn.__doc__ or ''}")
+        return 0
+
+    selected = args.only or sorted(CHECKS)
+    for name in selected:
+        if name not in CHECKS:
+            print(f"unknown check {name}", file=sys.stderr)
+            return 2
+        CHECKS[name]()
+
+    for f in FINDINGS:
+        print(f)
+    n = len(FINDINGS)
+    print(f"pgasm-lint: {n} finding{'s' if n != 1 else ''} "
+          f"({', '.join(selected)})")
+    return 1 if FINDINGS else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
