@@ -6,14 +6,18 @@
 #   scripts/ci.sh faults     # just the fault-injection suite
 #   scripts/ci.sh tsan       # just the TSan build of the concurrent layers
 #   scripts/ci.sh asan       # just the ASan build of the align + core suites
-#   scripts/ci.sh lint       # pgasm-lint + strict-warnings build (+ clang
-#                            # tools when installed)
+#   scripts/ci.sh lint       # pgasm-lint + protocol_check + strict-warnings
+#                            # build (+ clang tools when installed)
+#   scripts/ci.sh tsafety    # clang -Wthread-safety capability analysis of
+#                            # the PGASM_* lock annotations (clang only;
+#                            # loud skip when no clang is installed)
 #   scripts/ci.sh ubsan      # UBSan build + full ctest under it
 #   scripts/ci.sh fuzz-smoke # bounded deterministic fuzz run (UBSan tree)
 #
 # Build trees: build/ (tier-1), build-tsan/ (PGASM_SANITIZE=thread),
 # build-asan/ (PGASM_SANITIZE=address), build-lint/ (PGASM_EXTRA_WARNINGS +
-# PGASM_WERROR) and build-ubsan/ (PGASM_SANITIZE=undefined).
+# PGASM_WERROR), build-tsafety/ (clang + PGASM_THREAD_SAFETY) and
+# build-ubsan/ (PGASM_SANITIZE=undefined).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -54,8 +58,16 @@ asan() {
 }
 
 lint() {
-  echo "== lint: pgasm-lint project invariants =="
+  echo "== lint: pgasm-lint project invariants (W001-W010) =="
   python3 tools/lint/pgasm_lint.py
+
+  echo "== lint: protocol exhaustiveness checker =="
+  # Compiling protocol_check already enforces the structural static_asserts
+  # (one kProtocol row per kind, distinct tags, terminate reachable);
+  # running it adds the source cross-checks with readable diagnostics.
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target protocol_check
+  ./build/tools/protocol_check/protocol_check "$(pwd)"
 
   echo "== lint: strict-warnings build (PGASM_EXTRA_WARNINGS + Werror) =="
   # Production code only: the strict set (notably -Wnull-dereference under
@@ -91,6 +103,33 @@ lint() {
   fi
 }
 
+tsafety() {
+  echo "== tsafety: clang -Wthread-safety capability analysis =="
+  # The PGASM_* annotations (util/thread_annotations.hpp) compile to
+  # nothing under GCC; only clang's capability analysis actually checks
+  # them. Find a clang to build with, or skip LOUDLY — a silent pass here
+  # would look like the analysis ran when it never did.
+  local cxx=""
+  for cand in clang++ clang++-17 clang++-16 clang++-15 clang++-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      cxx=$cand
+      break
+    fi
+  done
+  if [[ -z "$cxx" ]]; then
+    echo "!! tsafety SKIPPED: no clang++ on PATH — the PGASM_GUARDED_BY /" >&2
+    echo "!! PGASM_REQUIRES annotations were NOT verified this run. The" >&2
+    echo "!! lexer half (pgasm-lint W007/W010) still gates lock hygiene." >&2
+    return 0
+  fi
+  cmake -B build-tsafety -S . \
+    -DCMAKE_CXX_COMPILER="$cxx" -DPGASM_THREAD_SAFETY=ON -DPGASM_WERROR=ON
+  # Library targets only: the annotated locks all live in production code.
+  cmake --build build-tsafety -j "$JOBS" --target \
+    pgasm_util pgasm_obs pgasm_vmpi pgasm_seq pgasm_align pgasm_gst \
+    pgasm_core pgasm_preprocess pgasm_sim pgasm_olc pgasm_pipeline
+}
+
 ubsan() {
   echo "== UBSan: full test suite under -fsanitize=undefined =="
   cmake -B build-ubsan -S . -DPGASM_SANITIZE=undefined
@@ -112,10 +151,12 @@ case "$STAGE" in
   tsan) tsan ;;
   asan) asan ;;
   lint) lint ;;
+  tsafety) tsafety ;;
   ubsan) ubsan ;;
   fuzz-smoke) fuzz_smoke ;;
   all)
     lint
+    tsafety
     tier1
     faults
     tsan
@@ -124,7 +165,7 @@ case "$STAGE" in
     fuzz_smoke
     ;;
   *)
-    echo "usage: scripts/ci.sh [lint|tier1|faults|tsan|asan|ubsan|fuzz-smoke|all]" >&2
+    echo "usage: scripts/ci.sh [lint|tsafety|tier1|faults|tsan|asan|ubsan|fuzz-smoke|all]" >&2
     exit 2
     ;;
 esac

@@ -29,16 +29,16 @@ void note_decode_error(int rank, const WireError& err) {
 int poll_heartbeats(vmpi::Comm& comm) {
   int n = 0;
   vmpi::Status st;
-  while (comm.iprobe(0, kTagPing, &st)) {
-    const auto epoch = comm.recv_value<std::uint64_t>(0, kTagPing);
-    comm.send_value<std::uint64_t>(0, kTagAck, epoch);
+  while (comm.iprobe(0, to_tag(MsgKind::kPing), &st)) {
+    const auto epoch = comm.recv_value<std::uint64_t>(0, to_tag(MsgKind::kPing));
+    comm.send_value<std::uint64_t>(0, to_tag(MsgKind::kAck), epoch);
     ++n;
   }
   return n;
 }
 
 WireResult<WorkerReport> recv_report(vmpi::Comm& comm, int source) {
-  const auto raw = comm.recv(source, kTagReport);
+  const auto raw = comm.recv(source, to_tag(MsgKind::kReport));
   auto scope = comm.compute_scope();
   auto decoded = try_decode_report(std::span<const std::byte>(raw));
   if (!decoded) note_decode_error(comm.rank(), decoded.error());
@@ -47,8 +47,8 @@ WireResult<WorkerReport> recv_report(vmpi::Comm& comm, int source) {
 
 bool consume_pending_terminate(vmpi::Comm& comm) {
   vmpi::Status qs;
-  while (comm.iprobe(0, kTagReply, &qs)) {
-    const auto raw = comm.recv(0, kTagReply);
+  while (comm.iprobe(0, to_tag(MsgKind::kReply), &qs)) {
+    const auto raw = comm.recv(0, to_tag(MsgKind::kReply));
     const auto reply = try_decode_reply(std::span<const std::byte>(raw));
     if (!reply) {
       note_decode_error(comm.rank(), reply.error());
@@ -63,9 +63,9 @@ void send_report(vmpi::Comm& comm, const ClusterParams& params,
                  const WorkerReport& report) {
   auto payload = encode_report_payload(report);
   if (params.use_ssend) {
-    comm.ssend_payload(0, kTagReport, std::move(payload));
+    comm.ssend_payload(0, to_tag(MsgKind::kReport), std::move(payload));
   } else {
-    comm.send_payload(0, kTagReport, std::move(payload));
+    comm.send_payload(0, to_tag(MsgKind::kReport), std::move(payload));
   }
 }
 
@@ -81,7 +81,7 @@ MasterReply await_reply(vmpi::Comm& comm, const ClusterParams& params,
       throw vmpi::TimeoutError("worker: master rank failed");
     if (comm.rank_done(0)) {
       vmpi::Status qs;
-      if (!comm.iprobe(0, kTagReply, &qs)) {
+      if (!comm.iprobe(0, to_tag(MsgKind::kReply), &qs)) {
         // The master finished and nothing is queued for us: our terminate
         // was lost in flight. Act on the implied terminate.
         MasterReply bye;
@@ -108,7 +108,7 @@ MasterReply await_reply(vmpi::Comm& comm, const ClusterParams& params,
     }
     std::vector<std::byte> raw;
     try {
-      raw = comm.recv_timeout(0, kTagReply, std::min(0.05, left));
+      raw = comm.recv_timeout(0, to_tag(MsgKind::kReply), std::min(0.05, left));
     } catch (const vmpi::TimeoutError&) {
       continue;  // slice expired; answer pings and re-check the bounds
     }
@@ -146,13 +146,13 @@ void ReplyChannel::send(vmpi::Comm& comm, int worker, MasterReply& reply) {
   last_reply_[worker].assign(
       reinterpret_cast<const std::uint8_t*>(bytes.data()),
       reinterpret_cast<const std::uint8_t*>(bytes.data()) + bytes.size());
-  comm.send_payload(worker, kTagReply, std::move(bytes));
+  comm.send_payload(worker, to_tag(MsgKind::kReply), std::move(bytes));
 }
 
 void ReplyChannel::resend_cached(vmpi::Comm& comm, int worker) {
   const auto& cached = last_reply_[worker];
   if (cached.empty()) return;
-  comm.send(worker, kTagReply, cached.data(), cached.size());
+  comm.send(worker, to_tag(MsgKind::kReply), cached.data(), cached.size());
 }
 
 void heartbeat_round(vmpi::Comm& comm, const ClusterParams& params,
@@ -171,8 +171,8 @@ void heartbeat_round(vmpi::Comm& comm, const ClusterParams& params,
       continue;
     }
     vmpi::Status s;
-    if (comm.iprobe(w, kTagReport, &s)) continue;
-    comm.send_value<std::uint64_t>(w, kTagPing, epoch);
+    if (comm.iprobe(w, to_tag(MsgKind::kReport), &s)) continue;
+    comm.send_value<std::uint64_t>(w, to_tag(MsgKind::kPing), epoch);
     ++heartbeats_sent;
     pinged.push_back(w);
   }
@@ -185,7 +185,7 @@ void heartbeat_round(vmpi::Comm& comm, const ClusterParams& params,
     try {
       vmpi::Status ack;
       const auto got = comm.recv_value_timeout<std::uint64_t>(
-          vmpi::kAnySource, kTagAck, left, &ack);
+          vmpi::kAnySource, to_tag(MsgKind::kAck), left, &ack);
       if (got != epoch) continue;  // stale ack from an old round
       pinged.erase(std::remove(pinged.begin(), pinged.end(), ack.source),
                    pinged.end());
@@ -195,7 +195,7 @@ void heartbeat_round(vmpi::Comm& comm, const ClusterParams& params,
   }
   for (int w : pinged) {
     vmpi::Status s;
-    if (comm.iprobe(w, kTagReport, &s)) continue;  // reported meanwhile
+    if (comm.iprobe(w, to_tag(MsgKind::kReport), &s)) continue;  // reported meanwhile
     declare_dead(w);
   }
 }

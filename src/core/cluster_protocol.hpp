@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/cluster_params.hpp"
@@ -23,19 +24,184 @@
 
 namespace pgasm::core {
 
-// Protocol tags. The `pgasm-wire:` annotations are machine-checked by
-// tools/lint/pgasm_lint.py: every codec-bearing tag must name exactly one
-// encode/decode pair declared in core/wire.hpp, each pair must be claimed
-// by exactly one tag, and a round-trip test exercising both halves must
-// exist under tests/.
-inline constexpr int kTagReport = 101;  // worker -> master
+/// Protocol message kinds. The enumerator values ARE the vmpi tags on the
+/// wire (kept from the integer-tag era, so old traces and the kTag*
+/// aliases below stay valid); to_tag() converts at the comm boundary.
+/// Being an enum class makes every dispatch switch compiler-checked:
+/// -Werror=switch (always on, see pgasm_warnings) turns an unhandled kind
+/// into a build break, and pgasm-lint W009 additionally rejects a silent
+/// `default:` that would mask one.
+enum class MsgKind : std::uint8_t {
+  kReport = 101,  ///< worker -> master: results + new pairs + progress
+  kReply = 102,   ///< master -> worker: batch / park / terminate
+  kPing = 103,    ///< master -> worker heartbeat (epoch-stamped u64)
+  kAck = 104,     ///< worker -> master heartbeat ack (echoes the epoch)
+};
+
+/// Every protocol kind, for table-driven iteration (protocol_check, tests).
+inline constexpr MsgKind kAllMsgKinds[] = {MsgKind::kReport, MsgKind::kReply,
+                                           MsgKind::kPing, MsgKind::kAck};
+
+/// vmpi tag for a message kind (the enumerator value, by construction).
+constexpr int to_tag(MsgKind kind) noexcept { return static_cast<int>(kind); }
+
+/// Classify a vmpi tag probed off the wire; nullopt for tags outside the
+/// protocol. Exhaustive over MsgKind (enforced by -Werror=switch + W009).
+constexpr std::optional<MsgKind> msg_kind_of(int tag) noexcept {
+  const auto kind = static_cast<MsgKind>(tag);
+  switch (kind) {
+    case MsgKind::kReport:
+    case MsgKind::kReply:
+    case MsgKind::kPing:
+    case MsgKind::kAck:
+      return kind;
+  }
+  return std::nullopt;
+}
+
+/// Stable lowercase name ("report", "reply", "ping", "ack") for logs and
+/// trace args. Exhaustive switch: adding a MsgKind without naming it here
+/// is a compile error.
+constexpr const char* msg_kind_name(MsgKind kind) noexcept {
+  switch (kind) {
+    case MsgKind::kReport:
+      return "report";
+    case MsgKind::kReply:
+      return "reply";
+    case MsgKind::kPing:
+      return "ping";
+    case MsgKind::kAck:
+      return "ack";
+  }
+  return "?";  // unreachable for valid kinds; keeps the function total
+}
+
+// Legacy integer tag aliases (single source of truth: MsgKind). The
+// `pgasm-wire:` annotations are machine-checked by tools/lint/pgasm_lint.py:
+// every codec-bearing tag must name exactly one encode/decode pair declared
+// in core/wire.hpp, each pair must be claimed by exactly one tag, and a
+// round-trip test exercising both halves must exist under tests/.
+inline constexpr int kTagReport = to_tag(MsgKind::kReport);  // worker -> master
                                         // pgasm-wire: encode_report/decode_report
-inline constexpr int kTagReply = 102;   // master -> worker
+inline constexpr int kTagReply = to_tag(MsgKind::kReply);  // master -> worker
                                         // pgasm-wire: encode_reply/decode_reply
-inline constexpr int kTagPing = 103;    // master -> worker heartbeat
+inline constexpr int kTagPing = to_tag(MsgKind::kPing);  // heartbeat
                                         // pgasm-wire: raw-u64
-inline constexpr int kTagAck = 104;     // worker -> master heartbeat ack
+inline constexpr int kTagAck = to_tag(MsgKind::kAck);  // heartbeat ack
                                         // pgasm-wire: raw-u64
+
+// --- Declarative protocol table --------------------------------------------
+//
+// One row per message kind: direction, codec pair, consuming handler, and —
+// because the fault-tolerance layer's whole correctness argument rests on
+// them — the recovery path when an instance is dropped and the defence when
+// it is duplicated. tools/protocol_check parses this table plus
+// kMasterTransitions below and statically cross-checks them against
+// wire.hpp and the protocol implementation; an empty cell is a check
+// failure, not a shrug.
+
+struct MsgSpec {
+  MsgKind kind;
+  const char* name;          ///< must equal msg_kind_name(kind)
+  const char* direction;     ///< "worker->master" or "master->worker"
+  const char* encoder;       ///< producing codec / send form
+  const char* decoder;       ///< consuming codec / recv form
+  const char* handler;       ///< function that consumes the message
+  const char* on_drop;       ///< how a lost instance is recovered
+  const char* on_duplicate;  ///< how a re-delivered instance is defused
+};
+
+inline constexpr MsgSpec kProtocol[] = {
+    {MsgKind::kReport, "report", "worker->master", "encode_report_payload",
+     "try_decode_report", "recv_report",
+     "reply_timeout retransmit in await_reply",
+     "ReplyChannel::is_duplicate seq match -> resend_cached"},
+    {MsgKind::kReply, "reply", "master->worker", "encode_reply_payload",
+     "try_decode_reply", "await_reply",
+     "duplicate report solicits ReplyChannel::resend_cached",
+     "stale seq discarded by await_reply seq filter"},
+    {MsgKind::kPing, "ping", "master->worker", "send_value",
+     "recv_value", "poll_heartbeats",
+     "next heartbeat_round or keepalive_pings re-pings",
+     "idempotent: every ping is answered with its own epoch"},
+    {MsgKind::kAck, "ack", "worker->master", "send_value",
+     "recv_value", "heartbeat_round",
+     "non-responder is passed to declare_dead (false positive is safe)",
+     "stale-epoch acks filtered by the epoch stamp"},
+};
+
+/// Table row for a kind; nullptr when the table misses one (protocol_check
+/// and test_cluster assert it never does).
+constexpr const MsgSpec* find_spec(MsgKind kind) noexcept {
+  for (const MsgSpec& spec : kProtocol) {
+    if (spec.kind == kind) return &spec;
+  }
+  return nullptr;
+}
+
+// --- Master state machine ---------------------------------------------------
+//
+// The master pump (master_loop in parallel_cluster.cpp) as an explicit
+// state/transition table. The implementation is a hand-rolled loop — this
+// table is its contract: tools/protocol_check verifies that kTerminate is
+// reachable from every state (no livelock by construction) and that every
+// state has at least one outgoing edge; the `// [MasterState::k*]` markers
+// in master_loop tie the code back to the states.
+
+enum class MasterState : std::uint8_t {
+  kProbe,       ///< bounded wait for any worker report
+  kHeartbeat,   ///< probe timed out: ping workers, reap non-responders
+  kFold,        ///< decode + fold a report; answer duplicates from cache
+  kDispatch,    ///< feed idle workers; dispatch, park, or terminate sender
+  kCheckpoint,  ///< periodic recoverable-state write
+  kTerminate,   ///< all workers terminated or dead; run over
+};
+
+inline constexpr MasterState kAllMasterStates[] = {
+    MasterState::kProbe,    MasterState::kHeartbeat,  MasterState::kFold,
+    MasterState::kDispatch, MasterState::kCheckpoint, MasterState::kTerminate,
+};
+
+/// Stable lowercase state name; exhaustive switch (see msg_kind_name).
+constexpr const char* master_state_name(MasterState s) noexcept {
+  switch (s) {
+    case MasterState::kProbe:
+      return "probe";
+    case MasterState::kHeartbeat:
+      return "heartbeat";
+    case MasterState::kFold:
+      return "fold";
+    case MasterState::kDispatch:
+      return "dispatch";
+    case MasterState::kCheckpoint:
+      return "checkpoint";
+    case MasterState::kTerminate:
+      return "terminate";
+  }
+  return "?";
+}
+
+struct MasterTransition {
+  MasterState from;
+  MasterState to;
+  const char* on;  ///< the condition taking this edge
+};
+
+inline constexpr MasterTransition kMasterTransitions[] = {
+    {MasterState::kProbe, MasterState::kFold, "report queued"},
+    {MasterState::kProbe, MasterState::kHeartbeat, "probe timeout"},
+    {MasterState::kHeartbeat, MasterState::kProbe,
+     "pinged workers acked or were reaped; work remains"},
+    {MasterState::kHeartbeat, MasterState::kTerminate,
+     "remaining == 0 after reaping (all terminated or dead)"},
+    {MasterState::kFold, MasterState::kDispatch,
+     "report folded, zombie dismissed, or duplicate re-answered"},
+    {MasterState::kDispatch, MasterState::kCheckpoint,
+     "checkpoint cadence reached"},
+    {MasterState::kDispatch, MasterState::kProbe, "reporter answered"},
+    {MasterState::kDispatch, MasterState::kTerminate, "remaining == 0"},
+    {MasterState::kCheckpoint, MasterState::kProbe, "checkpoint written"},
+};
 
 /// Answer any queued heartbeat pings from the master. Returns how many were
 /// answered (the worker's master-silence clock resets on contact).
@@ -121,11 +287,11 @@ void keepalive_pings(vmpi::Comm& comm, const IdleRange& idle,
                      const std::vector<std::uint8_t>& alive,
                      std::uint64_t epoch, std::uint64_t& heartbeats_sent) {
   vmpi::Status s;
-  while (comm.iprobe(vmpi::kAnySource, kTagAck, &s))
-    (void)comm.recv_value<std::uint64_t>(s.source, kTagAck);
+  while (comm.iprobe(vmpi::kAnySource, to_tag(MsgKind::kAck), &s))
+    (void)comm.recv_value<std::uint64_t>(s.source, to_tag(MsgKind::kAck));
   for (int w : idle) {
     if (!alive[w]) continue;
-    comm.send_value<std::uint64_t>(w, kTagPing, epoch);
+    comm.send_value<std::uint64_t>(w, to_tag(MsgKind::kPing), epoch);
     ++heartbeats_sent;
   }
 }

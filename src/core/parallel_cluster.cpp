@@ -28,6 +28,12 @@ namespace pgasm::core {
 
 namespace {
 
+// The pump below implements the MasterState machine declared in
+// cluster_protocol.hpp (kMasterTransitions); the [MasterState::k*] markers
+// tie each region to its state so tools/protocol_check's reachability
+// argument reads against the code. Everything here — scheduler, reply
+// channel, checkpoint cadence — is thread-confined to the rank-0 thread:
+// no locks by design, which is why none of it carries PGASM_GUARDED_BY.
 void master_loop(vmpi::Comm& comm, const ClusterParams& params,
                  MasterScheduler& sched, const ClusterCheckpoint* resume) {
   const int p = comm.size();
@@ -81,11 +87,13 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       std::max(params.worker_timeout, params.master_timeout / 4.0);
 
   while (sched.remaining > 0) {
+    // [MasterState::kProbe]
     vmpi::Status ps;
     try {
-      ps = comm.probe_timeout(vmpi::kAnySource, kTagReport,
+      ps = comm.probe_timeout(vmpi::kAnySource, to_tag(MsgKind::kReport),
                               probe_backoff.current());
     } catch (const vmpi::TimeoutError&) {
+      // [MasterState::kHeartbeat]
       ++sched.timeouts_fired;
       probe_backoff.advance();
       heartbeat_round(comm, params, ++sched.hb_epoch, sched.alive,
@@ -94,6 +102,7 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       try_terminate();
       continue;
     }
+    // [MasterState::kFold]
     probe_backoff.reset();
     const int w = ps.source;
     obs::Span report_span = obs::span(0, "report", "cluster");
@@ -135,6 +144,7 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       sched.fold_report(w, report);
     }
 
+    // [MasterState::kDispatch]
     // Feed idle workers first, then answer the reporter: dispatch while it
     // has work to do, results owed, or pairs left to generate; park it
     // otherwise (the explicit park acknowledges the report so the worker
@@ -149,6 +159,7 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
       sched.park(w);
     }
 
+    // [MasterState::kCheckpoint]
     if (params.checkpoint_every_reports > 0 &&
         !params.checkpoint_path.empty() &&
         ++sched.reports_since_ckpt >= params.checkpoint_every_reports) {
@@ -164,6 +175,7 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     }
   }
 
+  // [MasterState::kTerminate]
   // All workers terminated or dead. If work remains, too many failures.
   if (sched.work_remaining()) {
     throw vmpi::TimeoutError(

@@ -62,7 +62,7 @@ std::string json_double(double v) {
 
 Counter& Registry::counter(std::string_view name, int rank,
                            std::string_view phase) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto key = make_key(name, rank, phase);
   auto it = counter_index_.find(key);
   if (it != counter_index_.end()) return *it->second;
@@ -73,7 +73,7 @@ Counter& Registry::counter(std::string_view name, int rank,
 
 Gauge& Registry::gauge(std::string_view name, int rank,
                        std::string_view phase) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto key = make_key(name, rank, phase);
   auto it = gauge_index_.find(key);
   if (it != gauge_index_.end()) return *it->second;
@@ -84,7 +84,7 @@ Gauge& Registry::gauge(std::string_view name, int rank,
 
 Histogram& Registry::histogram(std::string_view name, int rank,
                                std::string_view phase) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto key = make_key(name, rank, phase);
   auto it = histogram_index_.find(key);
   if (it != histogram_index_.end()) return *it->second;
@@ -94,7 +94,7 @@ Histogram& Registry::histogram(std::string_view name, int rank,
 }
 
 std::vector<MetricSample> Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(counter_index_.size() + gauge_index_.size() +
               histogram_index_.size());
@@ -207,7 +207,7 @@ std::string Registry::to_jsonl() const {
 }
 
 void Registry::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   counter_index_.clear();
   gauge_index_.clear();
   histogram_index_.clear();
@@ -217,7 +217,7 @@ void Registry::clear() {
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return counter_index_.size() + gauge_index_.size() +
          histogram_index_.size();
 }

@@ -25,12 +25,13 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <tuple>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace pgasm::obs {
 
@@ -152,37 +153,40 @@ class Registry {
  public:
   /// Find-or-create. References stay valid until clear().
   Counter& counter(std::string_view name, int rank = kNoRank,
-                   std::string_view phase = {});
+                   std::string_view phase = {}) PGASM_EXCLUDES(mu_);
   Gauge& gauge(std::string_view name, int rank = kNoRank,
-               std::string_view phase = {});
+               std::string_view phase = {}) PGASM_EXCLUDES(mu_);
   Histogram& histogram(std::string_view name, int rank = kNoRank,
-                       std::string_view phase = {});
+                       std::string_view phase = {}) PGASM_EXCLUDES(mu_);
 
   /// Ordered snapshot of every instrument (name, phase, rank).
-  std::vector<MetricSample> snapshot() const;
+  std::vector<MetricSample> snapshot() const PGASM_EXCLUDES(mu_);
 
   /// Human-readable phase/rank summary (util::Table render).
-  std::string summary_table() const;
+  std::string summary_table() const PGASM_EXCLUDES(mu_);
 
   /// One JSON object per line, e.g.
   ///   {"type":"counter","name":"cluster.merges","rank":0,
   ///    "phase":"cluster","value":1234}
-  std::string to_jsonl() const;
+  std::string to_jsonl() const PGASM_EXCLUDES(mu_);
 
   /// Drop every instrument. Invalidates all outstanding references.
-  void clear();
+  void clear() PGASM_EXCLUDES(mu_);
 
-  std::size_t size() const;
+  std::size_t size() const PGASM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  // Deques give stable addresses across growth.
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::map<MetricKey, Counter*> counter_index_;
-  std::map<MetricKey, Gauge*> gauge_index_;
-  std::map<MetricKey, Histogram*> histogram_index_;
+  mutable util::Mutex mu_;
+  // Deques give stable addresses across growth. The lookup maps and the
+  // instrument stores mutate only under mu_; the instruments themselves are
+  // lock-free atomics, so updates through a handed-out reference need no
+  // capability (that is the registry's whole hot-path contract).
+  std::deque<Counter> counters_ PGASM_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ PGASM_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ PGASM_GUARDED_BY(mu_);
+  std::map<MetricKey, Counter*> counter_index_ PGASM_GUARDED_BY(mu_);
+  std::map<MetricKey, Gauge*> gauge_index_ PGASM_GUARDED_BY(mu_);
+  std::map<MetricKey, Histogram*> histogram_index_ PGASM_GUARDED_BY(mu_);
 };
 
 /// Process-global registry used by the instrumented runtime layers. Unit

@@ -60,7 +60,7 @@ void append_args_json(std::string& out, const TraceEvent& ev) {
 }  // namespace
 
 std::uint64_t RankRing::record(TraceEvent ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   ev.seq = next_seq_++;
   if (!wrapped_) {
     events_.push_back(ev);
@@ -74,12 +74,12 @@ std::uint64_t RankRing::record(TraceEvent ev) {
 }
 
 std::uint64_t RankRing::peek_seq() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return next_seq_;
 }
 
 std::vector<TraceEvent> RankRing::drain() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(events_.size());
   if (!wrapped_) {
@@ -94,22 +94,22 @@ std::vector<TraceEvent> RankRing::drain() const {
 }
 
 std::uint64_t RankRing::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return dropped_;
 }
 
 std::size_t RankRing::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return events_.size();
 }
 
 void Tracer::set_capacity(std::size_t cap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   capacity_ = cap == 0 ? 1 : cap;
 }
 
 RankRing* Tracer::ring(int rank) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (epoch_ns_.load(std::memory_order_relaxed) == 0) {
     epoch_ns_.store(wall_ns(), std::memory_order_relaxed);
   }
@@ -147,7 +147,7 @@ std::uint64_t Tracer::now_us() const {
 std::map<int, std::vector<TraceEvent>> Tracer::drain_all() const {
   std::vector<std::pair<int, RankRing*>> rings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     rings.reserve(rings_.size());
     for (const auto& [rank, ring] : rings_) rings.emplace_back(rank, ring.get());
   }
@@ -159,7 +159,7 @@ std::map<int, std::vector<TraceEvent>> Tracer::drain_all() const {
 std::uint64_t Tracer::total_dropped() const {
   std::vector<RankRing*> rings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [rank, ring] : rings_) rings.push_back(ring.get());
   }
   std::uint64_t n = 0;
@@ -170,7 +170,7 @@ std::uint64_t Tracer::total_dropped() const {
 std::size_t Tracer::total_events() const {
   std::vector<RankRing*> rings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     for (const auto& [rank, ring] : rings_) rings.push_back(ring.get());
   }
   std::size_t n = 0;
@@ -226,7 +226,7 @@ std::string Tracer::to_chrome_json() const {
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   rings_.clear();
   epoch_ns_.store(0, std::memory_order_relaxed);
 }

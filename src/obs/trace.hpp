@@ -21,9 +21,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace pgasm::obs {
 
@@ -59,23 +60,26 @@ class RankRing {
   }
 
   /// Returns the per-rank sequence number assigned to the event.
-  std::uint64_t record(TraceEvent ev);
+  std::uint64_t record(TraceEvent ev) PGASM_EXCLUDES(mu_);
 
   /// Next sequence number without recording (used to stamp message args).
-  std::uint64_t peek_seq() const;
+  std::uint64_t peek_seq() const PGASM_EXCLUDES(mu_);
 
-  std::vector<TraceEvent> drain() const;  ///< oldest-first copy
-  std::uint64_t dropped() const;
-  std::size_t size() const;
+  std::vector<TraceEvent> drain() const PGASM_EXCLUDES(mu_);  ///< oldest-first
+  std::uint64_t dropped() const PGASM_EXCLUDES(mu_);
+  std::size_t size() const PGASM_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
+  // capacity_ is set once in the constructor and read-only afterwards; it
+  // deliberately carries no guard. pgasm-lint: allow(guard): set-once
+  // before the ring is shared, immutable after construction.
   std::size_t capacity_;
-  std::vector<TraceEvent> events_;  // ring storage once full
-  std::size_t head_ = 0;            // next write position once wrapped
-  bool wrapped_ = false;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_ PGASM_GUARDED_BY(mu_);  // ring once full
+  std::size_t head_ PGASM_GUARDED_BY(mu_) = 0;   // next write once wrapped
+  bool wrapped_ PGASM_GUARDED_BY(mu_) = false;
+  std::uint64_t next_seq_ PGASM_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ PGASM_GUARDED_BY(mu_) = 0;
 };
 
 class Tracer {
@@ -91,11 +95,11 @@ class Tracer {
   }
 
   /// Per-rank ring capacity for rings created after this call.
-  void set_capacity(std::size_t cap);
+  void set_capacity(std::size_t cap) PGASM_EXCLUDES(mu_);
 
   /// Ring for a rank (kDriverTid for the driver). Creates it on first use.
   /// The returned pointer stays valid until clear().
-  RankRing* ring(int rank);
+  RankRing* ring(int rank) PGASM_EXCLUDES(mu_);
 
   /// Record an instant event on a rank (no-op when disabled).
   void instant(int rank, const char* name, const char* cat,
@@ -106,9 +110,9 @@ class Tracer {
   std::uint64_t now_us() const;
 
   /// All events from all rings, plus rank list, for export.
-  std::map<int, std::vector<TraceEvent>> drain_all() const;
-  std::uint64_t total_dropped() const;
-  std::size_t total_events() const;
+  std::map<int, std::vector<TraceEvent>> drain_all() const PGASM_EXCLUDES(mu_);
+  std::uint64_t total_dropped() const PGASM_EXCLUDES(mu_);
+  std::size_t total_events() const PGASM_EXCLUDES(mu_);
 
   /// Chrome trace_event JSON ({"traceEvents":[...]}): spans as ph:"X",
   /// instants as ph:"i", one thread_name metadata record per rank.
@@ -116,13 +120,13 @@ class Tracer {
   std::string to_chrome_json() const;
 
   /// Drop all rings and events (rings' pointers become invalid).
-  void clear();
+  void clear() PGASM_EXCLUDES(mu_);
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  // guards rings_ map shape, not ring contents
-  std::map<int, std::unique_ptr<RankRing>> rings_;
-  std::size_t capacity_ = kDefaultCapacity;
+  mutable util::Mutex mu_;  // guards rings_ map shape, not ring contents
+  std::map<int, std::unique_ptr<RankRing>> rings_ PGASM_GUARDED_BY(mu_);
+  std::size_t capacity_ PGASM_GUARDED_BY(mu_) = kDefaultCapacity;
   // Lazily set on first ring creation; atomic so now_us() (called on every
   // recorded event) stays lock-free.
   std::atomic<std::uint64_t> epoch_ns_{0};

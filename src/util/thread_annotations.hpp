@@ -1,0 +1,188 @@
+// Static thread-safety layer: Clang capability-analysis macros and the
+// annotated lock vocabulary every concurrent structure in the runtime uses.
+//
+// The paper's master-worker runtime concentrates its correctness risk in
+// shared mutable state (mailboxes, the metrics registry, trace rings); the
+// dynamic checks (TSan, the fault-injection suite) only prove interleavings
+// the tests happen to exercise. Clang's -Wthread-safety analysis proves the
+// locking discipline at compile time instead: every mutex-protected member
+// is declared PGASM_GUARDED_BY(its mutex), every function that needs a lock
+// held declares PGASM_REQUIRES(it), and a guarded access without the
+// capability held is a hard error in the `scripts/ci.sh tsafety` leg
+// (clang++ -Wthread-safety -Wthread-safety-beta -Werror). Under GCC the
+// attributes expand to nothing and the wrappers compile to the std types
+// they hold.
+//
+// Discipline (enforced by pgasm-lint W007/W010):
+//   - util::Mutex, never raw std::mutex, for any shared state.
+//   - util::MutexLock / util::ReleasableMutexLock, never raw .lock()/
+//     .unlock() or std::lock_guard/std::unique_lock, outside this header.
+//   - Every non-atomic member of a class that owns a Mutex carries
+//     PGASM_GUARDED_BY (or an explicit waiver stating why it needs none).
+//   - util::CondVar waits on a util::Mutex the caller already holds
+//     (PGASM_REQUIRES propagates the proof through the wait).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// --- Capability-analysis attribute macros ----------------------------------
+//
+// Names and semantics follow the Clang Thread Safety Analysis documentation;
+// the PGASM_ prefix keeps them greppable and lets GCC builds no-op them.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PGASM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PGASM_THREAD_ANNOTATION
+#define PGASM_THREAD_ANNOTATION(x)  // no-op: GCC or pre-capability clang
+#endif
+
+/// Marks a type as a capability ("mutex" by convention).
+#define PGASM_CAPABILITY(x) PGASM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose lifetime holds a capability.
+#define PGASM_SCOPED_CAPABILITY PGASM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member is readable/writable only while `x` is held.
+#define PGASM_GUARDED_BY(x) PGASM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define PGASM_PT_GUARDED_BY(x) PGASM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the listed capabilities (they stay held).
+#define PGASM_REQUIRES(...) \
+  PGASM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (default: `this`).
+#define PGASM_ACQUIRE(...) \
+  PGASM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (default: `this`).
+#define PGASM_RELEASE(...) \
+  PGASM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `ret`.
+#define PGASM_TRY_ACQUIRE(...) \
+  PGASM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard: public
+/// locking entry points declare EXCLUDES(mu_) so re-entry is a compile
+/// error under clang instead of a runtime deadlock).
+#define PGASM_EXCLUDES(...) PGASM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Assert (at analysis level) that the capability is held here.
+#define PGASM_ASSERT_CAPABILITY(x) \
+  PGASM_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability `x`.
+#define PGASM_RETURN_CAPABILITY(x) PGASM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch — must carry a comment justifying why the analysis is wrong.
+#define PGASM_NO_THREAD_SAFETY_ANALYSIS \
+  PGASM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pgasm::util {
+
+class CondVar;
+
+/// std::mutex with the capability attribute, so PGASM_GUARDED_BY(mu_) and
+/// the lock scopes below participate in clang's analysis. Same size and
+/// cost as the std::mutex it wraps.
+class PGASM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PGASM_ACQUIRE() { mu_.lock(); }
+  void unlock() PGASM_RELEASE() { mu_.unlock(); }
+  bool try_lock() PGASM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // waits re-acquire through the native handle
+  std::mutex mu_;
+};
+
+/// RAII lock scope (std::lock_guard shape). The scoped-capability
+/// annotation makes the held region visible to the analysis.
+class PGASM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PGASM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PGASM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Lock scope that can be released before the end of the scope (the
+/// receive path hands the payload out after dropping the mailbox lock).
+/// Destruction releases only if still held.
+class PGASM_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) PGASM_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+  }
+  ~ReleasableMutexLock() PGASM_RELEASE() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+
+  /// Release early; the destructor becomes a no-op.
+  void release() PGASM_RELEASE() {
+    mu_->unlock();
+    mu_ = nullptr;
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable bound to util::Mutex. Waits take the Mutex the caller
+/// already holds — PGASM_REQUIRES threads the capability proof through the
+/// wait (the analysis treats the capability as held across it, which is
+/// sound: wait() returns with the lock re-acquired). Internally adopts the
+/// native std::mutex so the std::condition_variable fast path is kept.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) PGASM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's scope
+  }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) PGASM_REQUIRES(mu) {
+    while (!pred()) wait(mu);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      PGASM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_until(native, deadline);
+    native.release();
+    return st;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pgasm::util

@@ -152,7 +152,7 @@ void Comm::enqueue_message(int dest, detail::Message&& msg, bool sync) {
   }
 
   auto& box = shared_->boxes[static_cast<std::size_t>(dest)];
-  std::unique_lock<std::mutex> lock(box.mu);
+  util::MutexLock lock(box.mu);
   box.queue.push_back(std::move(msg));
   box.cv.notify_all();
   if (sync) {
@@ -160,7 +160,7 @@ void Comm::enqueue_message(int dest, detail::Message&& msg, bool sync) {
     // abort and destination death/completion on every wake, so a receiver
     // that never consumes cannot strand the sender (the old promise/future
     // rendezvous deadlocked here).
-    box.cv.wait(lock, [&] {
+    box.cv.wait(box.mu, [&] {
       return consumed->load() || shared_->aborted.load() ||
              shared_->dead[static_cast<std::size_t>(dest)].load() ||
              shared_->done[static_cast<std::size_t>(dest)].load();
@@ -205,7 +205,7 @@ std::vector<std::byte> Comm::recv_impl(
     int source, std::int64_t tag, bool internal, Status* status,
     const std::chrono::steady_clock::time_point* deadline) {
   auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
-  std::unique_lock<std::mutex> lock(box.mu);
+  util::ReleasableMutexLock lock(box.mu);
   for (;;) {
     // Both the abort flag and the dead flags are re-checked under the
     // mailbox mutex before every sleep; abort_all/mark_dead notify under
@@ -219,7 +219,7 @@ std::vector<std::byte> Comm::recv_impl(
         msg.consumed->store(true);
         box.cv.notify_all();  // wake the rendezvoused synchronous sender
       }
-      lock.unlock();
+      lock.release();
       ledger_.charge_recv(msg.payload.size(), shared_->cost);
       if (!internal && obs_ring_ != nullptr) {
         obs_recv_bytes_->observe(msg.payload.size());
@@ -262,9 +262,9 @@ std::vector<std::byte> Comm::recv_impl(
         throw TimeoutError("recv: timeout (source " + std::to_string(source) +
                            ", tag " + std::to_string(tag) + ")");
       }
-      box.cv.wait_until(lock, *deadline);
+      box.cv.wait_until(box.mu, *deadline);
     } else {
-      box.cv.wait(lock);
+      box.cv.wait(box.mu);
     }
   }
 }
@@ -285,7 +285,7 @@ std::vector<std::byte> Comm::recv_timeout(int source, int tag,
 Status Comm::probe_impl(int source, int tag,
                         const std::chrono::steady_clock::time_point* deadline) {
   auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
-  std::unique_lock<std::mutex> lock(box.mu);
+  util::MutexLock lock(box.mu);
   for (;;) {
     if (shared_->aborted.load()) throw AbortError("vmpi aborted");
     for (const auto& m : box.queue) {
@@ -319,9 +319,9 @@ Status Comm::probe_impl(int source, int tag,
         throw TimeoutError("probe: timeout (source " + std::to_string(source) +
                            ", tag " + std::to_string(tag) + ")");
       }
-      box.cv.wait_until(lock, *deadline);
+      box.cv.wait_until(box.mu, *deadline);
     } else {
-      box.cv.wait(lock);
+      box.cv.wait(box.mu);
     }
   }
 }
@@ -340,7 +340,7 @@ Status Comm::probe_timeout(int source, int tag, double timeout_s) {
 
 bool Comm::iprobe(int source, int tag, Status* status) {
   auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
-  std::lock_guard<std::mutex> lock(box.mu);
+  util::MutexLock lock(box.mu);
   if (shared_->aborted.load()) throw AbortError("vmpi aborted");
   for (const auto& m : box.queue) {
     if (matches(m, source, tag, /*internal=*/false)) {
@@ -416,7 +416,7 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
   for (auto& d : shared_->done) d.store(false);
   shared_->fault_counters.reset();
   for (auto& box : shared_->boxes) {
-    std::lock_guard<std::mutex> lock(box.mu);
+    util::MutexLock lock(box.mu);
     box.queue.clear();
   }
 
@@ -424,8 +424,8 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
   cost.per_rank.resize(static_cast<std::size_t>(p));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
-  std::mutex error_mu;
-  std::exception_ptr first_error;
+  util::Mutex error_mu;
+  std::exception_ptr first_error;  // written once under error_mu
 
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r]() {
@@ -443,7 +443,7 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
         shared_->mark_dead(r);
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(error_mu);
+          util::MutexLock lock(error_mu);
           if (!first_error) first_error = std::current_exception();
         }
         shared_->abort_all();

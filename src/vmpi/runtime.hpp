@@ -36,19 +36,18 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 #include "vmpi/cost_model.hpp"
 
@@ -148,9 +147,9 @@ struct Message {
 };
 
 struct Mailbox {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Message> queue;
+  util::Mutex mu;
+  util::CondVar cv;
+  std::deque<Message> queue PGASM_GUARDED_BY(mu);
 };
 
 /// Run-wide fault bookkeeping (atomics: touched from every rank thread).
@@ -201,7 +200,7 @@ struct SharedState {
     // is about to sleep holds the mutex until its wait releases it, so the
     // notify cannot land in the gap between its check and its sleep.
     for (auto& box : boxes) {
-      std::lock_guard<std::mutex> lock(box.mu);
+      util::MutexLock lock(box.mu);
       box.cv.notify_all();
     }
   }
@@ -214,14 +213,14 @@ struct SharedState {
     ++fault_counters.ranks_failed;
     {
       auto& box = boxes[static_cast<std::size_t>(r)];
-      std::lock_guard<std::mutex> lock(box.mu);
+      util::MutexLock lock(box.mu);
       for (auto& m : box.queue) {
         if (m.consumed) m.consumed->store(true);
       }
       box.queue.clear();
     }
     for (auto& box : boxes) {
-      std::lock_guard<std::mutex> lock(box.mu);
+      util::MutexLock lock(box.mu);
       box.cv.notify_all();
     }
   }
@@ -236,14 +235,14 @@ struct SharedState {
     done[static_cast<std::size_t>(r)].store(true);
     {
       auto& box = boxes[static_cast<std::size_t>(r)];
-      std::lock_guard<std::mutex> lock(box.mu);
+      util::MutexLock lock(box.mu);
       for (auto& m : box.queue) {
         if (m.consumed) m.consumed->store(true);
       }
       box.queue.clear();
     }
     for (auto& box : boxes) {
-      std::lock_guard<std::mutex> lock(box.mu);
+      util::MutexLock lock(box.mu);
       box.cv.notify_all();
     }
   }

@@ -1,0 +1,12 @@
+// Negative fixture: everything in this mini-tree must pass W007-W010 with
+// zero findings.
+#pragma once
+
+namespace fixture {
+
+enum class MsgKind : int {
+  kReport = 101,
+  kReply = 102,
+};
+
+}  // namespace fixture

@@ -1,0 +1,41 @@
+// Negative fixture implementation: annotated lock scopes, no blocking comm
+// under a lock, exhaustive protocol switches.
+
+#include "core/mini_protocol.hpp"
+#include "core/well_behaved.hpp"
+
+namespace fixture {
+
+struct Comm {
+  int recv(int, int) { return 0; }
+  int send(int, int) { return 0; }
+};
+
+void Counter::add(int n) {
+  util::MutexLock lock(mu_);
+  total_ += n;
+}
+
+int Counter::total() const {
+  util::MutexLock lock(mu_);
+  return total_;
+}
+
+int pump(Comm& comm, Counter& c) {
+  // Blocking call with no lock held, then a short annotated scope.
+  const int v = comm.recv(0, 101);
+  c.add(v);
+  return v;
+}
+
+int dispatch(MsgKind k) {
+  switch (k) {
+    case MsgKind::kReport:
+      return 1;
+    case MsgKind::kReply:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Negative fixture: annotated locking done right — W007-W010 must all stay
+// silent on this file.
+#pragma once
+
+namespace fixture {
+
+class Counter {
+ public:
+  void add(int n);
+  int total() const;
+
+ private:
+  mutable util::Mutex mu_;
+  int total_ PGASM_GUARDED_BY(mu_) = 0;
+  std::atomic<int> peeks_{0};
+};
+
+}  // namespace fixture

@@ -1,0 +1,2 @@
+// protocol_bad fixture stub: deliberately missing the codec/handler
+// identifiers and [MasterState::k*] markers that protocol_check verifies.

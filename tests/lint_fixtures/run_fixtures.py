@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Golden-fixture harness for pgasm-lint W007-W010 and protocol_check.
+
+Each wNNN_bad/ mini-tree seeds known violations (lines marked BAD) plus
+waived/clean lines; the linter must flag exactly the seeded count, with the
+right check, and exit 1. The clean/ tree must produce zero findings and
+exit 0. The protocol_bad/ tree (stub sources missing every handler
+identifier and state marker) must make protocol_check exit 1.
+
+Also asserts the --format=json contract: finding IDs are present, stable
+across runs, and unique within a run.
+
+Usage: run_fixtures.py <path-to-pgasm_lint.py> [<path-to-protocol_check>]
+Exit 0 on success, 1 on any expectation failure.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+FAILURES: list[str] = []
+
+
+def check(cond: bool, what: str) -> None:
+    if cond:
+        print(f"  ok: {what}")
+    else:
+        print(f"  FAIL: {what}")
+        FAILURES.append(what)
+
+
+def run_lint(lint: str, fixture: str, only: str) -> tuple[int, dict]:
+    proc = subprocess.run(
+        [sys.executable, lint, "--root", str(HERE / fixture),
+         "--only", only, "--format", "json"],
+        capture_output=True, text=True, timeout=120)
+    if proc.returncode == 2:
+        print(proc.stderr, file=sys.stderr)
+        return 2, {}
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def expect_findings(lint: str, fixture: str, only: str, count: int) -> dict:
+    print(f"{fixture} --only {only}:")
+    rc, out = run_lint(lint, fixture, only)
+    check(rc == 1, f"exit code 1 (got {rc})")
+    got = out.get("count", -1)
+    check(got == count, f"{count} findings (got {got})")
+    check(all(f["check"] == only for f in out.get("findings", [])),
+          f"every finding is {only}")
+    ids = [f["id"] for f in out.get("findings", [])]
+    check(len(ids) == len(set(ids)), "finding IDs unique within the run")
+    check(all(i.startswith("PL-") and len(i) == 15 for i in ids),
+          "finding IDs match PL-<12 hex>")
+    return out
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    lint = sys.argv[1]
+    protocol_check = sys.argv[2] if len(sys.argv) > 2 else None
+
+    # Seeded-violation counts: keep in sync with the BAD markers in each
+    # fixture source.
+    expect_findings(lint, "w007_bad", "W007", 5)
+    expect_findings(lint, "w008_bad", "W008", 2)
+    w9 = expect_findings(lint, "w009_bad", "W009", 2)
+    check(any("kPing" in f["message"] for f in w9["findings"]),
+          "W009 names the missing enumerator kPing")
+    check(any("default" in f["message"] for f in w9["findings"]),
+          "W009 flags the silent default")
+    expect_findings(lint, "w010_bad", "W010", 2)
+
+    print("clean --only W007..W010:")
+    proc = subprocess.run(
+        [sys.executable, lint, "--root", str(HERE / "clean"),
+         "--only", "W007", "--only", "W008", "--only", "W009",
+         "--only", "W010", "--format", "json"],
+        capture_output=True, text=True, timeout=120)
+    check(proc.returncode == 0, f"exit code 0 (got {proc.returncode})")
+    clean = json.loads(proc.stdout or "{}")
+    check(clean.get("count") == 0,
+          f"zero findings on the clean tree (got {clean.get('count')})")
+
+    print("ID stability:")
+    _, again = run_lint(lint, "w010_bad", "W010")
+    _, first = run_lint(lint, "w010_bad", "W010")
+    check([f["id"] for f in first["findings"]]
+          == [f["id"] for f in again["findings"]],
+          "re-running produces identical finding IDs")
+
+    if protocol_check:
+        print("protocol_bad via protocol_check:")
+        proc = subprocess.run(
+            [protocol_check, str(HERE / "protocol_bad")],
+            capture_output=True, text=True, timeout=120)
+        check(proc.returncode == 1,
+              f"exit code 1 on stub sources (got {proc.returncode})")
+        check("marker" in proc.stderr,
+              "protocol_check names the missing state markers")
+        check("no such identifier" in proc.stderr,
+              "protocol_check names the missing handler identifiers")
+    else:
+        print("protocol_check binary not supplied; skipping protocol_bad")
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} fixture expectation(s) failed")
+        return 1
+    print("\nall fixture expectations hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

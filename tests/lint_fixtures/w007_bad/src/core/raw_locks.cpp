@@ -1,0 +1,28 @@
+// Seeded W007 violations: raw std lock primitives outside the
+// util/thread_annotations.hpp shim. Every line marked BAD below must be
+// flagged by `pgasm-lint --only W007`.
+
+#include <mutex>
+#include <condition_variable>
+
+namespace fixture {
+
+std::mutex g_mu;                 // BAD: raw std::mutex declaration
+std::condition_variable g_cv;    // BAD: raw std::condition_variable
+
+void critical() {
+  std::lock_guard<std::mutex> lock(g_mu);  // BAD: raw std::lock_guard
+  (void)lock;
+}
+
+void manual() {
+  g_mu.lock();    // BAD: raw .lock() call
+  g_mu.unlock();  // BAD: raw .unlock() call
+}
+
+// A waived line must NOT be flagged: the waiver documents why the raw
+// primitive is unavoidable here.
+// pgasm-lint: allow(raw-lock): fixture exercises the waiver path
+std::mutex g_waived_mu;
+
+}  // namespace fixture

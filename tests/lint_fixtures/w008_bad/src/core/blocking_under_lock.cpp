@@ -1,0 +1,55 @@
+// Seeded W008 violations: blocking vmpi calls while holding an annotated
+// lock scope. `pgasm-lint --only W008` must flag the marked lines and
+// stay silent on the release()-truncated and after-scope calls.
+
+namespace fixture {
+
+struct Comm {
+  int recv(int, int) { return 0; }
+  void ssend(int, int) {}
+  void barrier() {}
+  int send(int, int) { return 0; }  // non-blocking: never flagged
+};
+
+struct State {
+  // stand-ins; the lexer front-end only needs the spellings
+  int mu_ = 0;
+};
+
+void bad_recv_under_lock(Comm& comm, State& s) {
+  util::MutexLock lock(s.mu_);
+  comm.recv(0, 1);  // BAD: blocking recv while 'lock' is held
+}
+
+void bad_barrier_under_lock(Comm& comm, State& s) {
+  util::MutexLock lock(s.mu_);
+  int x = 0;
+  (void)x;
+  comm.barrier();  // BAD: barrier while 'lock' is held
+}
+
+void ok_after_release(Comm& comm, State& s) {
+  util::ReleasableMutexLock lock(s.mu_);
+  lock.release();
+  comm.ssend(0, 1);  // OK: the lock was released first
+}
+
+void ok_after_scope(Comm& comm, State& s) {
+  {
+    util::MutexLock lock(s.mu_);
+  }
+  comm.recv(0, 1);  // OK: the lock scope already closed
+}
+
+void ok_nonblocking_under_lock(Comm& comm, State& s) {
+  util::MutexLock lock(s.mu_);
+  comm.send(0, 1);  // OK: send() enqueues, it never rendezvouses
+}
+
+void ok_waived(Comm& comm, State& s) {
+  util::MutexLock lock(s.mu_);
+  // pgasm-lint: allow(lock-blocking): fixture exercises the waiver path
+  comm.barrier();
+}
+
+}  // namespace fixture

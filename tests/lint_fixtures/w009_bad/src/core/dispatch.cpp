@@ -1,0 +1,54 @@
+// Seeded W009 violations: non-exhaustive and silent-default switches over
+// the fixture protocol enums.
+
+#include "core/mini_protocol.hpp"
+
+namespace fixture {
+
+int bad_missing_case(MsgKind k) {
+  switch (k) {  // BAD: kPing has no case
+    case MsgKind::kReport:
+      return 1;
+    case MsgKind::kReply:
+      return 2;
+  }
+  return 0;
+}
+
+int bad_silent_default(MasterState s) {
+  switch (s) {  // BAD: default swallows new states
+    case MasterState::kProbe:
+      return 1;
+    case MasterState::kFold:
+      return 2;
+    case MasterState::kTerminate:
+      return 3;
+    default:
+      return -1;
+  }
+}
+
+int ok_exhaustive(MsgKind k) {
+  switch (k) {  // OK: every kind named, no default
+    case MsgKind::kReport:
+      return 1;
+    case MsgKind::kReply:
+      return 2;
+    case MsgKind::kPing:
+      return 3;
+  }
+  return 0;
+}
+
+enum class LocalColor { kRed, kBlue };
+
+int ok_non_protocol_enum(LocalColor c) {
+  switch (c) {  // OK: LocalColor is not declared in a *protocol*.hpp
+    case LocalColor::kRed:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fixture

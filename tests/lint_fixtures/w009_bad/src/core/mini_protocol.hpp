@@ -1,0 +1,19 @@
+// Fixture protocol header (the *protocol*.hpp filename is what marks these
+// enums as protocol enums for W009).
+#pragma once
+
+namespace fixture {
+
+enum class MsgKind : int {
+  kReport = 101,
+  kReply = 102,
+  kPing = 103,
+};
+
+enum class MasterState {
+  kProbe,
+  kFold,
+  kTerminate,
+};
+
+}  // namespace fixture

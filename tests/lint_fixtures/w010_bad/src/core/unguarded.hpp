@@ -1,0 +1,27 @@
+// Seeded W010 violations: a mutex-owning class whose data members carry no
+// PGASM_GUARDED_BY annotation. `pgasm-lint --only W010` must flag the two
+// BAD members and accept the annotated/atomic/waived ones.
+#pragma once
+
+namespace fixture {
+
+class Cache {
+ public:
+  int get() const;
+
+ private:
+  mutable util::Mutex mu_;
+  int hits_ = 0;                             // BAD: no guard declared
+  double ratio_ = 0.0;                       // BAD: no guard declared
+  long total_ PGASM_GUARDED_BY(mu_) = 0;     // OK: annotated
+  std::atomic<int> fast_path_{0};            // OK: lock-free by construction
+  // pgasm-lint: allow(guard): set once before the cache is shared
+  int capacity_ = 0;                         // OK: waived
+};
+
+class LockFree {
+  // OK: no mutex member, so W010 has nothing to prove here.
+  int anything_goes_ = 0;
+};
+
+}  // namespace fixture

@@ -25,18 +25,58 @@ W005  include-what-you-use (lite): public headers under src/ must directly
       subset of pgasm.hpp compiles standalone.
 W006  test-label audit: every registered test carries exactly one suite
       label from {unit, parallel, faults, obs, fuzz}.
+W007  annotated-lock discipline: raw std::mutex / std::condition_variable /
+      std::lock_guard / std::unique_lock / std::scoped_lock declarations and
+      raw .lock()/.unlock()/.try_lock() member calls are banned outside
+      util/thread_annotations.hpp — all locking goes through util::Mutex,
+      util::MutexLock, util::ReleasableMutexLock, and util::CondVar so the
+      clang capability analysis (scripts/ci.sh tsafety) sees every critical
+      section.
+W008  no blocking under a lock: a blocking vmpi call (recv*/ssend*/probe/
+      probe_timeout/barrier/allreduce*) inside a region that holds a
+      util::MutexLock / ReleasableMutexLock is a deadlock risk — the peer
+      may need the same lock to make the call return. src/vmpi/ itself is
+      exempt (its mailbox mechanics ARE the blocking primitives).
+W009  protocol-switch exhaustiveness: every `switch` over a protocol enum
+      (enum classes declared in *protocol*.hpp, e.g. MsgKind, MasterState)
+      must name every enumerator and must not carry a `default:` label —
+      a silent default would swallow a newly added message kind that
+      -Werror=switch could otherwise catch.
+W010  guarded-by coverage: in any class that owns a util::Mutex, every
+      non-atomic data member must carry PGASM_GUARDED_BY/PGASM_PT_GUARDED_BY
+      (or an explicit `pgasm-lint: allow(guard): <reason>` waiver stating
+      why it needs no lock).
 
-Exit status: 0 when clean, 1 when any finding is reported.
+Front-ends: W007-W010 are semantic checks. When a clang compiler is
+available (and unless --frontend=lexer), facts are extracted from clang's
+`-ast-dump=json` over the exported compile_commands.json; otherwise a
+built-in tokenizer front-end computes the same facts from source text
+(brace-matched scopes, class bodies, switch bodies). The container this
+repo builds in ships GCC only, so the lexer path is the one CI exercises;
+the clang path upgrades precision when available and falls back loudly on
+any failure.
+
+Exit status: 0 clean, 1 findings, 2 tool error (bad invocation, missing
+root, unreadable inputs).
+
+Output: human-readable text by default; `--format=json` emits one object
+with a `findings` array whose entries carry stable IDs (content-hashed, so
+they survive line-number drift) for CI annotation.
 
 Waivers: append `pgasm-lint: allow(<check>): <reason>` in a comment on the
 offending line or the line above. <check> is the lowercase slug shown in
-the finding, e.g. raw-comm, alloc, naming, iwyu.
+the finding, e.g. raw-comm, alloc, naming, iwyu, raw-lock, lock-blocking,
+switch, guard.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import re
+import shutil
+import subprocess
 import sys
 from pathlib import Path
 
@@ -44,12 +84,31 @@ REPO = Path(__file__).resolve().parents[2]
 SRC = REPO / "src"
 TESTS = REPO / "tests"
 
-FINDINGS: list[str] = []
+FINDINGS: list[dict] = []
 
 
 def finding(path: Path, line_no: int, check: str, slug: str, msg: str) -> None:
-    rel = path.relative_to(REPO)
-    FINDINGS.append(f"{rel}:{line_no}: [{check}/{slug}] {msg}")
+    try:
+        rel = str(path.relative_to(REPO))
+    except ValueError:
+        rel = str(path)
+    # Stable ID: hash of what the finding says, not where it says it —
+    # line numbers drift with every edit, so they stay out of the basis.
+    # An occurrence ordinal disambiguates identical findings in one file.
+    basis = f"{check}:{slug}:{rel}:{msg}"
+    ordinal = sum(1 for f in FINDINGS
+                  if f["check"] == check and f["path"] == rel
+                  and f["message"] == msg)
+    fid = "PL-" + hashlib.sha256(
+        f"{basis}#{ordinal}".encode()).hexdigest()[:12]
+    FINDINGS.append({
+        "id": fid,
+        "check": check,
+        "slug": slug,
+        "path": rel,
+        "line": line_no,
+        "message": msg,
+    })
 
 
 def read_lines(path: Path) -> list[str]:
@@ -83,6 +142,23 @@ def src_files(*suffixes: str) -> list[Path]:
     return out
 
 
+def brace_depths(lines: list[str]) -> list[tuple[int, int]]:
+    """(depth_before, depth_after) per line, counting comment-stripped
+    braces. String literals containing braces would miscount; none of the
+    checked code keeps braces in strings on lock/switch/class lines."""
+    out: list[tuple[int, int]] = []
+    depth = 0
+    for raw in lines:
+        before = depth
+        for ch in strip_comments(raw):
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth = max(0, depth - 1)
+        out.append((before, depth))
+    return out
+
+
 # --------------------------------------------------------------------------
 # W001: wire tag <-> codec pairing
 # --------------------------------------------------------------------------
@@ -94,6 +170,9 @@ ANNOT_RE = re.compile(r"pgasm-wire:\s*(\S+)")
 def check_w001() -> None:
     proto = SRC / "core" / "cluster_protocol.hpp"
     wire = SRC / "core" / "wire.hpp"
+    if not proto.exists():
+        finding(proto, 1, "W001", "wire", "core/cluster_protocol.hpp missing")
+        return
     lines = read_lines(proto)
 
     # Collect tag -> annotation. The annotation sits on the tag's line or on
@@ -244,13 +323,13 @@ def check_w003() -> None:
 # W004: Workspace hot-path allocation ban
 # --------------------------------------------------------------------------
 
-HOT_FILES = [
-    SRC / "align" / "overlap.cpp",
-    SRC / "align" / "overlap.hpp",
-    SRC / "align" / "pairwise.cpp",
-    SRC / "align" / "linear_space.cpp",
-    SRC / "align" / "workspace.hpp",
-    SRC / "core" / "overlap_engine.cpp",
+HOT_FILE_RELS = [
+    Path("align/overlap.cpp"),
+    Path("align/overlap.hpp"),
+    Path("align/pairwise.cpp"),
+    Path("align/linear_space.cpp"),
+    Path("align/workspace.hpp"),
+    Path("core/overlap_engine.cpp"),
 ]
 ALLOC_RES = [
     (re.compile(r"\bnew\s"), "naked new"),
@@ -298,7 +377,8 @@ def workspace_function_ranges(lines: list[str]) -> list[tuple[int, int]]:
 
 
 def check_w004() -> None:
-    for path in HOT_FILES:
+    for rel in HOT_FILE_RELS:
+        path = SRC / rel
         if not path.exists():
             continue
         lines = read_lines(path)
@@ -395,6 +475,9 @@ PGASM_FUZZ_RE = re.compile(r"^\s*pgasm_fuzz\((\w+)\)\s*$")
 
 def check_w006() -> None:
     cml = TESTS / "CMakeLists.txt"
+    if not cml.exists():
+        finding(TESTS, 1, "W006", "labels", "tests/CMakeLists.txt missing")
+        return
     for i, line in enumerate(read_lines(cml)):
         m = PGASM_TEST_RE.match(line)
         if not m:
@@ -417,6 +500,370 @@ def check_w006() -> None:
 
 
 # --------------------------------------------------------------------------
+# W007-W010 shared infrastructure: concurrency-fact front-ends
+# --------------------------------------------------------------------------
+
+# The annotated-lock vocabulary lives here; the shim is the one place the
+# raw std primitives may appear.
+SHIM_REL = Path("util/thread_annotations.hpp")
+
+
+def is_shim(path: Path) -> bool:
+    try:
+        return path.relative_to(SRC) == SHIM_REL
+    except ValueError:
+        return path.name == SHIM_REL.name
+
+
+RAW_LOCK_TYPE_RE = re.compile(
+    r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable(?:_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+RAW_LOCK_CALL_RE = re.compile(
+    r"[\w\)\]]\s*(?:\.|->)\s*(lock|unlock|try_lock)\s*\(\s*\)")
+
+# Blocking vmpi surface (Comm methods that can wait on a peer). send/
+# send_payload enqueue and iprobe polls; everything here rendezvouses or
+# sleeps until the peer acts, which is what makes holding a lock across it
+# a deadlock risk.
+BLOCKING_VMPI_RE = re.compile(
+    r"\.\s*(recv|recv_timeout|recv_value|recv_value_timeout|recv_vector|"
+    r"recv_vector_timeout|ssend|ssend_payload|ssend_vector|probe|"
+    r"probe_timeout|barrier|allreduce_vector|allreduce_sum|allreduce_max|"
+    r"allreduce_min)\s*(?:<[^;(]*>)?\s*\(")
+
+LOCK_DECL_RE = re.compile(
+    r"\b(?:util::)?(MutexLock|ReleasableMutexLock)\s+(\w+)\s*[({]")
+
+
+def concurrency_files() -> list[Path]:
+    return [p for p in src_files(".cpp", ".hpp") if not is_shim(p)]
+
+
+def check_w007() -> None:
+    """Facts: raw lock-type declarations and raw lock-method calls."""
+    for path in concurrency_files():
+        lines = read_lines(path)
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = RAW_LOCK_TYPE_RE.search(line)
+            if m and not waived(lines, i, "raw-lock"):
+                finding(path, i + 1, "W007", "raw-lock",
+                        f"raw std::{m.group(1)} outside "
+                        "util/thread_annotations.hpp; use util::Mutex / "
+                        "util::MutexLock / util::CondVar so the capability "
+                        "analysis sees this critical section")
+            c = RAW_LOCK_CALL_RE.search(line)
+            if c and not waived(lines, i, "raw-lock"):
+                finding(path, i + 1, "W007", "raw-lock",
+                        f"raw .{c.group(1)}() call; hold locks through "
+                        "util::MutexLock / util::ReleasableMutexLock scopes "
+                        "only")
+
+
+def lock_regions(lines: list[str]) -> list[tuple[str, int, int]]:
+    """(lock_var, start, end) 0-based line ranges during which an annotated
+    lock scope is held. The region opens at the declaration and closes at
+    the end of the enclosing block or at an early release()."""
+    depths = brace_depths(lines)
+    regions: list[tuple[str, int, int]] = []
+    for i, raw in enumerate(lines):
+        line = strip_comments(raw)
+        m = LOCK_DECL_RE.search(line)
+        if not m:
+            continue
+        var = m.group(2)
+        opened_at = depths[i][0]
+        end = len(lines) - 1
+        for j in range(i + 1, len(lines)):
+            if re.search(rf"\b{var}\s*\.\s*(release|unlock)\s*\(",
+                         strip_comments(lines[j])):
+                end = j
+                break
+            if depths[j][1] < opened_at:
+                end = j
+                break
+        regions.append((var, i, end))
+    return regions
+
+
+def check_w008() -> None:
+    for path in concurrency_files():
+        rel = path.relative_to(SRC)
+        if rel.parts[0] == "vmpi":
+            continue  # the mailbox mechanics ARE the blocking primitives
+        lines = read_lines(path)
+        for var, start, end in lock_regions(lines):
+            for i in range(start, end + 1):
+                line = strip_comments(lines[i])
+                m = BLOCKING_VMPI_RE.search(line)
+                if m and not waived(lines, i, "lock-blocking"):
+                    finding(path, i + 1, "W008", "lock-blocking",
+                            f"blocking vmpi call .{m.group(1)}() while "
+                            f"holding lock scope '{var}' (opened line "
+                            f"{start + 1}) — the peer may need that lock to "
+                            "let this call return; drop the lock first")
+
+
+# --------------------------------------------------------------------------
+# W009: protocol-switch exhaustiveness
+# --------------------------------------------------------------------------
+
+ENUM_RE = re.compile(r"enum\s+class\s+(\w+)[^{;]*\{([^}]*)\}", re.S)
+CASE_RE = re.compile(r"\bcase\s+([\w:]+)::(\w+)\s*:")
+DEFAULT_RE = re.compile(r"^\s*default\s*:")
+
+
+def protocol_enums() -> dict[str, tuple[Path, list[str]]]:
+    """Enum name -> (declaring file, enumerators) for every enum class
+    declared in a *protocol*.hpp under src/."""
+    enums: dict[str, tuple[Path, list[str]]] = {}
+    for path in sorted(SRC.rglob("*protocol*.hpp")):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        text = re.sub(r"//[^\n]*", "", text)
+        for m in ENUM_RE.finditer(text):
+            name, body = m.group(1), m.group(2)
+            members = []
+            for entry in body.split(","):
+                em = re.match(r"\s*(\w+)", entry)
+                if em:
+                    members.append(em.group(1))
+            if members:
+                enums[name] = (path, members)
+    return enums
+
+
+def switch_bodies(lines: list[str]) -> list[tuple[int, int, int]]:
+    """(switch_line, body_start, body_end) 0-based for every switch."""
+    out: list[tuple[int, int, int]] = []
+    for i, raw in enumerate(lines):
+        if not re.search(r"\bswitch\s*\(", strip_comments(raw)):
+            continue
+        depth = 0
+        body_start = None
+        for j in range(i, len(lines)):
+            for ch in strip_comments(lines[j]):
+                if ch == "{":
+                    depth += 1
+                    if body_start is None:
+                        body_start = j
+                elif ch == "}":
+                    depth -= 1
+            if body_start is not None and depth == 0:
+                out.append((i, body_start, j))
+                break
+    return out
+
+
+def check_w009() -> None:
+    enums = protocol_enums()
+    if not enums:
+        return  # nothing declared; W001 complains about the missing header
+    for path in concurrency_files():
+        lines = read_lines(path)
+        for sw_line, start, end in switch_bodies(lines):
+            body = lines[start:end + 1]
+            handled: dict[str, set[str]] = {}
+            has_default = any(DEFAULT_RE.match(strip_comments(b))
+                              for b in body)
+            for b in body:
+                for cm in CASE_RE.finditer(strip_comments(b)):
+                    qual = cm.group(1).split("::")[-1]
+                    handled.setdefault(qual, set()).add(cm.group(2))
+            for enum_name, cases in handled.items():
+                if enum_name not in enums:
+                    continue
+                if waived(lines, sw_line, "switch"):
+                    continue
+                _, members = enums[enum_name]
+                missing = [e for e in members if e not in cases]
+                for e in missing:
+                    finding(path, sw_line + 1, "W009", "switch",
+                            f"switch over {enum_name} does not handle "
+                            f"{enum_name}::{e} — every protocol message "
+                            "kind/state needs an explicit case")
+                if has_default:
+                    finding(path, sw_line + 1, "W009", "switch",
+                            f"switch over {enum_name} has a `default:` "
+                            "label — a silent default swallows new "
+                            "enumerators that -Werror=switch would catch")
+
+
+# --------------------------------------------------------------------------
+# W010: PGASM_GUARDED_BY coverage
+# --------------------------------------------------------------------------
+
+CLASS_OPEN_RE = re.compile(
+    r"^\s*(?:template\s*<[^>]*>\s*)?(?:class|struct)\s+"
+    r"(?:PGASM_\w+(?:\([^)]*\))?\s+)?(\w+)[^;{]*\{")
+MUTEX_MEMBER_RE = re.compile(r"\b(?:util::)?Mutex\s+\w+\s*;")
+MEMBER_SKIP_PREFIXES = (
+    "public", "private", "protected", "using", "friend", "static",
+    "typedef", "template", "enum", "class", "struct", "case", "return",
+    "#", "}", "{")
+
+
+def class_bodies(lines: list[str]) -> list[tuple[str, int, int]]:
+    """(name, open_line, close_line) 0-based for class/struct bodies whose
+    opening brace sits on the declaration line (project style)."""
+    depths = brace_depths(lines)
+    out: list[tuple[str, int, int]] = []
+    for i, raw in enumerate(lines):
+        m = CLASS_OPEN_RE.match(strip_comments(raw))
+        if not m:
+            continue
+        open_depth = depths[i][1]  # depth inside the class body
+        for j in range(i + 1, len(lines)):
+            if depths[j][1] < open_depth:
+                out.append((m.group(1), i, j))
+                break
+    return out
+
+
+def member_decl(line: str) -> tuple[str, str] | None:
+    """(type_part, member_name) for a single-line data-member declaration,
+    None for anything else (methods, labels, macros, continuations)."""
+    stripped = strip_comments(line).strip()
+    if not stripped or stripped.startswith(MEMBER_SKIP_PREFIXES):
+        return None
+    # Peel annotation macros so their parens don't read as a param list.
+    bare = re.sub(r"PGASM_\w+\s*\([^)]*\)", "", stripped)
+    bare = re.sub(r"PGASM_\w+", "", bare).strip()
+    if not bare.endswith(";"):
+        return None
+    if bare.count("(") != bare.count(")"):
+        return None  # continuation line of a multi-line declaration
+    # Drop a trailing initializer, then any remaining paren means function.
+    decl = re.sub(r"(=[^;]*|\{[^;]*\})\s*;$", ";", bare)
+    if "(" in decl:
+        return None
+    m = re.match(r"^(?:mutable\s+)?(.*[\s>*&])(\w+)\s*(?:\[\s*\w*\s*\])?;$",
+                 decl)
+    if not m or not m.group(1).strip():
+        return None
+    return m.group(1).strip(), m.group(2)
+
+
+def check_w010() -> None:
+    for path in concurrency_files():
+        lines = read_lines(path)
+        depths = brace_depths(lines)
+        for name, start, end in class_bodies(lines):
+            body_depth = depths[start][1]
+            body_text = "\n".join(
+                strip_comments(l) for l in lines[start:end + 1])
+            if not MUTEX_MEMBER_RE.search(body_text):
+                continue  # lock-free class: W010 has nothing to prove
+            for i in range(start + 1, end):
+                if depths[i][0] != body_depth:
+                    continue  # inside a nested scope (inline method body)
+                decl = member_decl(lines[i])
+                if decl is None:
+                    continue
+                type_part, member = decl
+                if re.search(r"\b(Mutex|CondVar)\b", type_part):
+                    continue  # the capability / its condition variable
+                if "atomic" in type_part:
+                    continue  # lock-free by construction
+                annotated = ("PGASM_GUARDED_BY" in lines[i]
+                             or "PGASM_PT_GUARDED_BY" in lines[i])
+                if annotated or waived(lines, i, "guard"):
+                    continue
+                finding(path, i + 1, "W010", "guard",
+                        f"member '{member}' of mutex-owning class '{name}' "
+                        "has no PGASM_GUARDED_BY annotation — declare its "
+                        "lock, make it atomic, or waive with "
+                        "`pgasm-lint: allow(guard): <reason>`")
+
+
+# --------------------------------------------------------------------------
+# Optional clang front-end for W007/W010 facts
+# --------------------------------------------------------------------------
+#
+# When a clang compiler is present, re-derive the W007/W010 facts from
+# `-ast-dump=json` and report anything the lexer front-end missed (macro-
+# hidden locks, multi-line declarations). The lexer findings always run —
+# the AST pass only ADDS precision, so environments without clang (the CI
+# container ships GCC only) get identical baseline behaviour.
+
+def clang_binary() -> str | None:
+    for name in ("clang++", "clang++-17", "clang++-16", "clang++-15",
+                 "clang++-14", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def ast_walk(node: dict, visit) -> None:
+    visit(node)
+    for child in node.get("inner", []):
+        if isinstance(child, dict):
+            ast_walk(child, visit)
+
+
+def ast_findings(files: list[Path]) -> None:
+    clang = clang_binary()
+    if clang is None:
+        return
+    seen = {(f["check"], f["path"], f["line"]) for f in FINDINGS}
+    for path in files:
+        try:
+            proc = subprocess.run(
+                [clang, "-x", "c++", "-std=c++20", "-fsyntax-only",
+                 "-Xclang", "-ast-dump=json", "-I", str(SRC), str(path)],
+                capture_output=True, text=True, timeout=120)
+            if proc.returncode != 0 or not proc.stdout:
+                continue
+            root = json.loads(proc.stdout)
+        except (subprocess.SubprocessError, json.JSONDecodeError, OSError):
+            print(f"pgasm-lint: warning: clang AST pass failed on {path}; "
+                  "lexer facts stand", file=sys.stderr)
+            continue
+
+        lines = read_lines(path)
+
+        def visit(node: dict) -> None:
+            kind = node.get("kind", "")
+            line = (node.get("loc") or {}).get("line", 0)
+            if not line or line > len(lines):
+                return
+            rel = str(path.relative_to(REPO))
+            if kind == "VarDecl":
+                qual = (node.get("type") or {}).get("qualType", "")
+                if RAW_LOCK_TYPE_RE.search(qual) and not is_shim(path):
+                    key = ("W007", rel, line)
+                    if key not in seen and not waived(lines, line - 1,
+                                                      "raw-lock"):
+                        seen.add(key)
+                        finding(path, line, "W007", "raw-lock",
+                                f"raw lock type {qual!r} (clang AST); use "
+                                "the util::Mutex vocabulary")
+            elif kind == "CXXMemberCallExpr" and not is_shim(path):
+                callee = ""
+                for child in node.get("inner", []):
+                    if child.get("kind") == "MemberExpr":
+                        callee = child.get("name", "")
+                if callee in ("lock", "unlock", "try_lock"):
+                    key = ("W007", rel, line)
+                    if key not in seen and not waived(lines, line - 1,
+                                                      "raw-lock"):
+                        seen.add(key)
+                        finding(path, line, "W007", "raw-lock",
+                                f"raw .{callee}() call (clang AST); hold "
+                                "locks through util::MutexLock scopes only")
+
+        ast_walk(root, visit)
+
+
+def check_clang_ast() -> None:
+    """Supplementary clang AST pass (auto-skips when clang is absent)."""
+    ast_findings([p for p in concurrency_files()
+                  if p.relative_to(SRC).parts[0] in ("vmpi", "obs", "core",
+                                                     "util")])
+
+
+# --------------------------------------------------------------------------
 
 CHECKS = {
     "W001": check_w001,
@@ -425,33 +872,85 @@ CHECKS = {
     "W004": check_w004,
     "W005": check_w005,
     "W006": check_w006,
+    "W007": check_w007,
+    "W008": check_w008,
+    "W009": check_w009,
+    "W010": check_w010,
 }
 
 
+def emit_text(selected: list[str]) -> None:
+    for f in FINDINGS:
+        print(f"{f['path']}:{f['line']}: [{f['check']}/{f['slug']}] "
+              f"{f['message']} [{f['id']}]")
+    n = len(FINDINGS)
+    print(f"pgasm-lint: {n} finding{'s' if n != 1 else ''} "
+          f"({', '.join(selected)})")
+
+
+def emit_json(selected: list[str]) -> None:
+    print(json.dumps({
+        "version": 1,
+        "root": str(REPO),
+        "checks": selected,
+        "count": len(FINDINGS),
+        "findings": FINDINGS,
+    }, indent=2))
+
+
 def main() -> int:
+    global REPO, SRC, TESTS
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--only", metavar="WNNN", action="append",
                     help="run only these checks (repeatable)")
     ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("--root", metavar="DIR", default=None,
+                    help="repo root to lint (default: this script's repo); "
+                    "used by the fixture tests to point at mini-trees")
+    ap.add_argument("--format", choices=("text", "json"), default="text",
+                    help="output format (json carries stable finding IDs)")
+    ap.add_argument("--frontend", choices=("auto", "clang", "lexer"),
+                    default="auto",
+                    help="fact front-end for W007-W010: clang AST when "
+                    "available (auto/clang), tokenizer otherwise")
     args = ap.parse_args()
 
     if args.list_checks:
         for name, fn in CHECKS.items():
-            print(f"{name}: {fn.__doc__ or ''}")
+            print(f"{name}: {(fn.__doc__ or '').strip()}")
         return 0
+
+    if args.root is not None:
+        REPO = Path(args.root).resolve()
+        SRC = REPO / "src"
+        TESTS = REPO / "tests"
+    if not SRC.is_dir():
+        print(f"pgasm-lint: no src/ under {REPO}", file=sys.stderr)
+        return 2
 
     selected = args.only or sorted(CHECKS)
     for name in selected:
         if name not in CHECKS:
             print(f"unknown check {name}", file=sys.stderr)
             return 2
-        CHECKS[name]()
+    try:
+        for name in selected:
+            CHECKS[name]()
+        if (args.frontend in ("auto", "clang")
+                and any(c in selected for c in ("W007", "W010"))):
+            if args.frontend == "clang" and clang_binary() is None:
+                print("pgasm-lint: --frontend=clang but no clang on PATH",
+                      file=sys.stderr)
+                return 2
+            check_clang_ast()
+    except OSError as e:
+        print(f"pgasm-lint: tool error: {e}", file=sys.stderr)
+        return 2
 
-    for f in FINDINGS:
-        print(f)
-    n = len(FINDINGS)
-    print(f"pgasm-lint: {n} finding{'s' if n != 1 else ''} "
-          f"({', '.join(selected)})")
+    if args.format == "json":
+        emit_json(selected)
+    else:
+        emit_text(selected)
     return 1 if FINDINGS else 0
 
 

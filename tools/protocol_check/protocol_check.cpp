@@ -1,0 +1,272 @@
+// protocol_check: static exhaustiveness verifier for the master-worker
+// message protocol (tools layer of the static concurrency verification
+// stack; see DESIGN.md section 11).
+//
+// The protocol is declared as data — MsgKind, kProtocol, MasterState,
+// kMasterTransitions in core/cluster_protocol.hpp — and this tool verifies
+// the declarations against each other and against the implementation
+// sources, without running a single message exchange:
+//
+//   1. Table completeness: every MsgKind has exactly one kProtocol row,
+//      and every row names an encoder, a decoder, a handler, a drop
+//      recovery path, and a duplicate defence (empty cells fail).
+//   2. Implementation cross-check: every named codec/handler identifier
+//      actually exists in core/wire.hpp, core/cluster_protocol.*, or the
+//      vmpi comm surface; every MasterState has its [MasterState::k*]
+//      marker in the master_loop implementation.
+//   3. State-machine reachability: kTerminate is reachable from EVERY
+//      state (no livelock by construction), every non-terminal state has
+//      an outgoing edge, kTerminate has none, and every state is entered
+//      by some edge (or is the start state).
+//
+// The cheap structural invariants (row-per-kind, name agreement, distinct
+// tags, terminate reachability) are also static_asserts: breaking them
+// fails this tool's *compilation*, which the tier-1 build runs before
+// ctest ever gets to execute it.
+//
+// Exit codes follow pgasm-lint: 0 clean, 1 findings, 2 tool error.
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cluster_protocol.hpp"
+
+namespace {
+
+using pgasm::core::MasterState;
+using pgasm::core::MsgKind;
+using pgasm::core::kAllMasterStates;
+using pgasm::core::kAllMsgKinds;
+using pgasm::core::kMasterTransitions;
+using pgasm::core::kProtocol;
+using pgasm::core::master_state_name;
+using pgasm::core::msg_kind_name;
+using pgasm::core::msg_kind_of;
+using pgasm::core::to_tag;
+
+constexpr std::size_t kNumKinds = std::size(kAllMsgKinds);
+constexpr std::size_t kNumStates = std::size(kAllMasterStates);
+
+// --- Compile-time layer -----------------------------------------------------
+
+constexpr bool kinds_have_unique_specs() {
+  for (MsgKind kind : kAllMsgKinds) {
+    int rows = 0;
+    for (const auto& spec : kProtocol) {
+      if (spec.kind == kind) ++rows;
+    }
+    if (rows != 1) return false;
+  }
+  return std::size(kProtocol) == kNumKinds;
+}
+
+constexpr bool spec_names_match() {
+  for (const auto& spec : kProtocol) {
+    const char* a = spec.name;
+    const char* b = msg_kind_name(spec.kind);
+    for (; *a != '\0' && *a == *b; ++a, ++b) {
+    }
+    if (*a != *b) return false;
+  }
+  return true;
+}
+
+constexpr bool tags_distinct_and_roundtrip() {
+  for (MsgKind a : kAllMsgKinds) {
+    for (MsgKind b : kAllMsgKinds) {
+      if (a != b && to_tag(a) == to_tag(b)) return false;
+    }
+    const auto back = msg_kind_of(to_tag(a));
+    if (!back.has_value() || *back != a) return false;
+  }
+  return true;
+}
+
+constexpr std::size_t state_index(MasterState s) {
+  for (std::size_t i = 0; i < kNumStates; ++i) {
+    if (kAllMasterStates[i] == s) return i;
+  }
+  return kNumStates;  // unreachable for declared states
+}
+
+/// Fixed-point reachability of `target` from every state, walking
+/// kMasterTransitions forward. Runs at compile time.
+constexpr bool terminate_reachable_from_all() {
+  constexpr MasterState target = MasterState::kTerminate;
+  bool reaches[kNumStates] = {};
+  reaches[state_index(target)] = true;
+  for (std::size_t pass = 0; pass < kNumStates; ++pass) {
+    for (const auto& t : kMasterTransitions) {
+      if (reaches[state_index(t.to)]) reaches[state_index(t.from)] = true;
+    }
+  }
+  for (bool r : reaches) {
+    if (!r) return false;
+  }
+  return true;
+}
+
+static_assert(kinds_have_unique_specs(),
+              "every MsgKind needs exactly one kProtocol row");
+static_assert(spec_names_match(),
+              "kProtocol row names must agree with msg_kind_name()");
+static_assert(tags_distinct_and_roundtrip(),
+              "MsgKind tag values must be distinct and msg_kind_of-invertible");
+static_assert(terminate_reachable_from_all(),
+              "kTerminate must be reachable from every MasterState");
+
+// --- Runtime layer (richer diagnostics than a static_assert can print) ------
+
+int g_findings = 0;
+
+void fail(const std::string& what) {
+  std::cerr << "protocol_check: FAIL: " << what << '\n';
+  ++g_findings;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "protocol_check: cannot read " << path << '\n';
+    std::exit(2);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void check_table_completeness() {
+  for (const auto& spec : kProtocol) {
+    const auto cell = [&](const char* field, const char* value) {
+      if (value == nullptr || *value == '\0') {
+        fail(std::string("kProtocol[") + spec.name + "]." + field +
+             " is empty — every message kind must declare it");
+      }
+    };
+    cell("direction", spec.direction);
+    cell("encoder", spec.encoder);
+    cell("decoder", spec.decoder);
+    cell("handler", spec.handler);
+    cell("on_drop", spec.on_drop);
+    cell("on_duplicate", spec.on_duplicate);
+  }
+}
+
+void check_identifiers_exist(const std::string& src_root) {
+  // The searchable implementation surface for codec and handler names.
+  const std::string haystack =
+      slurp(src_root + "/src/core/wire.hpp") +
+      slurp(src_root + "/src/core/cluster_protocol.hpp") +
+      slurp(src_root + "/src/core/cluster_protocol.cpp") +
+      slurp(src_root + "/src/vmpi/runtime.hpp");
+  for (const auto& spec : kProtocol) {
+    const auto present = [&](const char* field, const char* ident) {
+      if (ident == nullptr || *ident == '\0') return;  // reported above
+      // Strip a class qualifier: ReplyChannel::send -> send is declared.
+      std::string name = ident;
+      if (const auto pos = name.rfind("::"); pos != std::string::npos) {
+        name = name.substr(pos + 2);
+      }
+      if (haystack.find(name) == std::string::npos) {
+        fail(std::string("kProtocol[") + spec.name + "]." + field + " names '" +
+             ident + "' but no such identifier exists in the protocol sources");
+      }
+    };
+    present("encoder", spec.encoder);
+    present("decoder", spec.decoder);
+    present("handler", spec.handler);
+  }
+}
+
+void check_state_markers(const std::string& src_root) {
+  const std::string impl = slurp(src_root + "/src/core/parallel_cluster.cpp");
+  for (MasterState s : kAllMasterStates) {
+    const std::string marker =
+        std::string("[MasterState::k") + [&] {
+          // probe -> Probe etc.: markers use the enumerator spelling.
+          std::string n = master_state_name(s);
+          n[0] = static_cast<char>(n[0] - 'a' + 'A');
+          return n;
+        }() + "]";
+    if (impl.find(marker) == std::string::npos) {
+      fail("master_loop has no '" + marker +
+           "' marker — the implementation no longer maps onto the declared "
+           "state machine (update kMasterTransitions or the markers)");
+    }
+  }
+}
+
+void check_state_machine() {
+  // Terminal state emits nothing; every other state emits something.
+  for (MasterState s : kAllMasterStates) {
+    std::size_t out = 0;
+    for (const auto& t : kMasterTransitions) {
+      if (t.from == s) ++out;
+    }
+    if (s == MasterState::kTerminate) {
+      if (out != 0) {
+        fail("kTerminate has outgoing transitions — it must be terminal");
+      }
+    } else if (out == 0) {
+      fail(std::string("state '") + master_state_name(s) +
+           "' has no outgoing transition — the master would wedge there");
+    }
+  }
+  // Every state is entered by some edge, or is the start state (kProbe).
+  for (MasterState s : kAllMasterStates) {
+    if (s == MasterState::kProbe) continue;
+    const bool entered =
+        std::any_of(std::begin(kMasterTransitions), std::end(kMasterTransitions),
+                    [&](const auto& t) { return t.to == s; });
+    if (!entered) {
+      fail(std::string("state '") + master_state_name(s) +
+           "' is never entered — dead state or missing transition");
+    }
+  }
+  // Every transition condition is documented.
+  for (const auto& t : kMasterTransitions) {
+    if (t.on == nullptr || *t.on == '\0') {
+      fail(std::string("transition ") + master_state_name(t.from) + " -> " +
+           master_state_name(t.to) + " has no condition documented");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Source root: argv[1] if given, else the configure-time tree (the ctest
+  // registration passes it explicitly so installed builds work too).
+  std::string src_root;
+  if (argc > 1) {
+    src_root = argv[1];
+  } else {
+#ifdef PGASM_SOURCE_ROOT
+    src_root = PGASM_SOURCE_ROOT;
+#else
+    std::cerr << "protocol_check: no source root (pass it as argv[1])\n";
+    return 2;
+#endif
+  }
+
+  check_table_completeness();
+  check_identifiers_exist(src_root);
+  check_state_markers(src_root);
+  check_state_machine();
+
+  if (g_findings == 0) {
+    std::cout << "protocol_check: OK — " << kNumKinds << " message kinds, "
+              << kNumStates << " master states, "
+              << std::size(kMasterTransitions)
+              << " transitions; terminate reachable from every state\n";
+    return 0;
+  }
+  std::cerr << "protocol_check: " << g_findings << " finding(s)\n";
+  return 1;
+}
