@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
 # Repository CI gate, runnable locally:
 #
-#   scripts/ci.sh            # lint + tier-1 + faults + TSan + ASan + UBSan + fuzz
+#   scripts/ci.sh            # lint + tier-1 + faults + chaos + TSan + ASan
+#                            # + UBSan + fuzz
 #   scripts/ci.sh tier1      # just the tier-1 build + full ctest
 #   scripts/ci.sh faults     # just the fault-injection suite
+#   scripts/ci.sh chaos-smoke # bounded deterministic chaos campaign: seeded
+#                            # full-pipeline fault schedules must converge
+#                            # to bit-identical contigs
 #   scripts/ci.sh tsan       # just the TSan build of the concurrent layers
 #   scripts/ci.sh asan       # just the ASan build of the align + core suites
 #   scripts/ci.sh lint       # pgasm-lint + protocol_check + strict-warnings
@@ -38,11 +42,23 @@ faults() {
   (cd build && ctest --output-on-failure -L faults)
 }
 
+chaos_smoke() {
+  echo "== chaos-smoke: seeded fault schedules, contigs must be identical =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target chaos_pipeline
+  ./build/tools/chaos/chaos_pipeline --seeds "${CHAOS_SEEDS:-12}"
+}
+
 tsan() {
-  echo "== TSan: obs + vmpi concurrency tests =="
+  echo "== TSan: obs + vmpi concurrency tests + fault-injection suite =="
   cmake -B build-tsan -S . -DPGASM_SANITIZE=thread
-  cmake --build build-tsan -j "$JOBS" --target test_obs test_vmpi
+  cmake --build build-tsan -j "$JOBS" \
+    --target test_obs test_vmpi test_fault_tolerance test_recovery \
+    chaos_pipeline
   (cd build-tsan && ctest --output-on-failure -R 'Registry|Tracer|Histogram|Vmpi')
+  # Recovery reassigns work across surviving rank threads; TSan over the
+  # whole faults label is the data-race gate on those handoff paths.
+  (cd build-tsan && ctest --output-on-failure -L faults -j "$JOBS")
 }
 
 asan() {
@@ -58,7 +74,7 @@ asan() {
 }
 
 lint() {
-  echo "== lint: pgasm-lint project invariants (W001-W010) =="
+  echo "== lint: pgasm-lint project invariants (W001-W011) =="
   python3 tools/lint/pgasm_lint.py
 
   echo "== lint: protocol exhaustiveness checker =="
@@ -141,13 +157,14 @@ fuzz_smoke() {
   echo "== fuzz-smoke: bounded deterministic fuzz run (UBSan tree) =="
   cmake -B build-ubsan -S . -DPGASM_SANITIZE=undefined
   cmake --build build-ubsan -j "$JOBS" \
-    --target fuzz_wire fuzz_fasta fuzz_fastq fuzz_checkpoint
+    --target fuzz_wire fuzz_fasta fuzz_fastq fuzz_checkpoint fuzz_manifest
   (cd build-ubsan && ctest --output-on-failure -L fuzz)
 }
 
 case "$STAGE" in
   tier1) tier1 ;;
   faults) faults ;;
+  chaos-smoke) chaos_smoke ;;
   tsan) tsan ;;
   asan) asan ;;
   lint) lint ;;
@@ -159,13 +176,14 @@ case "$STAGE" in
     tsafety
     tier1
     faults
+    chaos_smoke
     tsan
     asan
     ubsan
     fuzz_smoke
     ;;
   *)
-    echo "usage: scripts/ci.sh [lint|tsafety|tier1|faults|tsan|asan|ubsan|fuzz-smoke|all]" >&2
+    echo "usage: scripts/ci.sh [lint|tsafety|tier1|faults|chaos-smoke|tsan|asan|ubsan|fuzz-smoke|all]" >&2
     exit 2
     ;;
 esac

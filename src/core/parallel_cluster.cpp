@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <stdexcept>
 
 #include "core/cluster_protocol.hpp"
@@ -73,7 +74,14 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     obs::Span ck_span = obs::span(0, "checkpoint", "cluster");
     auto scope = comm.compute_scope();
     const ClusterCheckpoint ck = sched.build_checkpoint();
-    save_checkpoint(params.checkpoint_path, ck);
+    const auto bytes = encode_checkpoint(ck);
+    save_frame_atomic(params.checkpoint_path,
+                      std::span<const std::uint8_t>(bytes));
+    if (obs::tracer().enabled()) {
+      obs::registry()
+          .counter("recovery.checkpoint_bytes", 0, obs::current_phase())
+          .inc(bytes.size() + 5);  // + frame header
+    }
     ck_span.arg("epoch", ck.epoch);
     ck_span.arg("pending", ck.pending.size());
   };
@@ -417,6 +425,32 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
           "parameters");
   }
 
+  // Fault-tolerant GST resume: if a recorded owner table matches this run
+  // (ranks, prefix, hashes), every rank rebuilds its portion locally and
+  // construction traffic is skipped entirely. A ClusterCheckpoint's
+  // generator positions are only meaningful under the table they were
+  // produced with, so a cluster resume without the table must refuse
+  // rather than replay positions against a differently-shaped portion.
+  std::vector<std::int32_t> gst_resume_table;
+  if (params.fault_tolerant_gst && !params.gst_checkpoint_path.empty()) {
+    auto loaded = try_load_gst_checkpoint(params.gst_checkpoint_path);
+    if (loaded) {
+      GstCheckpoint gck = std::move(loaded).take_or_throw();
+      if (gck.num_ranks == static_cast<std::uint32_t>(num_ranks) &&
+          gck.prefix_w == params.prefix_w &&
+          (gck.input_hash == 0 || gck.input_hash == sched.input_hash) &&
+          (gck.params_hash == 0 || gck.params_hash == sched.params_hash)) {
+        gst_resume_table = std::move(gck.bucket_owner);
+      }
+    }
+  }
+  if (resume && params.fault_tolerant_gst && gst_resume_table.empty()) {
+    throw std::invalid_argument(
+        "resume checkpoint requires the GST checkpoint it was written "
+        "under (missing, corrupt, or mismatched gst_checkpoint_path)");
+  }
+
+  std::vector<gst::GstBuildStats> gst_stats(num_ranks);
   util::WallTimer total_timer;
   vmpi::Runtime rt(num_ranks, cost_params, faults);
   result.cost = rt.run([&](vmpi::Comm& comm) {
@@ -426,12 +460,39 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
                             .prefix_w = params.prefix_w};
     gp.fetch_batch_chars = params.fetch_batch_chars;
     gp.exclude_rank0 = true;
+    gp.fault_tolerant = params.fault_tolerant_gst;
+    if (!gst_resume_table.empty()) gp.resume_bucket_owner = &gst_resume_table;
     auto dist = gst::build_distributed_gst(comm, doubled, gp);
-    comm.barrier();
+    gst_stats[comm.rank()] = dist.stats;
+    // The barrier is a collective: with fault tolerance on, a rank that
+    // died during construction would abort it (and the whole run), so the
+    // fault-tolerant path skips the sync and relies on the protocol's own
+    // completion round for the phase boundary.
+    if (!params.fault_tolerant_gst) comm.barrier();
     gst_busy[comm.rank()] = comm.ledger().busy_seconds();
     gst_wall[comm.rank()] = phase_timer.elapsed();
 
     if (comm.rank() == 0) {
+      if (params.fault_tolerant_gst && !params.gst_checkpoint_path.empty() &&
+          !dist.stats.resumed_from_plan) {
+        // Record the final owner table every survivor agreed on. All roles
+        // are complete under it by construction (dead ranks own nothing).
+        GstCheckpoint gck;
+        gck.input_hash = sched.input_hash;
+        gck.params_hash = sched.params_hash;
+        gck.num_ranks = static_cast<std::uint32_t>(num_ranks);
+        gck.prefix_w = params.prefix_w;
+        gck.bucket_owner = dist.bucket_owner;
+        gck.role_done.assign(static_cast<std::size_t>(num_ranks), 1);
+        const auto bytes = encode_gst_checkpoint(gck);
+        save_frame_atomic(params.gst_checkpoint_path,
+                          std::span<const std::uint8_t>(bytes));
+        if (obs::tracer().enabled()) {
+          obs::registry()
+              .counter("recovery.checkpoint_bytes", 0, obs::current_phase())
+              .inc(bytes.size() + 5);
+        }
+      }
       master_loop(comm, params, sched, resume);
     } else {
       worker_loop(comm, params, gp, doubled, dist, resume);
@@ -456,6 +517,12 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   stats.checkpoints_written = sched.checkpoints_written;
   stats.pairs_skipped_resume = sched.pairs_skipped_resume;
   stats.resumed_from_epoch = sched.resumed_from_epoch;
+  for (int rk = 0; rk < num_ranks; ++rk) {
+    stats.gst_ranks_recovered += gst_stats[rk].ranks_recovered;
+    stats.gst_buckets_reassigned += gst_stats[rk].buckets_reassigned;
+    stats.gst_ft_retries += gst_stats[rk].ft_retries;
+    stats.gst_resumed += gst_stats[rk].resumed_from_plan;
+  }
 
   double gst_model = 0, total_model = 0;
   for (int rk = 0; rk < num_ranks; ++rk) {

@@ -1,7 +1,10 @@
 #include "core/wire.hpp"
 
+#include <array>
 #include <cstdio>
 #include <cstring>
+
+#include <unistd.h>  // fsync — durable rename needs the data on disk first
 
 namespace pgasm::core {
 
@@ -9,6 +12,28 @@ namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x4b434750;  // "PGCK"
 constexpr std::uint32_t kCheckpointVersion = 2;  // v2: input/params hashes
+
+constexpr std::uint32_t kManifestMagic = 0x464d4750;  // "PGMF"
+constexpr std::uint32_t kManifestVersion = 1;
+
+constexpr std::uint32_t kGstCheckpointMagic = 0x54474750;  // "PGGT"
+constexpr std::uint32_t kGstCheckpointVersion = 1;
+
+// CRC-32 lookup table (IEEE 802.3 reflected polynomial), built once at
+// compile time so crc32 itself is allocation- and lock-free.
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
 
 // Codec helpers are generic over the byte container (std::uint8_t for the
 // legacy/test-facing API and checkpoints, std::byte for the zero-copy vmpi
@@ -177,6 +202,7 @@ const char* wire_errc_name(WireErrc code) noexcept {
     case WireErrc::kBadVersion: return "bad_version";
     case WireErrc::kCountMismatch: return "count_mismatch";
     case WireErrc::kBadValue: return "bad_value";
+    case WireErrc::kBadCrc: return "bad_crc";
     case WireErrc::kIo: return "io";
   }
   return "unknown";
@@ -319,27 +345,44 @@ ClusterCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& raw) {
       .take_or_throw();
 }
 
-void save_checkpoint(const std::string& path, const ClusterCheckpoint& c) {
-  const auto bytes = encode_checkpoint(c);
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) {
+    c = kCrc32Table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void save_frame_atomic(const std::string& path,
+                       std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(5 + payload.size());
+  frame.push_back(kFrameVersion);
+  append_pod(frame, crc32(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) throw std::runtime_error("checkpoint: cannot open " + tmp);
-  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  if (!f) throw std::runtime_error("frame: cannot open " + tmp);
+  const std::size_t written = std::fwrite(frame.data(), 1, frame.size(), f);
   const bool flushed = std::fflush(f) == 0;
+  // A rename is only atomic-durable if the temp file's data already hit the
+  // disk; otherwise a crash can leave the final name pointing at garbage.
+  const bool synced = flushed && ::fsync(::fileno(f)) == 0;
   std::fclose(f);
-  if (written != bytes.size() || !flushed) {
+  if (written != frame.size() || !synced) {
     std::remove(tmp.c_str());
-    throw std::runtime_error("checkpoint: short write to " + tmp);
+    throw std::runtime_error("frame: short write to " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw std::runtime_error("checkpoint: rename failed for " + path);
+    throw std::runtime_error("frame: rename failed for " + path);
   }
 }
 
-WireResult<ClusterCheckpoint> try_load_checkpoint(const std::string& path) {
+WireResult<std::vector<std::uint8_t>> try_load_frame(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) return WireError{WireErrc::kIo, 0, "checkpoint file unreadable"};
+  if (!f) return WireError{WireErrc::kIo, 0, "frame file unreadable"};
   std::vector<std::uint8_t> bytes;
   std::uint8_t buf[1 << 16];
   std::size_t n;
@@ -348,13 +391,165 @@ WireResult<ClusterCheckpoint> try_load_checkpoint(const std::string& path) {
   const bool read_ok = std::ferror(f) == 0;
   std::fclose(f);
   if (!read_ok) {
-    return WireError{WireErrc::kIo, bytes.size(), "checkpoint read error"};
+    return WireError{WireErrc::kIo, bytes.size(), "frame read error"};
   }
-  return try_decode_checkpoint(std::span<const std::uint8_t>(bytes));
+  if (bytes.size() < 5) {
+    return WireError{WireErrc::kTruncated, bytes.size(), "frame header"};
+  }
+  if (bytes[0] != kFrameVersion) {
+    return WireError{WireErrc::kBadVersion, 0, "frame version"};
+  }
+  std::uint32_t want = 0;
+  std::memcpy(&want, bytes.data() + 1, 4);
+  std::vector<std::uint8_t> payload(bytes.begin() + 5, bytes.end());
+  if (crc32(std::span<const std::uint8_t>(payload)) != want) {
+    return WireError{WireErrc::kBadCrc, 5, "frame payload checksum"};
+  }
+  return payload;
+}
+
+void save_checkpoint(const std::string& path, const ClusterCheckpoint& c) {
+  const auto bytes = encode_checkpoint(c);
+  save_frame_atomic(path, std::span<const std::uint8_t>(bytes));
+}
+
+WireResult<ClusterCheckpoint> try_load_checkpoint(const std::string& path) {
+  auto frame = try_load_frame(path);
+  if (!frame) return frame.error();
+  const auto payload = std::move(frame).take_or_throw();
+  return try_decode_checkpoint(std::span<const std::uint8_t>(payload));
 }
 
 ClusterCheckpoint load_checkpoint(const std::string& path) {
   return try_load_checkpoint(path).take_or_throw();
+}
+
+std::vector<std::uint8_t> encode_manifest(const RunManifest& m) {
+  std::vector<std::uint8_t> out;
+  out.reserve(36 + m.phases.size() * sizeof(PhaseEntry));
+  append_pod(out, kManifestMagic);
+  append_pod(out, kManifestVersion);
+  append_pod(out, m.generation);
+  append_pod(out, m.input_hash);
+  append_pod(out, m.params_hash);
+  append_vec(out, m.phases);
+  return out;
+}
+
+WireResult<RunManifest> try_decode_manifest(
+    std::span<const std::uint8_t> bytes) {
+  Cursor<std::uint8_t> cur(bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (cur.read(magic, "manifest magic") && magic != kManifestMagic) {
+    cur.fail(WireErrc::kBadMagic, "manifest magic");
+  }
+  if (cur.read(version, "manifest version") && version != kManifestVersion) {
+    cur.fail(WireErrc::kBadVersion, "manifest version");
+  }
+  RunManifest m;
+  cur.read(m.generation, "manifest generation");
+  cur.read(m.input_hash, "manifest input_hash");
+  cur.read(m.params_hash, "manifest params_hash");
+  cur.read_vec(m.phases, "manifest phases");
+  cur.expect_end("manifest trailing bytes");
+  if (!cur.ok()) return cur.error();
+  // A phase listed twice would make resume state ambiguous; the supervisor
+  // never writes one, so treat it as corruption.
+  std::uint64_t seen = 0;
+  for (const PhaseEntry& e : m.phases) {
+    if (e.phase >= 64 || (seen & (std::uint64_t{1} << e.phase)) != 0) {
+      return WireError{WireErrc::kBadValue, cur.offset(),
+                       "manifest duplicate or out-of-range phase id"};
+    }
+    seen |= std::uint64_t{1} << e.phase;
+  }
+  return m;
+}
+
+void save_manifest(const std::string& path, const RunManifest& m) {
+  const auto bytes = encode_manifest(m);
+  save_frame_atomic(path, std::span<const std::uint8_t>(bytes));
+}
+
+WireResult<RunManifest> try_load_manifest(const std::string& path) {
+  auto frame = try_load_frame(path);
+  if (!frame) return frame.error();
+  const auto payload = std::move(frame).take_or_throw();
+  return try_decode_manifest(std::span<const std::uint8_t>(payload));
+}
+
+std::vector<std::uint8_t> encode_gst_checkpoint(const GstCheckpoint& c) {
+  std::vector<std::uint8_t> out;
+  out.reserve(40 + c.bucket_owner.size() * 4 + c.role_done.size());
+  append_pod(out, kGstCheckpointMagic);
+  append_pod(out, kGstCheckpointVersion);
+  append_pod(out, c.input_hash);
+  append_pod(out, c.params_hash);
+  append_pod(out, c.num_ranks);
+  append_pod(out, c.prefix_w);
+  append_vec(out, c.bucket_owner);
+  append_vec(out, c.role_done);
+  return out;
+}
+
+WireResult<GstCheckpoint> try_decode_gst_checkpoint(
+    std::span<const std::uint8_t> bytes) {
+  Cursor<std::uint8_t> cur(bytes);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (cur.read(magic, "gst checkpoint magic") &&
+      magic != kGstCheckpointMagic) {
+    cur.fail(WireErrc::kBadMagic, "gst checkpoint magic");
+  }
+  if (cur.read(version, "gst checkpoint version") &&
+      version != kGstCheckpointVersion) {
+    cur.fail(WireErrc::kBadVersion, "gst checkpoint version");
+  }
+  GstCheckpoint c;
+  cur.read(c.input_hash, "gst checkpoint input_hash");
+  cur.read(c.params_hash, "gst checkpoint params_hash");
+  cur.read(c.num_ranks, "gst checkpoint num_ranks");
+  cur.read(c.prefix_w, "gst checkpoint prefix_w");
+  cur.read_vec(c.bucket_owner, "gst checkpoint bucket_owner");
+  cur.read_vec(c.role_done, "gst checkpoint role_done");
+  cur.expect_end("gst checkpoint trailing bytes");
+  if (!cur.ok()) return cur.error();
+  // Resume rebuilds each rank's portion straight from this table; a wrong
+  // size or out-of-range owner would index past the bucket array or spawn
+  // a role that does not exist.
+  if (c.prefix_w < 1 || c.prefix_w > 12) {
+    return WireError{WireErrc::kBadValue, cur.offset(),
+                     "gst checkpoint prefix_w out of range"};
+  }
+  if (c.bucket_owner.size() !=
+      (std::size_t{1} << (2 * c.prefix_w))) {
+    return WireError{WireErrc::kCountMismatch, cur.offset(),
+                     "gst checkpoint bucket_owner count != 4^prefix_w"};
+  }
+  for (const std::int32_t o : c.bucket_owner) {
+    if (o < -1 || o >= static_cast<std::int32_t>(c.num_ranks)) {
+      return WireError{WireErrc::kBadValue, cur.offset(),
+                       "gst checkpoint bucket owner out of range"};
+    }
+  }
+  if (c.role_done.size() != c.num_ranks) {
+    return WireError{WireErrc::kCountMismatch, cur.offset(),
+                     "gst checkpoint role_done count != num_ranks"};
+  }
+  return c;
+}
+
+void save_gst_checkpoint(const std::string& path, const GstCheckpoint& c) {
+  const auto bytes = encode_gst_checkpoint(c);
+  save_frame_atomic(path, std::span<const std::uint8_t>(bytes));
+}
+
+WireResult<GstCheckpoint> try_load_gst_checkpoint(const std::string& path) {
+  auto frame = try_load_frame(path);
+  if (!frame) return frame.error();
+  const auto payload = std::move(frame).take_or_throw();
+  return try_decode_gst_checkpoint(std::span<const std::uint8_t>(payload));
 }
 
 }  // namespace pgasm::core

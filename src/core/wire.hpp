@@ -100,7 +100,8 @@ enum class WireErrc : std::uint8_t {
   kBadVersion,      ///< checkpoint format version not understood
   kCountMismatch,   ///< declared element count contradicts another field
   kBadValue,        ///< a decoded field is outside its legal domain
-  kIo,              ///< file missing/unreadable (try_load_checkpoint only)
+  kBadCrc,          ///< file frame CRC32 does not match the payload
+  kIo,              ///< file missing/unreadable (try_load_* only)
 };
 
 /// Stable lowercase name for an error code ("truncated", "bad_tag", ...).
@@ -227,12 +228,106 @@ ClusterCheckpoint decode_checkpoint(const std::vector<std::uint8_t>& bytes);
 WireResult<ClusterCheckpoint> try_decode_checkpoint(
     std::span<const std::uint8_t> bytes);
 
-/// Atomic write (temp file + rename) / read of a checkpoint on disk.
-/// load_checkpoint throws (WireFormatError or std::runtime_error) if the
-/// file is missing or malformed; try_load_checkpoint reports the same
-/// conditions as a WireError (kIo for filesystem problems).
+// --- CRC-protected file frame ----------------------------------------------
+//
+// Every durable artifact (PGCK cluster checkpoint, PGMF run manifest, PGGT
+// GST checkpoint) is stored inside one on-disk frame:
+//
+//   [u8 frame_version][u32 crc32(payload)][payload bytes]
+//
+// The frame is written atomically — temp file, fwrite, fflush, fsync,
+// rename — and a load first verifies the CRC before any payload decoder
+// runs, so a truncated or bit-flipped file surfaces as a typed
+// kBadCrc/kTruncated error and is never trusted. This is the only
+// sanctioned way to write checkpoint/manifest files (pgasm-lint W011).
+
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `bytes`.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Atomically write `payload` to `path` wrapped in the CRC frame.
+/// Throws std::runtime_error on any filesystem failure (the temp file is
+/// removed before throwing).
+void save_frame_atomic(const std::string& path,
+                       std::span<const std::uint8_t> payload);
+
+/// Read a CRC frame back; returns the verified payload bytes. kIo for
+/// filesystem problems, kTruncated for a file shorter than the header,
+/// kBadVersion for an unknown frame version, kBadCrc on checksum mismatch.
+WireResult<std::vector<std::uint8_t>> try_load_frame(const std::string& path);
+
+/// Atomic write (CRC frame + temp file + fsync + rename) / read of a
+/// checkpoint on disk. load_checkpoint throws (WireFormatError or
+/// std::runtime_error) if the file is missing or malformed;
+/// try_load_checkpoint reports the same conditions as a WireError (kIo for
+/// filesystem problems, kBadCrc for torn/corrupt files).
 void save_checkpoint(const std::string& path, const ClusterCheckpoint& c);
 ClusterCheckpoint load_checkpoint(const std::string& path);
 WireResult<ClusterCheckpoint> try_load_checkpoint(const std::string& path);
+
+// --- Run manifest (pipeline recovery supervisor) ----------------------------
+
+/// Per-phase progress entry in a RunManifest. POD for append_vec.
+struct PhaseEntry {
+  std::uint32_t phase = 0;     ///< pipeline::PhaseId value
+  std::uint32_t attempts = 0;  ///< attempts consumed so far
+  std::uint8_t completed = 0;
+  std::uint8_t degraded = 0;   ///< optional phase skipped after retries
+  std::uint8_t pad0 = 0, pad1 = 0;
+};
+
+/// The recovery supervisor's durable state: which phases of a pipeline run
+/// completed (or were degraded), stamped with the run's input/params hashes
+/// so a manifest from a different input or configuration is never resumed.
+/// Written as manifest.<generation>.pgmf via the CRC frame; on restart the
+/// supervisor picks the newest generation that loads, CRC-checks, and
+/// hash-matches, and garbage-collects the rest.
+struct RunManifest {
+  std::uint64_t generation = 0;  ///< 1-based, monotonically increasing
+  std::uint64_t input_hash = 0;
+  std::uint64_t params_hash = 0;
+  std::vector<PhaseEntry> phases;
+};
+
+std::vector<std::uint8_t> encode_manifest(const RunManifest& m);
+
+/// Non-throwing manifest decode: total over arbitrary bytes. Beyond
+/// framing, rejects duplicate phase ids (kBadValue) — a manifest listing a
+/// phase twice is internally inconsistent.
+WireResult<RunManifest> try_decode_manifest(
+    std::span<const std::uint8_t> bytes);
+
+void save_manifest(const std::string& path, const RunManifest& m);
+WireResult<RunManifest> try_load_manifest(const std::string& path);
+
+// --- GST phase checkpoint ---------------------------------------------------
+
+/// Durable record of a completed fault-tolerant GST construction: the final
+/// bucket-owner table every surviving rank agreed on, plus which roles
+/// finished building their portion. Resume feeds `bucket_owner` back into
+/// build_distributed_gst (ParallelGstParams::resume_bucket_owner) so every
+/// rank rebuilds its portion locally and skips all construction traffic.
+/// Lives in core (not gst) because core already depends on gst for
+/// rebuild_rank_portion, never the other way around.
+struct GstCheckpoint {
+  std::uint64_t input_hash = 0;
+  std::uint64_t params_hash = 0;
+  std::uint32_t num_ranks = 0;
+  std::uint32_t prefix_w = 0;
+  std::vector<std::int32_t> bucket_owner;  ///< size 4^prefix_w, -1 = empty
+  std::vector<std::uint8_t> role_done;     ///< size num_ranks
+};
+
+std::vector<std::uint8_t> encode_gst_checkpoint(const GstCheckpoint& c);
+
+/// Non-throwing GST-checkpoint decode. Validates the resume invariants:
+/// prefix_w in [1, 12], bucket_owner.size() == 4^prefix_w, every owner in
+/// [-1, num_ranks), role_done.size() == num_ranks.
+WireResult<GstCheckpoint> try_decode_gst_checkpoint(
+    std::span<const std::uint8_t> bytes);
+
+void save_gst_checkpoint(const std::string& path, const GstCheckpoint& c);
+WireResult<GstCheckpoint> try_load_gst_checkpoint(const std::string& path);
 
 }  // namespace pgasm::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 
 #include "obs/export.hpp"
@@ -89,6 +90,103 @@ olc::AssemblyResult parse_assembly(const std::vector<std::uint8_t>& in,
   return ar;
 }
 
+// --- Final-checkpoint persistence (recovery supervisor) --------------------
+
+/// Write the completed clustering as a checkpoint: the full label vector,
+/// no pending pairs, every generator role marked done. A later run whose
+/// manifest says clustering completed restores the partition from this file
+/// instead of recomputing it; if only the file survives (manifest lost) a
+/// normal resume replays it and finishes immediately.
+void write_final_cluster_checkpoint(const core::ClusterParams& cp, int ranks,
+                                    const PipelineResult& result) {
+  core::ClusterCheckpoint ck;
+  ck.epoch = result.cluster_stats.resumed_from_epoch +
+             result.cluster_stats.checkpoints_written + 1;
+  ck.num_ranks = static_cast<std::uint32_t>(ranks);
+  ck.n_fragments = static_cast<std::uint32_t>(result.pre.store.size());
+  ck.input_hash = core::cluster_input_hash(result.pre.store);
+  ck.params_hash = core::cluster_params_hash(cp);
+  ck.labels = result.clusters.labels();
+  for (int r = 1; r < ranks; ++r) {
+    ck.progress.push_back(
+        core::RoleProgress{static_cast<std::uint32_t>(r), 1, 0});
+  }
+  ck.pairs_generated = result.cluster_stats.pairs_generated;
+  ck.pairs_aligned = result.cluster_stats.pairs_aligned;
+  ck.pairs_accepted = result.cluster_stats.pairs_accepted;
+  ck.merges = result.cluster_stats.merges;
+  ck.merges_rejected_inconsistent =
+      result.cluster_stats.merges_rejected_inconsistent;
+  const auto bytes = core::encode_checkpoint(ck);
+  core::save_frame_atomic(cp.checkpoint_path,
+                          std::span<const std::uint8_t>(bytes));
+  if (obs::tracer().enabled()) {
+    obs::registry()
+        .counter("recovery.checkpoint_bytes", obs::kNoRank, "recovery")
+        .inc(bytes.size() + 5);
+  }
+}
+
+/// Restore the partition from a *final* checkpoint (see above). Refuses
+/// mid-run checkpoints (pending pairs or unfinished roles) and anything
+/// whose hashes or sizes do not match this run.
+bool restore_final_clusters(const core::ClusterParams& cp,
+                            PipelineResult& result) {
+  if (cp.checkpoint_path.empty()) return false;
+  auto loaded = core::try_load_checkpoint(cp.checkpoint_path);
+  if (!loaded) return false;
+  const core::ClusterCheckpoint ck = std::move(loaded).value();
+  const std::size_t n = result.pre.store.size();
+  if (ck.n_fragments != n || ck.labels.size() != n) return false;
+  if (ck.input_hash != 0 &&
+      ck.input_hash != core::cluster_input_hash(result.pre.store)) {
+    return false;
+  }
+  if (ck.params_hash != 0 &&
+      ck.params_hash != core::cluster_params_hash(cp)) {
+    return false;
+  }
+  if (!ck.pending.empty()) return false;
+  for (const auto& rp : ck.progress) {
+    if (rp.done == 0) return false;
+  }
+  result.clusters.reset(n);
+  std::vector<std::uint32_t> first(n, UINT32_MAX);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t label = ck.labels[i];
+    if (label >= n) return false;
+    if (first[label] == UINT32_MAX) {
+      first[label] = i;
+    } else {
+      result.clusters.unite(first[label], i);
+    }
+  }
+  result.cluster_stats.pairs_generated = ck.pairs_generated;
+  result.cluster_stats.pairs_aligned = ck.pairs_aligned;
+  result.cluster_stats.pairs_accepted = ck.pairs_accepted;
+  result.cluster_stats.merges = ck.merges;
+  result.cluster_stats.merges_rejected_inconsistent =
+      ck.merges_rejected_inconsistent;
+  result.cluster_stats.resumed_from_epoch = ck.epoch;
+  return true;
+}
+
+/// Validate the recorded GST owner table a cluster checkpoint's generator
+/// positions depend on (fault-tolerant GST runs only).
+bool gst_table_usable(const core::ClusterParams& cp, int ranks,
+                      const seq::FragmentStore& store) {
+  if (cp.gst_checkpoint_path.empty()) return false;
+  auto loaded = core::try_load_gst_checkpoint(cp.gst_checkpoint_path);
+  if (!loaded) return false;
+  const core::GstCheckpoint gck = std::move(loaded).value();
+  return gck.num_ranks == static_cast<std::uint32_t>(ranks) &&
+         gck.prefix_w == cp.prefix_w &&
+         (gck.input_hash == 0 ||
+          gck.input_hash == core::cluster_input_hash(store)) &&
+         (gck.params_hash == 0 ||
+          gck.params_hash == core::cluster_params_hash(cp));
+}
+
 }  // namespace
 
 ClusterSummary summarize_clusters(const util::UnionFind& clusters) {
@@ -129,8 +227,20 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
   const bool obs_on = !params.obs_dir.empty();
   if (obs_on) obs::begin_run();
 
+  // Recovery supervisor (no-op pass-through when checkpoint_dir is empty).
+  SupervisorParams sup_params;
+  sup_params.dir = params.checkpoint_dir;
+  sup_params.max_attempts = params.phase_max_attempts;
+  sup_params.keep_generations = params.keep_generations;
+  if (!params.checkpoint_dir.empty()) {
+    sup_params.input_hash = core::cluster_input_hash(raw);
+    sup_params.params_hash = core::cluster_params_hash(params.cluster);
+  }
+  Supervisor sup(sup_params);
+
   // --- Preprocessing --------------------------------------------------------
-  {
+  sup.run_phase(PhaseId::kPreprocess, /*required=*/true, [&](std::uint32_t) {
+    result.pre = preprocess::PreprocessResult{};
     if (obs_on) obs::set_phase("preprocess");
     obs::Span phase_span = obs::span(obs::kDriverTid, "preprocess", "pipeline");
     if (params.run_preprocess) {
@@ -144,7 +254,7 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
     }
     phase_span.arg("fragments_in", raw.size());
     phase_span.arg("fragments_kept", result.pre.store.size());
-  }
+  });
   if (obs_on) {
     auto& reg = obs::registry();
     const preprocess::PreprocessStats& ps = result.pre.stats;
@@ -171,65 +281,105 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
   obs::Span cluster_span = obs::span(obs::kDriverTid, "cluster", "pipeline");
   if (params.ranks >= 2) {
     core::ClusterParams cp = params.cluster;
-    core::ClusterCheckpoint resume_ck;
-    bool has_resume = false;
     if (!params.checkpoint_dir.empty()) {
       if (cp.checkpoint_path.empty())
         cp.checkpoint_path = params.checkpoint_dir + "/cluster.ckpt";
       if (cp.checkpoint_every_reports == 0) cp.checkpoint_every_reports = 64;
-      auto loaded = core::try_load_checkpoint(cp.checkpoint_path);
-      if (loaded) {
-        resume_ck = std::move(loaded).value();
-        // Only resume a checkpoint written for this very input and
-        // configuration; a stale file falls back to a fresh run.
-        has_resume =
-            resume_ck.n_fragments == result.pre.store.size() &&
-            (resume_ck.input_hash == 0 ||
-             resume_ck.input_hash ==
-                 core::cluster_input_hash(result.pre.store)) &&
-            (resume_ck.params_hash == 0 ||
-             resume_ck.params_hash == core::cluster_params_hash(cp));
-      } else if (loaded.error().code != core::WireErrc::kIo) {
-        // Missing file is the normal first-run case; anything else means a
-        // checkpoint exists but cannot be trusted. Say so before starting
-        // fresh — silent fallback would hide corruption forever.
-        util::log_warn() << "ignoring unusable checkpoint "
-                         << cp.checkpoint_path << ": "
-                         << loaded.error().message();
-      }
+      if (cp.fault_tolerant_gst && cp.gst_checkpoint_path.empty())
+        cp.gst_checkpoint_path = params.checkpoint_dir + "/gst.ckpt";
     }
-    auto pr = core::cluster_parallel(result.pre.store, cp, params.ranks,
-                                     params.cost, params.faults,
-                                     has_resume ? &resume_ck : nullptr);
-    if (!cp.checkpoint_path.empty()) {
-      // Clustering completed: a leftover checkpoint would make the next
-      // fresh run "resume" a finished state.
-      std::remove(cp.checkpoint_path.c_str());
+    // A manifest vouching for a completed clustering plus a valid final
+    // checkpoint restores the partition without touching the runtime.
+    bool restored = false;
+    if (sup.enabled() && sup.completed_in_manifest(PhaseId::kCluster) &&
+        restore_final_clusters(cp, result)) {
+      restored = true;
+      sup.note_skipped(PhaseId::kCluster);
     }
-    result.clusters = std::move(pr.clusters);
-    result.cluster_stats = pr.stats;
-    result.cost = std::move(pr.cost);
+    if (!restored) {
+      sup.run_phase(PhaseId::kCluster, /*required=*/true,
+                    [&](std::uint32_t attempt) {
+        result.clusters = util::UnionFind{};
+        result.cluster_stats = core::ClusterStats{};
+        core::ClusterCheckpoint resume_ck;
+        bool has_resume = false;
+        if (!params.checkpoint_dir.empty()) {
+          auto loaded = core::try_load_checkpoint(cp.checkpoint_path);
+          if (loaded) {
+            resume_ck = std::move(loaded).value();
+            // Only resume a checkpoint written for this very input and
+            // configuration; a stale file falls back to a fresh run.
+            has_resume =
+                resume_ck.n_fragments == result.pre.store.size() &&
+                (resume_ck.input_hash == 0 ||
+                 resume_ck.input_hash ==
+                     core::cluster_input_hash(result.pre.store)) &&
+                (resume_ck.params_hash == 0 ||
+                 resume_ck.params_hash == core::cluster_params_hash(cp));
+          } else if (loaded.error().code != core::WireErrc::kIo) {
+            // Missing file is the normal first-run case; anything else means
+            // a checkpoint exists but cannot be trusted. Say so before
+            // starting fresh — silent fallback would hide corruption forever.
+            util::log_warn() << "ignoring unusable checkpoint "
+                             << cp.checkpoint_path << ": "
+                             << loaded.error().message();
+          }
+          // A cluster checkpoint's generator positions are only meaningful
+          // under the GST owner table recorded alongside it; without that
+          // table, start fresh rather than replay positions against a
+          // differently-shaped portion (cluster_parallel would refuse).
+          if (has_resume && cp.fault_tolerant_gst &&
+              !gst_table_usable(cp, params.ranks, result.pre.store)) {
+            util::log_warn()
+                << "discarding cluster checkpoint " << cp.checkpoint_path
+                << ": its GST owner table is missing or invalid";
+            has_resume = false;
+          }
+        }
+        auto pr = core::cluster_parallel(
+            result.pre.store, cp, params.ranks, params.cost,
+            attempt == 0 ? params.faults : vmpi::FaultPlan{},
+            has_resume ? &resume_ck : nullptr);
+        result.clusters = std::move(pr.clusters);
+        result.cluster_stats = pr.stats;
+        result.cost = std::move(pr.cost);
+        if (!cp.checkpoint_path.empty()) {
+          if (sup.enabled()) {
+            // Keep a *final* checkpoint so a rerun restores the finished
+            // partition instead of recomputing it (the manifest records
+            // which runs it is valid for).
+            write_final_cluster_checkpoint(cp, params.ranks, result);
+          } else {
+            // No manifest to vouch for it: a leftover checkpoint would make
+            // the next fresh run "resume" a finished state.
+            std::remove(cp.checkpoint_path.c_str());
+          }
+        }
+      });
+    }
   } else {
-    auto sr = core::cluster_serial(result.pre.store, params.cluster);
-    result.clusters = std::move(sr.clusters);
-    result.cluster_stats = sr.stats;
-    // Parallel runs publish these inside cluster_parallel (rank 0); serial
-    // runs publish them here at driver level.
-    if (obs_on) {
-      auto& reg = obs::registry();
-      const core::ClusterStats& cs = result.cluster_stats;
-      const char* ph = "cluster";
-      reg.counter("cluster.pairs_generated", obs::kNoRank, ph)
-          .inc(cs.pairs_generated);
-      reg.counter("cluster.pairs_aligned", obs::kNoRank, ph)
-          .inc(cs.pairs_aligned);
-      reg.counter("cluster.pairs_accepted", obs::kNoRank, ph)
-          .inc(cs.pairs_accepted);
-      reg.counter("cluster.merges", obs::kNoRank, ph).inc(cs.merges);
-      reg.gauge("cluster.gst_seconds", obs::kNoRank, ph).set(cs.gst_seconds);
-      reg.gauge("cluster.cluster_seconds", obs::kNoRank, ph)
-          .set(cs.cluster_seconds);
-    }
+    sup.run_phase(PhaseId::kCluster, /*required=*/true, [&](std::uint32_t) {
+      auto sr = core::cluster_serial(result.pre.store, params.cluster);
+      result.clusters = std::move(sr.clusters);
+      result.cluster_stats = sr.stats;
+      // Parallel runs publish these inside cluster_parallel (rank 0); serial
+      // runs publish them here at driver level.
+      if (obs_on) {
+        auto& reg = obs::registry();
+        const core::ClusterStats& cs = result.cluster_stats;
+        const char* ph = "cluster";
+        reg.counter("cluster.pairs_generated", obs::kNoRank, ph)
+            .inc(cs.pairs_generated);
+        reg.counter("cluster.pairs_aligned", obs::kNoRank, ph)
+            .inc(cs.pairs_aligned);
+        reg.counter("cluster.pairs_accepted", obs::kNoRank, ph)
+            .inc(cs.pairs_accepted);
+        reg.counter("cluster.merges", obs::kNoRank, ph).inc(cs.merges);
+        reg.gauge("cluster.gst_seconds", obs::kNoRank, ph).set(cs.gst_seconds);
+        reg.gauge("cluster.cluster_seconds", obs::kNoRank, ph)
+            .set(cs.cluster_seconds);
+      }
+    });
   }
   result.cluster_summary = summarize_clusters(result.clusters);
   cluster_span.arg("merges", result.cluster_stats.merges);
@@ -259,8 +409,12 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
   // distributing the clusters across multiple processors and running
   // multiple instances of a serial assembler in parallel" (Section 3).
   if (params.run_assembly) {
+    sup.run_phase(PhaseId::kAssembly, /*required=*/true,
+                  [&](std::uint32_t attempt) {
     if (obs_on) obs::set_phase("assembly");
     obs::Span asm_span = obs::span(obs::kDriverTid, "assembly", "pipeline");
+    result.assemblies.clear();
+    result.assembly_summary = AssemblySummary{};
     std::size_t n_assemble = 0;
     while (n_assemble < result.cluster_sets.size() &&
            result.cluster_sets[n_assemble].size() >= 2) {
@@ -280,7 +434,12 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
     if (params.ranks >= 2 && n_assemble > 0) {
       // Clusters are sorted by decreasing size; round-robin over ranks is
       // an LPT-style balance. Results ship to rank 0 serialized.
-      vmpi::Runtime rt(params.ranks, params.cost);
+      // Under the supervisor the chaos fault plan reaches this phase too
+      // (first attempt only): a crashed or silenced worker surfaces as a
+      // failed gather recv, and the retry reassembles everything clean.
+      vmpi::Runtime rt(params.ranks, params.cost,
+                       sup.enabled() && attempt == 0 ? params.faults
+                                                     : vmpi::FaultPlan{});
       const auto cost = rt.run([&](vmpi::Comm& comm) {
         std::vector<std::uint8_t> outbox;
         {
@@ -355,12 +514,24 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
       reg.gauge("assembly.assembly_seconds", obs::kNoRank, ph)
           .set(a.assembly_seconds);
     }
+    });
   }
+
+  // --- Optional phases (degradable under the supervisor) --------------------
+  if (params.optional_post_phase) {
+    if (obs_on) obs::set_phase("validation");
+    sup.run_phase(PhaseId::kValidation, /*required=*/false,
+                  [&](std::uint32_t) { params.optional_post_phase(result); });
+  }
+  result.recovery = sup.stats();
   if (obs_on) {
+    sup.publish_obs();
     obs::set_phase("");
-    obs::write_run_outputs(params.obs_dir);
+    sup.run_phase(PhaseId::kObsExport, /*required=*/false,
+                  [&](std::uint32_t) { obs::write_run_outputs(params.obs_dir); });
     obs::tracer().set_enabled(false);
   }
+  result.recovery = sup.stats();
   return result;
 }
 

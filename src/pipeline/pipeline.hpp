@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,10 +18,13 @@
 #include "core/parallel_cluster.hpp"
 #include "olc/assembler.hpp"
 #include "olc/scaffold.hpp"
+#include "pipeline/supervisor.hpp"
 #include "preprocess/preprocess.hpp"
 #include "seq/fragment_store.hpp"
 
 namespace pgasm::pipeline {
+
+struct PipelineResult;
 
 struct PipelineParams {
   preprocess::PreprocessParams pre{};
@@ -34,10 +38,26 @@ struct PipelineParams {
   /// Fault-injection plan applied to the parallel clustering runtime
   /// (testing/chaos runs; see DESIGN.md "Fault model & recovery").
   vmpi::FaultPlan faults{};
-  /// Non-empty: enable periodic cluster checkpoints in this directory and
-  /// auto-resume from an existing one. The checkpoint file is removed once
-  /// clustering completes, so a finished run leaves nothing to resume.
+  /// Non-empty: engage the recovery supervisor (see pipeline/supervisor.hpp
+  /// and DESIGN.md "End-to-end recovery"). Periodic cluster checkpoints, the
+  /// fault-tolerant-GST owner table and the generation-numbered run manifest
+  /// live in this directory; phases are retried with capped backoff (faults
+  /// injected on the first attempt only) and a rerun resumes from whatever
+  /// persisted state the manifest vouches for — a completed clustering is
+  /// restored from its final checkpoint instead of recomputed.
   std::string checkpoint_dir;
+  /// Attempts per supervised phase before giving up (min 1); only
+  /// meaningful with a non-empty checkpoint_dir.
+  std::uint32_t phase_max_attempts = 3;
+  /// Manifest generations kept on disk before garbage collection.
+  std::uint32_t keep_generations = 2;
+  /// Optional post-assembly phase (ground-truth validation, scaffold stats,
+  /// report writing). Runs under the supervisor as a NON-required phase:
+  /// if it keeps failing the pipeline completes without it, marking the
+  /// phase degraded (warning log + recovery.degraded_phases counter)
+  /// instead of aborting. Without a checkpoint_dir it runs once and any
+  /// failure propagates.
+  std::function<void(const PipelineResult&)> optional_post_phase;
   /// Non-empty: enable the obs metrics registry + per-rank tracer for this
   /// run and write summary.txt / metrics.jsonl / trace.json into this
   /// directory when the pipeline finishes (see src/obs/export.hpp). The
@@ -78,6 +98,8 @@ struct PipelineResult {
   std::vector<olc::AssemblyResult> assemblies;  ///< per non-singleton cluster
   ClusterSummary cluster_summary;
   AssemblySummary assembly_summary;
+  /// Recovery supervisor bookkeeping (all zero without a checkpoint_dir).
+  SupervisorStats recovery;
 };
 
 PipelineResult run_pipeline(const seq::FragmentStore& raw,

@@ -74,6 +74,7 @@ def main() -> int:
     check(any("default" in f["message"] for f in w9["findings"]),
           "W009 flags the silent default")
     expect_findings(lint, "w010_bad", "W010", 2)
+    expect_findings(lint, "w011_bad", "W011", 2)
 
     print("clean --only W007..W010:")
     proc = subprocess.run(

@@ -1,0 +1,27 @@
+// Seeded W011 violations: raw file writes to checkpoint/manifest paths
+// outside core/wire.cpp. `pgasm-lint --only W011` must flag the two BAD
+// lines and accept the read-only, unrelated, and waived ones.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+void bad_writes(const std::string& dir) {
+  std::ofstream out(dir + "/cluster.ckpt");              // BAD: raw ofstream
+  out << "not a frame";
+  std::FILE* f = std::fopen("manifest.3.pgmf", "wb");    // BAD: raw fopen
+  if (f) std::fclose(f);
+}
+
+void fine(const std::string& dir) {
+  std::ifstream peek(dir + "/cluster.ckpt");             // OK: read only
+  std::fstream ro(dir + "/manifest.1.pgmf", std::ios::in);  // OK: read mode
+  std::ofstream log(dir + "/summary.txt");               // OK: not a ckpt
+  std::FILE* r = std::fopen("gst.ckpt", "rb");           // OK: read mode
+  if (r) std::fclose(r);
+  // pgasm-lint: allow(raw-ckpt-write): corruption injection for the test
+  std::ofstream evil(dir + "/corrupt_checkpoint.pgck");  // OK: waived
+}
+
+}  // namespace fixture

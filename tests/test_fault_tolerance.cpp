@@ -571,6 +571,103 @@ TEST(FaultCluster, MasterCrashThenCheckpointResumeCompletes) {
   std::remove(params.checkpoint_path.c_str());
 }
 
+// --- fault-tolerant GST construction through clustering --------------------
+
+TEST(FaultClusterGst, FaultFreeFtGstMatchesDefaultPath) {
+  util::Prng rng(606);
+  const auto store = sampled_reads(rng, 1600, 48, 100, 0.01);
+  const auto params = fault_params();
+
+  const auto baseline =
+      run_with_watchdog([&] { return cluster_parallel(store, params, 4); });
+
+  auto ft = params;
+  ft.fault_tolerant_gst = true;
+  const auto result =
+      run_with_watchdog([&] { return cluster_parallel(store, ft, 4); });
+  expect_same_partition(baseline.clusters, result.clusters);
+  EXPECT_EQ(result.stats.gst_ranks_recovered, 0u);
+  EXPECT_EQ(result.stats.gst_buckets_reassigned, 0u);
+  EXPECT_EQ(result.stats.gst_resumed, 0u);
+}
+
+TEST(FaultClusterGst, RankKilledMidGstRecoversSamePartition) {
+  util::Prng rng(607);
+  const auto store = sampled_reads(rng, 2000, 56, 100, 0.01);
+  auto params = fault_params();
+  params.fault_tolerant_gst = true;
+
+  const auto baseline =
+      run_with_watchdog([&] { return cluster_parallel(store, params, 4); });
+
+  // Send #1 under the fault-tolerant GST protocol is the rank's histogram,
+  // sends #2..#p its suffix contributions: at_send = 3 dies mid-
+  // redistribution, after the coordinator has assigned it buckets. Before
+  // this PR any death inside the GST phase aborted the whole run.
+  vmpi::FaultPlan plan;
+  plan.crashes.push_back({.rank = 2, .at_send = 3});
+  const auto faulty = run_with_watchdog(
+      [&] { return cluster_parallel(store, params, 4, {}, plan); });
+
+  EXPECT_EQ(faulty.cost.faults.crashes_injected, 1u);
+  EXPECT_GE(faulty.stats.gst_buckets_reassigned, 1u);
+  // The dead rank never reaches the clustering phase either: the master
+  // declares it dead on the first heartbeat round and a survivor rebuilds
+  // its (empty, under the final table) generator role.
+  EXPECT_GE(faulty.stats.workers_lost, 1u);
+  expect_same_partition(baseline.clusters, faulty.clusters);
+}
+
+TEST(FaultClusterGst, GstCheckpointWrittenAndResumed) {
+  util::Prng rng(608);
+  const auto store = sampled_reads(rng, 1600, 48, 100, 0.01);
+  auto params = fault_params();
+  params.fault_tolerant_gst = true;
+  params.gst_checkpoint_path = testing::TempDir() + "pgasm_gst_test.pgck";
+  std::remove(params.gst_checkpoint_path.c_str());
+
+  const auto first =
+      run_with_watchdog([&] { return cluster_parallel(store, params, 4); });
+  EXPECT_EQ(first.stats.gst_resumed, 0u);
+
+  auto loaded = core::try_load_gst_checkpoint(params.gst_checkpoint_path);
+  ASSERT_TRUE(loaded.has_value()) << core::wire_errc_name(loaded.error().code);
+  EXPECT_EQ(loaded.value().num_ranks, 4u);
+  EXPECT_EQ(loaded.value().prefix_w, params.prefix_w);
+
+  // Second run resumes from the recorded table: every rank rebuilds its
+  // portion locally and the GST phase moves zero construction traffic.
+  const auto second =
+      run_with_watchdog([&] { return cluster_parallel(store, params, 4); });
+  EXPECT_EQ(second.stats.gst_resumed, 4u);
+  expect_same_partition(first.clusters, second.clusters);
+  std::remove(params.gst_checkpoint_path.c_str());
+}
+
+TEST(FaultClusterGst, ClusterResumeRequiresGstCheckpoint) {
+  util::Prng rng(609);
+  const auto store = sampled_reads(rng, 800, 24, 100, 0.01);
+  auto params = fault_params();
+  params.fault_tolerant_gst = true;
+  params.gst_checkpoint_path = testing::TempDir() + "pgasm_gst_missing.pgck";
+  std::remove(params.gst_checkpoint_path.c_str());
+
+  // A valid cluster checkpoint whose generator positions are only
+  // meaningful under the GST owner table it was written with: without that
+  // table the resume must refuse rather than replay positions against a
+  // differently-shaped portion.
+  core::ClusterCheckpoint ck;
+  ck.epoch = 1;
+  ck.num_ranks = 3;
+  ck.n_fragments = static_cast<std::uint32_t>(store.size());
+  ck.labels.resize(store.size());
+  for (std::uint32_t i = 0; i < ck.labels.size(); ++i) ck.labels[i] = i;
+  ck.input_hash = core::cluster_input_hash(store);
+  ck.params_hash = core::cluster_params_hash(params);
+  EXPECT_THROW(cluster_parallel(store, params, 3, {}, {}, &ck),
+               std::invalid_argument);
+}
+
 TEST(FaultCluster, FaultFreeRunReportsNoRecoveryActivity) {
   util::Prng rng(5);
   const auto store = sampled_reads(rng, 1200, 32, 100, 0.01);

@@ -213,6 +213,199 @@ TEST(WireErrors, TryLoadCheckpointRoundTripsThroughDisk) {
   std::remove(path.c_str());
 }
 
+// --- CRC-protected file frame ----------------------------------------------
+
+// A checkpoint file with flipped payload bits must be rejected with kBadCrc
+// (typed, loud) — before this frame existed, a flipped label bit inside an
+// otherwise well-formed PGCK payload decoded silently into a wrong
+// partition on resume.
+TEST(WireErrors, BitFlippedCheckpointFileIsBadCrc) {
+  const auto ck = sample_checkpoint();
+  const std::string path = testing::TempDir() + "/pgasm_crc_flip.pgck";
+  save_checkpoint(path, ck);
+
+  // Flip one bit in every payload byte position in turn; each corruption
+  // must surface as kBadCrc (the version byte yields kBadVersion instead).
+  const auto original = [&] {
+    auto frame = try_load_frame(path);
+    EXPECT_TRUE(frame.has_value());
+    return std::move(frame).take_or_throw();
+  }();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<std::uint8_t> file_bytes(original.size() + 5);
+  ASSERT_EQ(std::fread(file_bytes.data(), 1, file_bytes.size(), f),
+            file_bytes.size());
+  std::fclose(f);
+
+  for (const std::size_t pos :
+       {std::size_t{5}, std::size_t{9}, file_bytes.size() - 1}) {
+    auto tampered = file_bytes;
+    tampered[pos] ^= 0x01;
+    // pgasm-lint: allow(raw-ckpt-write): deliberately corrupting a frame on
+    // disk to prove the loader rejects it.
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(std::fwrite(tampered.data(), 1, tampered.size(), out),
+              tampered.size());
+    std::fclose(out);
+    auto r = try_load_checkpoint(path);
+    ASSERT_FALSE(r.has_value()) << "bit flip at " << pos << " accepted";
+    EXPECT_EQ(r.error().code, WireErrc::kBadCrc) << "pos=" << pos;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WireErrors, TruncatedCheckpointFileIsTyped) {
+  const auto ck = sample_checkpoint();
+  const std::string path = testing::TempDir() + "/pgasm_crc_trunc.pgck";
+  save_checkpoint(path, ck);
+  auto frame = try_load_frame(path);
+  ASSERT_TRUE(frame.has_value());
+  const auto payload = std::move(frame).take_or_throw();
+
+  std::vector<std::uint8_t> file_bytes;
+  file_bytes.push_back(kFrameVersion);
+  const std::uint32_t crc = crc32(std::span<const std::uint8_t>(payload));
+  for (int i = 0; i < 4; ++i)
+    file_bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  file_bytes.insert(file_bytes.end(), payload.begin(), payload.end());
+
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
+                                file_bytes.size() / 2,
+                                file_bytes.size() - 1}) {
+    // pgasm-lint: allow(raw-ckpt-write): writing a deliberately truncated
+    // frame to prove the loader rejects it.
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(std::fwrite(file_bytes.data(), 1, cut, out), cut);
+    std::fclose(out);
+    auto r = try_load_checkpoint(path);
+    ASSERT_FALSE(r.has_value()) << "truncation at " << cut << " accepted";
+    EXPECT_TRUE(r.error().code == WireErrc::kTruncated ||
+                r.error().code == WireErrc::kBadCrc)
+        << "cut=" << cut << ": " << wire_errc_name(r.error().code);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WireErrors, UnknownFrameVersionIsTyped) {
+  const std::string path = testing::TempDir() + "/pgasm_crc_ver.pgck";
+  save_checkpoint(path, sample_checkpoint());
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const std::uint8_t bogus = 0x7E;
+  ASSERT_EQ(std::fwrite(&bogus, 1, 1, f), 1u);
+  std::fclose(f);
+  auto r = try_load_checkpoint(path);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, WireErrc::kBadVersion);
+  std::remove(path.c_str());
+}
+
+TEST(WireErrors, Crc32MatchesKnownVector) {
+  // The standard reflected CRC-32 of "123456789" (check value).
+  const char* s = "123456789";
+  const auto crc = crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s), 9));
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+// --- Run manifest & GST checkpoint codecs -----------------------------------
+
+RunManifest sample_manifest() {
+  RunManifest m;
+  m.generation = 7;
+  m.input_hash = 0x1111222233334444ULL;
+  m.params_hash = 0x5555666677778888ULL;
+  m.phases.push_back(PhaseEntry{0, 1, 1, 0, 0, 0});
+  m.phases.push_back(PhaseEntry{1, 3, 1, 0, 0, 0});
+  m.phases.push_back(PhaseEntry{3, 3, 0, 1, 0, 0});
+  return m;
+}
+
+TEST(WireErrors, ManifestRoundTripsThroughDisk) {
+  const auto m = sample_manifest();
+  const std::string path = testing::TempDir() + "/pgasm_manifest.pgmf";
+  save_manifest(path, m);
+  auto r = try_load_manifest(path);
+  ASSERT_TRUE(r.has_value()) << r.error().message();
+  EXPECT_EQ(r.value().generation, 7u);
+  EXPECT_EQ(r.value().input_hash, m.input_hash);
+  ASSERT_EQ(r.value().phases.size(), 3u);
+  EXPECT_EQ(r.value().phases[1].attempts, 3u);
+  EXPECT_EQ(r.value().phases[2].degraded, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(WireErrors, ManifestDuplicatePhaseIsBadValue) {
+  auto m = sample_manifest();
+  m.phases.push_back(m.phases[0]);
+  const auto bytes = encode_manifest(m);
+  auto r = try_decode_manifest(std::span<const std::uint8_t>(bytes));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, WireErrc::kBadValue);
+}
+
+TEST(WireErrors, ManifestHugePhaseIdIsBadValue) {
+  auto m = sample_manifest();
+  m.phases[0].phase = 64;
+  const auto bytes = encode_manifest(m);
+  auto r = try_decode_manifest(std::span<const std::uint8_t>(bytes));
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().code, WireErrc::kBadValue);
+}
+
+TEST(WireErrors, GstCheckpointRoundTripsThroughDisk) {
+  GstCheckpoint g;
+  g.input_hash = 0xAABB;
+  g.params_hash = 0xCCDD;
+  g.num_ranks = 4;
+  g.prefix_w = 3;
+  g.bucket_owner.assign(1u << (2 * g.prefix_w), 1);
+  g.bucket_owner[0] = -1;
+  g.bucket_owner[5] = 3;
+  g.role_done = {1, 1, 1, 1};
+  const std::string path = testing::TempDir() + "/pgasm_gst.pgck";
+  save_gst_checkpoint(path, g);
+  auto r = try_load_gst_checkpoint(path);
+  ASSERT_TRUE(r.has_value()) << r.error().message();
+  EXPECT_EQ(r.value().bucket_owner, g.bucket_owner);
+  EXPECT_EQ(r.value().role_done, g.role_done);
+  std::remove(path.c_str());
+}
+
+TEST(WireErrors, GstCheckpointValidatesShape) {
+  GstCheckpoint g;
+  g.num_ranks = 2;
+  g.prefix_w = 2;
+  g.bucket_owner.assign(16, 0);
+  g.role_done = {1, 1};
+  {
+    auto bad = g;
+    bad.bucket_owner.pop_back();  // size != 4^w
+    const auto bytes = encode_gst_checkpoint(bad);
+    auto r = try_decode_gst_checkpoint(std::span<const std::uint8_t>(bytes));
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, WireErrc::kCountMismatch);
+  }
+  {
+    auto bad = g;
+    bad.bucket_owner[3] = 2;  // owner >= num_ranks
+    const auto bytes = encode_gst_checkpoint(bad);
+    auto r = try_decode_gst_checkpoint(std::span<const std::uint8_t>(bytes));
+    ASSERT_FALSE(r.has_value());
+    EXPECT_EQ(r.error().code, WireErrc::kBadValue);
+  }
+  {
+    auto bad = g;
+    bad.prefix_w = 13;  // outside [1, 12]
+    const auto bytes = encode_gst_checkpoint(bad);
+    auto r = try_decode_gst_checkpoint(std::span<const std::uint8_t>(bytes));
+    ASSERT_FALSE(r.has_value());
+  }
+}
+
 TEST(WireErrors, ErrorMessageNamesCodeAndOffset) {
   const auto bytes = encode_report(sample_report());
   auto r = try_decode_report(

@@ -46,6 +46,14 @@ W010  guarded-by coverage: in any class that owns a util::Mutex, every
       non-atomic data member must carry PGASM_GUARDED_BY/PGASM_PT_GUARDED_BY
       (or an explicit `pgasm-lint: allow(guard): <reason>` waiver stating
       why it needs no lock).
+W011  checkpoint-write confinement: checkpoint and manifest bytes reach
+      disk only through core/wire.cpp's frame writer (save_frame_atomic:
+      version byte + CRC32 + fsync + atomic rename). A raw std::ofstream /
+      write-mode std::fstream / fopen("w...") that names a *.pgck / *.pgmf
+      / *.ckpt / checkpoint / manifest path anywhere else (src/ and tests/)
+      bypasses the integrity frame and produces files the typed loaders
+      must treat as corrupt. Deliberate corruption injection in tests is
+      waived with `pgasm-lint: allow(raw-ckpt-write): <reason>`.
 
 Front-ends: W007-W010 are semantic checks. When a clang compiler is
 available (and unless --frontend=lexer), facts are extracted from clang's
@@ -278,7 +286,8 @@ def check_w002() -> None:
 
 SUBSYSTEMS = {
     "align", "assembly", "cluster", "engine", "gst", "obs", "olc",
-    "pipeline", "preprocess", "scaffold", "seq", "sim", "vmpi", "wire",
+    "pipeline", "preprocess", "recovery", "scaffold", "seq", "sim", "vmpi",
+    "wire",
 }
 METRIC_RE = re.compile(r"\.(counter|gauge|histogram)\(\s*\"([^\"]+)\"")
 METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){1,2}$")
@@ -777,6 +786,55 @@ def check_w010() -> None:
 
 
 # --------------------------------------------------------------------------
+# W011: checkpoint/manifest write confinement
+# --------------------------------------------------------------------------
+
+# A write-capable file open on one line: std::ofstream is always a write;
+# std::fstream counts only with an out/trunc/app open mode; fopen only with
+# a "w…"/"a…" mode string.
+CKPT_OPEN_RE = re.compile(r"\bstd::ofstream\b|\bstd::fstream\b|\bfopen\s*\(")
+CKPT_PATH_HINT_RE = re.compile(r"(?i)\.pgck|\.pgmf|\.ckpt|checkpoint|manifest")
+CKPT_ALLOWED = {Path("core/wire.cpp")}
+
+
+def check_w011() -> None:
+    targets = src_files(".cpp", ".hpp")
+    if TESTS.is_dir():
+        targets += sorted(TESTS.rglob("*.cpp")) + sorted(TESTS.rglob("*.hpp"))
+    for path in targets:
+        try:
+            if path.relative_to(SRC) in CKPT_ALLOWED:
+                continue
+        except ValueError:
+            # A tests/ file: never exempt, but the lint fixture mini-trees
+            # seed violations on purpose.
+            if "lint_fixtures" in path.parts:
+                continue
+        lines = read_lines(path)
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = CKPT_OPEN_RE.search(line)
+            if not m:
+                continue
+            if not CKPT_PATH_HINT_RE.search(line):
+                continue
+            token = m.group(0)
+            if token == "std::fstream" and not re.search(
+                    r"\bios(?:_base)?::(?:out|trunc|app)\b", line):
+                continue  # read-only inspection of a checkpoint file
+            if token.startswith("fopen") and not re.search(r"\"[wa]", line):
+                continue
+            if waived(lines, i, "raw-ckpt-write"):
+                continue
+            finding(path, i + 1, "W011", "raw-ckpt-write",
+                    "raw file write to a checkpoint/manifest path bypasses "
+                    "the integrity frame; persist through encode_* + "
+                    "core::save_frame_atomic (version byte + CRC32 + fsync "
+                    "+ atomic rename) or waive deliberate corruption with "
+                    "`pgasm-lint: allow(raw-ckpt-write): <reason>`")
+
+
+# --------------------------------------------------------------------------
 # Optional clang front-end for W007/W010 facts
 # --------------------------------------------------------------------------
 #
@@ -876,6 +934,7 @@ CHECKS = {
     "W008": check_w008,
     "W009": check_w009,
     "W010": check_w010,
+    "W011": check_w011,
 }
 
 
