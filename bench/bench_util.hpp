@@ -11,6 +11,7 @@
 #include <fstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -102,6 +103,24 @@ inline core::ClusterParams bench_cluster_params() {
   return p;
 }
 
+/// Best-effort `git describe` of the working tree, "" when unavailable
+/// (not a git checkout, or git not installed). Stamped into BENCH_*.json
+/// metadata so perf_diff can report which revisions it is comparing.
+inline std::string git_describe() {
+  std::string out;
+#if defined(__unix__) || defined(__APPLE__)
+  if (FILE* p = ::popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    while (std::fgets(buf, sizeof(buf), p) != nullptr) out += buf;
+    ::pclose(p);
+  }
+#endif
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
 inline void print_header(const char* paper_ref, const char* what) {
   std::printf("=====================================================\n");
   std::printf("%s\n", paper_ref);
@@ -175,7 +194,17 @@ class BenchJson {
     std::vector<std::pair<std::string, std::string>> fields_;
   };
 
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    // Run metadata, stamped into every file: perf_diff refuses to compare
+    // points measured under different build types, and records revisions.
+    meta_.set("git", git_describe());
+#ifdef PGASM_BUILD_TYPE
+    meta_.set("build_type", PGASM_BUILD_TYPE);
+#else
+    meta_.set("build_type", "");
+#endif
+    meta_.set("hardware_threads", std::thread::hardware_concurrency());
+  }
 
   /// Record a run parameter (flag value, dataset size, ...).
   template <typename T>
@@ -197,7 +226,9 @@ class BenchJson {
         path.empty() ? "BENCH_" + name_ + ".json" : path;
     std::ofstream out(out_path);
     if (!out) throw std::runtime_error("cannot write " + out_path);
-    out << "{\n  \"bench\": " << Point::quote(name_) << ",\n  \"params\": ";
+    out << "{\n  \"bench\": " << Point::quote(name_) << ",\n  \"meta\": ";
+    write_object(out, meta_, "  ");
+    out << ",\n  \"params\": ";
     write_object(out, params_, "  ");
     out << ",\n  \"points\": [";
     for (std::size_t i = 0; i < points_.size(); ++i) {
@@ -222,6 +253,7 @@ class BenchJson {
   }
 
   std::string name_;
+  Point meta_;
   Point params_;
   std::vector<Point> points_;
 };

@@ -5,6 +5,7 @@
 //   ./quickstart --out contigs.fa      # write contigs to a file
 //   ./quickstart --ranks 4             # parallel clustering on 4 ranks
 //   ./quickstart --obs-out obs/        # write metrics + Chrome trace there
+//   ./quickstart --trace-cap 65536     # per-rank tracer ring capacity
 //
 // Pipeline: reads -> preprocess (trim/screen/mask) -> cluster (transitive
 // suffix-prefix overlaps via GST promising pairs) -> per-cluster greedy OLC
@@ -29,6 +30,10 @@ int main(int argc, char** argv) {
   const int ranks = static_cast<int>(flags.get_i64("ranks", 0));
   const std::uint64_t seed = flags.get_u64("seed", 1);
   const std::string obs_out = flags.get_string("obs-out", "");
+  // Per-rank tracer ring capacity. Size it to hold the whole run when the
+  // obs output feeds perf_diff / stitch-coverage checks (overflow marks the
+  // analysis a lower bound); 0 keeps the library default.
+  const std::uint64_t trace_cap = flags.get_u64("trace-cap", 0);
   flags.finish();
 
   // 1. Get reads: from a FASTA file, or a simulated 30 kb genome at 6X.
@@ -60,12 +65,13 @@ int main(int argc, char** argv) {
   params.cluster.overlap.min_overlap = 40;
   params.cluster.overlap.min_identity = 0.93;
   params.obs_dir = obs_out;       // "" = observability off
+  params.trace_capacity = static_cast<std::size_t>(trace_cap);
   const auto result =
       pipeline::run_pipeline(reads, sim::vector_library(), params);
   if (!obs_out.empty()) {
     std::fprintf(stderr,
                  "wrote run observability to %s/ (summary.txt, "
-                 "metrics.jsonl, trace.json)\n",
+                 "metrics.jsonl, trace.json, attribution.json)\n",
                  obs_out.c_str());
   }
 

@@ -17,6 +17,9 @@
 #                            # loud skip when no clang is installed)
 #   scripts/ci.sh ubsan      # UBSan build + full ctest under it
 #   scripts/ci.sh fuzz-smoke # bounded deterministic fuzz run (UBSan tree)
+#   scripts/ci.sh perf-smoke # 4-rank pipeline run with tracing: assert 100%
+#                            # causal stitch coverage, perf_diff self-vs-self
+#                            # passes, and a synthetically slowed run fails
 #
 # Build trees: build/ (tier-1), build-tsan/ (PGASM_SANITIZE=thread),
 # build-asan/ (PGASM_SANITIZE=address), build-lint/ (PGASM_EXTRA_WARNINGS +
@@ -74,7 +77,7 @@ asan() {
 }
 
 lint() {
-  echo "== lint: pgasm-lint project invariants (W001-W011) =="
+  echo "== lint: pgasm-lint project invariants (W001-W012) =="
   python3 tools/lint/pgasm_lint.py
 
   echo "== lint: protocol exhaustiveness checker =="
@@ -161,6 +164,36 @@ fuzz_smoke() {
   (cd build-ubsan && ctest --output-on-failure -L fuzz)
 }
 
+perf_smoke() {
+  echo "== perf-smoke: trace stitching + perf regression gate =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target quickstart perf_diff
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+  # Two identical small runs. --trace-cap is sized so the rings never
+  # overflow: dropped events would turn coverage into a lower bound and the
+  # stitch check below is deliberately strict about that.
+  ./build/examples/quickstart --ranks 4 --seed 7 --trace-cap 65536 \
+    --obs-out "$tmp/obs-a" --out "$tmp/contigs-a.fa" 2>/dev/null
+  ./build/examples/quickstart --ranks 4 --seed 7 --trace-cap 65536 \
+    --obs-out "$tmp/obs-b" --out "$tmp/contigs-b.fa" 2>/dev/null
+
+  echo "-- stitch coverage must be 100% with zero dropped events"
+  ./build/tools/perf/perf_diff --check-stitch "$tmp/obs-a"
+  ./build/tools/perf/perf_diff --check-stitch "$tmp/obs-b"
+
+  echo "-- perf_diff run-vs-run must pass (noise below thresholds)"
+  ./build/tools/perf/perf_diff "$tmp/obs-a" "$tmp/obs-b"
+
+  echo "-- perf_diff must flag a synthetically slowed run"
+  if ./build/tools/perf/perf_diff --scale-new 2.5 "$tmp/obs-a" "$tmp/obs-a"; then
+    echo "!! perf_diff accepted a 2.5x slowdown — gate is not arming" >&2
+    return 1
+  fi
+  echo "-- slowed run rejected as expected"
+}
+
 case "$STAGE" in
   tier1) tier1 ;;
   faults) faults ;;
@@ -171,6 +204,7 @@ case "$STAGE" in
   tsafety) tsafety ;;
   ubsan) ubsan ;;
   fuzz-smoke) fuzz_smoke ;;
+  perf-smoke) perf_smoke ;;
   all)
     lint
     tsafety
@@ -181,9 +215,10 @@ case "$STAGE" in
     asan
     ubsan
     fuzz_smoke
+    perf_smoke
     ;;
   *)
-    echo "usage: scripts/ci.sh [lint|tsafety|tier1|faults|chaos-smoke|tsan|asan|ubsan|fuzz-smoke|all]" >&2
+    echo "usage: scripts/ci.sh [lint|tsafety|tier1|faults|chaos-smoke|tsan|asan|ubsan|fuzz-smoke|perf-smoke|all]" >&2
     exit 2
     ;;
 esac

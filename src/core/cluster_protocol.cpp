@@ -37,6 +37,36 @@ int poll_heartbeats(vmpi::Comm& comm) {
   return n;
 }
 
+int drain_shutdown_messages(vmpi::Comm& comm) {
+  int n = 0;
+  vmpi::Status st;
+  while (comm.iprobe(0, to_tag(MsgKind::kPing), &st)) {
+    comm.recv_value<std::uint64_t>(0, to_tag(MsgKind::kPing));
+    ++n;
+  }
+  // Duplicate replies queued behind the terminate (a zombie-path terminate
+  // re-sent after a false death declaration, or retransmission crossfire).
+  while (comm.iprobe(0, to_tag(MsgKind::kReply), &st)) {
+    comm.recv(0, to_tag(MsgKind::kReply));
+    ++n;
+  }
+  return n;
+}
+
+int drain_worker_traffic(vmpi::Comm& comm) {
+  int n = 0;
+  vmpi::Status st;
+  while (comm.iprobe(vmpi::kAnySource, to_tag(MsgKind::kAck), &st)) {
+    comm.recv_value<std::uint64_t>(st.source, to_tag(MsgKind::kAck));
+    ++n;
+  }
+  while (comm.iprobe(vmpi::kAnySource, to_tag(MsgKind::kReport), &st)) {
+    comm.recv(st.source, to_tag(MsgKind::kReport));
+    ++n;
+  }
+  return n;
+}
+
 WireResult<WorkerReport> recv_report(vmpi::Comm& comm, int source) {
   const auto raw = comm.recv(source, to_tag(MsgKind::kReport));
   auto scope = comm.compute_scope();

@@ -222,6 +222,24 @@ WireResult<WorkerReport> recv_report(vmpi::Comm& comm, int source);
 /// payloads are discarded.
 bool consume_pending_terminate(vmpi::Comm& comm);
 
+/// Worker-side shutdown drain, called once after a terminate is consumed.
+/// Eats queued heartbeat pings WITHOUT acking them (the master has already
+/// written this worker off — an ack now would itself be orphaned) plus any
+/// duplicate replies behind the terminate. The master pings only ranks it
+/// has not yet terminated and per-sender delivery is FIFO, so every such
+/// ping is already queued by the time the terminate is read: after this
+/// drain a fault-free run leaves no unreceived sends for the causal trace
+/// analyzer to flag. Returns how many messages were consumed.
+int drain_shutdown_messages(vmpi::Comm& comm);
+
+/// Master-side shutdown drain: consume queued heartbeat acks and
+/// retransmitted reports that crossed a terminate in flight. The receive
+/// also matters for liveness under use_ssend — a written-off worker can be
+/// parked inside a synchronous report send that only completes when the
+/// message is consumed. Returns how many messages were consumed; call it
+/// until every worker has exited so the final sweep is complete.
+int drain_worker_traffic(vmpi::Comm& comm);
+
 /// Encode and send a worker report to the master (moved payload; ssend when
 /// the params ask for synchronous reports).
 void send_report(vmpi::Comm& comm, const ClusterParams& params,

@@ -9,10 +9,12 @@
 #include "core/parallel_cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <thread>
 
 #include "core/cluster_protocol.hpp"
 #include "core/cluster_scheduler.hpp"
@@ -189,6 +191,25 @@ void master_loop(vmpi::Comm& comm, const ClusterParams& params,
     throw vmpi::TimeoutError(
         "clustering failed: all workers lost with work remaining");
   }
+
+  // Shutdown drain: until every worker has exited (free — the runtime joins
+  // their threads right after this returns anyway), keep consuming heartbeat
+  // acks and retransmitted reports that crossed a terminate in flight. The
+  // receive also matters for liveness under use_ssend: a written-off worker
+  // can be parked inside a synchronous report send that only completes when
+  // the message is consumed. Draining after the done-check is what makes the
+  // final sweep complete — anything a worker sent is queued here by the time
+  // rank_done() reads true — so a fault-free causal trace ends with zero
+  // unmatched sends.
+  for (;;) {
+    bool all_done = true;
+    for (int w = 1; w < p; ++w) {
+      if (!comm.rank_done(w) && !comm.rank_failed(w)) all_done = false;
+    }
+    drain_worker_traffic(comm);
+    if (all_done) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 /// One pair-generation role held by a worker: its own GST portion, or a
@@ -334,6 +355,7 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
                std::move(portion));
     }
   }
+  drain_shutdown_messages(comm);
 }
 
 }  // namespace

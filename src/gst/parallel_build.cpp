@@ -677,7 +677,9 @@ DistributedGst build_distributed_gst_ft(vmpi::Comm& comm,
   std::vector<std::int32_t> final_table;
   if (rank == 0) {
     std::vector<std::uint8_t> done(static_cast<std::size_t>(p), 0);
-    done[0] = 1;
+    // p >= 1 (this branch is rank 0); the guard exists because GCC's
+    // -Wnull-dereference cannot prove the vector's data pointer non-null.
+    if (!done.empty()) done.front() = 1;
     auto all_done = [&]() {
       for (int s = 1; s < p; ++s)
         if (!done[s] && !comm.rank_failed(s)) return false;

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/analyze.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -40,9 +41,20 @@ void write_run_outputs(const std::string& dir) {
     throw std::runtime_error("obs: cannot create directory " + dir + ": " +
                              ec.message());
   }
-  write_file(base / "summary.txt", registry().summary_table());
+  // Surface ring overflow as a first-class metric before snapshotting: a
+  // truncated trace must be visible in metrics.jsonl, not just in the
+  // analyzer's warnings.
+  for (const auto& [rank, n] : tracer().dropped_by_rank()) {
+    if (n != 0) registry().counter("trace.dropped_events", rank).inc(n);
+  }
+
+  const Analysis analysis = analyze_current();
+  write_file(base / "summary.txt", registry().summary_table() +
+                                       "\n== attribution ==\n" +
+                                       analysis.to_text());
   write_file(base / "metrics.jsonl", registry().to_jsonl());
   write_file(base / "trace.json", tracer().to_chrome_json());
+  write_file(base / "attribution.json", analysis.to_json());
 }
 
 }  // namespace pgasm::obs

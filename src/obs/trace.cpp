@@ -1,7 +1,10 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <ctime>
+
+#include "obs/metrics.hpp"
 
 namespace pgasm::obs {
 
@@ -54,12 +57,55 @@ void append_args_json(std::string& out, const TraceEvent& ev) {
     out += "\":";
     out += std::to_string(ev.arg1);
   }
+  if (ev.arg2_name != nullptr) {
+    out += ",\"";
+    append_json_escaped(out, ev.arg2_name);
+    out += "\":";
+    out += std::to_string(ev.arg2);
+  }
+  if (ev.phase != nullptr && ev.phase[0] != '\0') {
+    out += ",\"phase\":\"";
+    append_json_escaped(out, ev.phase);
+    out += '"';
+  }
   out += '}';
+}
+
+/// Message-correlation arg ("mseq"): set by vmpi on send/ssend/recv events;
+/// (rank-of-sender, mseq) identifies a message uniquely, which is what both
+/// the analyzer's edge stitching and the Chrome flow arrows key on.
+std::uint64_t mseq_arg(const TraceEvent& ev, bool* found) {
+  *found = false;
+  for (const auto& [name, value] :
+       {std::pair{ev.arg0_name, ev.arg0}, std::pair{ev.arg1_name, ev.arg1},
+        std::pair{ev.arg2_name, ev.arg2}}) {
+    if (name != nullptr && std::strcmp(name, "mseq") == 0) {
+      *found = true;
+      return value;
+    }
+  }
+  return 0;
+}
+
+std::uint64_t peer_arg(const TraceEvent& ev, bool* found) {
+  *found = false;
+  for (const auto& [name, value] :
+       {std::pair{ev.arg0_name, ev.arg0}, std::pair{ev.arg1_name, ev.arg1},
+        std::pair{ev.arg2_name, ev.arg2}}) {
+    if (name != nullptr && std::strcmp(name, "peer") == 0) {
+      *found = true;
+      return value;
+    }
+  }
+  return 0;
 }
 
 }  // namespace
 
 std::uint64_t RankRing::record(TraceEvent ev) {
+  // Stamp the pipeline phase unless the caller already set one (hand-built
+  // analyzer test traces set it explicitly).
+  if (ev.phase == nullptr || ev.phase[0] == '\0') ev.phase = current_phase();
   util::MutexLock lock(mu_);
   ev.seq = next_seq_++;
   if (!wrapped_) {
@@ -123,7 +169,8 @@ RankRing* Tracer::ring(int rank) {
 
 void Tracer::instant(int rank, const char* name, const char* cat,
                      const char* arg0_name, std::uint64_t arg0,
-                     const char* arg1_name, std::uint64_t arg1) {
+                     const char* arg1_name, std::uint64_t arg1,
+                     const char* arg2_name, std::uint64_t arg2) {
   if (!enabled()) return;
   TraceEvent ev;
   ev.name = name;
@@ -135,6 +182,8 @@ void Tracer::instant(int rank, const char* name, const char* cat,
   ev.arg0 = arg0;
   ev.arg1_name = arg1_name;
   ev.arg1 = arg1;
+  ev.arg2_name = arg2_name;
+  ev.arg2 = arg2;
   ring(rank)->record(ev);
 }
 
@@ -165,6 +214,18 @@ std::uint64_t Tracer::total_dropped() const {
   std::uint64_t n = 0;
   for (const auto* ring : rings) n += ring->dropped();
   return n;
+}
+
+std::map<int, std::uint64_t> Tracer::dropped_by_rank() const {
+  std::vector<std::pair<int, RankRing*>> rings;
+  {
+    util::MutexLock lock(mu_);
+    rings.reserve(rings_.size());
+    for (const auto& [rank, ring] : rings_) rings.emplace_back(rank, ring.get());
+  }
+  std::map<int, std::uint64_t> out;
+  for (const auto& [rank, ring] : rings) out.emplace(rank, ring->dropped());
+  return out;
 }
 
 std::size_t Tracer::total_events() const {
@@ -219,6 +280,39 @@ std::string Tracer::to_chrome_json() const {
       append_args_json(rec, ev);
       rec += '}';
       emit(rec);
+
+      // Flow events: every vmpi message event carrying an "mseq" arg gets a
+      // flow step so Perfetto draws the causal arrow. The flow id encodes
+      // (sender rank, mseq) — unique per message, needs no matching pass;
+      // an unmatched id simply draws no arrow.
+      bool has_mseq = false;
+      const std::uint64_t mseq = mseq_arg(ev, &has_mseq);
+      if (!has_mseq) continue;
+      const bool is_send =
+          std::strcmp(ev.name, "send") == 0 || std::strcmp(ev.name, "ssend") == 0;
+      const bool is_recv = std::strcmp(ev.name, "recv") == 0;
+      if (!is_send && !is_recv) continue;
+      std::uint64_t sender = 0;
+      if (is_send) {
+        sender = static_cast<std::uint64_t>(ev.rank + 2);
+      } else {
+        bool has_peer = false;
+        const std::uint64_t peer = peer_arg(ev, &has_peer);
+        if (!has_peer) continue;
+        sender = peer + 2;  // peer of a recv = sender rank (>= kDriverTid)
+      }
+      std::string flow = "{\"ph\":\"";
+      flow += is_send ? 's' : 'f';
+      flow += "\",\"name\":\"msg\",\"cat\":\"vmpi\",\"pid\":1,\"tid\":";
+      flow += std::to_string(rank);
+      flow += ",\"ts\":";
+      // Arrow leaves at the send instant and lands when the recv completes.
+      flow += std::to_string(is_send ? ev.ts_us : ev.end_us());
+      if (is_recv) flow += ",\"bp\":\"e\"";
+      flow += ",\"id\":";
+      flow += std::to_string((sender << 40) | (mseq & ((1ull << 40) - 1)));
+      flow += '}';
+      emit(flow);
     }
   }
   out += "]}\n";
@@ -259,9 +353,12 @@ void Span::arg(const char* name, std::uint64_t value) noexcept {
   if (ev_.arg0_name == nullptr) {
     ev_.arg0_name = name;
     ev_.arg0 = value;
-  } else {
+  } else if (ev_.arg1_name == nullptr) {
     ev_.arg1_name = name;
     ev_.arg1 = value;
+  } else {
+    ev_.arg2_name = name;
+    ev_.arg2 = value;
   }
 }
 

@@ -44,11 +44,18 @@ struct TraceEvent {
   std::uint64_t ts_us = 0;    ///< wall time since trace epoch, microseconds
   std::uint64_t dur_us = 0;   ///< span duration (0 for instants)
   std::uint64_t cpu_us = 0;   ///< thread-CPU time consumed (spans only)
-  // Up to two integer args, exported into the Chrome-trace "args" object.
+  // Up to three integer args, exported into the Chrome-trace "args" object.
   const char* arg0_name = nullptr;
   std::uint64_t arg0 = 0;
   const char* arg1_name = nullptr;
   std::uint64_t arg1 = 0;
+  const char* arg2_name = nullptr;
+  std::uint64_t arg2 = 0;
+  /// Pipeline phase at record time, stamped by RankRing::record from
+  /// obs::current_phase(). Static-lifetime string, same contract as name.
+  const char* phase = "";
+
+  std::uint64_t end_us() const { return ts_us + dur_us; }
 };
 
 /// Fixed-capacity event ring for one rank. All mutation under mu_; the
@@ -104,7 +111,8 @@ class Tracer {
   /// Record an instant event on a rank (no-op when disabled).
   void instant(int rank, const char* name, const char* cat,
                const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
-               const char* arg1_name = nullptr, std::uint64_t arg1 = 0);
+               const char* arg1_name = nullptr, std::uint64_t arg1 = 0,
+               const char* arg2_name = nullptr, std::uint64_t arg2 = 0);
 
   /// Microseconds since the trace epoch (process start of the tracer).
   std::uint64_t now_us() const;
@@ -112,10 +120,13 @@ class Tracer {
   /// All events from all rings, plus rank list, for export.
   std::map<int, std::vector<TraceEvent>> drain_all() const PGASM_EXCLUDES(mu_);
   std::uint64_t total_dropped() const PGASM_EXCLUDES(mu_);
+  std::map<int, std::uint64_t> dropped_by_rank() const PGASM_EXCLUDES(mu_);
   std::size_t total_events() const PGASM_EXCLUDES(mu_);
 
   /// Chrome trace_event JSON ({"traceEvents":[...]}): spans as ph:"X",
-  /// instants as ph:"i", one thread_name metadata record per rank.
+  /// instants as ph:"i", one thread_name metadata record per rank. Message
+  /// events carrying an "mseq" arg additionally emit flow events (ph:"s"
+  /// on the send, ph:"f" on the recv) so Perfetto draws causal arrows.
   /// Loads directly in chrome://tracing and ui.perfetto.dev.
   std::string to_chrome_json() const;
 
@@ -166,8 +177,10 @@ Span span(int rank, const char* name, const char* cat);
 /// Instant event on the global tracer (no-op when disabled).
 inline void instant(int rank, const char* name, const char* cat,
                     const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
-                    const char* arg1_name = nullptr, std::uint64_t arg1 = 0) {
-  tracer().instant(rank, name, cat, arg0_name, arg0, arg1_name, arg1);
+                    const char* arg1_name = nullptr, std::uint64_t arg1 = 0,
+                    const char* arg2_name = nullptr, std::uint64_t arg2 = 0) {
+  tracer().instant(rank, name, cat, arg0_name, arg0, arg1_name, arg1,
+                   arg2_name, arg2);
 }
 
 }  // namespace pgasm::obs

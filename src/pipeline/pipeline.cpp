@@ -225,7 +225,11 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
 
   PipelineResult result;
   const bool obs_on = !params.obs_dir.empty();
-  if (obs_on) obs::begin_run();
+  if (obs_on) {
+    if (params.trace_capacity != 0)
+      obs::tracer().set_capacity(params.trace_capacity);
+    obs::begin_run();
+  }
 
   // Recovery supervisor (no-op pass-through when checkpoint_dir is empty).
   SupervisorParams sup_params;

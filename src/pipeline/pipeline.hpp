@@ -59,10 +59,16 @@ struct PipelineParams {
   /// failure propagates.
   std::function<void(const PipelineResult&)> optional_post_phase;
   /// Non-empty: enable the obs metrics registry + per-rank tracer for this
-  /// run and write summary.txt / metrics.jsonl / trace.json into this
-  /// directory when the pipeline finishes (see src/obs/export.hpp). The
-  /// trace opens in chrome://tracing or ui.perfetto.dev.
+  /// run and write summary.txt / metrics.jsonl / trace.json /
+  /// attribution.json into this directory when the pipeline finishes (see
+  /// src/obs/export.hpp). The trace opens in chrome://tracing or
+  /// ui.perfetto.dev.
   std::string obs_dir;
+  /// Per-rank tracer ring capacity (events). 0 keeps the tracer default
+  /// (8192). Overflow drops the oldest events and marks every analysis a
+  /// lower bound, so runs that feed perf gates should size this to hold the
+  /// whole run (the trace.dropped_events metric says when they didn't).
+  std::size_t trace_capacity = 0;
 };
 
 /// Paper Section 8's clustering effectiveness measures.

@@ -14,7 +14,8 @@ namespace {
 /// Record an instant event on a cached ring (caller checked ring != null).
 void ring_instant(obs::RankRing* ring, int rank, const char* name,
                   const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
-                  const char* arg1_name = nullptr, std::uint64_t arg1 = 0) {
+                  const char* arg1_name = nullptr, std::uint64_t arg1 = 0,
+                  const char* arg2_name = nullptr, std::uint64_t arg2 = 0) {
   obs::TraceEvent ev;
   ev.name = name;
   ev.cat = "vmpi";
@@ -25,8 +26,69 @@ void ring_instant(obs::RankRing* ring, int rank, const char* name,
   ev.arg0 = arg0;
   ev.arg1_name = arg1_name;
   ev.arg1 = arg1;
+  ev.arg2_name = arg2_name;
+  ev.arg2 = arg2;
   ring->record(ev);
 }
+
+/// RAII wait-span recorder for the blocking paths (recv/probe/barrier and
+/// the ssend rendezvous). Records a span covering entry-to-exit — including
+/// exits by TimeoutError, so timed-out waits still land in the blocked-time
+/// ledger — and feeds the duration into the comm.wait_us histogram. Inert
+/// when the ring is null (tracing off). Recording takes only the leaf ring
+/// mutex, so finishing while a mailbox mutex is held is safe.
+class WaitScope {
+ public:
+  WaitScope(obs::RankRing* ring, obs::Histogram* wait_us, int rank,
+            const char* name)
+      : ring_(ring),
+        wait_us_(wait_us),
+        rank_(rank),
+        name_(name),
+        t0_us_(ring != nullptr ? obs::tracer().now_us() : 0) {}
+  WaitScope(const WaitScope&) = delete;
+  WaitScope& operator=(const WaitScope&) = delete;
+  ~WaitScope() { finish(); }
+
+  void arg(const char* name, std::uint64_t value) noexcept {
+    for (auto& slot : args_) {
+      if (slot.first == nullptr) {
+        slot = {name, value};
+        return;
+      }
+    }
+  }
+
+  void finish() noexcept {
+    if (ring_ == nullptr) return;
+    const std::uint64_t t1 = obs::tracer().now_us();
+    obs::TraceEvent ev;
+    ev.name = name_;
+    ev.cat = "vmpi";
+    ev.kind = obs::TraceEvent::Kind::kSpan;
+    ev.rank = rank_;
+    ev.ts_us = t0_us_;
+    ev.dur_us = t1 > t0_us_ ? t1 - t0_us_ : 0;
+    ev.arg0_name = args_[0].first;
+    ev.arg0 = args_[0].second;
+    ev.arg1_name = args_[1].first;
+    ev.arg1 = args_[1].second;
+    ev.arg2_name = args_[2].first;
+    ev.arg2 = args_[2].second;
+    ring_->record(ev);
+    if (wait_us_ != nullptr) wait_us_->observe(ev.dur_us);
+    ring_ = nullptr;
+  }
+
+ private:
+  obs::RankRing* ring_;
+  obs::Histogram* wait_us_;
+  int rank_;
+  const char* name_;
+  std::uint64_t t0_us_;
+  std::pair<const char*, std::uint64_t> args_[3] = {
+      {nullptr, 0}, {nullptr, 0}, {nullptr, 0}};
+};
 
 /// Does a queued message match a (source, tag) request on a channel?
 bool matches(const detail::Message& m, int source, std::int64_t tag,
@@ -62,6 +124,7 @@ Comm::Comm(detail::SharedState& shared, int rank)
     const char* phase = obs::current_phase();
     obs_send_bytes_ = &reg.histogram("vmpi.send_bytes", rank, phase);
     obs_recv_bytes_ = &reg.histogram("vmpi.recv_bytes", rank, phase);
+    obs_wait_us_ = &reg.histogram("comm.wait_us", rank, phase);
     obs_timeouts_ = &reg.counter("vmpi.timeouts", rank, phase);
   }
 }
@@ -130,8 +193,14 @@ bool Comm::send_preflight(int dest, std::size_t n, bool internal, bool sync) {
   ledger_.charge_send(n, shared_->cost);
   if (!internal && obs_ring_ != nullptr) {
     obs_send_bytes_->observe(n);
+    // mseq = this rank's user send index (just assigned by apply_faults):
+    // (rank, mseq) names this message; the matching recv records the same
+    // pair, which is what analyze and the Chrome flow arrows stitch on.
+    // Recorded even for dropped/dead-destination sends so the analyzer can
+    // report them as unmatched edges.
     ring_instant(obs_ring_, rank_, sync ? "ssend" : "send", "peer",
-                 static_cast<std::uint64_t>(dest), "bytes", n);
+                 static_cast<std::uint64_t>(dest), "bytes", n, "mseq",
+                 user_send_seq_);
   }
   if (drop) return false;
   if (shared_->dead[static_cast<std::size_t>(dest)].load()) {
@@ -153,9 +222,15 @@ void Comm::enqueue_message(int dest, detail::Message&& msg, bool sync) {
 
   auto& box = shared_->boxes[static_cast<std::size_t>(dest)];
   util::MutexLock lock(box.mu);
+  const std::uint64_t mseq = msg.send_idx;
   box.queue.push_back(std::move(msg));
   box.cv.notify_all();
   if (sync) {
+    // The rendezvous wait is the synchronous sender's blocked time: span it
+    // so the ledger charges it as comm wait, not compute.
+    WaitScope wait_sp(obs_ring_, obs_wait_us_, rank_, "ssend_wait");
+    wait_sp.arg("peer", static_cast<std::uint64_t>(dest));
+    wait_sp.arg("mseq", mseq);
     // Rendezvous on the destination mailbox cv. The predicate re-checks
     // abort and destination death/completion on every wake, so a receiver
     // that never consumes cannot strand the sender (the old promise/future
@@ -184,6 +259,7 @@ void Comm::send_impl(int dest, std::int64_t tag, const void* data,
   msg.source = rank_;
   msg.tag = tag;
   msg.internal = internal;
+  msg.send_idx = internal ? 0 : user_send_seq_;
   msg.payload.resize(n);
   if (n > 0) std::memcpy(msg.payload.data(), data, n);
   enqueue_message(dest, std::move(msg), sync);
@@ -197,6 +273,7 @@ void Comm::send_payload_impl(int dest, std::int64_t tag,
   msg.source = rank_;
   msg.tag = tag;
   msg.internal = false;
+  msg.send_idx = user_send_seq_;
   msg.payload = std::move(payload);
   enqueue_message(dest, std::move(msg), sync);
 }
@@ -204,6 +281,11 @@ void Comm::send_payload_impl(int dest, std::int64_t tag,
 std::vector<std::byte> Comm::recv_impl(
     int source, std::int64_t tag, bool internal, Status* status,
     const std::chrono::steady_clock::time_point* deadline) {
+  // Span the whole wait (user channel only): ts is the moment this rank
+  // started waiting, the end is when the message was consumed (or the wait
+  // timed out — the destructor records the span on the throw paths too).
+  WaitScope wait_sp(internal ? nullptr : obs_ring_, obs_wait_us_, rank_,
+                    "recv");
   auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
   util::ReleasableMutexLock lock(box.mu);
   for (;;) {
@@ -223,10 +305,11 @@ std::vector<std::byte> Comm::recv_impl(
       ledger_.charge_recv(msg.payload.size(), shared_->cost);
       if (!internal && obs_ring_ != nullptr) {
         obs_recv_bytes_->observe(msg.payload.size());
-        ring_instant(obs_ring_, rank_, "recv", "peer",
-                     static_cast<std::uint64_t>(msg.source), "bytes",
-                     msg.payload.size());
+        wait_sp.arg("peer", static_cast<std::uint64_t>(msg.source));
+        wait_sp.arg("bytes", msg.payload.size());
+        wait_sp.arg("mseq", msg.send_idx);
       }
+      wait_sp.finish();
       if (status) {
         status->source = msg.source;
         status->tag = static_cast<int>(msg.tag);
@@ -284,12 +367,19 @@ std::vector<std::byte> Comm::recv_timeout(int source, int tag,
 
 Status Comm::probe_impl(int source, int tag,
                         const std::chrono::steady_clock::time_point* deadline) {
+  WaitScope wait_sp(obs_ring_, obs_wait_us_, rank_, "probe");
   auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
   util::MutexLock lock(box.mu);
   for (;;) {
     if (shared_->aborted.load()) throw AbortError("vmpi aborted");
     for (const auto& m : box.queue) {
       if (matches(m, source, tag, /*internal=*/false)) {
+        // The probed message stays queued; stamping its (peer, mseq) lets
+        // the analyzer jump probe waits to the sender like recv waits.
+        wait_sp.arg("peer", static_cast<std::uint64_t>(m.source));
+        wait_sp.arg("bytes", m.payload.size());
+        wait_sp.arg("mseq", m.send_idx);
+        wait_sp.finish();
         return Status{m.source, static_cast<int>(m.tag), m.payload.size()};
       }
     }
@@ -356,10 +446,10 @@ bool Comm::iprobe(int source, int tag, Status* status) {
 }
 
 void Comm::barrier() {
-  obs::Span sp = obs_ring_ != nullptr
-                     ? obs::Span(obs_ring_, obs::tracer().now_us(), "barrier",
-                                 "vmpi", rank_)
-                     : obs::Span();
+  // A barrier is pure wait from the ledger's point of view: the token
+  // exchange itself is microseconds, the span is dominated by waiting for
+  // the slowest rank to arrive.
+  WaitScope sp(obs_ring_, obs_wait_us_, rank_, "barrier");
   // Dissemination barrier: ceil(log2 p) rounds, in round k exchange a token
   // with the ranks at distance 2^k.
   const int p = size();
@@ -420,6 +510,18 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
     box.queue.clear();
   }
 
+  // The caller's thread blocks here until every rank thread finishes; span
+  // that as a "join" wait so the analyzer can hand the critical path from
+  // the driver to the slowest rank instead of dead-ending on the driver.
+  WaitScope join_sp(
+      obs::tracer().enabled() ? obs::tracer().ring(obs::kDriverTid) : nullptr,
+      obs::tracer().enabled()
+          ? &obs::registry().histogram("comm.wait_us", obs::kDriverTid,
+                                       obs::current_phase())
+          : nullptr,
+      obs::kDriverTid, "join");
+  join_sp.arg("ranks", static_cast<std::uint64_t>(p));
+
   RunCost cost;
   cost.per_rank.resize(static_cast<std::size_t>(p));
   std::vector<std::thread> threads;
@@ -452,6 +554,7 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
     });
   }
   for (auto& t : threads) t.join();
+  join_sp.finish();
   cost.faults = shared_->fault_counters.snapshot();
 
   // Publish the run's cost ledgers into the metrics registry so the ad-hoc

@@ -138,6 +138,11 @@ struct Message {
   int source = 0;
   std::int64_t tag = 0;  ///< user tags are >= 0 and < 2^31; internal larger
   bool internal = false;
+  /// Sender's 1-based user-channel send index (0 for collective-internal
+  /// traffic). (source, send_idx) identifies a user message uniquely; the
+  /// tracer stamps it as the "mseq" arg on both the send and recv events,
+  /// which is what obs::analyze stitches cross-rank causal edges from.
+  std::uint64_t send_idx = 0;
   std::vector<std::byte> payload;
   /// Set for ssend rendezvous: flipped true when the receiver consumes the
   /// message (or the destination rank dies), then the destination mailbox
@@ -571,6 +576,7 @@ class Comm {
   obs::RankRing* obs_ring_ = nullptr;
   obs::Histogram* obs_send_bytes_ = nullptr;
   obs::Histogram* obs_recv_bytes_ = nullptr;
+  obs::Histogram* obs_wait_us_ = nullptr;
   obs::Counter* obs_timeouts_ = nullptr;
 };
 

@@ -75,6 +75,9 @@ def main() -> int:
           "W009 flags the silent default")
     expect_findings(lint, "w010_bad", "W010", 2)
     expect_findings(lint, "w011_bad", "W011", 2)
+    w12 = expect_findings(lint, "w012_bad", "W012", 3)
+    check(any("cluter" in f["message"] for f in w12["findings"]),
+          "W012 names the typo'd prefix cluter")
 
     print("clean --only W007..W010:")
     proc = subprocess.run(

@@ -1,0 +1,12 @@
+// Fixture: W012 must also cover instrumentation outside src/obs (here the
+// typo'd "cluter." prefix — the classic miss that W012 exists to catch).
+#include "obs/metrics.hpp"
+
+namespace pgasm::core {
+
+void fixture_core_metrics() {
+  obs::registry().counter("cluter.pairs_aligned", 0).inc();  // BAD: typo
+  obs::registry().counter("cluster.pairs_aligned", 0).inc();  // clean
+}
+
+}  // namespace pgasm::core

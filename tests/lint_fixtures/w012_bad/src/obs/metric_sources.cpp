@@ -1,0 +1,16 @@
+// Fixture: W012 metric-prefix registration. Three BAD registrations (one
+// inside src/obs, which W003 skips but W012 must still cover), one clean,
+// one waived.
+#include "obs/metrics.hpp"
+
+namespace pgasm::obs {
+
+void fixture_obs_metrics() {
+  registry().counter("trace.dropped_events", 0).inc();    // clean: registered
+  registry().counter("tracer.dropped_events", 0).inc();   // BAD: typo prefix
+  registry().gauge("internal.ring_bytes", 0).set(1);      // BAD: ad-hoc prefix
+  // pgasm-lint: allow(metric-prefix): fixture exercises the waiver path
+  registry().histogram("scratch.wait_us", 0).observe(1);
+}
+
+}  // namespace pgasm::obs

@@ -46,6 +46,13 @@ W010  guarded-by coverage: in any class that owns a util::Mutex, every
       non-atomic data member must carry PGASM_GUARDED_BY/PGASM_PT_GUARDED_BY
       (or an explicit `pgasm-lint: allow(guard): <reason>` waiver stating
       why it needs no lock).
+W012  metric-prefix registration: every obs:: metric name registered
+      anywhere under src/ (counter/gauge/histogram — src/obs included,
+      unlike W003's shape check) must start with a subsystem prefix from
+      the SUBSYSTEMS registry below. An unregistered prefix is usually a
+      typo ("cluter.") or an ad-hoc namespace that dashboards and
+      perf_diff would silently miss; add the subsystem to the registry in
+      the same change that introduces it.
 W011  checkpoint-write confinement: checkpoint and manifest bytes reach
       disk only through core/wire.cpp's frame writer (save_frame_atomic:
       version byte + CRC32 + fsync + atomic rename). A raw std::ofstream /
@@ -74,7 +81,7 @@ they survive line-number drift) for CI annotation.
 Waivers: append `pgasm-lint: allow(<check>): <reason>` in a comment on the
 offending line or the line above. <check> is the lowercase slug shown in
 the finding, e.g. raw-comm, alloc, naming, iwyu, raw-lock, lock-blocking,
-switch, guard.
+switch, guard, metric-prefix.
 """
 
 from __future__ import annotations
@@ -285,9 +292,9 @@ def check_w002() -> None:
 # --------------------------------------------------------------------------
 
 SUBSYSTEMS = {
-    "align", "assembly", "cluster", "engine", "gst", "obs", "olc",
-    "pipeline", "preprocess", "recovery", "scaffold", "seq", "sim", "vmpi",
-    "wire",
+    "align", "assembly", "cluster", "comm", "engine", "gst", "obs", "olc",
+    "pipeline", "preprocess", "recovery", "scaffold", "seq", "sim", "trace",
+    "vmpi", "wire",
 }
 METRIC_RE = re.compile(r"\.(counter|gauge|histogram)\(\s*\"([^\"]+)\"")
 METRIC_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*){1,2}$")
@@ -835,6 +842,34 @@ def check_w011() -> None:
 
 
 # --------------------------------------------------------------------------
+# W012: metric-prefix registration
+# --------------------------------------------------------------------------
+
+# W003 checks the *shape* of instrumentation names and skips src/obs (the
+# registry's own code); W012 checks that the *prefix* of every registered
+# metric, src/obs included, belongs to the SUBSYSTEMS registry. The two can
+# double-report an unknown prefix outside obs — that is fine, both fail CI.
+
+
+def check_w012() -> None:
+    for path in src_files(".cpp", ".hpp"):
+        lines = read_lines(path)
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            for m in METRIC_RE.finditer(line):
+                name = m.group(2)
+                if waived(lines, i, "metric-prefix"):
+                    continue
+                prefix = name.split(".")[0]
+                if prefix not in SUBSYSTEMS:
+                    finding(path, i + 1, "W012", "metric-prefix",
+                            f"metric {name!r} prefix {prefix!r} is not a "
+                            "registered subsystem — fix the typo or add the "
+                            "subsystem to SUBSYSTEMS in tools/lint/"
+                            "pgasm_lint.py in the same change")
+
+
+# --------------------------------------------------------------------------
 # Optional clang front-end for W007/W010 facts
 # --------------------------------------------------------------------------
 #
@@ -935,6 +970,7 @@ CHECKS = {
     "W009": check_w009,
     "W010": check_w010,
     "W011": check_w011,
+    "W012": check_w012,
 }
 
 
