@@ -23,6 +23,7 @@
 #include "sim/reads.hpp"
 #include "util/flags.hpp"
 #include "util/stats.hpp"
+#include "vmpi/transport.hpp"
 
 namespace pgasm::bench {
 
@@ -196,13 +197,21 @@ class BenchJson {
 
   explicit BenchJson(std::string name) : name_(std::move(name)) {
     // Run metadata, stamped into every file: perf_diff refuses to compare
-    // points measured under different build types, and records revisions.
+    // points measured under different build types or vmpi transports, and
+    // records revisions. The transport is the run's effective default
+    // (PGASM_TRANSPORT or "thread") — thread and proc numbers live in
+    // different performance regimes (shared-memory rings + real context
+    // switches vs in-process mailboxes) and must never diff against each
+    // other. A bench that varies the transport per point should also set a
+    // "transport" field on its points (config_signature separates them).
     meta_.set("git", git_describe());
 #ifdef PGASM_BUILD_TYPE
     meta_.set("build_type", PGASM_BUILD_TYPE);
 #else
     meta_.set("build_type", "");
 #endif
+    meta_.set("transport",
+              vmpi::transport_name(vmpi::resolve_transport("")));
     meta_.set("hardware_threads", std::thread::hardware_concurrency());
   }
 

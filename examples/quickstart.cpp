@@ -4,6 +4,7 @@
 //   ./quickstart --in reads.fa         # assemble your own FASTA
 //   ./quickstart --out contigs.fa      # write contigs to a file
 //   ./quickstart --ranks 4             # parallel clustering on 4 ranks
+//   ./quickstart --ranks 4 --transport proc   # ranks as real OS processes
 //   ./quickstart --obs-out obs/        # write metrics + Chrome trace there
 //   ./quickstart --trace-cap 65536     # per-rank tracer ring capacity
 //
@@ -28,6 +29,11 @@ int main(int argc, char** argv) {
   const std::string in_path = flags.get_string("in", "");
   const std::string out_path = flags.get_string("out", "");
   const int ranks = static_cast<int>(flags.get_i64("ranks", 0));
+  // vmpi backend: "thread" (default) runs ranks as threads; "proc" forks a
+  // real OS process per rank, talking over shared-memory rings. The contigs
+  // are identical either way; proc exists to make failures real (an
+  // injected crash is an actual SIGKILL).
+  const std::string transport = flags.get_string("transport", "");
   const std::uint64_t seed = flags.get_u64("seed", 1);
   const std::string obs_out = flags.get_string("obs-out", "");
   // Per-rank tracer ring capacity. Size it to hold the whole run when the
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
   // 2. Run the cluster-then-assemble pipeline.
   pipeline::PipelineParams params;
   params.ranks = ranks;           // 0 = serial clustering
+  params.cluster.transport = transport;
   params.cluster.psi = 20;        // minimum maximal-match for a pair
   params.cluster.overlap.min_overlap = 40;
   params.cluster.overlap.min_identity = 0.93;

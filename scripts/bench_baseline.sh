@@ -6,8 +6,9 @@
 # Runs the three benches that perf_diff gates on — align_throughput (the
 # alignment hot path), fig5_gst_scaling (parallel GST construction) and
 # fig9_cluster_scaling (master-worker clustering) — at fixed seeds and
-# fixed, deliberately small sizes, then moves their BENCH_*.json into
-# bench/baselines/. Commit the refreshed files together with the change
+# fixed, deliberately small sizes, plus transport_probe (measured α/β for
+# both vmpi transports, the numbers CostParams::calibrated() is derived
+# from), then moves their BENCH_*.json into bench/baselines/. Commit the refreshed files together with the change
 # that moved the numbers; compare a later run against them with
 #
 #   ./build/tools/perf/perf_diff bench/baselines/BENCH_<name>.json \
@@ -26,7 +27,8 @@ JOBS=${JOBS:-$(nproc)}
 
 cmake -B build -S .
 cmake --build build -j "$JOBS" \
-  --target align_throughput fig5_gst_scaling fig9_cluster_scaling
+  --target align_throughput fig5_gst_scaling fig9_cluster_scaling \
+  transport_probe
 
 mkdir -p bench/baselines
 
@@ -38,8 +40,13 @@ mkdir -p bench/baselines
   --small 200000 --large 400000 --max-ranks 8 --seed 55
 ./build/bench/fig9_cluster_scaling \
   --small 150000 --large 300000 --max-ranks 8 --seed 99
+# No seed: the probe measures wall-clock latency, not simulated work. Its
+# points carry a "transport" field, so thread and proc never collapse into
+# one perf_diff group.
+./build/tools/transport_probe/transport_probe --iters 400
 
 mv BENCH_align_throughput.json BENCH_fig5_gst_scaling.json \
-  BENCH_fig9_cluster_scaling.json bench/baselines/
+  BENCH_fig9_cluster_scaling.json BENCH_transport_probe.json \
+  bench/baselines/
 echo "refreshed:"
 ls -l bench/baselines/

@@ -45,6 +45,12 @@ struct ClusterParams {
   /// Section 7.2 suggestion: scale the dispatch granularity with the
   /// worker count so the master's message rate stays constant as p grows.
   bool adaptive_batch = false;
+  /// vmpi transport backend: "thread" (default), "proc" (real forked
+  /// processes over shared-memory rings), or "" to defer to the
+  /// PGASM_TRANSPORT environment variable. Operational knob — the contig
+  /// output is transport-invariant, so it is excluded from
+  /// cluster_params_hash (a thread-run checkpoint resumes under proc).
+  std::string transport;
 
   // --- fault tolerance (see DESIGN.md "Fault model & recovery") ---------
   /// Master-side report-probe timeout (seconds) before a failure-detection

@@ -31,6 +31,13 @@ namespace pgasm::core {
 
 namespace {
 
+// Stash keys for per-rank phase-boundary results (Comm::stash_value).
+// These ride the exit blob on the proc transport, so they must be
+// trivially copyable values, not pointers into rank memory.
+constexpr std::uint32_t kStashGstStats = 0x6773;  // "gs": gst::GstBuildStats
+constexpr std::uint32_t kStashGstBusy = 0x6762;   // "gb": double, ledger busy
+constexpr std::uint32_t kStashGstWall = 0x6777;   // "gw": double, wall secs
+
 // The pump below implements the MasterState machine declared in
 // cluster_protocol.hpp (kMasterTransitions); the [MasterState::k*] markers
 // tie each region to its state so tools/protocol_check's reachability
@@ -428,9 +435,6 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   ParallelClusterResult result;
   const seq::FragmentStore doubled = seq::make_doubled_store(fragments);
 
-  // Per-rank busy seconds at the GST/clustering phase boundary.
-  std::vector<double> gst_busy(num_ranks, 0.0);
-  std::vector<double> gst_wall(num_ranks, 0.0);
   MasterScheduler sched(doubled, params, num_ranks);
   sched.input_hash = cluster_input_hash(fragments);
   sched.params_hash = cluster_params_hash(params);
@@ -472,9 +476,8 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
         "under (missing, corrupt, or mismatched gst_checkpoint_path)");
   }
 
-  std::vector<gst::GstBuildStats> gst_stats(num_ranks);
   util::WallTimer total_timer;
-  vmpi::Runtime rt(num_ranks, cost_params, faults);
+  vmpi::Runtime rt(num_ranks, params.transport, cost_params, faults);
   result.cost = rt.run([&](vmpi::Comm& comm) {
     util::WallTimer phase_timer;
     gst::ParallelGstParams gp;
@@ -485,14 +488,18 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
     gp.fault_tolerant = params.fault_tolerant_gst;
     if (!gst_resume_table.empty()) gp.resume_bucket_owner = &gst_resume_table;
     auto dist = gst::build_distributed_gst(comm, doubled, gp);
-    gst_stats[comm.rank()] = dist.stats;
+    // Phase-boundary results travel through the stash, not captured
+    // vectors: on the proc transport each rank is a forked child whose
+    // memory writes the driver never sees. A rank that dies mid-run
+    // simply never stashes — the driver reads defaults for it.
+    comm.stash_value(kStashGstStats, dist.stats);
     // The barrier is a collective: with fault tolerance on, a rank that
     // died during construction would abort it (and the whole run), so the
     // fault-tolerant path skips the sync and relies on the protocol's own
     // completion round for the phase boundary.
     if (!params.fault_tolerant_gst) comm.barrier();
-    gst_busy[comm.rank()] = comm.ledger().busy_seconds();
-    gst_wall[comm.rank()] = phase_timer.elapsed();
+    comm.stash_value(kStashGstBusy, comm.ledger().busy_seconds());
+    comm.stash_value(kStashGstWall, phase_timer.elapsed());
 
     if (comm.rank() == 0) {
       if (params.fault_tolerant_gst && !params.gst_checkpoint_path.empty() &&
@@ -540,17 +547,24 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   stats.pairs_skipped_resume = sched.pairs_skipped_resume;
   stats.resumed_from_epoch = sched.resumed_from_epoch;
   for (int rk = 0; rk < num_ranks; ++rk) {
-    stats.gst_ranks_recovered += gst_stats[rk].ranks_recovered;
-    stats.gst_buckets_reassigned += gst_stats[rk].buckets_reassigned;
-    stats.gst_ft_retries += gst_stats[rk].ft_retries;
-    stats.gst_resumed += gst_stats[rk].resumed_from_plan;
+    const auto g = result.cost.stash_value<gst::GstBuildStats>(
+        rk, kStashGstStats);
+    if (!g) continue;  // rank died before the phase boundary
+    stats.gst_ranks_recovered += g->ranks_recovered;
+    stats.gst_buckets_reassigned += g->buckets_reassigned;
+    stats.gst_ft_retries += g->ft_retries;
+    stats.gst_resumed += g->resumed_from_plan;
   }
 
   double gst_model = 0, total_model = 0;
   for (int rk = 0; rk < num_ranks; ++rk) {
-    gst_model = std::max(gst_model, gst_busy[rk]);
+    gst_model = std::max(
+        gst_model,
+        result.cost.stash_value<double>(rk, kStashGstBusy).value_or(0.0));
     total_model = std::max(total_model, result.cost.per_rank[rk].busy_seconds());
-    stats.gst_seconds = std::max(stats.gst_seconds, gst_wall[rk]);
+    stats.gst_seconds = std::max(
+        stats.gst_seconds,
+        result.cost.stash_value<double>(rk, kStashGstWall).value_or(0.0));
   }
   stats.gst_modeled_seconds = gst_model;
   stats.cluster_modeled_seconds = std::max(0.0, total_model - gst_model);

@@ -117,6 +117,18 @@ class Histogram {
     return sum_.load(std::memory_order_relaxed);
   }
 
+  /// Fold a bucket-count delta / sum delta from another histogram into this
+  /// one (used to merge per-process registry snapshots after a proc-
+  /// transport run; deltas, not absolutes, so inherited pre-fork state is
+  /// not double counted).
+  void merge_bucket(int i, std::uint64_t count) noexcept {
+    buckets_[static_cast<std::size_t>(i)].fetch_add(count,
+                                                    std::memory_order_relaxed);
+  }
+  void merge_sum(std::uint64_t delta) noexcept {
+    sum_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
  private:
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
   std::atomic<std::uint64_t> sum_{0};

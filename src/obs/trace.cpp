@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <ctime>
+#include <set>
 
 #include "obs/metrics.hpp"
 
@@ -142,6 +143,11 @@ std::vector<TraceEvent> RankRing::drain() const {
 std::uint64_t RankRing::dropped() const {
   util::MutexLock lock(mu_);
   return dropped_;
+}
+
+void RankRing::add_dropped(std::uint64_t n) {
+  util::MutexLock lock(mu_);
+  dropped_ += n;
 }
 
 std::size_t RankRing::size() const {
@@ -375,6 +381,17 @@ void Span::finish() noexcept {
 Tracer& tracer() {
   static Tracer* instance = new Tracer();  // leaked: outlives all threads
   return *instance;
+}
+
+const char* intern_string(std::string_view s) {
+  if (s.empty()) return "";
+  static util::Mutex* mu = new util::Mutex();  // leaked, like the tracer
+  static std::set<std::string, std::less<>>* table =
+      new std::set<std::string, std::less<>>();
+  util::MutexLock lock(*mu);
+  auto it = table->find(s);
+  if (it == table->end()) it = table->emplace(s).first;
+  return it->c_str();
 }
 
 Span span(int rank, const char* name, const char* cat) {

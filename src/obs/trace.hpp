@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/thread_annotations.hpp"
@@ -74,6 +75,9 @@ class RankRing {
 
   std::vector<TraceEvent> drain() const PGASM_EXCLUDES(mu_);  ///< oldest-first
   std::uint64_t dropped() const PGASM_EXCLUDES(mu_);
+  /// Fold in events dropped by another ring (a child process's copy of this
+  /// rank's ring, merged after a proc-transport run).
+  void add_dropped(std::uint64_t n) PGASM_EXCLUDES(mu_);
   std::size_t size() const PGASM_EXCLUDES(mu_);
 
  private:
@@ -116,6 +120,14 @@ class Tracer {
 
   /// Microseconds since the trace epoch (process start of the tracer).
   std::uint64_t now_us() const;
+
+  /// The trace epoch in CLOCK_MONOTONIC nanoseconds (0 until the first ring
+  /// is created). Forked rank processes inherit the parent's epoch, but each
+  /// child ships its own value back in its trace blob so the merge can align
+  /// timestamps even if the epochs ever diverge.
+  std::uint64_t epoch_ns() const noexcept {
+    return epoch_ns_.load(std::memory_order_relaxed);
+  }
 
   /// All events from all rings, plus rank list, for export.
   std::map<int, std::vector<TraceEvent>> drain_all() const PGASM_EXCLUDES(mu_);
@@ -170,6 +182,14 @@ class Span {
 
 /// Process-global tracer (same lifetime contract as obs::registry()).
 Tracer& tracer();
+
+/// Copy `s` into process-lifetime storage and return a stable pointer;
+/// equal strings share one copy. TraceEvent stores raw const char* with a
+/// static-lifetime contract, which deserialized events (per-process trace
+/// blobs merged after a proc-transport run) cannot meet with their own
+/// buffers — interning restores the contract. The intern table is leaked
+/// like the tracer itself.
+const char* intern_string(std::string_view s);
 
 /// Open a span on the global tracer; returns an inert Span when disabled.
 Span span(int rank, const char* name, const char* cat);

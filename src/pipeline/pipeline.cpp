@@ -441,7 +441,7 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
       // Under the supervisor the chaos fault plan reaches this phase too
       // (first attempt only): a crashed or silenced worker surfaces as a
       // failed gather recv, and the retry reassembles everything clean.
-      vmpi::Runtime rt(params.ranks, params.cost,
+      vmpi::Runtime rt(params.ranks, params.cluster.transport, params.cost,
                        sup.enabled() && attempt == 0 ? params.faults
                                                      : vmpi::FaultPlan{});
       const auto cost = rt.run([&](vmpi::Comm& comm) {

@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "vmpi/transport.hpp"
+
 namespace pgasm::vmpi {
+
+// Measured with `tools/transport_probe` on the dev container (see
+// scripts/bench_baseline.sh; BENCH_transport_probe.json holds the raw
+// points). alpha = half the median 8-byte ping-pong round trip, beta =
+// 1 / the ping-pong slope at 1 MiB messages. The thread transport pays
+// more per message (mailbox mutex + cv handoff vs. the proc rings'
+// spin-polled consume) but streams faster (one vector move into the
+// mailbox vs. chunked memcpys through a bounded shared ring).
+CostParams CostParams::calibrated(TransportKind kind) noexcept {
+  CostParams p;
+  switch (kind) {
+    case TransportKind::kThread:
+      p.alpha = 2.6e-6;
+      p.beta = 1.0 / 30e9;
+      break;
+    case TransportKind::kProc:
+      p.alpha = 1.3e-6;
+      p.beta = 1.0 / 5.3e9;
+      break;
+  }
+  return p;
+}
 
 double RunCost::modeled_parallel_seconds() const noexcept {
   double best = 0;

@@ -1,8 +1,9 @@
 // Communication/computation cost accounting for the virtual MPI runtime.
 //
 // The paper's experiments ran on up to 8192 BlueGene/L nodes. This repo runs
-// all "ranks" as threads of one process on one node, so raw wall-clock cannot
-// show parallel scaling. Instead every rank keeps a ledger:
+// all "ranks" on one node (threads by default, forked processes over shared
+// memory with --transport=proc), so raw wall-clock cannot show parallel
+// scaling. Instead every rank keeps a ledger:
 //
 //   * compute seconds  — charged from the thread CPU clock around the rank's
 //     real computation (so time-slicing threads don't inflate each other),
@@ -10,19 +11,48 @@
 //     bytes/bandwidth) model, on both sender and receiver.
 //
 // "Modeled parallel time" of a phase = max over ranks of (compute + comm).
-// The alpha/beta defaults approximate BlueGene/L-class interconnects; they
-// are configurable per Runtime so benches can explore sensitivity.
+// The alpha/beta defaults are calibrated from tools/transport_probe
+// ping-pong / streaming-bandwidth measurements of the default (thread)
+// transport on a dev-class node; CostParams::calibrated() exposes the
+// measured numbers for both transports, and each Runtime can override them
+// so benches can explore sensitivity (e.g. model BlueGene/L-class links).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <type_traits>
 #include <vector>
 
 namespace pgasm::vmpi {
 
+enum class TransportKind;  // transport.hpp
+
 struct CostParams {
-  double alpha = 5e-6;        ///< per-message latency, seconds
-  double beta = 1.0 / 150e6;  ///< per-byte cost, seconds (150 MB/s links)
+  // Calibrated via tools/transport_probe on the in-process (thread)
+  // transport: ~2.6 us one-way small-message latency (mailbox mutex+cv
+  // handoff), ~30 GB/s effective per-link streaming bandwidth (memcpy
+  // through the mailbox, both sides charged). See DESIGN.md §14 for the
+  // method and the measured-vs-modeled skew discussion.
+  double alpha = 2.6e-6;      ///< per-message latency, seconds
+  double beta = 1.0 / 30e9;   ///< per-byte cost, seconds
   double compute_scale = 1.0; ///< multiplier on charged compute seconds
+
+  /// Measured alpha-beta of one of our real transports (thread mailboxes or
+  /// forked processes over shm rings), from tools/transport_probe. Defined
+  /// in cost_model.cpp next to the numbers' provenance.
+  static CostParams calibrated(TransportKind kind) noexcept;
+
+  /// The paper's interconnect class (BlueGene/L-era links): the historical
+  /// defaults benches use to model at-scale runs.
+  static CostParams bluegene() noexcept {
+    CostParams p;
+    p.alpha = 5e-6;
+    p.beta = 1.0 / 150e6;
+    return p;
+  }
 };
 
 /// Per-rank accounting. Owned by the rank's thread; merged after a run.
@@ -72,10 +102,32 @@ struct FaultStats {
   std::uint64_t ranks_failed = 0;       ///< ranks marked dead during the run
 };
 
+/// Small result blobs a rank ships back to the driver (Comm::stash_put).
+using StashMap = std::map<std::uint32_t, std::vector<std::byte>>;
+
 /// Aggregate view over all ranks of a finished run.
 struct RunCost {
   std::vector<RankLedger> per_rank;
   FaultStats faults;
+  /// stash[r] = rank r's Comm::stash_put blobs. Works identically on both
+  /// transports (the proc transport ships them in the rank's exit blob);
+  /// a rank that died mid-run leaves its map empty.
+  std::vector<StashMap> stash;
+
+  /// Typed view of one stashed blob; nullopt when the rank never stashed
+  /// the key (e.g. it crashed) or the size does not match T.
+  template <typename T>
+  std::optional<T> stash_value(int rank, std::uint32_t key) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (rank < 0 || static_cast<std::size_t>(rank) >= stash.size())
+      return std::nullopt;
+    const auto& m = stash[static_cast<std::size_t>(rank)];
+    const auto it = m.find(key);
+    if (it == m.end() || it->second.size() != sizeof(T)) return std::nullopt;
+    T v;
+    std::memcpy(&v, it->second.data(), sizeof(T));
+    return v;
+  }
 
   double modeled_parallel_seconds() const noexcept;
   double max_compute_seconds() const noexcept;

@@ -6,98 +6,12 @@
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/prng.hpp"
+#include "vmpi/thread_transport.hpp"
+#include "vmpi/wait_scope.hpp"
 
 namespace pgasm::vmpi {
 
 namespace {
-
-/// Record an instant event on a cached ring (caller checked ring != null).
-void ring_instant(obs::RankRing* ring, int rank, const char* name,
-                  const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
-                  const char* arg1_name = nullptr, std::uint64_t arg1 = 0,
-                  const char* arg2_name = nullptr, std::uint64_t arg2 = 0) {
-  obs::TraceEvent ev;
-  ev.name = name;
-  ev.cat = "vmpi";
-  ev.kind = obs::TraceEvent::Kind::kInstant;
-  ev.rank = rank;
-  ev.ts_us = obs::tracer().now_us();
-  ev.arg0_name = arg0_name;
-  ev.arg0 = arg0;
-  ev.arg1_name = arg1_name;
-  ev.arg1 = arg1;
-  ev.arg2_name = arg2_name;
-  ev.arg2 = arg2;
-  ring->record(ev);
-}
-
-/// RAII wait-span recorder for the blocking paths (recv/probe/barrier and
-/// the ssend rendezvous). Records a span covering entry-to-exit — including
-/// exits by TimeoutError, so timed-out waits still land in the blocked-time
-/// ledger — and feeds the duration into the comm.wait_us histogram. Inert
-/// when the ring is null (tracing off). Recording takes only the leaf ring
-/// mutex, so finishing while a mailbox mutex is held is safe.
-class WaitScope {
- public:
-  WaitScope(obs::RankRing* ring, obs::Histogram* wait_us, int rank,
-            const char* name)
-      : ring_(ring),
-        wait_us_(wait_us),
-        rank_(rank),
-        name_(name),
-        t0_us_(ring != nullptr ? obs::tracer().now_us() : 0) {}
-  WaitScope(const WaitScope&) = delete;
-  WaitScope& operator=(const WaitScope&) = delete;
-  ~WaitScope() { finish(); }
-
-  void arg(const char* name, std::uint64_t value) noexcept {
-    for (auto& slot : args_) {
-      if (slot.first == nullptr) {
-        slot = {name, value};
-        return;
-      }
-    }
-  }
-
-  void finish() noexcept {
-    if (ring_ == nullptr) return;
-    const std::uint64_t t1 = obs::tracer().now_us();
-    obs::TraceEvent ev;
-    ev.name = name_;
-    ev.cat = "vmpi";
-    ev.kind = obs::TraceEvent::Kind::kSpan;
-    ev.rank = rank_;
-    ev.ts_us = t0_us_;
-    ev.dur_us = t1 > t0_us_ ? t1 - t0_us_ : 0;
-    ev.arg0_name = args_[0].first;
-    ev.arg0 = args_[0].second;
-    ev.arg1_name = args_[1].first;
-    ev.arg1 = args_[1].second;
-    ev.arg2_name = args_[2].first;
-    ev.arg2 = args_[2].second;
-    ring_->record(ev);
-    if (wait_us_ != nullptr) wait_us_->observe(ev.dur_us);
-    ring_ = nullptr;
-  }
-
- private:
-  obs::RankRing* ring_;
-  obs::Histogram* wait_us_;
-  int rank_;
-  const char* name_;
-  std::uint64_t t0_us_;
-  std::pair<const char*, std::uint64_t> args_[3] = {
-      {nullptr, 0}, {nullptr, 0}, {nullptr, 0}};
-};
-
-/// Does a queued message match a (source, tag) request on a channel?
-bool matches(const detail::Message& m, int source, std::int64_t tag,
-             bool internal) {
-  if (m.internal != internal) return false;
-  if (source != kAnySource && m.source != source) return false;
-  if (tag != kAnyTag && m.tag != tag) return false;
-  return true;
-}
 
 /// Uniform [0,1) hash of (seed, rank, send index) for probabilistic faults.
 double fault_uniform(std::uint64_t seed, int rank, std::uint64_t idx,
@@ -116,8 +30,35 @@ std::string rank_gone_msg(const char* what, int source, bool failed) {
 
 }  // namespace
 
-Comm::Comm(detail::SharedState& shared, int rank)
-    : shared_(&shared), rank_(rank) {
+namespace detail {
+
+void ring_instant(obs::RankRing* ring, int rank, const char* name,
+                  const char* arg0_name, std::uint64_t arg0,
+                  const char* arg1_name, std::uint64_t arg1,
+                  const char* arg2_name, std::uint64_t arg2) {
+  obs::TraceEvent ev;
+  ev.name = name;
+  ev.cat = "vmpi";
+  ev.kind = obs::TraceEvent::Kind::kInstant;
+  ev.rank = rank;
+  ev.ts_us = obs::tracer().now_us();
+  ev.arg0_name = arg0_name;
+  ev.arg0 = arg0;
+  ev.arg1_name = arg1_name;
+  ev.arg1 = arg1;
+  ev.arg2_name = arg2_name;
+  ev.arg2 = arg2;
+  ring->record(ev);
+}
+
+}  // namespace detail
+
+using detail::ring_instant;
+using detail::WaitScope;
+
+Comm::Comm(Transport& transport, const CostParams& cost,
+           const FaultPlan& faults, int rank)
+    : transport_(&transport), cost_(&cost), faults_(&faults), rank_(rank) {
   if (obs::tracer().enabled()) {
     obs_ring_ = obs::tracer().ring(rank);
     auto& reg = obs::registry();
@@ -130,18 +71,23 @@ Comm::Comm(detail::SharedState& shared, int rank)
 }
 
 bool Comm::apply_faults() {
-  const FaultPlan& fp = shared_->faults;
+  const FaultPlan& fp = *faults_;
   const std::uint64_t idx = ++user_send_seq_;
   if (!fp.enabled()) return false;
 
   for (const auto& c : fp.crashes) {
     if (c.rank == rank_ && idx >= c.at_send) {
-      ++shared_->fault_counters.crashes_injected;
+      ++transport_->counters().crashes_injected;
       if (obs_ring_ != nullptr) {
         ring_instant(obs_ring_, rank_, "fault_crash", "send_idx", idx);
       }
-      throw KilledError("fault injection: rank " + std::to_string(rank_) +
-                        " killed at user send " + std::to_string(idx));
+      // The transport decides what dying means: KilledError unwinds the
+      // rank thread; the proc transport SIGKILLs the calling process (a
+      // real kill — no stack unwinding, no blob flush, exactly what a
+      // machine failure looks like to the surviving ranks).
+      transport_->crash_self(
+          rank_, "fault injection: rank " + std::to_string(rank_) +
+                     " killed at user send " + std::to_string(idx));
     }
   }
   bool drop = false;
@@ -161,7 +107,7 @@ bool Comm::apply_faults() {
     delay_s = fp.delay_seconds;
   }
   if (delay_s > 0) {
-    ++shared_->fault_counters.messages_delayed;
+    ++transport_->counters().messages_delayed;
     if (obs_ring_ != nullptr) {
       ring_instant(obs_ring_, rank_, "fault_delay", "send_idx", idx,
                    "delay_us",
@@ -170,7 +116,7 @@ bool Comm::apply_faults() {
     std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
   }
   if (drop) {
-    ++shared_->fault_counters.messages_dropped;
+    ++transport_->counters().messages_dropped;
     if (obs_ring_ != nullptr) {
       ring_instant(obs_ring_, rank_, "fault_drop", "send_idx", idx);
     }
@@ -180,7 +126,7 @@ bool Comm::apply_faults() {
 
 bool Comm::send_preflight(int dest, std::size_t n, bool internal, bool sync) {
   if (dest < 0 || dest >= size()) throw std::runtime_error("send: bad dest");
-  if (shared_->aborted.load()) throw AbortError("vmpi aborted");
+  if (transport_->is_aborted()) throw AbortError("vmpi aborted");
 
   // Fault injection applies to the user channel only: a dropped or crashed
   // collective-internal message is unrecoverable by construction, whereas
@@ -190,7 +136,7 @@ bool Comm::send_preflight(int dest, std::size_t n, bool internal, bool sync) {
 
   // The send is charged even when the message is lost or the destination is
   // dead — the sender did the work of sending it.
-  ledger_.charge_send(n, shared_->cost);
+  ledger_.charge_send(n, *cost_);
   if (!internal && obs_ring_ != nullptr) {
     obs_send_bytes_->observe(n);
     // mseq = this rank's user send index (just assigned by apply_faults):
@@ -203,52 +149,29 @@ bool Comm::send_preflight(int dest, std::size_t n, bool internal, bool sync) {
                  user_send_seq_);
   }
   if (drop) return false;
-  if (shared_->dead[static_cast<std::size_t>(dest)].load()) {
-    ++shared_->fault_counters.sends_to_dead;
+  if (transport_->is_dead(dest)) {
+    ++transport_->counters().sends_to_dead;
     return false;  // synchronous sends complete immediately: no consumer
   }
-  if (shared_->done[static_cast<std::size_t>(dest)].load()) {
+  if (transport_->is_done(dest)) {
     return false;  // receiver finished its body: discard, never block
   }
   return true;
 }
 
-void Comm::enqueue_message(int dest, detail::Message&& msg, bool sync) {
-  std::shared_ptr<std::atomic<bool>> consumed;
-  if (sync) {
-    consumed = std::make_shared<std::atomic<bool>>(false);
-    msg.consumed = consumed;
+void Comm::dispatch_message(int dest, detail::Message&& msg, bool sync) {
+  if (!sync) {
+    transport_->deliver(rank_, dest, std::move(msg), /*sync=*/false);
+    return;
   }
-
-  auto& box = shared_->boxes[static_cast<std::size_t>(dest)];
-  util::MutexLock lock(box.mu);
-  const std::uint64_t mseq = msg.send_idx;
-  box.queue.push_back(std::move(msg));
-  box.cv.notify_all();
-  if (sync) {
-    // The rendezvous wait is the synchronous sender's blocked time: span it
-    // so the ledger charges it as comm wait, not compute.
-    WaitScope wait_sp(obs_ring_, obs_wait_us_, rank_, "ssend_wait");
-    wait_sp.arg("peer", static_cast<std::uint64_t>(dest));
-    wait_sp.arg("mseq", mseq);
-    // Rendezvous on the destination mailbox cv. The predicate re-checks
-    // abort and destination death/completion on every wake, so a receiver
-    // that never consumes cannot strand the sender (the old promise/future
-    // rendezvous deadlocked here).
-    box.cv.wait(box.mu, [&] {
-      return consumed->load() || shared_->aborted.load() ||
-             shared_->dead[static_cast<std::size_t>(dest)].load() ||
-             shared_->done[static_cast<std::size_t>(dest)].load();
-    });
-    if (!consumed->load()) {
-      if (shared_->dead[static_cast<std::size_t>(dest)].load()) {
-        ++shared_->fault_counters.sends_to_dead;
-        return;
-      }
-      if (shared_->done[static_cast<std::size_t>(dest)].load()) return;
-      throw AbortError("vmpi aborted during ssend");
-    }
-  }
+  // The rendezvous wait is the synchronous sender's blocked time: span it
+  // so the ledger charges it as comm wait, not compute. The transport owns
+  // the actual blocking (mailbox cv on threads, shm ack-slot poll on
+  // processes) and the post-enqueue liveness accounting.
+  WaitScope wait_sp(obs_ring_, obs_wait_us_, rank_, "ssend_wait");
+  wait_sp.arg("peer", static_cast<std::uint64_t>(dest));
+  wait_sp.arg("mseq", msg.send_idx);
+  transport_->deliver(rank_, dest, std::move(msg), /*sync=*/true);
 }
 
 void Comm::send_impl(int dest, std::int64_t tag, const void* data,
@@ -262,7 +185,7 @@ void Comm::send_impl(int dest, std::int64_t tag, const void* data,
   msg.send_idx = internal ? 0 : user_send_seq_;
   msg.payload.resize(n);
   if (n > 0) std::memcpy(msg.payload.data(), data, n);
-  enqueue_message(dest, std::move(msg), sync);
+  dispatch_message(dest, std::move(msg), sync);
 }
 
 void Comm::send_payload_impl(int dest, std::int64_t tag,
@@ -275,7 +198,7 @@ void Comm::send_payload_impl(int dest, std::int64_t tag,
   msg.internal = false;
   msg.send_idx = user_send_seq_;
   msg.payload = std::move(payload);
-  enqueue_message(dest, std::move(msg), sync);
+  dispatch_message(dest, std::move(msg), sync);
 }
 
 std::vector<std::byte> Comm::recv_impl(
@@ -286,23 +209,12 @@ std::vector<std::byte> Comm::recv_impl(
   // timed out — the destructor records the span on the throw paths too).
   WaitScope wait_sp(internal ? nullptr : obs_ring_, obs_wait_us_, rank_,
                     "recv");
-  auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
-  util::ReleasableMutexLock lock(box.mu);
-  for (;;) {
-    // Both the abort flag and the dead flags are re-checked under the
-    // mailbox mutex before every sleep; abort_all/mark_dead notify under
-    // the same mutex, so no wake can be lost.
-    if (shared_->aborted.load()) throw AbortError("vmpi aborted");
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (!matches(*it, source, tag, internal)) continue;
-      detail::Message msg = std::move(*it);
-      box.queue.erase(it);
-      if (msg.consumed) {
-        msg.consumed->store(true);
-        box.cv.notify_all();  // wake the rendezvoused synchronous sender
-      }
-      lock.release();
-      ledger_.charge_recv(msg.payload.size(), shared_->cost);
+  detail::Message msg;
+  const Transport::Wait got =
+      transport_->recv(rank_, source, tag, internal, deadline, &msg);
+  switch (got) {
+    case Transport::Wait::kMessage: {
+      ledger_.charge_recv(msg.payload.size(), *cost_);
       if (!internal && obs_ring_ != nullptr) {
         obs_recv_bytes_->observe(msg.payload.size());
         wait_sp.arg("peer", static_cast<std::uint64_t>(msg.source));
@@ -317,14 +229,13 @@ std::vector<std::byte> Comm::recv_impl(
       }
       return std::move(msg.payload);
     }
-    // No match queued. A specific failed or finished source can never
-    // deliver: fail fast instead of blocking until the deadline (forever).
-    if (source != kAnySource && source != rank_ &&
-        (shared_->dead[static_cast<std::size_t>(source)].load() ||
-         shared_->done[static_cast<std::size_t>(source)].load())) {
-      const bool failed = shared_->dead[static_cast<std::size_t>(source)].load();
+    case Transport::Wait::kPeerGone: {
+      // A specific failed or finished source can never deliver: the
+      // transport failed fast instead of blocking until the deadline
+      // (forever).
+      const bool failed = transport_->is_dead(source);
       if (deadline) {
-        ++shared_->fault_counters.timeouts_fired;
+        ++transport_->counters().timeouts_fired;
         if (obs_ring_ != nullptr) {
           obs_timeouts_->inc();
           ring_instant(obs_ring_, rank_, "recv_timeout", "peer",
@@ -334,22 +245,17 @@ std::vector<std::byte> Comm::recv_impl(
       }
       throw AbortError(rank_gone_msg("recv", source, failed));
     }
-    if (deadline) {
-      if (std::chrono::steady_clock::now() >= *deadline) {
-        ++shared_->fault_counters.timeouts_fired;
-        if (obs_ring_ != nullptr) {
-          obs_timeouts_->inc();
-          ring_instant(obs_ring_, rank_, "recv_timeout", "peer",
-                       static_cast<std::uint64_t>(source));
-        }
-        throw TimeoutError("recv: timeout (source " + std::to_string(source) +
-                           ", tag " + std::to_string(tag) + ")");
-      }
-      box.cv.wait_until(box.mu, *deadline);
-    } else {
-      box.cv.wait(box.mu);
-    }
+    case Transport::Wait::kTimeout:
+      break;
   }
+  ++transport_->counters().timeouts_fired;
+  if (obs_ring_ != nullptr) {
+    obs_timeouts_->inc();
+    ring_instant(obs_ring_, rank_, "recv_timeout", "peer",
+                 static_cast<std::uint64_t>(source));
+  }
+  throw TimeoutError("recv: timeout (source " + std::to_string(source) +
+                     ", tag " + std::to_string(tag) + ")");
 }
 
 std::vector<std::byte> Comm::recv(int source, int tag, Status* status) {
@@ -368,27 +274,23 @@ std::vector<std::byte> Comm::recv_timeout(int source, int tag,
 Status Comm::probe_impl(int source, int tag,
                         const std::chrono::steady_clock::time_point* deadline) {
   WaitScope wait_sp(obs_ring_, obs_wait_us_, rank_, "probe");
-  auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
-  util::MutexLock lock(box.mu);
-  for (;;) {
-    if (shared_->aborted.load()) throw AbortError("vmpi aborted");
-    for (const auto& m : box.queue) {
-      if (matches(m, source, tag, /*internal=*/false)) {
-        // The probed message stays queued; stamping its (peer, mseq) lets
-        // the analyzer jump probe waits to the sender like recv waits.
-        wait_sp.arg("peer", static_cast<std::uint64_t>(m.source));
-        wait_sp.arg("bytes", m.payload.size());
-        wait_sp.arg("mseq", m.send_idx);
-        wait_sp.finish();
-        return Status{m.source, static_cast<int>(m.tag), m.payload.size()};
-      }
+  ProbeResult pr;
+  const Transport::Wait got =
+      transport_->probe(rank_, source, tag, deadline, &pr);
+  switch (got) {
+    case Transport::Wait::kMessage: {
+      // The probed message stays queued; stamping its (peer, mseq) lets
+      // the analyzer jump probe waits to the sender like recv waits.
+      wait_sp.arg("peer", static_cast<std::uint64_t>(pr.source));
+      wait_sp.arg("bytes", pr.bytes);
+      wait_sp.arg("mseq", pr.send_idx);
+      wait_sp.finish();
+      return Status{pr.source, static_cast<int>(pr.tag), pr.bytes};
     }
-    if (source != kAnySource && source != rank_ &&
-        (shared_->dead[static_cast<std::size_t>(source)].load() ||
-         shared_->done[static_cast<std::size_t>(source)].load())) {
-      const bool failed = shared_->dead[static_cast<std::size_t>(source)].load();
+    case Transport::Wait::kPeerGone: {
+      const bool failed = transport_->is_dead(source);
       if (deadline) {
-        ++shared_->fault_counters.timeouts_fired;
+        ++transport_->counters().timeouts_fired;
         if (obs_ring_ != nullptr) {
           obs_timeouts_->inc();
           ring_instant(obs_ring_, rank_, "probe_timeout", "peer",
@@ -398,22 +300,17 @@ Status Comm::probe_impl(int source, int tag,
       }
       throw AbortError(rank_gone_msg("probe", source, failed));
     }
-    if (deadline) {
-      if (std::chrono::steady_clock::now() >= *deadline) {
-        ++shared_->fault_counters.timeouts_fired;
-        if (obs_ring_ != nullptr) {
-          obs_timeouts_->inc();
-          ring_instant(obs_ring_, rank_, "probe_timeout", "peer",
-                       static_cast<std::uint64_t>(source));
-        }
-        throw TimeoutError("probe: timeout (source " + std::to_string(source) +
-                           ", tag " + std::to_string(tag) + ")");
-      }
-      box.cv.wait_until(box.mu, *deadline);
-    } else {
-      box.cv.wait(box.mu);
-    }
+    case Transport::Wait::kTimeout:
+      break;
   }
+  ++transport_->counters().timeouts_fired;
+  if (obs_ring_ != nullptr) {
+    obs_timeouts_->inc();
+    ring_instant(obs_ring_, rank_, "probe_timeout", "peer",
+                 static_cast<std::uint64_t>(source));
+  }
+  throw TimeoutError("probe: timeout (source " + std::to_string(source) +
+                     ", tag " + std::to_string(tag) + ")");
 }
 
 Status Comm::probe(int source, int tag) {
@@ -429,20 +326,14 @@ Status Comm::probe_timeout(int source, int tag, double timeout_s) {
 }
 
 bool Comm::iprobe(int source, int tag, Status* status) {
-  auto& box = shared_->boxes[static_cast<std::size_t>(rank_)];
-  util::MutexLock lock(box.mu);
-  if (shared_->aborted.load()) throw AbortError("vmpi aborted");
-  for (const auto& m : box.queue) {
-    if (matches(m, source, tag, /*internal=*/false)) {
-      if (status) {
-        status->source = m.source;
-        status->tag = static_cast<int>(m.tag);
-        status->bytes = m.payload.size();
-      }
-      return true;
-    }
+  ProbeResult pr;
+  if (!transport_->iprobe(rank_, source, tag, &pr)) return false;
+  if (status) {
+    status->source = pr.source;
+    status->tag = static_cast<int>(pr.tag);
+    status->bytes = pr.bytes;
   }
-  return false;
+  return true;
 }
 
 void Comm::barrier() {
@@ -491,24 +382,36 @@ void Comm::bcast_bytes(std::vector<std::byte>& data, int root) {
 }
 
 Runtime::Runtime(int num_ranks, CostParams cost, FaultPlan faults)
-    : shared_(std::make_unique<detail::SharedState>(num_ranks, cost,
-                                                    std::move(faults))) {
+    : num_ranks_(num_ranks),
+      kind_(TransportKind::kThread),
+      cost_(cost),
+      faults_(std::move(faults)),
+      thread_transport_(std::make_unique<ThreadTransport>(num_ranks)) {
   if (num_ranks < 1) throw std::runtime_error("Runtime: num_ranks < 1");
+}
+
+Runtime::Runtime(int num_ranks, const std::string& transport, CostParams cost,
+                 FaultPlan faults)
+    : num_ranks_(num_ranks),
+      kind_(resolve_transport(transport)),
+      cost_(cost),
+      faults_(std::move(faults)) {
+  if (num_ranks < 1) throw std::runtime_error("Runtime: num_ranks < 1");
+  if (kind_ == TransportKind::kThread) {
+    thread_transport_ = std::make_unique<ThreadTransport>(num_ranks);
+  }
 }
 
 Runtime::~Runtime() = default;
 
 RunCost Runtime::run(const std::function<void(Comm&)>& body) {
-  const int p = shared_->num_ranks;
-  // Fresh state per run: clear mailboxes, abort flag, dead flags, counters.
-  shared_->aborted.store(false);
-  for (auto& d : shared_->dead) d.store(false);
-  for (auto& d : shared_->done) d.store(false);
-  shared_->fault_counters.reset();
-  for (auto& box : shared_->boxes) {
-    util::MutexLock lock(box.mu);
-    box.queue.clear();
-  }
+  return kind_ == TransportKind::kProc ? run_proc(body) : run_threads(body);
+}
+
+RunCost Runtime::run_threads(const std::function<void(Comm&)>& body) {
+  const int p = num_ranks_;
+  ThreadTransport& tp = *thread_transport_;
+  tp.reset();  // fresh state per run: queues, abort/dead flags, counters
 
   // The caller's thread blocks here until every rank thread finishes; span
   // that as a "join" wait so the analyzer can hand the critical path from
@@ -524,6 +427,7 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
 
   RunCost cost;
   cost.per_rank.resize(static_cast<std::size_t>(p));
+  cost.stash.resize(static_cast<std::size_t>(p));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
   util::Mutex error_mu;
@@ -532,59 +436,33 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r]() {
       util::set_log_rank(r);
-      Comm comm(*shared_, r);
+      Comm comm(tp, cost_, faults_, r);
       try {
         body(comm);
         // Normal return: complete any synchronous sends still rendezvoused
         // on this rank's mailbox so no peer hangs on a message this rank
         // will never consume.
-        shared_->mark_done(r);
+        tp.mark_done(r);
       } catch (const KilledError&) {
         // Injected crash: this rank dies quietly. Survivors observe the
         // failure via timeouts / rank_failed, not a run-wide abort.
-        shared_->mark_dead(r);
+        tp.mark_dead(r);
       } catch (...) {
         {
           util::MutexLock lock(error_mu);
           if (!first_error) first_error = std::current_exception();
         }
-        shared_->abort_all();
+        tp.abort_all();
       }
       cost.per_rank[static_cast<std::size_t>(r)] = comm.ledger();
+      cost.stash[static_cast<std::size_t>(r)] = std::move(comm.stash_);
     });
   }
   for (auto& t : threads) t.join();
   join_sp.finish();
-  cost.faults = shared_->fault_counters.snapshot();
+  cost.faults = tp.counters().snapshot();
 
-  // Publish the run's cost ledgers into the metrics registry so the ad-hoc
-  // RunCost/FaultStats structs and the obs export agree by construction.
-  if (obs::tracer().enabled()) {
-    auto& reg = obs::registry();
-    const char* phase = obs::current_phase();
-    for (int r = 0; r < p; ++r) {
-      const RankLedger& l = cost.per_rank[static_cast<std::size_t>(r)];
-      reg.counter("vmpi.msgs_sent", r, phase).inc(l.msgs_sent);
-      reg.counter("vmpi.bytes_sent", r, phase).inc(l.bytes_sent);
-      reg.counter("vmpi.msgs_recv", r, phase).inc(l.msgs_recv);
-      reg.counter("vmpi.bytes_recv", r, phase).inc(l.bytes_recv);
-      reg.gauge("vmpi.compute_seconds", r, phase).add(l.compute_seconds);
-      reg.gauge("vmpi.comm_seconds", r, phase).add(l.comm_seconds);
-    }
-    const FaultStats& fs = cost.faults;
-    reg.counter("vmpi.faults.crashes_injected", obs::kNoRank, phase)
-        .inc(fs.crashes_injected);
-    reg.counter("vmpi.faults.messages_dropped", obs::kNoRank, phase)
-        .inc(fs.messages_dropped);
-    reg.counter("vmpi.faults.messages_delayed", obs::kNoRank, phase)
-        .inc(fs.messages_delayed);
-    reg.counter("vmpi.faults.sends_to_dead", obs::kNoRank, phase)
-        .inc(fs.sends_to_dead);
-    reg.counter("vmpi.faults.timeouts_fired", obs::kNoRank, phase)
-        .inc(fs.timeouts_fired);
-    reg.counter("vmpi.faults.ranks_failed", obs::kNoRank, phase)
-        .inc(fs.ranks_failed);
-  }
+  publish_cost(cost);
 
   if (first_error) {
     try {
@@ -595,6 +473,36 @@ RunCost Runtime::run(const std::function<void(Comm&)>& body) {
     }
   }
   return cost;
+}
+
+// Publish the run's cost ledgers into the metrics registry so the ad-hoc
+// RunCost/FaultStats structs and the obs export agree by construction.
+void Runtime::publish_cost(const RunCost& cost) const {
+  if (!obs::tracer().enabled()) return;
+  auto& reg = obs::registry();
+  const char* phase = obs::current_phase();
+  for (int r = 0; r < num_ranks_; ++r) {
+    const RankLedger& l = cost.per_rank[static_cast<std::size_t>(r)];
+    reg.counter("vmpi.msgs_sent", r, phase).inc(l.msgs_sent);
+    reg.counter("vmpi.bytes_sent", r, phase).inc(l.bytes_sent);
+    reg.counter("vmpi.msgs_recv", r, phase).inc(l.msgs_recv);
+    reg.counter("vmpi.bytes_recv", r, phase).inc(l.bytes_recv);
+    reg.gauge("vmpi.compute_seconds", r, phase).add(l.compute_seconds);
+    reg.gauge("vmpi.comm_seconds", r, phase).add(l.comm_seconds);
+  }
+  const FaultStats& fs = cost.faults;
+  reg.counter("vmpi.faults.crashes_injected", obs::kNoRank, phase)
+      .inc(fs.crashes_injected);
+  reg.counter("vmpi.faults.messages_dropped", obs::kNoRank, phase)
+      .inc(fs.messages_dropped);
+  reg.counter("vmpi.faults.messages_delayed", obs::kNoRank, phase)
+      .inc(fs.messages_delayed);
+  reg.counter("vmpi.faults.sends_to_dead", obs::kNoRank, phase)
+      .inc(fs.sends_to_dead);
+  reg.counter("vmpi.faults.timeouts_fired", obs::kNoRank, phase)
+      .inc(fs.timeouts_fired);
+  reg.counter("vmpi.faults.ranks_failed", obs::kNoRank, phase)
+      .inc(fs.ranks_failed);
 }
 
 }  // namespace pgasm::vmpi

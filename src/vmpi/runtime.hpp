@@ -1,22 +1,27 @@
-// Virtual MPI: an in-process message-passing runtime.
+// Virtual MPI: a message-passing runtime with pluggable transports.
 //
 // The paper's framework is written against MPI on an IBM BlueGene/L. This
 // substrate provides the same programming model — ranks, point-to-point
 // send/recv with tags and wildcards, synchronous (Ssend) semantics, probes,
 // and the collectives the algorithms need (barrier, bcast, reduce,
 // allreduce, gather, allgatherv, alltoallv, plus the paper's customized
-// staged Alltoallv with bounded buffers) — with ranks running as threads of
-// one process. Collectives are implemented on top of point-to-point messages
-// with real communication algorithms (dissemination barrier, binomial
-// bcast/reduce), so the cost ledger sees the same message pattern a real
-// cluster would.
+// staged Alltoallv with bounded buffers). Collectives are implemented on
+// top of point-to-point messages with real communication algorithms
+// (dissemination barrier, binomial bcast/reduce), so the cost ledger sees
+// the same message pattern a real cluster would.
+//
+// Ranks run over a vmpi::Transport (transport.hpp): threads of one process
+// sharing mutex+cv mailboxes (the default), or real forked OS processes
+// exchanging messages over shared-memory rings ("proc"). The protocol
+// semantics below are identical on both.
 //
 // Fault model: a Runtime can carry a deterministic FaultPlan that injects
 // rank crashes, message drops, and message delays keyed on each rank's
-// user-channel send index. A crashed rank dies silently (its thread exits
-// without aborting the run); surviving ranks observe the failure only
-// through the deadline-carrying recv_timeout/probe_timeout calls (which
-// throw TimeoutError) or the rank_failed() failure-detector oracle.
+// user-channel send index. A crashed rank dies silently (its thread exits —
+// or its child process is SIGKILLed — without aborting the run); surviving
+// ranks observe the failure only through the deadline-carrying
+// recv_timeout/probe_timeout calls (which throw TimeoutError) or the
+// rank_failed() failure-detector oracle.
 // A rank whose body returns normally is marked *finished*: sends to it are
 // discarded (synchronous sends complete instead of blocking on a receiver
 // that will never consume), and receives from it fail fast once its queued
@@ -26,7 +31,8 @@
 // death during a collective aborts the run instead.
 //
 // Usage:
-//   vmpi::Runtime rt(8);
+//   vmpi::Runtime rt(8);                  // thread transport
+//   vmpi::Runtime rt2(4, "proc");         // 4 forked processes
 //   vmpi::RunCost cost = rt.run([&](vmpi::Comm& comm) {
 //     if (comm.rank() == 0) comm.send_value(1, /*tag=*/7, 42);
 //     else if (comm.rank() == 1) int v = comm.recv_value<int>(0, 7);
@@ -34,22 +40,21 @@
 //   });
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
-#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
 
-#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 #include "vmpi/cost_model.hpp"
+#include "vmpi/transport.hpp"
 
 namespace pgasm::obs {
 class Counter;
@@ -59,8 +64,7 @@ class RankRing;
 
 namespace pgasm::vmpi {
 
-inline constexpr int kAnySource = -1;
-inline constexpr int kAnyTag = -1;
+class ThreadTransport;
 
 /// memcpy with the n == 0 case made well-defined: empty std::vector buffers
 /// hand out data() == nullptr, and passing nullptr to memcpy is UB even for
@@ -74,26 +78,6 @@ struct Status {
   int source = 0;
   int tag = 0;
   std::size_t bytes = 0;
-};
-
-/// Thrown on all ranks when any rank's body throws, so no rank deadlocks.
-struct AbortError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-/// Thrown by recv_timeout/probe_timeout when the deadline passes or the
-/// awaited source rank has failed. Distinct from AbortError: a timeout is
-/// local and recoverable (the caller may retry, reassign work, or declare
-/// the peer dead); an abort is global and fatal to the run.
-struct TimeoutError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-/// Thrown inside a rank to simulate its crash (used by FaultPlan). The
-/// Runtime terminates only that rank: its thread exits, the rank is marked
-/// failed, and the run continues on the survivors.
-struct KilledError : std::runtime_error {
-  using std::runtime_error::runtime_error;
 };
 
 /// Deterministic, seeded fault-injection plan. All rules key on a rank's
@@ -132,146 +116,25 @@ struct FaultPlan {
   }
 };
 
-namespace detail {
-
-struct Message {
-  int source = 0;
-  std::int64_t tag = 0;  ///< user tags are >= 0 and < 2^31; internal larger
-  bool internal = false;
-  /// Sender's 1-based user-channel send index (0 for collective-internal
-  /// traffic). (source, send_idx) identifies a user message uniquely; the
-  /// tracer stamps it as the "mseq" arg on both the send and recv events,
-  /// which is what obs::analyze stitches cross-rank causal edges from.
-  std::uint64_t send_idx = 0;
-  std::vector<std::byte> payload;
-  /// Set for ssend rendezvous: flipped true when the receiver consumes the
-  /// message (or the destination rank dies), then the destination mailbox
-  /// cv is notified. A plain atomic + cv (not a promise) so abort_all and
-  /// rank death can wake a blocked synchronous sender.
-  std::shared_ptr<std::atomic<bool>> consumed;
-};
-
-struct Mailbox {
-  util::Mutex mu;
-  util::CondVar cv;
-  std::deque<Message> queue PGASM_GUARDED_BY(mu);
-};
-
-/// Run-wide fault bookkeeping (atomics: touched from every rank thread).
-struct FaultCounters {
-  std::atomic<std::uint64_t> crashes_injected{0};
-  std::atomic<std::uint64_t> messages_dropped{0};
-  std::atomic<std::uint64_t> messages_delayed{0};
-  std::atomic<std::uint64_t> sends_to_dead{0};
-  std::atomic<std::uint64_t> timeouts_fired{0};
-  std::atomic<std::uint64_t> ranks_failed{0};
-
-  void reset() noexcept {
-    crashes_injected = 0;
-    messages_dropped = 0;
-    messages_delayed = 0;
-    sends_to_dead = 0;
-    timeouts_fired = 0;
-    ranks_failed = 0;
-  }
-  FaultStats snapshot() const noexcept {
-    return FaultStats{crashes_injected.load(), messages_dropped.load(),
-                      messages_delayed.load(), sends_to_dead.load(),
-                      timeouts_fired.load(),   ranks_failed.load()};
-  }
-};
-
-struct SharedState {
-  SharedState(int p, CostParams params, FaultPlan plan)
-      : num_ranks(p),
-        cost(params),
-        faults(std::move(plan)),
-        boxes(static_cast<std::size_t>(p)),
-        dead(static_cast<std::size_t>(p)),
-        done(static_cast<std::size_t>(p)) {}
-
-  int num_ranks;
-  CostParams cost;
-  FaultPlan faults;
-  std::vector<Mailbox> boxes;
-  std::vector<std::atomic<bool>> dead;
-  std::vector<std::atomic<bool>> done;  ///< body returned normally
-  std::atomic<bool> aborted{false};
-  FaultCounters fault_counters;
-
-  void abort_all() {
-    aborted.store(true);
-    // Notify under each mailbox mutex: a receiver that checked the flag and
-    // is about to sleep holds the mutex until its wait releases it, so the
-    // notify cannot land in the gap between its check and its sleep.
-    for (auto& box : boxes) {
-      util::MutexLock lock(box.mu);
-      box.cv.notify_all();
-    }
-  }
-
-  /// Record rank r's death: complete any synchronous sends rendezvoused on
-  /// its mailbox, drop its queued messages, and wake every waiter so
-  /// blocked peers can re-evaluate (fail fast or time out).
-  void mark_dead(int r) {
-    dead[static_cast<std::size_t>(r)].store(true);
-    ++fault_counters.ranks_failed;
-    {
-      auto& box = boxes[static_cast<std::size_t>(r)];
-      util::MutexLock lock(box.mu);
-      for (auto& m : box.queue) {
-        if (m.consumed) m.consumed->store(true);
-      }
-      box.queue.clear();
-    }
-    for (auto& box : boxes) {
-      util::MutexLock lock(box.mu);
-      box.cv.notify_all();
-    }
-  }
-
-  /// Record rank r's normal completion. Like mark_dead, pending synchronous
-  /// sends rendezvoused on its mailbox are completed and every waiter is
-  /// woken — a peer blocked in an ssend to a rank that has already returned
-  /// (e.g. a worker falsely declared dead reporting to a master that
-  /// finished) would otherwise hang the join forever — but the rank is not
-  /// counted as failed and rank_failed() stays false for it.
-  void mark_done(int r) {
-    done[static_cast<std::size_t>(r)].store(true);
-    {
-      auto& box = boxes[static_cast<std::size_t>(r)];
-      util::MutexLock lock(box.mu);
-      for (auto& m : box.queue) {
-        if (m.consumed) m.consumed->store(true);
-      }
-      box.queue.clear();
-    }
-    for (auto& box : boxes) {
-      util::MutexLock lock(box.mu);
-      box.cv.notify_all();
-    }
-  }
-};
-
-}  // namespace detail
-
-/// One rank's endpoint. Created by Runtime::run on the rank's own thread;
-/// not thread-safe across threads (like an MPI rank).
+/// One rank's endpoint. Created by Runtime::run on the rank's own thread
+/// (or in the rank's own process on the proc transport); not thread-safe
+/// across threads (like an MPI rank).
 class Comm {
  public:
   /// Caches this rank's observability handles (tracer ring + per-rank
   /// message instruments) when obs is enabled at construction time.
-  Comm(detail::SharedState& shared, int rank);
+  Comm(Transport& transport, const CostParams& cost, const FaultPlan& faults,
+       int rank);
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
 
   int rank() const noexcept { return rank_; }
-  int size() const noexcept { return shared_->num_ranks; }
+  int size() const noexcept { return transport_->num_ranks(); }
 
   // --- point-to-point (user channel) -----------------------------------
 
-  /// Buffered send: copies into the destination mailbox and returns.
+  /// Buffered send: copies toward the destination and returns.
   void send(int dest, int tag, const void* data, std::size_t n) {
     send_impl(dest, tag, data, n, /*internal=*/false, /*sync=*/false);
   }
@@ -285,11 +148,12 @@ class Comm {
     send_impl(dest, tag, data, n, /*internal=*/false, /*sync=*/true);
   }
 
-  /// Buffered send that MOVES an already-serialized payload into the
-  /// destination mailbox instead of copying it — the zero-copy half of the
-  /// wire path (encode once, move into the mailbox, receiver takes the same
-  /// buffer by move from recv()). On a dropped/dead-destination send the
-  /// payload is destroyed, matching a lost message.
+  /// Buffered send that MOVES an already-serialized payload toward the
+  /// destination instead of copying it — the zero-copy half of the wire
+  /// path on the thread transport (encode once, move into the mailbox,
+  /// receiver takes the same buffer by move from recv()). On a
+  /// dropped/dead-destination send the payload is destroyed, matching a
+  /// lost message.
   void send_payload(int dest, int tag, std::vector<std::byte>&& payload) {
     send_payload_impl(dest, tag, std::move(payload), /*sync=*/false);
   }
@@ -321,8 +185,7 @@ class Comm {
   /// deployments substitute an out-of-band detector; protocols built here
   /// should treat it as a hint and keep timeout paths for silent stalls.
   bool rank_failed(int r) const {
-    return r >= 0 && r < size() &&
-           shared_->dead[static_cast<std::size_t>(r)].load();
+    return r >= 0 && r < size() && transport_->is_dead(r);
   }
 
   /// Has rank r's body returned normally? A finished rank sends nothing
@@ -330,9 +193,34 @@ class Comm {
   /// injected drops); a peer still waiting on it can act on that instead of
   /// running out its silence timeout.
   bool rank_done(int r) const {
-    return r >= 0 && r < size() &&
-           shared_->done[static_cast<std::size_t>(r)].load();
+    return r >= 0 && r < size() && transport_->is_done(r);
   }
+
+  /// Which transport this rank is running over.
+  TransportKind transport_kind() const noexcept { return transport_->kind(); }
+
+  // --- result stash ------------------------------------------------------
+
+  /// Ship a small result blob back to the driver: it lands in
+  /// RunCost::stash[rank()][key] after the run. On the thread transport
+  /// this is a plain copy; on the proc transport the bytes ride the rank's
+  /// exit blob across the process boundary — which is the whole point:
+  /// lambda-captured writes from a rank body are invisible to the driver
+  /// once ranks are real processes, stashed bytes are not. Last put per key
+  /// wins. Lost if the rank dies (crash) before finishing.
+  void stash_put(std::uint32_t key, const void* data, std::size_t n) {
+    auto& slot = stash_[key];
+    slot.resize(n);
+    copy_bytes(slot.data(), data, n);
+  }
+
+  template <typename T>
+  void stash_value(std::uint32_t key, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    stash_put(key, &v, sizeof(T));
+  }
+
+  const StashMap& stash() const noexcept { return stash_; }
 
   // --- typed convenience wrappers ---------------------------------------
 
@@ -480,11 +368,11 @@ class Comm {
   // --- cost accounting ---------------------------------------------------
 
   RankLedger& ledger() noexcept { return ledger_; }
-  const CostParams& cost_params() const noexcept { return shared_->cost; }
+  const CostParams& cost_params() const noexcept { return *cost_; }
 
   /// Directly charge compute seconds (already scaled by the thread timer).
   void charge_compute(double seconds) noexcept {
-    ledger_.charge_compute(seconds, shared_->cost);
+    ledger_.charge_compute(seconds, *cost_);
   }
 
   /// RAII scope that charges the enclosed thread-CPU time as compute.
@@ -510,13 +398,12 @@ class Comm {
   void send_payload_impl(int dest, std::int64_t tag,
                          std::vector<std::byte>&& payload, bool sync);
   /// Shared send front half: dest/abort checks, fault injection, ledger and
-  /// obs charges. Returns false when the message must not be enqueued
-  /// (dropped, or the destination is dead/finished).
+  /// obs charges. Returns false when the message must not be handed to the
+  /// transport (dropped, or the destination is dead/finished).
   bool send_preflight(int dest, std::size_t n, bool internal, bool sync);
-  /// Shared send back half: enqueue into the destination mailbox and, for
-  /// synchronous sends, rendezvous until consumed (or the destination is
-  /// gone, or the run aborts).
-  void enqueue_message(int dest, detail::Message&& msg, bool sync);
+  /// Shared send back half: hand the message to the transport and, for
+  /// synchronous sends, span the rendezvous wait.
+  void dispatch_message(int dest, detail::Message&& msg, bool sync);
   /// deadline == nullptr blocks forever (throws AbortError on abort or on a
   /// specific failed source); with a deadline it throws TimeoutError.
   std::vector<std::byte> recv_impl(
@@ -526,7 +413,8 @@ class Comm {
                     const std::chrono::steady_clock::time_point* deadline);
 
   /// Apply the runtime's FaultPlan to this rank's next user send. Returns
-  /// true if the message must be dropped; throws KilledError for a crash.
+  /// true if the message must be dropped; a crash rule hands control to
+  /// Transport::crash_self (KilledError on threads, SIGKILL on processes).
   bool apply_faults();
 
   template <typename T>
@@ -564,11 +452,14 @@ class Comm {
     return (std::int64_t{1} << 32) + (collective_seq_++ << 8);
   }
 
-  detail::SharedState* shared_;
+  Transport* transport_;
+  const CostParams* cost_;
+  const FaultPlan* faults_;
   int rank_;
   std::int64_t collective_seq_ = 0;
   std::uint64_t user_send_seq_ = 0;  ///< 1-based index of user-channel sends
   RankLedger ledger_;
+  StashMap stash_;  ///< collected into RunCost::stash after the run
 
   // Observability handles, cached once at construction so hot paths pay a
   // single null check when tracing is off (all null then). The ring mutex
@@ -580,25 +471,55 @@ class Comm {
   obs::Counter* obs_timeouts_ = nullptr;
 };
 
-/// Owns the shared mailboxes and runs SPMD bodies across rank threads.
+/// Owns the transport and runs SPMD bodies across ranks.
 class Runtime {
  public:
+  /// Thread transport (the default; behavior-identical to the pre-transport
+  /// runtime, and what every existing call site gets).
   explicit Runtime(int num_ranks, CostParams cost = {}, FaultPlan faults = {});
+
+  /// Transport selected by name: "thread", "proc", or "" to defer to the
+  /// PGASM_TRANSPORT environment variable (falling back to "thread").
+  Runtime(int num_ranks, const std::string& transport, CostParams cost = {},
+          FaultPlan faults = {});
+
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  int size() const noexcept { return shared_->num_ranks; }
+  int size() const noexcept { return num_ranks_; }
+  TransportKind transport() const noexcept { return kind_; }
 
-  /// Run `body(comm)` on every rank; joins all threads; returns the merged
+  /// Proc transport only: capacity in bytes of each per-ordered-rank-pair
+  /// shared-memory ring (default 256 KiB). Messages larger than a ring
+  /// stream through it in chunks; tests shrink this to exercise that path.
+  void set_proc_ring_bytes(std::size_t bytes) noexcept {
+    proc_ring_bytes_ = bytes;
+  }
+
+  /// Run `body(comm)` on every rank; joins all ranks; returns the merged
   /// cost ledgers. Rethrows the first rank exception (after aborting all).
-  /// A rank that dies of an injected crash (KilledError) does NOT abort the
-  /// run: the survivors keep running and the ledger records the failure.
+  /// A rank that dies of an injected crash (KilledError / SIGKILL) does NOT
+  /// abort the run: the survivors keep running and the ledger records the
+  /// failure.
   RunCost run(const std::function<void(Comm&)>& body);
 
  private:
-  std::unique_ptr<detail::SharedState> shared_;
+  RunCost run_threads(const std::function<void(Comm&)>& body);
+  /// Defined in proc_transport.cpp: forks one child per non-zero rank (rank
+  /// 0 runs on the caller's thread so driver-visible state it mutates
+  /// survives), monitors children, merges ledgers/stash/obs blobs.
+  RunCost run_proc(const std::function<void(Comm&)>& body);
+  /// Publish the run's ledgers + fault stats into the metrics registry.
+  void publish_cost(const RunCost& cost) const;
+
+  int num_ranks_;
+  TransportKind kind_;
+  CostParams cost_;
+  FaultPlan faults_;
+  std::size_t proc_ring_bytes_ = std::size_t{1} << 18;
+  std::unique_ptr<ThreadTransport> thread_transport_;  ///< null for kProc
 };
 
 // --- template implementations ---------------------------------------------

@@ -1,0 +1,77 @@
+// Shared-memory layout of the process transport: one anonymous MAP_SHARED
+// region created before fork, carved into a control block, per-rank
+// liveness flags, per-ordered-pair synchronous-send acknowledgement slots,
+// and one SPSC byte ring per ordered rank pair.
+//
+// Ring protocol. head/tail are monotonically increasing byte counters
+// (never wrapped); the byte at logical position x lives at buf[x % cap].
+// The producer (the source rank's process) advances tail with release
+// stores after each memcpy'd chunk; the consumer (the destination rank)
+// advances head with release stores after copying chunks out. Messages are
+// framed as FrameHdr + payload and stream through the ring in chunks, so a
+// message larger than the ring still passes through. Because tail only
+// moves *after* the bytes it covers are fully written, a producer killed by
+// SIGKILL mid-message can never expose torn bytes — the consumer just sees
+// a frame that stops growing, held in its local assembly buffer until the
+// source is marked dead and the partial frame is discarded.
+//
+// Everything here is a POD placement-new'd into the shared region by the
+// parent before forking; the atomics used are all lock-free on the targets
+// we build for, which is what makes them valid across processes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "vmpi/transport.hpp"
+
+namespace pgasm::vmpi::detail {
+
+/// Wire header preceding each message's payload bytes in a ring.
+struct FrameHdr {
+  std::uint64_t payload_len = 0;
+  std::int64_t tag = 0;
+  std::uint64_t send_idx = 0;
+  std::uint32_t source = 0;
+  std::uint8_t internal = 0;
+  std::uint8_t sync = 0;
+  std::uint8_t pad[2] = {0, 0};
+};
+static_assert(sizeof(FrameHdr) == 32);
+
+/// head/tail of one SPSC ring, each on its own cache line so producer and
+/// consumer do not false-share. The ring's data bytes follow immediately
+/// after this header in the shared region.
+struct RingHdr {
+  alignas(64) std::atomic<std::uint64_t> head{0};  ///< consumer-owned
+  alignas(64) std::atomic<std::uint64_t> tail{0};  ///< producer-owned
+};
+
+/// One per-rank liveness flag, cache-line isolated (polled hot).
+struct alignas(64) ShmFlag {
+  std::atomic<std::uint32_t> v{0};
+};
+
+/// One per-ordered-pair ssend acknowledgement slot: the destination stores
+/// the send_idx of the latest synchronous message from the source it has
+/// consumed. A source has at most one synchronous send outstanding (ssend
+/// blocks), and its send_idx is strictly increasing, so `ack >= idx` is an
+/// exact "my message was consumed" test.
+struct alignas(64) ShmAckSlot {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// Run-wide control block at the start of the shared region.
+struct ShmControl {
+  std::atomic<std::uint32_t> aborted{0};
+  /// First rank whose body threw a run-aborting exception (-1 = none); CAS
+  /// so exactly one winner is reported, matching the thread transport's
+  /// first_error. The winner's exception is reconstructed from its exit
+  /// blob (or kept as a live exception_ptr when the winner is the
+  /// parent-resident rank 0).
+  std::atomic<std::int32_t> first_error_rank{-1};
+  FaultCounters counters;
+};
+
+}  // namespace pgasm::vmpi::detail

@@ -1,0 +1,78 @@
+// The original in-process vmpi transport: ranks are threads of one process,
+// each with a mutex+cv mailbox holding a deque of messages. Synchronous
+// sends rendezvous on the destination mailbox cv via the message's consumed
+// flag. This is the default transport and the behavior baseline every other
+// transport must match (liveness semantics, fail-fast rules, counter
+// accounting).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.hpp"
+#include "vmpi/transport.hpp"
+
+namespace pgasm::vmpi {
+
+namespace detail {
+
+struct Mailbox {
+  util::Mutex mu;
+  util::CondVar cv;
+  std::deque<Message> queue PGASM_GUARDED_BY(mu);
+};
+
+}  // namespace detail
+
+class ThreadTransport final : public Transport {
+ public:
+  explicit ThreadTransport(int num_ranks);
+
+  TransportKind kind() const noexcept override {
+    return TransportKind::kThread;
+  }
+  int num_ranks() const noexcept override { return num_ranks_; }
+
+  bool is_dead(int rank) const noexcept override {
+    return dead_[static_cast<std::size_t>(rank)].load();
+  }
+  bool is_done(int rank) const noexcept override {
+    return done_[static_cast<std::size_t>(rank)].load();
+  }
+  bool is_aborted() const noexcept override { return aborted_.load(); }
+
+  void mark_dead(int rank) override;
+  void mark_done(int rank) override;
+  void abort_all() override;
+  detail::FaultCounters& counters() noexcept override { return counters_; }
+
+  void deliver(int self, int dest, detail::Message&& msg, bool sync) override;
+  Wait recv(int self, int source, std::int64_t tag, bool internal,
+            const std::chrono::steady_clock::time_point* deadline,
+            detail::Message* out) override;
+  Wait probe(int self, int source, std::int64_t tag,
+             const std::chrono::steady_clock::time_point* deadline,
+             ProbeResult* out) override;
+  bool iprobe(int self, int source, std::int64_t tag,
+              ProbeResult* out) override;
+  [[noreturn]] void crash_self(int self, const std::string& why) override;
+
+  /// Fresh state for the next run: clears the abort flag, liveness flags,
+  /// fault counters and every queued message.
+  void reset();
+
+ private:
+  int num_ranks_;
+  std::vector<detail::Mailbox> boxes_;
+  std::vector<std::atomic<bool>> dead_;
+  std::vector<std::atomic<bool>> done_;  ///< body returned normally
+  std::atomic<bool> aborted_{false};
+  detail::FaultCounters counters_;
+};
+
+}  // namespace pgasm::vmpi

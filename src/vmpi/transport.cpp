@@ -1,0 +1,29 @@
+#include "vmpi/transport.hpp"
+
+#include <cstdlib>
+
+namespace pgasm::vmpi {
+
+const char* transport_name(TransportKind kind) noexcept {
+  switch (kind) {
+    case TransportKind::kThread:
+      return "thread";
+    case TransportKind::kProc:
+      return "proc";
+  }
+  return "thread";
+}
+
+TransportKind resolve_transport(const std::string& name) {
+  std::string chosen = name;
+  if (chosen.empty()) {
+    const char* env = std::getenv("PGASM_TRANSPORT");
+    if (env != nullptr) chosen = env;
+  }
+  if (chosen.empty() || chosen == "thread") return TransportKind::kThread;
+  if (chosen == "proc") return TransportKind::kProc;
+  throw std::runtime_error("unknown vmpi transport \"" + chosen +
+                           "\" (valid: thread, proc)");
+}
+
+}  // namespace pgasm::vmpi

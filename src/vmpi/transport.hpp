@@ -1,0 +1,201 @@
+// The vmpi transport seam: everything below the rank-facing Comm API.
+//
+// Comm owns the *protocol* half of the runtime — fault injection, cost
+// ledger charges, obs instrumentation (send/recv instants, wait spans,
+// timeout counters), typed wrappers and the collectives — all of which are
+// transport-agnostic. A Transport owns the *mechanism* half: moving framed
+// messages between ranks, the liveness flags (dead/done/aborted) peers probe
+// against, the blocking waits, and how an injected crash actually kills a
+// rank. Two implementations exist:
+//
+//   * ThreadTransport (thread_transport.hpp) — the original in-process
+//     mailbox machinery, ranks as threads sharing one address space. The
+//     default, and what every test means unless it opts in to "proc".
+//   * ProcTransport (proc_transport.hpp) — ranks as real forked OS
+//     processes exchanging messages over shared-memory SPSC byte rings,
+//     one ring per ordered rank pair. Crash injection delivers a real
+//     SIGKILL; per-process obs state is shipped back in per-rank blob
+//     files and merged post-run.
+//
+// Selection is by name ("thread" / "proc"), resolved at runtime from
+// ClusterParams::transport / --transport= / the PGASM_TRANSPORT environment
+// variable. The plain Runtime(num_ranks, cost, faults) constructor always
+// builds the thread transport so existing call sites and tests are
+// untouched by the refactor.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vmpi/cost_model.hpp"
+
+namespace pgasm::vmpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Thrown on all ranks when any rank's body throws, so no rank deadlocks.
+struct AbortError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by recv_timeout/probe_timeout when the deadline passes or the
+/// awaited source rank has failed. Distinct from AbortError: a timeout is
+/// local and recoverable (the caller may retry, reassign work, or declare
+/// the peer dead); an abort is global and fatal to the run.
+struct TimeoutError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown inside a rank to simulate its crash (used by FaultPlan). The
+/// Runtime terminates only that rank: its thread exits (or, on the process
+/// transport, the child process is killed with a real SIGKILL), the rank is
+/// marked failed, and the run continues on the survivors.
+struct KilledError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class TransportKind { kThread, kProc };
+
+/// Canonical name of a transport kind ("thread" / "proc").
+const char* transport_name(TransportKind kind) noexcept;
+
+/// Resolve a transport selection string: "thread" and "proc" name the
+/// backends; "" defers to the PGASM_TRANSPORT environment variable and
+/// falls back to the thread transport when that is unset or empty. Any
+/// other value throws std::runtime_error (listing the valid names).
+TransportKind resolve_transport(const std::string& name);
+
+namespace detail {
+
+struct Message {
+  int source = 0;
+  std::int64_t tag = 0;  ///< user tags are >= 0 and < 2^31; internal larger
+  bool internal = false;
+  /// Sender's 1-based user-channel send index (0 for collective-internal
+  /// traffic). (source, send_idx) identifies a user message uniquely; the
+  /// tracer stamps it as the "mseq" arg on both the send and recv events,
+  /// which is what obs::analyze stitches cross-rank causal edges from.
+  std::uint64_t send_idx = 0;
+  std::vector<std::byte> payload;
+  /// Synchronous (ssend) message. The proc transport carries it in the wire
+  /// frame so the receiver knows to write the shared ack slot at consume
+  /// time; the thread transport signals sync via `consumed` instead.
+  bool sync = false;
+  /// Set for ssend rendezvous on the thread transport: flipped true when
+  /// the receiver consumes the message (or the destination rank dies), then
+  /// the destination mailbox cv is notified. A plain atomic + cv (not a
+  /// promise) so abort_all and rank death can wake a blocked synchronous
+  /// sender. The process transport acknowledges through a shared-memory
+  /// slot instead and leaves this null.
+  std::shared_ptr<std::atomic<bool>> consumed;
+};
+
+/// Does a queued message match a (source, tag) request on a channel?
+inline bool matches(const Message& m, int source, std::int64_t tag,
+                    bool internal) noexcept {
+  if (m.internal != internal) return false;
+  if (source != kAnySource && m.source != source) return false;
+  if (tag != kAnyTag && m.tag != tag) return false;
+  return true;
+}
+
+/// Run-wide fault bookkeeping (atomics: touched from every rank thread; on
+/// the process transport the instance lives in shared memory so every
+/// process updates the same counters).
+struct FaultCounters {
+  std::atomic<std::uint64_t> crashes_injected{0};
+  std::atomic<std::uint64_t> messages_dropped{0};
+  std::atomic<std::uint64_t> messages_delayed{0};
+  std::atomic<std::uint64_t> sends_to_dead{0};
+  std::atomic<std::uint64_t> timeouts_fired{0};
+  std::atomic<std::uint64_t> ranks_failed{0};
+
+  void reset() noexcept {
+    crashes_injected = 0;
+    messages_dropped = 0;
+    messages_delayed = 0;
+    sends_to_dead = 0;
+    timeouts_fired = 0;
+    ranks_failed = 0;
+  }
+  FaultStats snapshot() const noexcept {
+    return FaultStats{crashes_injected.load(), messages_dropped.load(),
+                      messages_delayed.load(), sends_to_dead.load(),
+                      timeouts_fired.load(),   ranks_failed.load()};
+  }
+};
+
+}  // namespace detail
+
+/// Metadata of a matchable message seen by probe/iprobe (the message stays
+/// queued in the transport).
+struct ProbeResult {
+  int source = 0;
+  std::int64_t tag = 0;
+  std::size_t bytes = 0;
+  std::uint64_t send_idx = 0;
+};
+
+/// Mechanism interface between Comm and a message-moving backend. All
+/// methods are called from the rank's own execution context (its thread, or
+/// its process on the proc transport) except the liveness queries and
+/// mark_dead/mark_done/abort_all, which any rank — or the parent's monitor
+/// thread — may call concurrently.
+///
+/// Contract notes shared by both implementations:
+///   * deliver() enqueues a message for dest. For sync (ssend rendezvous)
+///     it blocks until the destination consumed the message, the
+///     destination is dead/finished, or the run aborted; a post-enqueue
+///     death counts into counters().sends_to_dead (preflight-detected death
+///     is the caller's job), a post-enqueue finish returns silently, and an
+///     abort throws AbortError("vmpi aborted during ssend").
+///   * recv()/probe() block until a matching message is available
+///     (kMessage), the deadline passes (kTimeout), a specifically-awaited
+///     source is dead/finished with nothing matching queued (kPeerGone), or
+///     the run aborts (throws AbortError("vmpi aborted")). The caller owns
+///     all timeout counting, obs instants and error phrasing.
+///   * recv() acknowledges a consumed synchronous message (flips the
+///     consumed flag / writes the shm ack slot); probe does not consume.
+///   * crash_self() is how an injected crash kills the calling rank:
+///     KilledError on the thread transport, a real SIGKILL of the child
+///     process on the proc transport (the parent-resident rank 0 falls back
+///     to KilledError — there is no separate process to kill).
+class Transport {
+ public:
+  enum class Wait { kMessage, kTimeout, kPeerGone };
+
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const noexcept = 0;
+  virtual int num_ranks() const noexcept = 0;
+
+  virtual bool is_dead(int rank) const noexcept = 0;
+  virtual bool is_done(int rank) const noexcept = 0;
+  virtual bool is_aborted() const noexcept = 0;
+  virtual void mark_dead(int rank) = 0;
+  virtual void mark_done(int rank) = 0;
+  virtual void abort_all() = 0;
+  virtual detail::FaultCounters& counters() noexcept = 0;
+
+  virtual void deliver(int self, int dest, detail::Message&& msg,
+                       bool sync) = 0;
+  virtual Wait recv(int self, int source, std::int64_t tag, bool internal,
+                    const std::chrono::steady_clock::time_point* deadline,
+                    detail::Message* out) = 0;
+  /// User channel only (internal messages are never probed).
+  virtual Wait probe(int self, int source, std::int64_t tag,
+                     const std::chrono::steady_clock::time_point* deadline,
+                     ProbeResult* out) = 0;
+  virtual bool iprobe(int self, int source, std::int64_t tag,
+                      ProbeResult* out) = 0;
+  [[noreturn]] virtual void crash_self(int self, const std::string& why) = 0;
+};
+
+}  // namespace pgasm::vmpi

@@ -1,0 +1,83 @@
+// Wait-span instrumentation shared by the transport-facing comm layer.
+//
+// These helpers record vmpi trace events (instants and blocked-time spans)
+// on a rank's obs ring. They live in vmpi::detail because both halves of
+// the runtime need them: Comm's protocol paths (recv/probe/barrier, the
+// ssend rendezvous) and the transports' run drivers (the "join" span over
+// thread joins / child waitpids).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pgasm::vmpi::detail {
+
+/// Record an instant event on a cached ring (caller checked ring != null).
+void ring_instant(obs::RankRing* ring, int rank, const char* name,
+                  const char* arg0_name = nullptr, std::uint64_t arg0 = 0,
+                  const char* arg1_name = nullptr, std::uint64_t arg1 = 0,
+                  const char* arg2_name = nullptr, std::uint64_t arg2 = 0);
+
+/// RAII wait-span recorder for the blocking paths (recv/probe/barrier and
+/// the ssend rendezvous). Records a span covering entry-to-exit — including
+/// exits by TimeoutError, so timed-out waits still land in the blocked-time
+/// ledger — and feeds the duration into the comm.wait_us histogram. Inert
+/// when the ring is null (tracing off). Recording takes only the leaf ring
+/// mutex, so finishing while a mailbox mutex is held is safe.
+class WaitScope {
+ public:
+  WaitScope(obs::RankRing* ring, obs::Histogram* wait_us, int rank,
+            const char* name)
+      : ring_(ring),
+        wait_us_(wait_us),
+        rank_(rank),
+        name_(name),
+        t0_us_(ring != nullptr ? obs::tracer().now_us() : 0) {}
+  WaitScope(const WaitScope&) = delete;
+  WaitScope& operator=(const WaitScope&) = delete;
+  ~WaitScope() { finish(); }
+
+  void arg(const char* name, std::uint64_t value) noexcept {
+    for (auto& slot : args_) {
+      if (slot.first == nullptr) {
+        slot = {name, value};
+        return;
+      }
+    }
+  }
+
+  void finish() noexcept {
+    if (ring_ == nullptr) return;
+    const std::uint64_t t1 = obs::tracer().now_us();
+    obs::TraceEvent ev;
+    ev.name = name_;
+    ev.cat = "vmpi";
+    ev.kind = obs::TraceEvent::Kind::kSpan;
+    ev.rank = rank_;
+    ev.ts_us = t0_us_;
+    ev.dur_us = t1 > t0_us_ ? t1 - t0_us_ : 0;
+    ev.arg0_name = args_[0].first;
+    ev.arg0 = args_[0].second;
+    ev.arg1_name = args_[1].first;
+    ev.arg1 = args_[1].second;
+    ev.arg2_name = args_[2].first;
+    ev.arg2 = args_[2].second;
+    ring_->record(ev);
+    if (wait_us_ != nullptr) wait_us_->observe(ev.dur_us);
+    ring_ = nullptr;
+  }
+
+ private:
+  obs::RankRing* ring_;
+  obs::Histogram* wait_us_;
+  int rank_;
+  const char* name_;
+  std::uint64_t t0_us_;
+  std::pair<const char*, std::uint64_t> args_[3] = {
+      {nullptr, 0}, {nullptr, 0}, {nullptr, 0}};
+};
+
+}  // namespace pgasm::vmpi::detail

@@ -78,6 +78,9 @@ def main() -> int:
     w12 = expect_findings(lint, "w012_bad", "W012", 3)
     check(any("cluter" in f["message"] for f in w12["findings"]),
           "W012 names the typo'd prefix cluter")
+    w13 = expect_findings(lint, "w013_bad", "W013", 3)
+    check(all(f["path"].startswith("src/core/") for f in w13["findings"]),
+          "W013 never flags the src/vmpi/ mini-tree")
 
     print("clean --only W007..W010:")
     proc = subprocess.run(

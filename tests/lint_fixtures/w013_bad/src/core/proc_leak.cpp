@@ -1,0 +1,34 @@
+// Seeded W013 violations: raw process/shared-memory/socket syscalls
+// outside src/vmpi/. `pgasm-lint --only W013` must flag the three BAD
+// lines and accept the member-call lookalikes, the namespaced call, and
+// the waived line.
+#include <csignal>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace fixture {
+
+struct Task {
+  void kill() {}
+  int fork() { return 0; }
+};
+
+void bad_syscalls() {
+  const int pid = ::fork();                               // BAD: raw fork
+  void* shm = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);  // BAD: raw mmap
+  if (pid > 0) ::kill(pid, SIGKILL);                      // BAD: raw kill
+  (void)shm;
+}
+
+void fine() {
+  Task t;
+  t.kill();        // OK: member call, not the syscall
+  (void)t.fork();  // OK: member call
+  fixture::Task{}.kill();
+  // pgasm-lint: allow(raw-proc): fixture exercises the waiver path
+  (void)::socket(AF_UNIX, SOCK_STREAM, 0);  // OK: waived
+}
+
+}  // namespace fixture

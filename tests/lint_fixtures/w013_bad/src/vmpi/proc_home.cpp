@@ -1,0 +1,20 @@
+// The transport layer itself: every raw syscall here is the point of the
+// layer and must NOT be flagged (src/vmpi/ is W013's one exempt subtree).
+#include <csignal>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fixture::vmpi {
+
+void transport_owns_the_process_model() {
+  const int pid = ::fork();
+  if (pid == 0) ::raise(SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  void* shm = ::mmap(nullptr, 4096, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  ::munmap(shm, 4096);
+}
+
+}  // namespace fixture::vmpi

@@ -40,14 +40,22 @@ struct Options {
   std::uint64_t seed_hi = 1;
   int ranks = 4;
   bool verbose = false;
+  std::string transport;  ///< vmpi backend for the faulted run
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seed N | --seeds N] [--ranks R] [--verbose]\n"
-               "  --seed N   run the single chaos schedule for seed N\n"
-               "  --seeds N  sweep seeds 1..N\n"
-               "  --ranks R  vmpi ranks for the parallel phases (default 4)\n",
+               "usage: %s [--seed N | --seeds N] [--ranks R] "
+               "[--transport thread|proc] [--verbose]\n"
+               "  --seed N       run the single chaos schedule for seed N\n"
+               "  --seeds N      sweep seeds 1..N\n"
+               "  --ranks R      vmpi ranks for the parallel phases "
+               "(default 4)\n"
+               "  --transport T  backend for the faulted run; with proc the\n"
+               "                 injected crash SIGKILLs a real child\n"
+               "                 process (the reference run stays on thread,\n"
+               "                 so convergence also checks cross-transport\n"
+               "                 contig identity)\n",
                argv0);
   std::exit(2);
 }
@@ -67,6 +75,9 @@ Options parse_options(int argc, char** argv) {
       opt.seed_hi = next_u64();
     } else if (arg == "--ranks") {
       opt.ranks = static_cast<int>(next_u64());
+    } else if (arg == "--transport") {
+      if (i + 1 >= argc) usage(argv[0]);
+      opt.transport = argv[++i];
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
@@ -74,6 +85,12 @@ Options parse_options(int argc, char** argv) {
     }
   }
   if (opt.seed_hi < opt.seed_lo || opt.ranks < 2) usage(argv[0]);
+  try {
+    pgasm::vmpi::resolve_transport(opt.transport);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "%s\n", ex.what());
+    usage(argv[0]);
+  }
   return opt;
 }
 
@@ -189,6 +206,7 @@ bool run_seed(std::uint64_t seed, const Options& opt) {
   auto faulted = params;
   faulted.checkpoint_dir = dir;
   faulted.cluster.checkpoint_every_reports = 2;
+  faulted.cluster.transport = opt.transport;
   faulted.faults = chaos_plan(seed, opt.ranks);
   if (opt.verbose) {
     std::fprintf(stderr, "[chaos] seed %llu plan: %s\n",

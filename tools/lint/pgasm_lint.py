@@ -61,6 +61,12 @@ W011  checkpoint-write confinement: checkpoint and manifest bytes reach
       bypasses the integrity frame and produces files the typed loaders
       must treat as corrupt. Deliberate corruption injection in tests is
       waived with `pgasm-lint: allow(raw-ckpt-write): <reason>`.
+W013  raw-syscall confinement: process, shared-memory and socket syscalls
+      (fork/mmap/shm_open/waitpid/kill/socket/... ) appear only under
+      src/vmpi/ — the multi-process transport is the one layer allowed to
+      own a process model; everything above it must work identically over
+      rank threads and rank processes. Waive deliberate uses with
+      `pgasm-lint: allow(raw-proc): <reason>`.
 
 Front-ends: W007-W010 are semantic checks. When a clang compiler is
 available (and unless --frontend=lexer), facts are extracted from clang's
@@ -81,7 +87,7 @@ they survive line-number drift) for CI annotation.
 Waivers: append `pgasm-lint: allow(<check>): <reason>` in a comment on the
 offending line or the line above. <check> is the lowercase slug shown in
 the finding, e.g. raw-comm, alloc, naming, iwyu, raw-lock, lock-blocking,
-switch, guard, metric-prefix.
+switch, guard, metric-prefix, raw-proc.
 """
 
 from __future__ import annotations
@@ -870,6 +876,45 @@ def check_w012() -> None:
 
 
 # --------------------------------------------------------------------------
+# W013: raw process/shared-memory syscall confinement
+# --------------------------------------------------------------------------
+
+# The multi-process transport is the one place that may fork, map shared
+# memory, signal, reap, or open sockets: every other layer must stay
+# process-model-agnostic so the same protocol code runs over rank threads
+# and rank processes alike. A raw syscall elsewhere is either transport
+# logic leaking upward or an untracked side door the fault injector and the
+# reaper know nothing about.
+PROC_SYSCALL_RE = re.compile(
+    # Not a member call / qualified name (t.kill(), Task::fork()), and not
+    # a declaration of a same-named method (void kill() {...}).
+    r"(?<![\w:.>])(?<!void )(?<!int )(?<!bool )(?<!auto )(?:::\s*)?"
+    r"(fork|vfork|mmap|munmap|shm_open|shm_unlink|mkstemp|"
+    r"waitpid|wait4|kill|killpg|raise|sigaction|"
+    r"socket|bind|connect|listen|accept|socketpair)\s*\(")
+
+
+def check_w013() -> None:
+    for path in src_files(".cpp", ".hpp"):
+        rel = path.relative_to(SRC)
+        if rel.parts[0] == "vmpi":
+            continue
+        lines = read_lines(path)
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = PROC_SYSCALL_RE.search(line)
+            if not m:
+                continue
+            if waived(lines, i, "raw-proc"):
+                continue
+            finding(path, i + 1, "W013", "raw-proc",
+                    f"raw {m.group(1)}() outside src/vmpi/ — process, "
+                    "shared-memory and socket syscalls belong to the "
+                    "transport layer (src/vmpi/); route through it or add "
+                    "`pgasm-lint: allow(raw-proc): <reason>`")
+
+
+# --------------------------------------------------------------------------
 # Optional clang front-end for W007/W010 facts
 # --------------------------------------------------------------------------
 #
@@ -971,6 +1016,7 @@ CHECKS = {
     "W010": check_w010,
     "W011": check_w011,
     "W012": check_w012,
+    "W013": check_w013,
 }
 
 

@@ -496,6 +496,21 @@ int diff_bench(const std::string& old_path, const std::string& new_path,
                                              "to compare anyway");
       if (!opt.allow_meta_mismatch) return 2;
     }
+    // Same for the vmpi transport: thread and proc runs are different
+    // performance regimes, not noise around one mean.
+    const Json* ot = old_meta->find("transport");
+    const Json* nt = new_meta->find("transport");
+    if (ot != nullptr && nt != nullptr && ot->str != nt->str) {
+      std::fprintf(stderr,
+                   "perf_diff: transport mismatch (%s vs %s) — numbers are "
+                   "not comparable%s\n",
+                   ot->str.c_str(), nt->str.c_str(),
+                   opt.allow_meta_mismatch ? " (continuing: "
+                                             "--allow-meta-mismatch)"
+                                           : "; pass --allow-meta-mismatch "
+                                             "to compare anyway");
+      if (!opt.allow_meta_mismatch) return 2;
+    }
     const Json* og = old_meta->find("git");
     const Json* ng = new_meta->find("git");
     if (og != nullptr && ng != nullptr && og->str != ng->str) {
