@@ -23,6 +23,12 @@
 #   scripts/ci.sh proc-smoke # multi-process transport: quickstart contigs
 #                            # bit-identical to thread, merged trace stitches
 #                            # 100%, parallel suites pass with proc default
+#   scripts/ci.sh verify     # exhaustive checkers: pgasm-model explores the
+#                            # master/worker protocol state space (clean
+#                            # sweep + every seeded bug caught) and
+#                            # pgasm-ringcheck enumerates shm-ring
+#                            # interleavings (clean + every weakened
+#                            # memory-order site caught)
 #
 # Build trees: build/ (tier-1), build-tsan/ (PGASM_SANITIZE=thread),
 # build-asan/ (PGASM_SANITIZE=address), build-lint/ (PGASM_EXTRA_WARNINGS +
@@ -80,7 +86,7 @@ asan() {
 }
 
 lint() {
-  echo "== lint: pgasm-lint project invariants (W001-W012) =="
+  echo "== lint: pgasm-lint project invariants (W001-W015) =="
   python3 tools/lint/pgasm_lint.py
 
   echo "== lint: protocol exhaustiveness checker =="
@@ -228,6 +234,62 @@ proc_smoke() {
     PGASM_TRANSPORT=proc ctest --output-on-failure -L parallel -j "$JOBS")
 }
 
+verify() {
+  echo "== verify: exhaustive protocol + memory-model checking =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target pgasm-model pgasm-ringcheck
+
+  echo "-- pgasm-model: clean protocol must verify exhaustively, N=1..3"
+  # drops=2/crashes=1 turns on the full adversary (lossy network plus a
+  # worker death) at every size the state space stays exhaustible.
+  for n in 1 2 3; do
+    ./build/tools/verify/pgasm-model --workers="$n" --drops=2 --crashes=1
+  done
+
+  echo "-- pgasm-model: every seeded protocol bug must be caught (exit 1)"
+  for bug in no-retransmit no-cached-reply no-death-terminate \
+             no-park-reply undeclared-recv no-final-abort; do
+    if ./build/tools/verify/pgasm-model --bug="$bug" >/dev/null; then
+      echo "!! pgasm-model missed seeded bug: $bug" >&2
+      return 1
+    fi
+    echo "   caught: $bug"
+  done
+
+  echo "-- pgasm-ringcheck: clean ring must pass every interleaving"
+  ./build/tools/verify/pgasm-ringcheck
+
+  echo "-- pgasm-ringcheck: every weakened order site must be caught (exit 1)"
+  for site in push-load-head push-store-tail pop-load-tail pop-store-head; do
+    if ./build/tools/verify/pgasm-ringcheck --mutate="$site" >/dev/null; then
+      echo "!! pgasm-ringcheck missed weakened site: $site" >&2
+      return 1
+    fi
+    echo "   caught: $site"
+  done
+
+  echo "-- --format=json must emit the pgasm-lint finding schema"
+  local out
+  out=$(./build/tools/verify/pgasm-model --workers=1 --drops=0 --crashes=0 \
+    --format=json)
+  python3 - "$out" <<'PY'
+import json, sys
+doc = json.loads(sys.argv[1])
+assert doc["count"] == 0 and doc["findings"] == [], doc
+assert "checks" in doc and "root" in doc and doc["version"] == 1, doc
+PY
+  out=$(./build/tools/verify/pgasm-ringcheck --mutate=push-load-head \
+    --format=json) && { echo "!! json mutation run exited 0" >&2; return 1; }
+  python3 - "$out" <<'PY'
+import json, sys
+doc = json.loads(sys.argv[1])
+assert doc["count"] == 1, doc
+f = doc["findings"][0]
+assert f["id"].startswith("PR-") and f["slug"] == "data-race", f
+PY
+  echo "-- json schema holds"
+}
+
 case "$STAGE" in
   tier1) tier1 ;;
   faults) faults ;;
@@ -240,10 +302,12 @@ case "$STAGE" in
   fuzz-smoke) fuzz_smoke ;;
   perf-smoke) perf_smoke ;;
   proc-smoke) proc_smoke ;;
+  verify) verify ;;
   all)
     lint
     tsafety
     tier1
+    verify
     faults
     chaos_smoke
     tsan
@@ -254,7 +318,7 @@ case "$STAGE" in
     proc_smoke
     ;;
   *)
-    echo "usage: scripts/ci.sh [lint|tsafety|tier1|faults|chaos-smoke|tsan|asan|ubsan|fuzz-smoke|perf-smoke|proc-smoke|all]" >&2
+    echo "usage: scripts/ci.sh [lint|tsafety|tier1|faults|chaos-smoke|tsan|asan|ubsan|fuzz-smoke|perf-smoke|proc-smoke|verify|all]" >&2
     exit 2
     ;;
 esac

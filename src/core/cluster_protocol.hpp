@@ -203,6 +203,118 @@ inline constexpr MasterTransition kMasterTransitions[] = {
     {MasterState::kCheckpoint, MasterState::kProbe, "checkpoint written"},
 };
 
+// --- Worker state machine ---------------------------------------------------
+//
+// The worker pump (worker_loop in parallel_cluster.cpp) as an explicit
+// state/transition table, mirroring kMasterTransitions above. The
+// `// [WorkerState::k*]` markers in worker_loop tie the code back to the
+// states; tools/protocol_check verifies the markers exist, that kShutdown
+// is reachable from every state, and that every non-terminal state has an
+// outgoing edge. tools/verify/pgasm-model goes further: it composes this
+// machine with the master machine and a bounded lossy channel and
+// exhaustively proves deadlock freedom and terminate-reachability.
+
+enum class WorkerState : std::uint8_t {
+  kGenerate,    ///< answer pings, consume queued terminates, build a report
+  kSendReport,  ///< hand the encoded report to the transport (ssend-aware)
+  kAlign,       ///< align the previous batch while the reply is in flight
+  kAwaitReply,  ///< wait for the reply to this seq; retransmit on timeout
+  kApplyReply,  ///< adopt the new batch; rebuild taken-over portions
+  kShutdown,    ///< terminate consumed (or implied); drain and exit
+};
+
+inline constexpr WorkerState kAllWorkerStates[] = {
+    WorkerState::kGenerate,   WorkerState::kSendReport,
+    WorkerState::kAlign,      WorkerState::kAwaitReply,
+    WorkerState::kApplyReply, WorkerState::kShutdown,
+};
+
+/// Stable lowercase state name; exhaustive switch (see msg_kind_name).
+constexpr const char* worker_state_name(WorkerState s) noexcept {
+  switch (s) {
+    case WorkerState::kGenerate:
+      return "generate";
+    case WorkerState::kSendReport:
+      return "send_report";
+    case WorkerState::kAlign:
+      return "align";
+    case WorkerState::kAwaitReply:
+      return "await_reply";
+    case WorkerState::kApplyReply:
+      return "apply_reply";
+    case WorkerState::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+struct WorkerTransition {
+  WorkerState from;
+  WorkerState to;
+  const char* on;  ///< the condition taking this edge
+};
+
+inline constexpr WorkerTransition kWorkerTransitions[] = {
+    {WorkerState::kGenerate, WorkerState::kShutdown,
+     "queued terminate consumed before the report send"},
+    {WorkerState::kGenerate, WorkerState::kSendReport,
+     "report built: results + new pairs + progress"},
+    {WorkerState::kSendReport, WorkerState::kAlign,
+     "report handed to the transport (rendezvoused when use_ssend)"},
+    {WorkerState::kAlign, WorkerState::kAwaitReply,
+     "previous batch aligned, heartbeats answered throughout"},
+    {WorkerState::kAwaitReply, WorkerState::kAwaitReply,
+     "reply_timeout: report retransmitted (master answers from cache)"},
+    {WorkerState::kAwaitReply, WorkerState::kAwaitReply,
+     "park reply: wait quietly with uncapped keepalive retransmits"},
+    {WorkerState::kAwaitReply, WorkerState::kApplyReply,
+     "dispatch reply matching this seq"},
+    {WorkerState::kAwaitReply, WorkerState::kShutdown,
+     "terminate reply (explicit, or implied by a finished master)"},
+    {WorkerState::kApplyReply, WorkerState::kGenerate,
+     "batch adopted; takeover portions rebuilt and fast-forwarded"},
+};
+
+// --- Receive-capability tables ----------------------------------------------
+//
+// Which (state, message kind) pairs each side may consume, and the handler
+// that does it. pgasm-model checks every message consumption in the
+// explored state space against these rows — a reachable consumption with no
+// declared row is a property violation (an undeclared protocol path), and
+// pgasm-lint W015 requires every wire tag to appear in exactly one
+// declarative table.
+
+struct WorkerRecvSpec {
+  WorkerState state;
+  MsgKind kind;
+  const char* handler;
+};
+
+inline constexpr WorkerRecvSpec kWorkerRecvs[] = {
+    {WorkerState::kGenerate, MsgKind::kPing, "poll_heartbeats"},
+    {WorkerState::kGenerate, MsgKind::kReply, "consume_pending_terminate"},
+    {WorkerState::kAlign, MsgKind::kPing, "poll_heartbeats"},
+    {WorkerState::kAwaitReply, MsgKind::kPing, "poll_heartbeats"},
+    {WorkerState::kAwaitReply, MsgKind::kReply, "await_reply"},
+    {WorkerState::kApplyReply, MsgKind::kPing, "poll_heartbeats"},
+    {WorkerState::kShutdown, MsgKind::kPing, "drain_shutdown_messages"},
+    {WorkerState::kShutdown, MsgKind::kReply, "drain_shutdown_messages"},
+};
+
+struct MasterRecvSpec {
+  MasterState state;
+  MsgKind kind;
+  const char* handler;
+};
+
+inline constexpr MasterRecvSpec kMasterRecvs[] = {
+    {MasterState::kFold, MsgKind::kReport, "recv_report"},
+    {MasterState::kHeartbeat, MsgKind::kAck, "heartbeat_round"},
+    {MasterState::kDispatch, MsgKind::kAck, "keepalive_pings"},
+    {MasterState::kTerminate, MsgKind::kReport, "drain_worker_traffic"},
+    {MasterState::kTerminate, MsgKind::kAck, "drain_worker_traffic"},
+};
+
 /// Answer any queued heartbeat pings from the master. Returns how many were
 /// answered (the worker's master-silence clock resets on contact).
 int poll_heartbeats(vmpi::Comm& comm);

@@ -228,6 +228,10 @@ struct RoleGen {
   std::unique_ptr<gst::PairGenerator> gen;
 };
 
+// The worker pump. Its phases follow core::kWorkerTransitions — the
+// `[WorkerState::k*]` markers below are machine-checked against that table
+// by tools/protocol_check, and tools/verify/pgasm-model exhaustively
+// explores the composed master×worker×channel state space built from it.
 void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
                  const gst::ParallelGstParams& gp,
                  const seq::FragmentStore& doubled,
@@ -289,6 +293,7 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
   std::uint64_t report_seq = 0;
 
   for (;;) {
+    // [WorkerState::kGenerate]
     poll_heartbeats(comm);
     // An unsolicited reply can already be queued: a terminate (this worker
     // was declared dead — a false positive, since it is here) or a stale
@@ -322,8 +327,10 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
       report.exhausted = all_done ? 1 : 0;
       gen_span.arg("pairs", report.new_pairs.size());
     }
+    // [WorkerState::kSendReport]
     send_report(comm, params, report);
 
+    // [WorkerState::kAlign]
     // Mask the wait for the master's reply with the alignment work of the
     // batch allocated in the previous iteration (Fig. 8). Chunked so
     // heartbeat pings are answered even during long alignment stretches.
@@ -343,8 +350,11 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
     batch.clear();
     align_span.finish();
 
+    // [WorkerState::kAwaitReply]
     const MasterReply reply = await_reply(comm, params, report_seq, report);
     if (reply.terminate) break;
+
+    // [WorkerState::kApplyReply]
     batch = std::move(reply.batch);
     r = reply.request_r;
     for (const TakeoverOrder& order : reply.takeovers) {
@@ -362,6 +372,7 @@ void worker_loop(vmpi::Comm& comm, const ClusterParams& params,
                std::move(portion));
     }
   }
+  // [WorkerState::kShutdown]
   drain_shutdown_messages(comm);
 }
 

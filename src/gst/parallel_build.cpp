@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "gst/gst_protocol.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contract.hpp"
@@ -23,15 +24,10 @@ int owner_of(const std::vector<std::uint32_t>& slice_begin,
   return static_cast<int>(it - slice_begin.begin()) - 1;
 }
 
-// Fault-tolerant construction tags (coordinator = rank 0). Range 210+ keeps
-// clear of the clustering protocol's tag space.
-constexpr int kTagFtHist = 210;      ///< worker -> 0: local bucket histogram
-constexpr int kTagFtPlan = 211;      ///< 0 -> worker: initial owner table
-constexpr int kTagFtSuffix = 212;    ///< rank -> rank: bucket contributions
-constexpr int kTagFtDone = 213;      ///< worker -> 0: portion built
-constexpr int kTagFtFinal = 214;     ///< 0 -> worker: final owner table
-constexpr int kTagFtPlanReq = 215;   ///< worker -> 0: re-send the plan
-constexpr int kTagFtFinalAck = 216;  ///< worker -> 0: final table received
+// Fault-tolerant construction tags (coordinator = rank 0) come from
+// gst_protocol.hpp, where the protocol is declared as data: one
+// GstMsgSpec row per tag with its recovery/duplicate story, cross-checked
+// by tools/protocol_check and pgasm-lint W015.
 
 /// Fill `result`'s local store and id map from the global store for the
 /// suffixes in `local_suffixes` (global seq ids, canonical order), then

@@ -10,6 +10,8 @@ namespace pgasm::obs {
 
 namespace {
 
+// pgasm-lint: allow(raw-atomic): process-wide phase label, only ever
+// pointing at string literals, relaxed by design
 std::atomic<const char*> g_phase{""};
 
 MetricKey make_key(std::string_view name, int rank, std::string_view phase) {

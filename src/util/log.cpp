@@ -17,7 +17,10 @@ LogLevel initial_level() {
 
 std::atomic<LogLevel>& level_slot() {
   // Magic static so the env var is consulted on first use, in any order of
-  // static initialization.
+  // static initialization. The level is an independent knob (no data is
+  // published through it), so all accesses are relaxed.
+  // pgasm-lint: allow(raw-atomic): private log-level slot, never shared as
+  // a synchronization primitive
   static std::atomic<LogLevel> level{initial_level()};
   return level;
 }
@@ -41,8 +44,12 @@ double process_uptime() {
 
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { level_slot().store(level); }
-LogLevel log_level() noexcept { return level_slot().load(); }
+void set_log_level(LogLevel level) noexcept {
+  level_slot().store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() noexcept {
+  return level_slot().load(std::memory_order_relaxed);
+}
 
 LogLevel parse_log_level(const char* name, LogLevel fallback) noexcept {
   if (name == nullptr) return fallback;

@@ -19,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "vmpi/ring_core.hpp"
 #include "vmpi/runtime.hpp"
 #include "vmpi/wait_scope.hpp"
 
@@ -104,7 +105,7 @@ void ProcTransport::mark_dead(int rank) {
   // itself on KilledError and the parent's reaper observing its exit), and
   // ranks_failed must count each rank once.
   if (dead_[rank].v.exchange(1, std::memory_order_acq_rel) == 0) {
-    ++control_->counters.ranks_failed;
+    control_->counters.ranks_failed.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -126,36 +127,14 @@ bool ProcTransport::claim_first_error(int rank) noexcept {
 }
 
 void ProcTransport::drain_inbound(int self) {
+  StdRingFacade ring;
   for (int s = 0; s < num_ranks_; ++s) {
     detail::RingHdr* hdr = ring_hdr(s, self);
     const std::byte* buf = ring_buf(s, self);
     Assembly& as = assembly_[static_cast<std::size_t>(s)];
     for (;;) {
-      const std::uint64_t tail = hdr->tail.load(std::memory_order_acquire);
-      const std::uint64_t head = hdr->head.load(std::memory_order_relaxed);
-      if (tail == head) break;
-      const std::size_t avail = static_cast<std::size_t>(tail - head);
-      std::size_t want;
-      std::byte* dst;
-      if (!as.in_payload) {
-        want = sizeof(detail::FrameHdr) - as.have;
-        dst = reinterpret_cast<std::byte*>(&as.hdr) + as.have;
-      } else {
-        want = static_cast<std::size_t>(as.hdr.payload_len) - as.have;
-        dst = as.payload.data() + as.have;
-      }
-      const std::size_t chunk = std::min(avail, want);
-      const std::size_t pos = static_cast<std::size_t>(head % ring_bytes_);
-      const std::size_t first = std::min(chunk, ring_bytes_ - pos);
-      std::memcpy(dst, buf + pos, first);
-      if (chunk > first) std::memcpy(dst + first, buf, chunk - first);
-      hdr->head.store(head + chunk, std::memory_order_release);
-      as.have += chunk;
-      if (!as.in_payload && as.have == sizeof(detail::FrameHdr)) {
-        as.in_payload = true;
-        as.have = 0;
-        as.payload.resize(static_cast<std::size_t>(as.hdr.payload_len));
-      }
+      // Complete any fully-assembled piece before popping more: this also
+      // finishes zero-length payloads, which consume no ring bytes.
       if (as.in_payload && as.have == as.hdr.payload_len) {
         detail::Message m;
         m.source = static_cast<int>(as.hdr.source);
@@ -167,6 +146,28 @@ void ProcTransport::drain_inbound(int self) {
         pending_.push_back(std::move(m));
         as = Assembly{};
       }
+      if (!as.in_payload && as.have == sizeof(detail::FrameHdr)) {
+        as.in_payload = true;
+        as.have = 0;
+        as.payload.resize(static_cast<std::size_t>(as.hdr.payload_len));
+        continue;
+      }
+      std::size_t want;
+      std::byte* dst;
+      if (!as.in_payload) {
+        want = sizeof(detail::FrameHdr) - as.have;
+        dst = reinterpret_cast<std::byte*>(&as.hdr) + as.have;
+      } else {
+        want = static_cast<std::size_t>(as.hdr.payload_len) - as.have;
+        dst = as.payload.data() + as.have;
+      }
+      // The pop core (vmpi/ring_core.hpp) owns the cursor discipline:
+      // acquire the producer-owned tail, advance the consumer-owned head
+      // with a release store once the bytes are copied out.
+      const std::size_t chunk = StdRing::try_pop(
+          ring, hdr->head, hdr->tail, buf, ring_bytes_, dst, want);
+      if (chunk == 0) break;
+      as.have += chunk;
     }
   }
 }
@@ -176,13 +177,18 @@ bool ProcTransport::write_stream(int self, int dest, const void* data,
   detail::RingHdr* hdr = ring_hdr(self, dest);
   std::byte* buf = ring_buf(self, dest);
   const auto* src = static_cast<const std::byte*>(data);
+  StdRingFacade ring;
   std::size_t written = 0;
   int idle = 0;
   while (written < n) {
-    const std::uint64_t head = hdr->head.load(std::memory_order_acquire);
-    const std::uint64_t tail = hdr->tail.load(std::memory_order_relaxed);
-    const std::size_t space = ring_bytes_ - static_cast<std::size_t>(tail - head);
-    if (space == 0) {
+    // The push core (vmpi/ring_core.hpp) owns the cursor discipline:
+    // acquire the consumer-owned head, advance the producer-owned tail with
+    // a release store only after the bytes are fully in place — a consumer
+    // can never observe a torn chunk, even if we are SIGKILLed right here.
+    const std::size_t chunk = StdRing::try_push(
+        ring, hdr->head, hdr->tail, buf, ring_bytes_, src + written,
+        n - written);
+    if (chunk == 0) {
       // Unlike the unbounded thread mailboxes, a bounded ring can block a
       // producer. Abandon the stream when the consumer can never drain it
       // (dead/finished — nothing reads that ring again, a torn frame is
@@ -194,14 +200,6 @@ bool ProcTransport::write_stream(int self, int dest, const void* data,
       poll_nap(idle);
       continue;
     }
-    const std::size_t chunk = std::min(n - written, space);
-    const std::size_t pos = static_cast<std::size_t>(tail % ring_bytes_);
-    const std::size_t first = std::min(chunk, ring_bytes_ - pos);
-    std::memcpy(buf + pos, src + written, first);
-    if (chunk > first) std::memcpy(buf, src + written + first, chunk - first);
-    // Tail moves only after the bytes are fully in place: a consumer can
-    // never observe a torn chunk, even if we are SIGKILLed right here.
-    hdr->tail.store(tail + chunk, std::memory_order_release);
     written += chunk;
     idle = 0;
   }
@@ -222,7 +220,8 @@ void ProcTransport::deliver(int self, int dest, detail::Message&& msg,
     // Destination died or finished mid-stream: the message was never fully
     // enqueued. Mirrors the thread transport's dead-before-push race, which
     // is the one post-preflight path that counts sends_to_dead.
-    if (sync && is_dead(dest)) ++counters().sends_to_dead;
+    if (sync && is_dead(dest))
+      counters().sends_to_dead.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (!sync) return;

@@ -1,0 +1,138 @@
+// The SPSC ring push/pop core, extracted from proc_transport.cpp so the
+// exact production algorithm can be model-checked. The ring protocol
+// (see shm_ring.hpp): head and tail are monotonic u64 *byte* counters that
+// never wrap — byte x lives at buf[x % cap]. The head cursor is
+// consumer-owned (only try_pop stores it), the tail cursor is
+// producer-owned (only try_push stores it); each side release-stores its
+// own cursor only after the bytes it covers are in place, and
+// acquire-loads the other side's cursor before touching the bytes it
+// publishes. A producer killed mid-push therefore never exposes torn
+// bytes: tail still covers only fully-written data.
+//
+// The code is parameterized over an atomics facade so two builds share one
+// algorithm:
+//   - the real transport instantiates RingCore<StdRingFacade> below
+//     (plain std::atomic with the declared memory orders), and
+//   - tools/verify/pgasm-ringcheck instantiates it with a virtual-scheduler
+//     facade that enumerates producer/consumer interleavings and checks the
+//     declared orders under the C++ memory model (DESIGN.md §15).
+// Every facade call names the intended memory order AND the syntactic site,
+// so the checker can weaken one site at a time and prove the weakening is
+// caught.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace pgasm::vmpi {
+
+/// The six atomic accesses in the ring core, named so a checker facade can
+/// override the memory order of exactly one of them (mutation testing).
+enum class RingSite : std::uint8_t {
+  kPushLoadHead,   ///< producer reads consumer progress (acquire)
+  kPushLoadTail,   ///< producer reads its own cursor (relaxed: owned)
+  kPushStoreTail,  ///< producer publishes written bytes (release)
+  kPopLoadTail,    ///< consumer reads producer progress (acquire)
+  kPopLoadHead,    ///< consumer reads its own cursor (relaxed: owned)
+  kPopStoreHead,   ///< consumer returns reclaimed space (release)
+};
+
+/// The memory order each site intends. A facade maps these onto real
+/// std::memory_order values (StdRingFacade) or onto simulated
+/// happens-before edges (the checker).
+enum class RingOrder : std::uint8_t { kRelaxed, kAcquire, kRelease };
+
+/// The SPSC byte-ring algorithm over an atomics facade `F`. `F` supplies:
+///   using AtomicU64 = ...;  // the cursor cell type
+///   std::uint64_t load(AtomicU64&, RingOrder, RingSite);
+///   void store(AtomicU64&, std::uint64_t, RingOrder, RingSite);
+///   void copy(std::byte* dst, const std::byte* src, std::size_t n);
+template <class F>
+struct RingCore {
+  using AtomicU64 = typename F::AtomicU64;
+
+  /// Producer side: append up to `n` bytes of `src`; returns how many were
+  /// written (0 when the ring is full). Never blocks.
+  static std::size_t try_push(F& f, AtomicU64& head, AtomicU64& tail,
+                              std::byte* buf, std::size_t cap,
+                              const std::byte* src, std::size_t n) {
+    // Acquire on head: the consumer's release-store of head published that
+    // it finished *reading* [old_head, head) — we must see those reads
+    // complete before overwriting the reclaimed slots.
+    const std::uint64_t h = f.load(head, RingOrder::kAcquire,
+                                   RingSite::kPushLoadHead);
+    // Tail is producer-owned: nobody else stores it, relaxed is enough.
+    const std::uint64_t t = f.load(tail, RingOrder::kRelaxed,
+                                   RingSite::kPushLoadTail);
+    const std::size_t space = cap - static_cast<std::size_t>(t - h);
+    if (space == 0) return 0;
+    const std::size_t chunk = n < space ? n : space;
+    const std::size_t pos = static_cast<std::size_t>(t % cap);
+    const std::size_t first = chunk < cap - pos ? chunk : cap - pos;
+    f.copy(buf + pos, src, first);
+    f.copy(buf, src + first, chunk - first);
+    // Release on tail: the bytes above must be visible before the new tail
+    // is — a consumer that acquire-loads the new tail may read them.
+    f.store(tail, t + chunk, RingOrder::kRelease, RingSite::kPushStoreTail);
+    return chunk;
+  }
+
+  /// Consumer side: copy out up to `want` bytes into `dst`; returns how
+  /// many were read (0 when the ring is empty). Never blocks.
+  static std::size_t try_pop(F& f, AtomicU64& head, AtomicU64& tail,
+                             const std::byte* buf, std::size_t cap,
+                             std::byte* dst, std::size_t want) {
+    // Acquire on tail: pairs with the producer's release-store — the bytes
+    // covered by the loaded tail are fully written.
+    const std::uint64_t t = f.load(tail, RingOrder::kAcquire,
+                                   RingSite::kPopLoadTail);
+    // Head is consumer-owned: nobody else stores it, relaxed is enough.
+    const std::uint64_t h = f.load(head, RingOrder::kRelaxed,
+                                   RingSite::kPopLoadHead);
+    const std::size_t avail = static_cast<std::size_t>(t - h);
+    if (avail == 0) return 0;
+    const std::size_t chunk = want < avail ? want : avail;
+    const std::size_t pos = static_cast<std::size_t>(h % cap);
+    const std::size_t first = chunk < cap - pos ? chunk : cap - pos;
+    f.copy(dst, buf + pos, first);
+    f.copy(dst + first, buf, chunk - first);
+    // Release on head: our reads of the consumed slots must complete
+    // before the producer (acquire on head) may overwrite them.
+    f.store(head, h + chunk, RingOrder::kRelease, RingSite::kPopStoreHead);
+    return chunk;
+  }
+};
+
+/// The production facade: plain std::atomic with the declared orders; the
+/// site argument exists only for the checker and is ignored here.
+struct StdRingFacade {
+  using AtomicU64 = std::atomic<std::uint64_t>;
+
+  static constexpr std::memory_order to_memory_order(RingOrder o) noexcept {
+    switch (o) {
+      case RingOrder::kRelaxed:
+        return std::memory_order_relaxed;
+      case RingOrder::kAcquire:
+        return std::memory_order_acquire;
+      case RingOrder::kRelease:
+        return std::memory_order_release;
+    }
+    return std::memory_order_seq_cst;  // unreachable; keeps the switch total
+  }
+
+  std::uint64_t load(const AtomicU64& a, RingOrder order, RingSite) const {
+    return a.load(to_memory_order(order));
+  }
+  void store(AtomicU64& a, std::uint64_t v, RingOrder order, RingSite) const {
+    a.store(v, to_memory_order(order));
+  }
+  void copy(std::byte* dst, const std::byte* src, std::size_t n) const {
+    if (n != 0) std::memcpy(dst, src, n);
+  }
+};
+
+using StdRing = RingCore<StdRingFacade>;
+
+}  // namespace pgasm::vmpi

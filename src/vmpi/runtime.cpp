@@ -77,7 +77,8 @@ bool Comm::apply_faults() {
 
   for (const auto& c : fp.crashes) {
     if (c.rank == rank_ && idx >= c.at_send) {
-      ++transport_->counters().crashes_injected;
+      transport_->counters().crashes_injected.fetch_add(
+          1, std::memory_order_relaxed);
       if (obs_ring_ != nullptr) {
         ring_instant(obs_ring_, rank_, "fault_crash", "send_idx", idx);
       }
@@ -107,7 +108,8 @@ bool Comm::apply_faults() {
     delay_s = fp.delay_seconds;
   }
   if (delay_s > 0) {
-    ++transport_->counters().messages_delayed;
+    transport_->counters().messages_delayed.fetch_add(
+        1, std::memory_order_relaxed);
     if (obs_ring_ != nullptr) {
       ring_instant(obs_ring_, rank_, "fault_delay", "send_idx", idx,
                    "delay_us",
@@ -116,7 +118,8 @@ bool Comm::apply_faults() {
     std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
   }
   if (drop) {
-    ++transport_->counters().messages_dropped;
+    transport_->counters().messages_dropped.fetch_add(
+        1, std::memory_order_relaxed);
     if (obs_ring_ != nullptr) {
       ring_instant(obs_ring_, rank_, "fault_drop", "send_idx", idx);
     }
@@ -150,7 +153,8 @@ bool Comm::send_preflight(int dest, std::size_t n, bool internal, bool sync) {
   }
   if (drop) return false;
   if (transport_->is_dead(dest)) {
-    ++transport_->counters().sends_to_dead;
+    transport_->counters().sends_to_dead.fetch_add(
+        1, std::memory_order_relaxed);
     return false;  // synchronous sends complete immediately: no consumer
   }
   if (transport_->is_done(dest)) {
@@ -235,7 +239,8 @@ std::vector<std::byte> Comm::recv_impl(
       // (forever).
       const bool failed = transport_->is_dead(source);
       if (deadline) {
-        ++transport_->counters().timeouts_fired;
+        transport_->counters().timeouts_fired.fetch_add(
+            1, std::memory_order_relaxed);
         if (obs_ring_ != nullptr) {
           obs_timeouts_->inc();
           ring_instant(obs_ring_, rank_, "recv_timeout", "peer",
@@ -248,7 +253,7 @@ std::vector<std::byte> Comm::recv_impl(
     case Transport::Wait::kTimeout:
       break;
   }
-  ++transport_->counters().timeouts_fired;
+  transport_->counters().timeouts_fired.fetch_add(1, std::memory_order_relaxed);
   if (obs_ring_ != nullptr) {
     obs_timeouts_->inc();
     ring_instant(obs_ring_, rank_, "recv_timeout", "peer",
@@ -290,7 +295,8 @@ Status Comm::probe_impl(int source, int tag,
     case Transport::Wait::kPeerGone: {
       const bool failed = transport_->is_dead(source);
       if (deadline) {
-        ++transport_->counters().timeouts_fired;
+        transport_->counters().timeouts_fired.fetch_add(
+            1, std::memory_order_relaxed);
         if (obs_ring_ != nullptr) {
           obs_timeouts_->inc();
           ring_instant(obs_ring_, rank_, "probe_timeout", "peer",
@@ -303,7 +309,7 @@ Status Comm::probe_impl(int source, int tag,
     case Transport::Wait::kTimeout:
       break;
   }
-  ++transport_->counters().timeouts_fired;
+  transport_->counters().timeouts_fired.fetch_add(1, std::memory_order_relaxed);
   if (obs_ring_ != nullptr) {
     obs_timeouts_->inc();
     ring_instant(obs_ring_, rank_, "probe_timeout", "peer",

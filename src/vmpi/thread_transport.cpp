@@ -8,8 +8,16 @@ ThreadTransport::ThreadTransport(int num_ranks)
       dead_(static_cast<std::size_t>(num_ranks)),
       done_(static_cast<std::size_t>(num_ranks)) {}
 
+// Memory-order notes (every site names its order explicitly — W014): the
+// liveness flags (aborted_/dead_/done_) are release-stored by the marking
+// thread and acquire-loaded by peers so everything written before the mark
+// (e.g. a finishing rank's last sends) is visible to anyone who observed
+// it. The `consumed` rendezvous flag is release/acquire for the same
+// reason. All flag re-checks inside cv wait predicates run under the
+// mailbox mutex, which already orders them; the explicit orders make the
+// lock-free readers (is_dead/is_done/is_aborted) correct on their own.
 void ThreadTransport::abort_all() {
-  aborted_.store(true);
+  aborted_.store(true, std::memory_order_release);
   // Notify under each mailbox mutex: a receiver that checked the flag and
   // is about to sleep holds the mutex until its wait releases it, so the
   // notify cannot land in the gap between its check and its sleep.
@@ -20,8 +28,8 @@ void ThreadTransport::abort_all() {
 }
 
 void ThreadTransport::mark_dead(int r) {
-  dead_[static_cast<std::size_t>(r)].store(true);
-  ++counters_.ranks_failed;
+  dead_[static_cast<std::size_t>(r)].store(true, std::memory_order_release);
+  counters_.ranks_failed.fetch_add(1, std::memory_order_relaxed);
   {
     // Complete any synchronous sends rendezvoused on the dead rank's
     // mailbox, drop its queued messages, and wake every waiter so blocked
@@ -29,7 +37,7 @@ void ThreadTransport::mark_dead(int r) {
     auto& box = boxes_[static_cast<std::size_t>(r)];
     util::MutexLock lock(box.mu);
     for (auto& m : box.queue) {
-      if (m.consumed) m.consumed->store(true);
+      if (m.consumed) m.consumed->store(true, std::memory_order_release);
     }
     box.queue.clear();
   }
@@ -46,12 +54,12 @@ void ThreadTransport::mark_done(int r) {
   // declared dead reporting to a master that finished) would otherwise hang
   // the join forever — but the rank is not counted as failed and
   // rank_failed() stays false for it.
-  done_[static_cast<std::size_t>(r)].store(true);
+  done_[static_cast<std::size_t>(r)].store(true, std::memory_order_release);
   {
     auto& box = boxes_[static_cast<std::size_t>(r)];
     util::MutexLock lock(box.mu);
     for (auto& m : box.queue) {
-      if (m.consumed) m.consumed->store(true);
+      if (m.consumed) m.consumed->store(true, std::memory_order_release);
     }
     box.queue.clear();
   }
@@ -64,6 +72,8 @@ void ThreadTransport::mark_done(int r) {
 void ThreadTransport::deliver(int self, int dest, detail::Message&& msg,
                               bool sync) {
   (void)self;
+  // pgasm-lint: allow(raw-atomic): the ssend rendezvous flag declared in
+  // transport.hpp (detail::Message::consumed); allocated at the send site
   std::shared_ptr<std::atomic<bool>> consumed;
   if (sync) {
     consumed = std::make_shared<std::atomic<bool>>(false);
@@ -80,15 +90,17 @@ void ThreadTransport::deliver(int self, int dest, detail::Message&& msg,
     // rendezvous deadlocked here).
     const std::size_t d = static_cast<std::size_t>(dest);
     box.cv.wait(box.mu, [&] {
-      return consumed->load() || aborted_.load() || dead_[d].load() ||
-             done_[d].load();
+      return consumed->load(std::memory_order_acquire) ||
+             aborted_.load(std::memory_order_acquire) ||
+             dead_[d].load(std::memory_order_acquire) ||
+             done_[d].load(std::memory_order_acquire);
     });
-    if (!consumed->load()) {
-      if (dead_[d].load()) {
-        ++counters_.sends_to_dead;
+    if (!consumed->load(std::memory_order_acquire)) {
+      if (dead_[d].load(std::memory_order_acquire)) {
+        counters_.sends_to_dead.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      if (done_[d].load()) return;
+      if (done_[d].load(std::memory_order_acquire)) return;
       throw AbortError("vmpi aborted during ssend");
     }
   }
@@ -104,13 +116,14 @@ Transport::Wait ThreadTransport::recv(
     // Both the abort flag and the dead flags are re-checked under the
     // mailbox mutex before every sleep; abort_all/mark_dead notify under
     // the same mutex, so no wake can be lost.
-    if (aborted_.load()) throw AbortError("vmpi aborted");
+    if (aborted_.load(std::memory_order_acquire))
+      throw AbortError("vmpi aborted");
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
       if (!detail::matches(*it, source, tag, internal)) continue;
       *out = std::move(*it);
       box.queue.erase(it);
       if (out->consumed) {
-        out->consumed->store(true);
+        out->consumed->store(true, std::memory_order_release);
         box.cv.notify_all();  // wake the rendezvoused synchronous sender
       }
       return Wait::kMessage;
@@ -118,8 +131,10 @@ Transport::Wait ThreadTransport::recv(
     // No match queued. A specific failed or finished source can never
     // deliver: fail fast instead of blocking until the deadline (forever).
     if (source != kAnySource && source != self &&
-        (dead_[static_cast<std::size_t>(source)].load() ||
-         done_[static_cast<std::size_t>(source)].load())) {
+        (dead_[static_cast<std::size_t>(source)].load(
+             std::memory_order_acquire) ||
+         done_[static_cast<std::size_t>(source)].load(
+             std::memory_order_acquire))) {
       return Wait::kPeerGone;
     }
     if (deadline) {
@@ -137,7 +152,8 @@ Transport::Wait ThreadTransport::probe(
   auto& box = boxes_[static_cast<std::size_t>(self)];
   util::MutexLock lock(box.mu);
   for (;;) {
-    if (aborted_.load()) throw AbortError("vmpi aborted");
+    if (aborted_.load(std::memory_order_acquire))
+      throw AbortError("vmpi aborted");
     for (const auto& m : box.queue) {
       if (detail::matches(m, source, tag, /*internal=*/false)) {
         out->source = m.source;
@@ -148,8 +164,10 @@ Transport::Wait ThreadTransport::probe(
       }
     }
     if (source != kAnySource && source != self &&
-        (dead_[static_cast<std::size_t>(source)].load() ||
-         done_[static_cast<std::size_t>(source)].load())) {
+        (dead_[static_cast<std::size_t>(source)].load(
+             std::memory_order_acquire) ||
+         done_[static_cast<std::size_t>(source)].load(
+             std::memory_order_acquire))) {
       return Wait::kPeerGone;
     }
     if (deadline) {
@@ -165,7 +183,8 @@ bool ThreadTransport::iprobe(int self, int source, std::int64_t tag,
                              ProbeResult* out) {
   auto& box = boxes_[static_cast<std::size_t>(self)];
   util::MutexLock lock(box.mu);
-  if (aborted_.load()) throw AbortError("vmpi aborted");
+  if (aborted_.load(std::memory_order_acquire))
+    throw AbortError("vmpi aborted");
   for (const auto& m : box.queue) {
     if (detail::matches(m, source, tag, /*internal=*/false)) {
       if (out != nullptr) {
@@ -186,9 +205,9 @@ void ThreadTransport::crash_self(int self, const std::string& why) {
 }
 
 void ThreadTransport::reset() {
-  aborted_.store(false);
-  for (auto& d : dead_) d.store(false);
-  for (auto& d : done_) d.store(false);
+  aborted_.store(false, std::memory_order_release);
+  for (auto& d : dead_) d.store(false, std::memory_order_release);
+  for (auto& d : done_) d.store(false, std::memory_order_release);
   counters_.reset();
   for (auto& box : boxes_) {
     util::MutexLock lock(box.mu);

@@ -38,13 +38,20 @@ class ThreadTransport final : public Transport {
   }
   int num_ranks() const noexcept override { return num_ranks_; }
 
+  // Acquire pairs with the release stores in mark_dead/mark_done/abort_all:
+  // whoever observes the flag also observes everything the marking thread
+  // wrote before it (e.g. a finishing rank's last sends).
   bool is_dead(int rank) const noexcept override {
-    return dead_[static_cast<std::size_t>(rank)].load();
+    return dead_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
   }
   bool is_done(int rank) const noexcept override {
-    return done_[static_cast<std::size_t>(rank)].load();
+    return done_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
   }
-  bool is_aborted() const noexcept override { return aborted_.load(); }
+  bool is_aborted() const noexcept override {
+    return aborted_.load(std::memory_order_acquire);
+  }
 
   void mark_dead(int rank) override;
   void mark_done(int rank) override;

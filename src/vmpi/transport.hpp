@@ -117,18 +117,25 @@ struct FaultCounters {
   std::atomic<std::uint64_t> timeouts_fired{0};
   std::atomic<std::uint64_t> ranks_failed{0};
 
+  // Statistics only, never synchronization: every access is relaxed (and
+  // names its order explicitly — pgasm-lint W014). Cross-thread visibility
+  // of the final values is given by the joins/exit-blob merges that precede
+  // every snapshot() read.
   void reset() noexcept {
-    crashes_injected = 0;
-    messages_dropped = 0;
-    messages_delayed = 0;
-    sends_to_dead = 0;
-    timeouts_fired = 0;
-    ranks_failed = 0;
+    crashes_injected.store(0, std::memory_order_relaxed);
+    messages_dropped.store(0, std::memory_order_relaxed);
+    messages_delayed.store(0, std::memory_order_relaxed);
+    sends_to_dead.store(0, std::memory_order_relaxed);
+    timeouts_fired.store(0, std::memory_order_relaxed);
+    ranks_failed.store(0, std::memory_order_relaxed);
   }
   FaultStats snapshot() const noexcept {
-    return FaultStats{crashes_injected.load(), messages_dropped.load(),
-                      messages_delayed.load(), sends_to_dead.load(),
-                      timeouts_fired.load(),   ranks_failed.load()};
+    return FaultStats{crashes_injected.load(std::memory_order_relaxed),
+                      messages_dropped.load(std::memory_order_relaxed),
+                      messages_delayed.load(std::memory_order_relaxed),
+                      sends_to_dead.load(std::memory_order_relaxed),
+                      timeouts_fired.load(std::memory_order_relaxed),
+                      ranks_failed.load(std::memory_order_relaxed)};
   }
 };
 

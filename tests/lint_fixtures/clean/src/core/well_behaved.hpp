@@ -1,5 +1,5 @@
-// Negative fixture: annotated locking done right — W007-W010 must all stay
-// silent on this file.
+// Negative fixture: annotated locking done right — W007-W010 and W014/W015
+// must all stay silent on this file.
 #pragma once
 
 namespace fixture {
@@ -12,6 +12,8 @@ class Counter {
  private:
   mutable util::Mutex mu_;
   int total_ PGASM_GUARDED_BY(mu_) = 0;
+  // pgasm-lint: allow(raw-atomic): fixture demonstrates the waiver — a
+  // monotonic peek counter with no ordering requirements.
   std::atomic<int> peeks_{0};
 };
 

@@ -1,0 +1,2 @@
+// protocol_bad fixture stub: deliberately missing the send/recv forms and
+// handler identifiers that protocol_check verifies for the GST protocol.

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Golden-fixture harness for pgasm-lint W007-W010 and protocol_check.
+"""Golden-fixture harness for pgasm-lint W007-W015 and protocol_check.
 
 Each wNNN_bad/ mini-tree seeds known violations (lines marked BAD) plus
 waived/clean lines; the linter must flag exactly the seeded count, with the
@@ -81,12 +81,25 @@ def main() -> int:
     w13 = expect_findings(lint, "w013_bad", "W013", 3)
     check(all(f["path"].startswith("src/core/") for f in w13["findings"]),
           "W013 never flags the src/vmpi/ mini-tree")
+    w14 = expect_findings(lint, "w014_bad", "W014", 4)
+    slugs = {f["slug"] for f in w14["findings"]}
+    check(slugs == {"memory-order", "raw-atomic"},
+          f"W014 exercises both slugs (got {sorted(slugs)})")
+    check(not any(f["path"].startswith("src/vmpi/")
+                  for f in w14["findings"]),
+          "W014 never flags the approved src/vmpi/transport.hpp")
+    w15 = expect_findings(lint, "w015_bad", "W015", 4)
+    check(any("kTagOrphan" in f["message"] for f in w15["findings"]),
+          "W015 finds the orphan tag minted far from any table")
+    check(any("x2" in f["message"] for f in w15["findings"]),
+          "W015 reports the duplicate-row count")
 
-    print("clean --only W007..W010:")
+    print("clean --only W007..W010,W014,W015:")
     proc = subprocess.run(
         [sys.executable, lint, "--root", str(HERE / "clean"),
          "--only", "W007", "--only", "W008", "--only", "W009",
-         "--only", "W010", "--format", "json"],
+         "--only", "W010", "--only", "W014", "--only", "W015",
+         "--format", "json"],
         capture_output=True, text=True, timeout=120)
     check(proc.returncode == 0, f"exit code 0 (got {proc.returncode})")
     clean = json.loads(proc.stdout or "{}")

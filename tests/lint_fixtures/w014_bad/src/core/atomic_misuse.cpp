@@ -1,0 +1,43 @@
+// Fixture: W014 must flag default-seq_cst atomic operations and raw
+// std::atomic declarations outside the approved concurrency headers,
+// while respecting explicit orders, continuation lines, waivers, and the
+// non-atomic lookalikes (zero-arg .store() accessors, references,
+// shared_ptr wrappers). The bad ops sit two-plus lines away from any
+// explicit order so the continuation-line window cannot mask them.
+#include <atomic>
+#include <memory>
+
+namespace pgasm::core {
+
+std::atomic<int> g_counter{0};  // BAD: raw atomic outside approved headers
+
+// pgasm-lint: allow(raw-atomic): fixture waiver — ordering documented here.
+std::atomic<int> g_waived{0};  // clean: waived declaration
+
+struct TreeLike {
+  int store_ = 0;
+  int store() const { return store_; }  // clean: an accessor, not an atomic
+};
+
+int fixture_atomic_ops() {
+  int a = g_counter.load();  // BAD: defaults to seq_cst
+
+  g_counter.store(1);  // BAD: defaults to seq_cst
+
+  g_counter.fetch_add(2);  // BAD: defaults to seq_cst
+
+  TreeLike tree;
+  int d = tree.store();  // clean: zero-arg accessor, not an atomic store
+
+  int b = g_waived.load(std::memory_order_relaxed);  // clean: explicit
+  g_waived.fetch_add(1,
+                     std::memory_order_relaxed);  // clean: continuation line
+  // pgasm-lint: allow(memory-order): fixture waiver — seq_cst intended.
+  int c = g_waived.load();           // clean: waived operation
+  std::atomic<int>& ref = g_waived;  // clean: reference, not a declaration
+  auto shared = std::make_shared<std::atomic<bool>>(false);  // clean
+  return a + b + c + d + ref.load(std::memory_order_relaxed) +
+         (shared->load(std::memory_order_acquire) ? 1 : 0);
+}
+
+}  // namespace pgasm::core

@@ -1,0 +1,15 @@
+// Fixture negative: vmpi/transport.hpp is on the W014 approved list, so a
+// raw std::atomic declaration here needs no waiver and must NOT be
+// flagged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace pgasm::vmpi {
+
+struct FixtureCounters {
+  std::atomic<std::uint64_t> messages_dropped{0};  // clean: approved header
+};
+
+}  // namespace pgasm::vmpi

@@ -1,0 +1,10 @@
+// Fixture: a wire tag minted in a .cpp far from any protocol table — the
+// exact drift W015 exists to catch (the FT-GST tags lived like this
+// before src/gst/gst_protocol.hpp).
+namespace fixture {
+
+constexpr int kTagOrphan = 99;  // BAD: no table row anywhere
+
+int fixture_uses_tag() { return kTagOrphan; }
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// Fixture: W015 must flag wire tags without exactly one protocol-table
+// row — no row at all (kTagGamma), duplicate rows in one table (kTagBeta),
+// rows in two tables (kTagDual) — while accepting the well-formed
+// kTagAlpha.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+enum class MiniMsgKind : std::uint8_t {
+  kAlpha = 50,
+  kBeta = 51,
+  kGamma = 52,
+  kDual = 53,
+};
+
+struct MiniMsgSpec {
+  MiniMsgKind kind;
+  const char* name;
+};
+
+inline constexpr MiniMsgSpec kMiniProtocol[] = {
+    {MiniMsgKind::kAlpha, "alpha"},
+    {MiniMsgKind::kBeta, "beta"},
+    {MiniMsgKind::kBeta, "beta_retry"},
+    {MiniMsgKind::kDual, "dual"},
+};
+
+inline constexpr MiniMsgSpec kOtherProtocol[] = {
+    {MiniMsgKind::kDual, "dual_again"},
+};
+
+inline constexpr int kTagAlpha = 50;  // clean: exactly one row, one table
+inline constexpr int kTagBeta = 51;   // BAD: two rows in kMiniProtocol
+inline constexpr int kTagGamma = 52;  // BAD: no row in any table
+inline constexpr int kTagDual = 53;   // BAD: rows in two tables
+
+}  // namespace fixture

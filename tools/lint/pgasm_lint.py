@@ -67,6 +67,23 @@ W013  raw-syscall confinement: process, shared-memory and socket syscalls
       own a process model; everything above it must work identically over
       rank threads and rank processes. Waive deliberate uses with
       `pgasm-lint: allow(raw-proc): <reason>`.
+W014  explicit memory orders: every atomic operation in src/ must name its
+      std::memory_order (or a RingOrder, for the ring_core facade) — a
+      bare .load()/.store(v)/.fetch_add(n) defaults to seq_cst, which both
+      hides the intended ordering contract from reviewers and from the
+      pgasm-ringcheck interleaving checker that verifies it. Separately,
+      a raw `std::atomic<...>` member/variable declaration outside the
+      approved concurrency headers (ATOMIC_APPROVED below) needs a
+      `pgasm-lint: allow(raw-atomic): <reason>` waiver stating its
+      ordering story.
+W015  wire-tag table membership: every wire-tag constant (kTag*) declared
+      anywhere under src/ must correspond to exactly one row of exactly
+      one declarative protocol table (the k*Protocol MsgSpec arrays in
+      *protocol*.hpp, e.g. kProtocol for clustering tags 101-104 and
+      kGstProtocol for the FT-GST tags 210-216). A tag without a table
+      row is an undocumented message the model checker and
+      protocol_check can't see; a tag with rows in two tables is a
+      colliding reuse.
 
 Front-ends: W007-W010 are semantic checks. When a clang compiler is
 available (and unless --frontend=lexer), facts are extracted from clang's
@@ -87,7 +104,7 @@ they survive line-number drift) for CI annotation.
 Waivers: append `pgasm-lint: allow(<check>): <reason>` in a comment on the
 offending line or the line above. <check> is the lowercase slug shown in
 the finding, e.g. raw-comm, alloc, naming, iwyu, raw-lock, lock-blocking,
-switch, guard, metric-prefix, raw-proc.
+switch, guard, metric-prefix, raw-proc, memory-order, raw-atomic.
 """
 
 from __future__ import annotations
@@ -490,7 +507,7 @@ def check_w005() -> None:
 # W006: test label audit
 # --------------------------------------------------------------------------
 
-VALID_LABELS = {"unit", "parallel", "faults", "obs", "fuzz"}
+VALID_LABELS = {"unit", "parallel", "faults", "obs", "fuzz", "verify"}
 PGASM_TEST_RE = re.compile(r"^\s*pgasm_test\((\w+)(.*)\)\s*$")
 PGASM_FUZZ_RE = re.compile(r"^\s*pgasm_fuzz\((\w+)\)\s*$")
 
@@ -915,6 +932,150 @@ def check_w013() -> None:
 
 
 # --------------------------------------------------------------------------
+# W014: explicit memory orders / raw-atomic confinement
+# --------------------------------------------------------------------------
+
+# Headers that legitimately declare raw std::atomic cells: the transport
+# control blocks and rings (their orders are verified by pgasm-ringcheck
+# and documented per-site) and the lock-free obs counters. Everywhere else
+# a raw atomic needs a waiver stating its ordering story.
+ATOMIC_APPROVED = {
+    Path("vmpi/transport.hpp"),
+    Path("vmpi/shm_ring.hpp"),
+    Path("vmpi/ring_core.hpp"),
+    Path("vmpi/thread_transport.hpp"),
+    Path("obs/metrics.hpp"),
+    Path("obs/trace.hpp"),
+}
+
+ATOMIC_OP_RE = re.compile(
+    r"\.\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|compare_exchange_weak|compare_exchange_strong)\s*\(")
+ATOMIC_DECL_RE = re.compile(r"\bstd::atomic\s*<")
+
+
+def check_w014() -> None:
+    for path in src_files(".cpp", ".hpp"):
+        rel = path.relative_to(SRC)
+        lines = read_lines(path)
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+
+            # (a) atomic operations must name their order. The argument
+            # list may wrap: accept the order on the call line or the next
+            # two continuation lines. `RingOrder::` counts — the ring_core
+            # facade names orders through its own enum.
+            for m in ATOMIC_OP_RE.finditer(line):
+                window = line[m.end():]
+                for j in (i + 1, i + 2):
+                    if j < len(lines):
+                        window += " " + strip_comments(lines[j])
+                if m.group(1) == "store" and re.match(r"\s*\)", window):
+                    continue  # zero-arg .store(): an unrelated accessor,
+                    # an atomic store always passes a value
+                if "memory_order" in window or "RingOrder::" in window:
+                    continue
+                if waived(lines, i, "memory-order"):
+                    continue
+                finding(path, i + 1, "W014", "memory-order",
+                        f".{m.group(1)}() without an explicit "
+                        "std::memory_order — the default seq_cst hides the "
+                        "intended ordering contract; name the order (or "
+                        "waive with `pgasm-lint: allow(memory-order): "
+                        "<reason>` if this really wants seq_cst)")
+
+            # (b) raw std::atomic declarations outside the approved
+            # concurrency headers. References and shared_ptr wrappers are
+            # uses of an already-declared cell, not new declarations.
+            if rel in ATOMIC_APPROVED:
+                continue
+            dm = ATOMIC_DECL_RE.search(line)
+            if not dm:
+                continue
+            after = line[dm.start():]
+            if re.match(r"std::atomic\s*<[^;>]*(?:<[^<>]*>)?[^;>]*>\s*&",
+                        after):
+                continue  # a reference to an existing atomic
+            if re.search(r"(make_shared|shared_ptr|unique_ptr)\s*<\s*"
+                         r"std::atomic", line):
+                continue
+            if waived(lines, i, "raw-atomic"):
+                continue
+            finding(path, i + 1, "W014", "raw-atomic",
+                    "raw std::atomic declaration outside the approved "
+                    "concurrency headers — move it behind one of them or "
+                    "add `pgasm-lint: allow(raw-atomic): <reason>` stating "
+                    "its ordering story")
+
+
+# --------------------------------------------------------------------------
+# W015: wire-tag <-> protocol-table membership
+# --------------------------------------------------------------------------
+
+# W001 checks that the clustering tags carry codec annotations; W015 checks
+# the structural half for EVERY tag in src/: each kTagX must be represented
+# by exactly one row (kind kX) of exactly one k*Protocol table, so the
+# model checker, protocol_check and the docs all see the same message set.
+
+W015_TAG_RE = re.compile(r"(?:inline\s+)?constexpr int (kTag(\w+))\s*=")
+W015_TABLE_RE = re.compile(r"\b(k\w*Protocol)\s*\[\]")
+W015_KIND_RE = re.compile(r"\b\w*MsgKind::k(\w+)\b")
+
+
+def protocol_table_rows() -> dict[str, dict[str, int]]:
+    """Table name -> {kind suffix -> row count} for every k*Protocol array
+    declared in a *protocol*.hpp under src/."""
+    tables: dict[str, dict[str, int]] = {}
+    for path in sorted(SRC.rglob("*protocol*.hpp")):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        text = re.sub(r"//[^\n]*", "", text)
+        for m in W015_TABLE_RE.finditer(text):
+            # Body = the brace-balanced initializer after the '='.
+            start = text.find("{", m.end())
+            if start < 0:
+                continue
+            depth = 0
+            end = start
+            for pos in range(start, len(text)):
+                if text[pos] == "{":
+                    depth += 1
+                elif text[pos] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = pos
+                        break
+            body = text[start:end + 1]
+            rows = tables.setdefault(m.group(1), {})
+            for km in W015_KIND_RE.finditer(body):
+                rows[km.group(1)] = rows.get(km.group(1), 0) + 1
+    return tables
+
+
+def check_w015() -> None:
+    tables = protocol_table_rows()
+    for path in src_files(".cpp", ".hpp"):
+        lines = read_lines(path)
+        for i, raw in enumerate(lines):
+            m = W015_TAG_RE.search(strip_comments(raw))
+            if not m:
+                continue
+            tag, suffix = m.group(1), m.group(2)
+            homes = [(t, n) for t, rows in sorted(tables.items())
+                     if (n := rows.get(suffix, 0))]
+            if not homes:
+                finding(path, i + 1, "W015", "tag-table",
+                        f"wire tag {tag} has no row in any declarative "
+                        "protocol table (k*Protocol in a *protocol*.hpp) — "
+                        "an undocumented message kind that the model "
+                        "checker and protocol_check cannot see")
+            elif len(homes) > 1 or homes[0][1] != 1:
+                where = ", ".join(f"{t} x{n}" for t, n in homes)
+                finding(path, i + 1, "W015", "tag-table",
+                        f"wire tag {tag} must appear in exactly one row of "
+                        f"exactly one protocol table, found: {where}")
+
+
+# --------------------------------------------------------------------------
 # Optional clang front-end for W007/W010 facts
 # --------------------------------------------------------------------------
 #
@@ -1017,6 +1178,8 @@ CHECKS = {
     "W011": check_w011,
     "W012": check_w012,
     "W013": check_w013,
+    "W014": check_w014,
+    "W015": check_w015,
 }
 
 

@@ -1,0 +1,107 @@
+// Shared --format=json emitter for the verify tools (pgasm-model,
+// pgasm-ringcheck), matching pgasm-lint's finding schema so one dashboard
+// can ingest all three: {version, root, checks, count, findings:[{id,
+// check, slug, path, line, message}]}. IDs are a stable hash of what the
+// finding says (check:slug:path:message + an occurrence ordinal), never of
+// where, so they survive unrelated edits — the same contract pgasm-lint
+// documents for its PL- IDs.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pgasm::verify {
+
+struct Finding {
+  std::string check;    ///< e.g. "PM1" (deadlock), "PR2" (data race)
+  std::string slug;     ///< kebab-case category, e.g. "deadlock"
+  std::string path;     ///< repo-relative anchor for the finding
+  int line = 0;         ///< 1-based anchor line (0 = whole file)
+  std::string message;  ///< one-line statement of the violation
+};
+
+/// FNV-1a 64-bit, the basis for stable finding IDs.
+inline std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// "PM-" / "PR-" + 12 hex chars of the content hash.
+inline std::string finding_id(const char* prefix, const Finding& f,
+                              int ordinal) {
+  const std::string basis = f.check + ":" + f.slug + ":" + f.path + ":" +
+                            f.message + "#" + std::to_string(ordinal);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%012llx",
+                static_cast<unsigned long long>(fnv1a(basis) & 0xffffffffffffull));
+  return std::string(prefix) + "-" + buf;
+}
+
+inline void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Render the pgasm-lint-compatible JSON document.
+inline std::string findings_json(const char* id_prefix,
+                                 const std::string& root,
+                                 const std::vector<std::string>& checks,
+                                 const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"version\": 1,\n  \"root\": \"";
+  append_json_escaped(out, root);
+  out += "\",\n  \"checks\": [";
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += '"';
+    append_json_escaped(out, checks[i]);
+    out += '"';
+  }
+  out += "],\n  \"count\": " + std::to_string(findings.size()) +
+         ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    int ordinal = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (findings[j].check == f.check && findings[j].path == f.path &&
+          findings[j].message == f.message) {
+        ++ordinal;
+      }
+    }
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n      \"id\": \"" + finding_id(id_prefix, f, ordinal) +
+           "\",\n      \"check\": \"";
+    append_json_escaped(out, f.check);
+    out += "\",\n      \"slug\": \"";
+    append_json_escaped(out, f.slug);
+    out += "\",\n      \"path\": \"";
+    append_json_escaped(out, f.path);
+    out += "\",\n      \"line\": " + std::to_string(f.line) +
+           ",\n      \"message\": \"";
+    append_json_escaped(out, f.message);
+    out += "\"\n    }";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace pgasm::verify

@@ -1,0 +1,601 @@
+#include "ring_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "vmpi/ring_core.hpp"
+
+namespace pgasm::verify {
+
+namespace {
+
+using pgasm::vmpi::RingCore;
+using pgasm::vmpi::RingOrder;
+using pgasm::vmpi::RingSite;
+
+constexpr int kProducer = 0;
+constexpr int kConsumer = 1;
+constexpr int kCellHead = 0;
+constexpr int kCellTail = 1;
+constexpr std::size_t kMaxCap = 8;
+
+RingSite mutation_site(RingMutation m) {
+  switch (m) {
+    case RingMutation::kPushLoadHead: return RingSite::kPushLoadHead;
+    case RingMutation::kPushStoreTail: return RingSite::kPushStoreTail;
+    case RingMutation::kPopLoadTail: return RingSite::kPopLoadTail;
+    case RingMutation::kPopStoreHead: return RingSite::kPopStoreHead;
+    case RingMutation::kNone: break;
+  }
+  return RingSite::kPushLoadTail;  // never a mutation target
+}
+
+const char* site_name(RingSite s) {
+  switch (s) {
+    case RingSite::kPushLoadHead: return "push-load-head";
+    case RingSite::kPushLoadTail: return "push-load-tail";
+    case RingSite::kPushStoreTail: return "push-store-tail";
+    case RingSite::kPopLoadTail: return "pop-load-tail";
+    case RingSite::kPopLoadHead: return "pop-load-head";
+    case RingSite::kPopStoreHead: return "pop-store-head";
+  }
+  return "?";
+}
+
+const char* tid_name(int tid) {
+  return tid == kProducer ? "producer" : "consumer";
+}
+
+using Clock = std::array<std::uint64_t, 2>;
+
+void join_clock(Clock& into, const Clock& from) {
+  for (std::size_t i = 0; i < 2; ++i) into[i] = std::max(into[i], from[i]);
+}
+
+enum ThreadState : int {
+  kRunning = 0,
+  kAnnounced = 1,
+  kBlocked = 2,
+  kFinished = 3,
+};
+
+/// One committed atomic cell (head or tail) plus the release clock of the
+/// store that produced the committed value (absent after a relaxed store).
+struct Cell {
+  std::uint64_t value = 0;
+  Clock vc{};
+  bool has_vc = false;
+  std::uint64_t version = 0;  ///< bumped on every commit (unblock guard)
+};
+
+/// A thread's single-slot store buffer. Consecutive stores to the same
+/// cell coalesce (last value wins, as on real hardware); a flush commits
+/// the latest value and clears the slot.
+struct StoreBuffer {
+  bool pending = false;
+  int cell = 0;
+  std::uint64_t value = 0;
+  RingOrder order = RingOrder::kRelaxed;
+  Clock vc{};
+};
+
+/// FastTrack-style access history for one ring byte slot.
+struct SlotHistory {
+  int write_tid = -1;
+  std::uint64_t write_epoch = 0;
+  std::array<std::uint64_t, 2> read_epoch{};
+};
+
+struct Sim;
+
+/// The virtual-scheduler facade RingCore is instantiated with. AtomicU64
+/// is just a cell id; the committed values, store buffers and clocks all
+/// live in the Sim.
+struct SimFacade {
+  struct SimAtomic {
+    int id;
+  };
+  using AtomicU64 = SimAtomic;
+
+  Sim* sim = nullptr;
+
+  std::uint64_t load(AtomicU64& a, RingOrder order, RingSite site);
+  void store(AtomicU64& a, std::uint64_t v, RingOrder order, RingSite site);
+  void copy(std::byte* dst, const std::byte* src, std::size_t n);
+};
+
+struct Sim {
+  RingSimConfig cfg;
+  RingSite mutated;
+  bool has_mutation;
+
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // -- Per-schedule state (reset() before each schedule).
+  std::array<Cell, 2> cells;               // [head, tail]
+  std::array<StoreBuffer, 2> buffers;      // per thread
+  std::array<Clock, 2> clocks;             // per thread vector clock
+  std::array<int, 2> tstate{};             // ThreadState
+  std::array<std::uint64_t, 2> blocked_version{};
+  int granted = -1;
+  bool abort = false;
+
+  std::array<std::byte, kMaxCap> buf{};    // the shared ring bytes
+  std::array<SlotHistory, kMaxCap> slots{};
+  std::vector<std::byte> popped;
+
+  bool violated = false;
+  std::string violation_slug;
+  std::string violation_msg;
+  std::vector<std::string> trace;
+
+  // -- Replay-DFS bookkeeping (persists across schedules).
+  std::vector<int> prefix;        // decisions to replay
+  std::vector<int> chosen;        // decisions taken this schedule
+  std::vector<int> enabled_count; // choice-set size at each decision
+  std::uint64_t schedules = 0;
+  std::uint64_t decisions_total = 0;
+
+  explicit Sim(const RingSimConfig& c)
+      : cfg(c),
+        mutated(mutation_site(c.mutate)),
+        has_mutation(c.mutate != RingMutation::kNone) {}
+
+  RingOrder effective(RingOrder declared, RingSite site) const {
+    if (has_mutation && site == mutated) return RingOrder::kRelaxed;
+    return declared;
+  }
+
+  void reset() {
+    cells = {};
+    buffers = {};
+    clocks = {};
+    tstate = {};
+    blocked_version = {};
+    granted = -1;
+    abort = false;
+    buf = {};
+    slots = {};
+    popped.clear();
+    trace.clear();
+    chosen.clear();
+    enabled_count.clear();
+  }
+
+  // Must hold mu.
+  void violate(const std::string& slug, const std::string& msg) {
+    if (violated) return;
+    violated = true;
+    violation_slug = slug;
+    violation_msg = msg;
+    trace.push_back("VIOLATION: " + msg);
+    abort = true;
+    cv.notify_all();
+  }
+
+  /// True for the two sites that read the PEER's cursor: the only loads
+  /// whose result depends on scheduling, hence the only announced steps.
+  static bool is_branching(RingSite site) {
+    return site == RingSite::kPushLoadHead || site == RingSite::kPopLoadTail;
+  }
+
+  static int tid_of(RingSite site) {
+    switch (site) {
+      case RingSite::kPushLoadHead:
+      case RingSite::kPushLoadTail:
+      case RingSite::kPushStoreTail: return kProducer;
+      default: return kConsumer;
+    }
+  }
+
+  // Called by a worker thread with mu held: announce a branching step and
+  // wait for the controller's grant.
+  void await_grant(std::unique_lock<std::mutex>& lk, int tid) {
+    tstate[static_cast<std::size_t>(tid)] = kAnnounced;
+    cv.notify_all();
+    cv.wait(lk, [&] { return granted == tid || abort; });
+    if (granted == tid) granted = -1;
+    tstate[static_cast<std::size_t>(tid)] = kRunning;
+    cv.notify_all();
+  }
+
+  // Worker thread: the ring is full/empty; park until the peer's cursor
+  // commit changes the answer (or the schedule aborts).
+  void block(int tid) {
+    std::unique_lock<std::mutex> lk(mu);
+    const int peer_cell = tid == kProducer ? kCellHead : kCellTail;
+    blocked_version[static_cast<std::size_t>(tid)] =
+        cells[static_cast<std::size_t>(peer_cell)].version;
+    trace.push_back(std::string(tid_name(tid)) + " blocked (" +
+                    (tid == kProducer ? "ring full" : "ring empty") + ")");
+    tstate[static_cast<std::size_t>(tid)] = kBlocked;
+    cv.notify_all();
+    cv.wait(lk, [&] { return granted == tid || abort; });
+    if (granted == tid) granted = -1;
+    tstate[static_cast<std::size_t>(tid)] = kRunning;
+    cv.notify_all();
+  }
+
+  void finish(int tid) {
+    std::lock_guard<std::mutex> lk(mu);
+    tstate[static_cast<std::size_t>(tid)] = kFinished;
+    cv.notify_all();
+  }
+
+  // Controller, mu held: commit thread `tid`'s buffered store.
+  void flush(int tid) {
+    StoreBuffer& b = buffers[static_cast<std::size_t>(tid)];
+    Cell& c = cells[static_cast<std::size_t>(b.cell)];
+    const char* cn = b.cell == kCellHead ? "head" : "tail";
+    if (b.value <= c.value) {
+      violate("cursor-regression",
+              std::string(tid_name(tid)) + " commit of " + cn + "=" +
+                  std::to_string(b.value) +
+                  " does not advance past committed " +
+                  std::to_string(c.value));
+      return;
+    }
+    c.value = b.value;
+    c.has_vc = b.order == RingOrder::kRelease;
+    if (c.has_vc) c.vc = b.vc;
+    ++c.version;
+    trace.push_back("flush " + std::string(tid_name(tid)) + " " + cn +
+                    " := " + std::to_string(b.value) +
+                    (c.has_vc ? " (release)" : " (relaxed)"));
+    b.pending = false;
+    cv.notify_all();  // a blocked peer may now be schedulable
+  }
+};
+
+std::uint64_t SimFacade::load(AtomicU64& a, RingOrder declared,
+                              RingSite site) {
+  Sim& s = *sim;
+  const int tid = Sim::tid_of(site);
+  const auto ti = static_cast<std::size_t>(tid);
+  const RingOrder order = s.effective(declared, site);
+  std::unique_lock<std::mutex> lk(s.mu);
+  if (Sim::is_branching(site) && !s.abort) s.await_grant(lk, tid);
+  ++s.clocks[ti][ti];
+  StoreBuffer& b = s.buffers[ti];
+  std::uint64_t v;
+  if (b.pending && b.cell == a.id) {
+    v = b.value;  // store-to-load forwarding from the own buffer
+  } else {
+    Cell& c = s.cells[static_cast<std::size_t>(a.id)];
+    v = c.value;
+    if (order == RingOrder::kAcquire && c.has_vc) {
+      join_clock(s.clocks[ti], c.vc);
+    }
+  }
+  if (Sim::is_branching(site)) {
+    s.trace.push_back(std::string(tid_name(tid)) + " " +
+                      (order == RingOrder::kAcquire ? "acquire" : "relaxed") +
+                      "-load " + (a.id == kCellHead ? "head" : "tail") +
+                      " -> " + std::to_string(v) + " [" + site_name(site) +
+                      "]");
+  }
+  return v;
+}
+
+void SimFacade::store(AtomicU64& a, std::uint64_t v, RingOrder declared,
+                      RingSite site) {
+  Sim& s = *sim;
+  const int tid = Sim::tid_of(site);
+  const auto ti = static_cast<std::size_t>(tid);
+  const RingOrder order = s.effective(declared, site);
+  std::lock_guard<std::mutex> lk(s.mu);
+  ++s.clocks[ti][ti];
+  StoreBuffer& b = s.buffers[ti];
+  b.pending = true;  // coalesces with any unflushed store to the same cell
+  b.cell = a.id;
+  b.value = v;
+  b.order = order;
+  b.vc = s.clocks[ti];
+}
+
+void SimFacade::copy(std::byte* dst, const std::byte* src, std::size_t n) {
+  if (n == 0) return;
+  Sim& s = *sim;
+  std::lock_guard<std::mutex> lk(s.mu);
+  const std::byte* lo = s.buf.data();
+  const std::byte* hi = lo + s.cfg.cap;
+  // Which thread is copying follows from the direction: only try_push
+  // writes INTO the ring, only try_pop reads OUT of it.
+  const bool writes_ring = dst >= lo && dst < hi;
+  const bool reads_ring = src >= lo && src < hi;
+  if (!writes_ring && !reads_ring) {
+    std::memcpy(dst, src, n);
+    return;
+  }
+  const int tid = writes_ring ? kProducer : kConsumer;
+  const auto ti = static_cast<std::size_t>(tid);
+  ++s.clocks[ti][ti];
+  const std::uint64_t epoch = s.clocks[ti][ti];
+  for (std::size_t i = 0; i < n && !s.violated; ++i) {
+    const std::size_t slot = writes_ring
+                                 ? static_cast<std::size_t>(dst + i - lo)
+                                 : static_cast<std::size_t>(src + i - lo);
+    if (slot >= s.cfg.cap) continue;
+    SlotHistory& h = s.slots[slot];
+    if (h.write_tid >= 0 && h.write_tid != tid &&
+        h.write_epoch >
+            s.clocks[ti][static_cast<std::size_t>(h.write_tid)]) {
+      s.violate("data-race",
+                std::string(tid_name(tid)) + " plain " +
+                    (writes_ring ? "write" : "read") + " of ring slot " +
+                    std::to_string(slot) + " is not ordered after " +
+                    tid_name(h.write_tid) +
+                    "'s write — torn/unpublished bytes are observable" +
+                    (s.has_mutation
+                         ? std::string(" (site weakened to relaxed: ") +
+                               site_name(s.mutated) + ")"
+                         : ""));
+      break;
+    }
+    if (writes_ring) {
+      const auto peer = static_cast<std::size_t>(1 - tid);
+      if (h.read_epoch[peer] > s.clocks[ti][peer]) {
+        s.violate("data-race",
+                  std::string(tid_name(tid)) + " plain write of ring slot " +
+                      std::to_string(slot) + " is not ordered after " +
+                      tid_name(1 - tid) +
+                      "'s read — the slot is overwritten while still being "
+                      "read" +
+                      (s.has_mutation
+                           ? std::string(" (site weakened to relaxed: ") +
+                                 site_name(s.mutated) + ")"
+                           : ""));
+        break;
+      }
+      h.write_tid = tid;
+      h.write_epoch = epoch;
+    } else {
+      h.read_epoch[ti] = epoch;
+    }
+  }
+  std::memcpy(dst, src, n);
+}
+
+/// One schedule: spawn the two driver threads, control them with the
+/// replay-DFS decision list, run the end-of-schedule functional checks.
+void run_schedule(Sim& s) {
+  s.reset();
+  SimFacade facade{&s};
+  SimFacade::AtomicU64 head{kCellHead};
+  SimFacade::AtomicU64 tail{kCellTail};
+  const int total = s.cfg.total_bytes;
+
+  std::thread producer([&] {
+    std::vector<std::byte> src(static_cast<std::size_t>(total));
+    for (int i = 0; i < total; ++i) {
+      src[static_cast<std::size_t>(i)] = static_cast<std::byte>(i + 1);
+    }
+    int produced = 0;
+    while (produced < total) {
+      {
+        std::lock_guard<std::mutex> lk(s.mu);
+        if (s.abort) break;
+      }
+      const std::size_t r = RingCore<SimFacade>::try_push(
+          facade, head, tail, s.buf.data(), s.cfg.cap,
+          src.data() + produced, 1);
+      if (r == 0) {
+        s.block(kProducer);
+      } else {
+        produced += static_cast<int>(r);
+      }
+    }
+    s.finish(kProducer);
+  });
+
+  std::thread consumer([&] {
+    std::byte out;
+    int got = 0;
+    while (got < total) {
+      {
+        std::lock_guard<std::mutex> lk(s.mu);
+        if (s.abort) break;
+      }
+      const std::size_t r = RingCore<SimFacade>::try_pop(
+          facade, head, tail, s.buf.data(), s.cfg.cap, &out, 1);
+      if (r == 0) {
+        s.block(kConsumer);
+      } else {
+        std::lock_guard<std::mutex> lk(s.mu);
+        s.popped.push_back(out);
+        ++got;
+      }
+    }
+    s.finish(kConsumer);
+  });
+
+  // Controller.
+  {
+    std::unique_lock<std::mutex> lk(s.mu);
+    int steps = 0;
+    while (true) {
+      s.cv.wait(lk, [&] {
+        if (s.granted != -1) return false;
+        for (int t = 0; t < 2; ++t) {
+          if (s.tstate[static_cast<std::size_t>(t)] == kRunning) return false;
+        }
+        return true;
+      });
+      if (s.abort) break;
+      const bool all_finished = s.tstate[0] == kFinished &&
+                                s.tstate[1] == kFinished;
+      if (all_finished) {
+        // No loads remain: commit leftovers in a fixed order, no branching.
+        for (int t = 0; t < 2 && !s.violated; ++t) {
+          if (s.buffers[static_cast<std::size_t>(t)].pending) s.flush(t);
+        }
+        break;
+      }
+      if (++steps > s.cfg.max_steps) {
+        s.violate("schedule-overrun", "schedule exceeded max_steps");
+        break;
+      }
+      // Enumerate the enabled choices, deterministically ordered.
+      enum ChoiceKind { kGrant, kFlush };
+      struct Choice {
+        ChoiceKind kind;
+        int tid;
+      };
+      std::vector<Choice> choices;
+      for (int t = 0; t < 2; ++t) {
+        const auto ti = static_cast<std::size_t>(t);
+        if (s.tstate[ti] == kAnnounced) {
+          choices.push_back({kGrant, t});
+        } else if (s.tstate[ti] == kBlocked) {
+          const int peer_cell = t == kProducer ? kCellHead : kCellTail;
+          if (s.cells[static_cast<std::size_t>(peer_cell)].version !=
+              s.blocked_version[ti]) {
+            choices.push_back({kGrant, t});  // retry: the answer may change
+          }
+        }
+      }
+      for (int t = 0; t < 2; ++t) {
+        if (s.buffers[static_cast<std::size_t>(t)].pending) {
+          choices.push_back({kFlush, t});
+        }
+      }
+      if (choices.empty()) {
+        s.violate("wedge",
+                  "both threads are stuck and nothing is schedulable");
+        break;
+      }
+      const std::size_t decision = s.chosen.size();
+      int pick = 0;
+      if (decision < s.prefix.size()) pick = s.prefix[decision];
+      s.chosen.push_back(pick);
+      s.enabled_count.push_back(static_cast<int>(choices.size()));
+      ++s.decisions_total;
+      const Choice c = choices[static_cast<std::size_t>(pick)];
+      if (c.kind == kFlush) {
+        s.flush(c.tid);
+      } else {
+        s.granted = c.tid;
+        s.cv.notify_all();
+      }
+    }
+    // Drain: wake everyone so the workers run to completion unscheduled.
+    s.abort = true;
+    s.cv.notify_all();
+  }
+  producer.join();
+  consumer.join();
+  ++s.schedules;
+
+  if (s.violated) return;
+
+  // Functional end-state checks (main thread, workers joined).
+  bool bytes_ok = s.popped.size() == static_cast<std::size_t>(total);
+  for (std::size_t i = 0; bytes_ok && i < s.popped.size(); ++i) {
+    bytes_ok = s.popped[i] == static_cast<std::byte>(i + 1);
+  }
+  if (!bytes_ok) {
+    std::string got;
+    for (const std::byte b : s.popped) {
+      if (!got.empty()) got += ",";
+      got += std::to_string(static_cast<int>(b));
+    }
+    s.violated = true;
+    s.violation_slug = "frame-integrity";
+    s.violation_msg = "popped bytes [" + got + "] != pushed sequence 1.." +
+                      std::to_string(total) + " (lost/dup/reordered data)";
+    s.trace.push_back("VIOLATION: " + s.violation_msg);
+    return;
+  }
+  const std::uint64_t utotal = static_cast<std::uint64_t>(total);
+  if (s.cells[kCellHead].value != utotal ||
+      s.cells[kCellTail].value != utotal) {
+    s.violated = true;
+    s.violation_slug = "cursor-final";
+    s.violation_msg =
+        "final cursors head=" + std::to_string(s.cells[kCellHead].value) +
+        " tail=" + std::to_string(s.cells[kCellTail].value) +
+        " != total " + std::to_string(total);
+    s.trace.push_back("VIOLATION: " + s.violation_msg);
+  }
+}
+
+/// Advance the DFS: rewrite `prefix` to the next unexplored schedule.
+/// Returns false when the tree is exhausted.
+bool next_schedule(Sim& s) {
+  int i = static_cast<int>(s.chosen.size()) - 1;
+  while (i >= 0 &&
+         s.chosen[static_cast<std::size_t>(i)] + 1 >=
+             s.enabled_count[static_cast<std::size_t>(i)]) {
+    --i;
+  }
+  if (i < 0) return false;
+  s.prefix.assign(s.chosen.begin(), s.chosen.begin() + i);
+  s.prefix.push_back(s.chosen[static_cast<std::size_t>(i)] + 1);
+  return true;
+}
+
+}  // namespace
+
+const char* ring_mutation_name(RingMutation m) {
+  switch (m) {
+    case RingMutation::kNone: return "none";
+    case RingMutation::kPushLoadHead: return "push-load-head";
+    case RingMutation::kPushStoreTail: return "push-store-tail";
+    case RingMutation::kPopLoadTail: return "pop-load-tail";
+    case RingMutation::kPopStoreHead: return "pop-store-head";
+  }
+  return "?";
+}
+
+bool parse_ring_mutation(const std::string& name, RingMutation* out) {
+  for (const RingMutation m :
+       {RingMutation::kNone, RingMutation::kPushLoadHead,
+        RingMutation::kPushStoreTail, RingMutation::kPopLoadTail,
+        RingMutation::kPopStoreHead}) {
+    if (name == ring_mutation_name(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+RingSimResult run_ring_sim(const RingSimConfig& config) {
+  RingSimConfig c = config;
+  if (c.cap < 1) c.cap = 1;
+  if (c.cap > kMaxCap) c.cap = kMaxCap;
+  if (c.total_bytes < 1) c.total_bytes = 1;
+  if (c.total_bytes > 16) c.total_bytes = 16;
+
+  Sim s(c);
+  RingSimResult r;
+  while (true) {
+    if (s.schedules >= c.max_schedules) {
+      r.schedules = s.schedules;
+      r.decisions = s.decisions_total;
+      r.message = "schedule count exceeds max_schedules";
+      return r;  // exhausted=false, property empty -> tool error
+    }
+    run_schedule(s);
+    if (s.violated) {
+      r.schedules = s.schedules;
+      r.decisions = s.decisions_total;
+      r.violation = s.violation_slug;
+      r.message = s.violation_msg;
+      r.trace = s.trace;
+      return r;
+    }
+    if (!next_schedule(s)) break;
+  }
+  r.ok = true;
+  r.exhausted = true;
+  r.schedules = s.schedules;
+  r.decisions = s.decisions_total;
+  return r;
+}
+
+}  // namespace pgasm::verify

@@ -1,0 +1,76 @@
+// pgasm-ringcheck: memory-model interleaving checking of the SPSC shm ring
+// core (src/vmpi/ring_core.hpp). The checker instantiates the REAL
+// RingCore<F> algorithm with a virtual-scheduler facade: every cross-thread
+// atomic access becomes a scheduling point, atomic stores sit in a
+// per-thread store buffer until a separately-scheduled flush commits them
+// (so a reader can observe the pre-store value arbitrarily late), and
+// happens-before is tracked with vector clocks — a release store publishes
+// the storing thread's clock, an acquire load that reads it joins. Plain
+// accesses to the ring bytes are checked FastTrack-style: any two
+// unordered accesses to the same slot where one is a write is a data race
+// (the C++ behaviour would be undefined — a fork-killed or racing peer can
+// observe torn bytes). All interleavings of one producer pushing
+// `total_bytes` distinct bytes and one consumer popping them through a
+// `cap`-byte ring (small enough to force slot reuse) are enumerated by
+// stateless replay DFS.
+//
+// Checked per schedule:
+//   - no data race on any ring byte (vector-clock/FastTrack),
+//   - cursor monotonicity: every committed cursor store strictly advances,
+//   - no lost/duplicated/reordered bytes: the popped sequence equals the
+//     pushed sequence and the final cursors equal total_bytes,
+//   - no wedge: the two threads cannot both be stuck with nothing
+//     schedulable.
+//
+// Mutation testing: weakening any one of the four acquire/release sites to
+// relaxed (the checker overrides the order the real code declares for that
+// site only) must produce a violation with an interleaving trace — proving
+// the checker actually guards each declared order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pgasm::verify {
+
+/// Which declared acquire/release site to weaken to relaxed. The two
+/// declared-relaxed sites (own-cursor loads) are not mutation targets:
+/// they are already the weakest order.
+enum class RingMutation {
+  kNone,
+  kPushLoadHead,   ///< producer's acquire load of head -> relaxed
+  kPushStoreTail,  ///< producer's release store of tail -> relaxed
+  kPopLoadTail,    ///< consumer's acquire load of tail -> relaxed
+  kPopStoreHead,   ///< consumer's release store of head -> relaxed
+};
+
+const char* ring_mutation_name(RingMutation m);
+
+/// Parse a --mutate= name; returns false for unknown names.
+bool parse_ring_mutation(const std::string& name, RingMutation* out);
+
+struct RingSimConfig {
+  RingMutation mutate = RingMutation::kNone;
+  std::size_t cap = 2;   ///< ring capacity in bytes (forces slot reuse)
+  int total_bytes = 3;   ///< distinct bytes pushed end to end
+  std::uint64_t max_schedules = 2'000'000;  ///< explosion guard (tool error)
+  int max_steps = 100'000;  ///< per-schedule step guard (tool error)
+};
+
+struct RingSimResult {
+  bool ok = false;
+  bool exhausted = false;      ///< every schedule was enumerated
+  std::uint64_t schedules = 0; ///< schedules fully executed
+  std::uint64_t decisions = 0; ///< scheduling decisions taken overall
+  std::string violation;       ///< slug, e.g. "data-race", empty if ok
+  std::string message;         ///< one-line statement of the violation
+  std::vector<std::string> trace;  ///< event log of the violating schedule
+};
+
+/// Enumerate all interleavings and check the properties above. Stops at
+/// the first violation (with the schedule's event trace filled in).
+RingSimResult run_ring_sim(const RingSimConfig& config);
+
+}  // namespace pgasm::verify
