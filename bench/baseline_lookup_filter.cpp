@@ -102,6 +102,16 @@ int main(int argc, char** argv) {
     run.seconds = timer.elapsed();
     run.clusters = uf.num_sets();
     runs.push_back(run);
+    if (!dedup && !filter.stats().top_words.empty()) {
+      // Where the duplicate volume comes from: the handful of words that
+      // anchor the most pairs (canonical order — identical run to run).
+      std::printf("  heaviest words (raw filter): ");
+      for (const auto& [word, pairs] : filter.stats().top_words) {
+        std::printf("%llx:%llu ", static_cast<unsigned long long>(word),
+                    static_cast<unsigned long long>(pairs));
+      }
+      std::printf("\n");
+    }
   }
 
   util::Table t({"filter", "pairs emitted", "pairs aligned", "filter memory",

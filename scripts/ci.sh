@@ -12,6 +12,10 @@
 #   scripts/ci.sh asan       # just the ASan build of the align + core suites
 #   scripts/ci.sh lint       # pgasm-lint + protocol_check + strict-warnings
 #                            # build (+ clang tools when installed)
+#   scripts/ci.sh determ     # pgasm-determcheck static determinism analysis
+#                            # (W016-W019): src/ must carry zero
+#                            # nondeterminism findings; JSON report lands in
+#                            # build/determ_findings.json
 #   scripts/ci.sh tsafety    # clang -Wthread-safety capability analysis of
 #                            # the PGASM_* lock annotations (clang only;
 #                            # loud skip when no clang is installed)
@@ -34,11 +38,20 @@
 # build-asan/ (PGASM_SANITIZE=address), build-lint/ (PGASM_EXTRA_WARNINGS +
 # PGASM_WERROR), build-tsafety/ (clang + PGASM_THREAD_SAFETY) and
 # build-ubsan/ (PGASM_SANITIZE=undefined).
+#
+# Every stage runs through run_stage, which prints the elapsed wall time on
+# completion so slow stages are visible at a glance in CI logs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS=${JOBS:-$(nproc)}
 STAGE=${1:-all}
+
+run_stage() {
+  local name=$1 t0=$SECONDS
+  "$name"
+  echo "== stage $name done in $((SECONDS - t0))s =="
+}
 
 tier1() {
   echo "== tier-1: configure + build + full test suite =="
@@ -129,6 +142,27 @@ lint() {
   else
     echo "-- clang-format not installed; skipping format check"
   fi
+}
+
+determ() {
+  echo "== determ: pgasm-determcheck determinism invariants (W016-W019) =="
+  # The bit-identical-contigs invariant is proved dynamically by
+  # test_determinism and chaos-smoke; this stage is the static half — no
+  # source of nondeterminism (hash-order iteration, pointer identity, float
+  # fold order, unseeded entropy) may reach an output-affecting sink.
+  mkdir -p build
+  if ! python3 tools/determ/pgasm_determcheck.py --format=json \
+      > build/determ_findings.json; then
+    echo "!! determinism findings (build/determ_findings.json):" >&2
+    python3 tools/determ/pgasm_determcheck.py >&2 || true
+    return 1
+  fi
+  python3 - <<'PY'
+import json
+doc = json.load(open("build/determ_findings.json"))
+assert doc["count"] == 0 and doc["findings"] == [], doc
+print("-- determ: clean (%d checks, 0 findings)" % len(doc["checks"]))
+PY
 }
 
 tsafety() {
@@ -291,34 +325,36 @@ PY
 }
 
 case "$STAGE" in
-  tier1) tier1 ;;
-  faults) faults ;;
-  chaos-smoke) chaos_smoke ;;
-  tsan) tsan ;;
-  asan) asan ;;
-  lint) lint ;;
-  tsafety) tsafety ;;
-  ubsan) ubsan ;;
-  fuzz-smoke) fuzz_smoke ;;
-  perf-smoke) perf_smoke ;;
-  proc-smoke) proc_smoke ;;
-  verify) verify ;;
+  tier1) run_stage tier1 ;;
+  faults) run_stage faults ;;
+  chaos-smoke) run_stage chaos_smoke ;;
+  tsan) run_stage tsan ;;
+  asan) run_stage asan ;;
+  lint) run_stage lint ;;
+  determ) run_stage determ ;;
+  tsafety) run_stage tsafety ;;
+  ubsan) run_stage ubsan ;;
+  fuzz-smoke) run_stage fuzz_smoke ;;
+  perf-smoke) run_stage perf_smoke ;;
+  proc-smoke) run_stage proc_smoke ;;
+  verify) run_stage verify ;;
   all)
-    lint
-    tsafety
-    tier1
-    verify
-    faults
-    chaos_smoke
-    tsan
-    asan
-    ubsan
-    fuzz_smoke
-    perf_smoke
-    proc_smoke
+    run_stage lint
+    run_stage determ
+    run_stage tsafety
+    run_stage tier1
+    run_stage verify
+    run_stage faults
+    run_stage chaos_smoke
+    run_stage tsan
+    run_stage asan
+    run_stage ubsan
+    run_stage fuzz_smoke
+    run_stage perf_smoke
+    run_stage proc_smoke
     ;;
   *)
-    echo "usage: scripts/ci.sh [lint|tsafety|tier1|faults|chaos-smoke|tsan|asan|ubsan|fuzz-smoke|perf-smoke|proc-smoke|verify|all]" >&2
+    echo "usage: scripts/ci.sh [lint|determ|tsafety|tier1|faults|chaos-smoke|tsan|asan|ubsan|fuzz-smoke|perf-smoke|proc-smoke|verify|all]" >&2
     exit 2
     ;;
 esac

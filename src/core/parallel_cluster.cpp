@@ -24,6 +24,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/backoff.hpp"
+#include "util/deterministic.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
@@ -612,11 +613,17 @@ ParallelClusterResult cluster_parallel(const seq::FragmentStore& fragments,
   if (makespan > 0) {
     stats.master_availability =
         1.0 - result.cost.per_rank[0].busy_seconds() / makespan;
-    double idle = 0;
+    // Fixed-shape fold over the rank-ordered shares (W018): the summary
+    // stat is reproducible bit for bit regardless of how a future
+    // multi-node collector delivers the per-rank costs.
+    std::vector<double> idle_shares;
+    idle_shares.reserve(static_cast<std::size_t>(num_ranks));
     for (int rk = 1; rk < num_ranks; ++rk) {
-      idle += (makespan - result.cost.per_rank[rk].busy_seconds()) / makespan;
+      idle_shares.push_back(
+          (makespan - result.cost.per_rank[rk].busy_seconds()) / makespan);
     }
-    stats.worker_idle_fraction = idle / std::max(1, num_ranks - 1);
+    stats.worker_idle_fraction = util::ordered_reduce(std::move(idle_shares)) /
+                                 std::max(1, num_ranks - 1);
   }
   return result;
 }

@@ -40,8 +40,12 @@ LookupFilter::LookupFilter(const seq::FragmentStore& store,
   stats_.table_bytes = stats_.table_entries * 4 + stats_.positions * 8;
 
   bucket_begin_.push_back(0);
+  if (!words.empty()) bucket_word_.push_back(words[0]);
   for (std::size_t k = 1; k < words.size(); ++k) {
-    if (words[k] != words[k - 1]) bucket_begin_.push_back(k);
+    if (words[k] != words[k - 1]) {
+      bucket_begin_.push_back(k);
+      bucket_word_.push_back(words[k]);
+    }
   }
   bucket_begin_.push_back(words.size());
 }
@@ -93,6 +97,7 @@ bool LookupFilter::next(PromisingPair& out) {
         ++j_;
         if (emit(a, b, out)) {
           ++stats_.pairs_emitted;
+          ++pairs_by_word_[bucket_word_[bucket_]];
           return true;
         }
         continue;
@@ -103,6 +108,7 @@ bool LookupFilter::next(PromisingPair& out) {
     ++bucket_;
     fresh_bucket_ = true;
   }
+  finalize_stats();
   return false;
 }
 

@@ -13,12 +13,17 @@
 // bench/baseline_lookup_filter can quantify the difference.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "gst/pair_generator.hpp"
 #include "seq/fragment_store.hpp"
+#include "util/deterministic.hpp"
 
 namespace pgasm::gst {
 
@@ -36,6 +41,13 @@ struct LookupFilterStats {
   std::uint64_t table_bytes = 0;     ///< slots + position lists
   std::uint64_t positions = 0;       ///< indexed w-mer occurrences
   std::uint64_t pairs_emitted = 0;
+  /// The most duplicate-heavy words once the stream is exhausted:
+  /// (word, pairs emitted), by pairs descending then word ascending.
+  /// Quantifies the paper's duplicate-pair complaint ("a long exact match
+  /// of length l reveals itself as (l - w + 1) matches of length w") per
+  /// offending word, so bench/baseline_lookup_filter can report where the
+  /// volume comes from.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> top_words;
 };
 
 /// Streams candidate pairs from a w-mer lookup table. Pairs carry the
@@ -59,6 +71,9 @@ class LookupFilter {
   };
 
   bool emit(const Occurrence& a, const Occurrence& b, PromisingPair& out);
+  void finalize_stats();
+
+  static constexpr std::size_t kTopWords = 8;
 
   const seq::FragmentStore* store_;
   LookupFilterParams params_;
@@ -66,11 +81,35 @@ class LookupFilter {
   // Bucketed occurrences: all positions of each word, grouped.
   std::vector<Occurrence> occurrences_;
   std::vector<std::uint64_t> bucket_begin_;  // per distinct word + sentinel
+  std::vector<std::uint64_t> bucket_word_;   // word value per bucket
   // Iteration state.
   std::size_t bucket_ = 0;
   std::size_t i_ = 0, j_ = 1;
   bool fresh_bucket_ = true;
+  bool finalized_ = false;
   std::unordered_set<std::uint64_t> seen_in_bucket_;  // dedup_per_word
+  std::unordered_map<std::uint64_t, std::uint64_t> pairs_by_word_;
 };
+
+// Inline so the canonicalized iteration lives next to the container it
+// snapshots: pairs_by_word_ iterates in hash-bucket order, and the
+// report's order must not inherit that (pgasm-determcheck W016 guards
+// this site — see DESIGN.md §16).
+inline void LookupFilter::finalize_stats() {
+  if (finalized_) return;
+  finalized_ = true;
+  for (const auto& [word, pairs] : util::sorted_items(pairs_by_word_)) {
+    stats_.top_words.emplace_back(word, pairs);
+  }
+  // Key-ascending in, stable sort by count: ties break toward the smaller
+  // word, deterministically.
+  std::stable_sort(stats_.top_words.begin(), stats_.top_words.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (stats_.top_words.size() > kTopWords) {
+    stats_.top_words.resize(kTopWords);
+  }
+}
 
 }  // namespace pgasm::gst

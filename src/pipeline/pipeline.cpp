@@ -278,6 +278,10 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
         .inc(ps.discarded_masked);
     reg.counter("preprocess.repetitive_kmers", obs::kNoRank, ph)
         .inc(ps.repetitive_kmers);
+    // Run-stable spectrum fingerprint: two runs over the same input must
+    // export the same value, so perf/obs diffs catch masking drift.
+    reg.counter("preprocess.spectrum_fingerprint", obs::kNoRank, ph)
+        .inc(ps.repeat_spectrum_fingerprint);
   }
 
   // --- Clustering -----------------------------------------------------------
@@ -400,11 +404,17 @@ PipelineResult run_pipeline(const seq::FragmentStore& raw,
         .inc(s.max_cluster_size);
   }
 
-  // Materialize cluster membership: non-singletons by decreasing size.
+  // Materialize cluster membership: non-singletons by decreasing size,
+  // ties by smallest member id. extract_sets() already orders members
+  // ascending and clusters by representative, but the explicit tie-break
+  // makes the contig emission order a pure function of the clustering
+  // *partition* — not of which member happened to become the union-find
+  // representative (DESIGN.md §16).
   auto sets = result.clusters.extract_sets();
   std::stable_sort(sets.begin(), sets.end(),
                    [](const auto& a, const auto& b) {
-                     return a.size() > b.size();
+                     if (a.size() != b.size()) return a.size() > b.size();
+                     return a.front() < b.front();
                    });
   result.cluster_sets = std::move(sets);
 

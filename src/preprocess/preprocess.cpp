@@ -134,6 +134,15 @@ PreprocessResult preprocess(
   if (params.mask_repeats) {
     RepeatMasker masker(trimmed, params.repeat);
     stats.repetitive_kmers = masker.num_repetitive_kmers();
+    // Fingerprint over the canonical spectrum view (W016): folding in
+    // hash-bucket order would make the fingerprint differ run to run even
+    // when the learned spectrum is identical.
+    std::uint64_t fp = 1469598103934665603ull;  // FNV-1a offset basis
+    for (const std::uint64_t kmer : masker.repetitive_kmers()) {
+      fp ^= kmer;
+      fp *= 1099511628211ull;  // FNV-1a prime
+    }
+    stats.repeat_spectrum_fingerprint = fp;
     for (seq::FragmentId id = 0; id < masked.size(); ++id) {
       stats.masked_bases += masker.mask_fragment(masked, id);
     }

@@ -49,6 +49,11 @@ struct PreprocessStats {
   std::uint64_t discarded_short = 0;
   std::uint64_t discarded_masked = 0;
   std::size_t repetitive_kmers = 0;
+  /// FNV-1a fold over the canonical (sorted) repetitive-kmer spectrum: a
+  /// run-stable fingerprint of what the masker learned. Equal input +
+  /// params must yield equal fingerprints at every rank count and
+  /// transport — test_determinism asserts exactly that.
+  std::uint64_t repeat_spectrum_fingerprint = 0;
 };
 
 struct PreprocessResult {

@@ -50,6 +50,12 @@ RepeatMasker::RepeatMasker(const seq::FragmentStore& store,
   }
   if (counts.empty()) return;
   (void)total_kmers;
+  // Canonical key-ordered snapshot (W016): `counts` iterates in hash-bucket
+  // order, which varies run to run. The histogram fill below is a
+  // commutative integer fold, but the repetitive-set build feeds the
+  // spectrum fingerprint (preprocess.cpp) and repetitive_kmers(), so every
+  // consumer sees the one ordering that is reproducible everywhere.
+  const auto spectrum = util::sorted_items(counts);
   if (params.fixed_threshold > 0) {
     threshold_ = params.fixed_threshold;
   } else {
@@ -63,7 +69,7 @@ RepeatMasker::RepeatMasker(const seq::FragmentStore& store,
     // over-represented.
     constexpr std::size_t kCap = 1024;
     std::vector<std::uint64_t> hist(kCap + 1, 0);
-    for (const auto& [key, count] : counts) {
+    for (const auto& [key, count] : spectrum) {
       ++hist[std::min<std::size_t>(count, kCap)];
     }
     // Interior coverage peak: the histogram of a shallow sample decays
@@ -99,7 +105,7 @@ RepeatMasker::RepeatMasker(const seq::FragmentStore& store,
         params.min_count, static_cast<std::uint32_t>(std::ceil(
                               baseline * params.threshold_multiple)));
   }
-  for (const auto& [key, count] : counts) {
+  for (const auto& [key, count] : spectrum) {
     if (count >= threshold_) repetitive_.insert(key);
   }
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "seq/fragment_store.hpp"
+#include "util/deterministic.hpp"
 #include "util/prng.hpp"
 
 namespace pgasm::preprocess {
@@ -60,6 +61,14 @@ class RepeatMasker {
 
   std::size_t num_repetitive_kmers() const noexcept { return repetitive_.size(); }
   std::uint32_t threshold() const noexcept { return threshold_; }
+
+  /// Canonical (ascending) snapshot of the repetitive k-mer set. The
+  /// backing set is unordered; every consumer that *iterates* the
+  /// spectrum (the preprocess fingerprint, reports, serialization) must
+  /// go through this view so its order never depends on the hash seed.
+  std::vector<std::uint64_t> repetitive_kmers() const {
+    return util::sorted_items(repetitive_);
+  }
 
   /// Canonical (strand-independent) encoding of the k-mer at text[pos..).
   /// Returns false if the window contains a masked base.

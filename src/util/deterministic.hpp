@@ -1,0 +1,97 @@
+// Deterministic-iteration and -reduction vocabulary (DESIGN.md §16).
+//
+// pgasm's hard guarantee is that contigs are bit-identical across runs,
+// rank counts, and transports. Two language-level hazards can silently
+// break that: iteration order over std::unordered_map/set (hash-seed and
+// load-factor dependent, so it varies run to run and build to build) and
+// floating-point reassociation (the rounded result of a sum depends on
+// the order the terms were combined). This header is the approved
+// remediation vocabulary that tools/determ/pgasm-determcheck (checks
+// W016/W018) looks for:
+//
+//   * sorted_items(c)   — canonical key-ordered snapshot of an unordered
+//                         map or set; iterate the snapshot, never the
+//                         container itself.
+//   * ordered_reduce(v) — fixed-shape pairwise reduction tree over a
+//                         vector; the result depends only on the element
+//                         order and count, never on an accumulation or
+//                         chunking strategy, so it survives future
+//                         vectorization/retiling of the call site.
+//
+// Sites that are genuinely order-independent (pure membership tests,
+// commutative integer folds) need no canonicalization; when the checker
+// still flags one, waive it in place with
+//   // pgasm-lint: allow(unordered-iter): <why the order cannot leak>
+// exactly like the W007-W015 waivers.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pgasm::util {
+
+/// Key-ordered snapshot of an unordered map: (key, value) pairs sorted by
+/// strictly increasing key. O(n log n), one pass + one sort — cheap next
+/// to the hashing that built the container, and the only iteration order
+/// that is reproducible across hash seeds, libstdc++ versions, and rank
+/// counts.
+template <typename Map>
+  requires requires { typename Map::mapped_type; }
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items;
+  items.reserve(m.size());
+  for (const auto& [key, value] : m) items.emplace_back(key, value);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+/// Key-ordered snapshot of an unordered set: the elements in strictly
+/// increasing order.
+template <typename Set>
+  requires(!requires { typename Set::mapped_type; })
+std::vector<typename Set::key_type> sorted_items(const Set& s) {
+  std::vector<typename Set::key_type> keys(s.begin(), s.end());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Fixed-shape pairwise reduction: combines v[0]+v[1], v[2]+v[3], ... in
+/// rounds until one value remains. The tree shape is a pure function of
+/// the element count, so for floating-point T the rounded result is a
+/// pure function of the input sequence — no dependence on how a caller's
+/// loop, a SIMD kernel, or a cross-rank fold would associate the terms.
+/// This matches vmpi's fixed binomial reduce tree in spirit: same input
+/// order in, same bits out, at any parallelism.
+template <typename T>
+T ordered_reduce(std::vector<T> v) {
+  if (v.empty()) return T{};
+  std::size_t n = v.size();
+  while (n > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < n; i += 2) v[out++] = v[i] + v[i + 1];
+    if (n % 2 != 0) v[out++] = v[n - 1];
+    n = out;
+  }
+  return v[0];
+}
+
+/// Projection form: reduce proj(element) over an ordered container (a
+/// vector indexed by rank, a sorted_items() snapshot, ...). The container
+/// must already have a deterministic order — that is the caller's half of
+/// the contract.
+template <typename Container, typename Proj>
+auto ordered_reduce(const Container& c, Proj proj) {
+  using T = std::decay_t<decltype(proj(*c.begin()))>;
+  std::vector<T> vals;
+  vals.reserve(c.size());
+  for (const auto& e : c) vals.push_back(proj(e));
+  return ordered_reduce(std::move(vals));
+}
+
+}  // namespace pgasm::util

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/deterministic.hpp"
 #include "vmpi/transport.hpp"
 
 namespace pgasm::vmpi {
@@ -47,9 +48,10 @@ double RunCost::max_comm_seconds() const noexcept {
 }
 
 double RunCost::total_compute_seconds() const noexcept {
-  double sum = 0;
-  for (const auto& r : per_rank) sum += r.compute_seconds;
-  return sum;
+  // Fixed-shape reduction over the rank-indexed vector (W018): the summary
+  // stays bit-identical even if this fold is later chunked or parallelized.
+  return util::ordered_reduce(
+      per_rank, [](const RankLedger& r) { return r.compute_seconds; });
 }
 
 std::uint64_t RunCost::total_bytes() const noexcept {
@@ -68,8 +70,9 @@ double RunCost::avg_idle_fraction() const noexcept {
   if (per_rank.empty()) return 0;
   const double makespan = modeled_parallel_seconds();
   if (makespan <= 0) return 0;
-  double idle = 0;
-  for (const auto& r : per_rank) idle += (makespan - r.busy_seconds()) / makespan;
+  const double idle = util::ordered_reduce(per_rank, [&](const RankLedger& r) {
+    return (makespan - r.busy_seconds()) / makespan;
+  });
   return idle / static_cast<double>(per_rank.size());
 }
 

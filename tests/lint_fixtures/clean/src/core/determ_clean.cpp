@@ -1,0 +1,36 @@
+// Fixture negatives for W016-W019: the full deterministic vocabulary in
+// use. Canonical snapshots, membership-only unordered access, fixed-tree
+// float reduction, and an explicitly seeded PRNG must all pass the
+// determinism gate with zero findings.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace pgasm::core {
+
+std::uint64_t fixture_deterministic(const std::vector<std::uint64_t>& keys,
+                                    std::uint64_t seed) {
+  std::unordered_map<std::uint64_t, std::uint32_t> counts;
+  for (const std::uint64_t key : keys) ++counts[key];  // clean: vector range
+
+  std::uint64_t fp = 1469598103934665603ull;
+  for (const auto& [key, count] : util::sorted_items(counts)) {  // clean
+    fp ^= key + count;
+    fp *= 1099511628211ull;
+  }
+
+  std::unordered_set<std::uint64_t> seen;
+  seen.insert(fp);              // clean: insertion only
+  const bool hit = seen.count(fp) != 0;  // clean: membership only
+
+  std::vector<double> shares{0.25, 0.5, 0.25};
+  const double folded = util::ordered_reduce(std::move(shares));  // clean
+
+  util::Prng prng(seed);  // clean: explicit seed, replayable
+
+  return fp + prng.next() + static_cast<std::uint64_t>(folded) +
+         static_cast<std::uint64_t>(hit);
+}
+
+}  // namespace pgasm::core

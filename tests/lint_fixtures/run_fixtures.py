@@ -1,16 +1,20 @@
 #!/usr/bin/env python3
-"""Golden-fixture harness for pgasm-lint W007-W015 and protocol_check.
+"""Golden fixtures for pgasm-lint W007-W015, protocol_check, and
+pgasm-determcheck W016-W019.
 
 Each wNNN_bad/ mini-tree seeds known violations (lines marked BAD) plus
-waived/clean lines; the linter must flag exactly the seeded count, with the
-right check, and exit 1. The clean/ tree must produce zero findings and
-exit 0. The protocol_bad/ tree (stub sources missing every handler
-identifier and state marker) must make protocol_check exit 1.
+waived/clean lines; the analyzer must flag exactly the seeded count, with
+the right check and slug, and exit 1. The clean/ tree must produce zero
+findings and exit 0 under both tools. The protocol_bad/ tree (stub
+sources missing every handler identifier and state marker) must make
+protocol_check exit 1.
 
-Also asserts the --format=json contract: finding IDs are present, stable
+Also asserts the --format=json contract: finding IDs are present, carry
+the right tool prefix (PL- for lint, PD- for determcheck), are stable
 across runs, and unique within a run.
 
 Usage: run_fixtures.py <path-to-pgasm_lint.py> [<path-to-protocol_check>]
+                       [<path-to-pgasm_determcheck.py>]
 Exit 0 on success, 1 on any expectation failure.
 """
 
@@ -42,7 +46,8 @@ def run_lint(lint: str, fixture: str, only: str) -> tuple[int, dict]:
     return proc.returncode, json.loads(proc.stdout)
 
 
-def expect_findings(lint: str, fixture: str, only: str, count: int) -> dict:
+def expect_findings(lint: str, fixture: str, only: str, count: int,
+                    prefix: str = "PL-") -> dict:
     print(f"{fixture} --only {only}:")
     rc, out = run_lint(lint, fixture, only)
     check(rc == 1, f"exit code 1 (got {rc})")
@@ -52,8 +57,8 @@ def expect_findings(lint: str, fixture: str, only: str, count: int) -> dict:
           f"every finding is {only}")
     ids = [f["id"] for f in out.get("findings", [])]
     check(len(ids) == len(set(ids)), "finding IDs unique within the run")
-    check(all(i.startswith("PL-") and len(i) == 15 for i in ids),
-          "finding IDs match PL-<12 hex>")
+    check(all(i.startswith(prefix) and len(i) == 15 for i in ids),
+          f"finding IDs match {prefix}<12 hex>")
     return out
 
 
@@ -63,6 +68,7 @@ def main() -> int:
         return 1
     lint = sys.argv[1]
     protocol_check = sys.argv[2] if len(sys.argv) > 2 else None
+    determcheck = sys.argv[3] if len(sys.argv) > 3 else None
 
     # Seeded-violation counts: keep in sync with the BAD markers in each
     # fixture source.
@@ -112,6 +118,48 @@ def main() -> int:
     check([f["id"] for f in first["findings"]]
           == [f["id"] for f in again["findings"]],
           "re-running produces identical finding IDs")
+
+    if determcheck:
+        # Seeded determinism violations: keep in sync with the BAD markers.
+        w16 = expect_findings(determcheck, "w016_bad", "W016", 5, "PD-")
+        check({f["slug"] for f in w16["findings"]} == {"unordered-iter"},
+              "W016 findings all carry the unordered-iter slug")
+        check(any(f["path"].endswith("lookup_filter.hpp")
+                  for f in w16["findings"]),
+              "W016 catches the pre-fix lookup_filter iteration")
+        w17 = expect_findings(determcheck, "w017_bad", "W017", 6, "PD-")
+        check({f["slug"] for f in w17["findings"]} == {"ptr-identity"},
+              "W017 findings all carry the ptr-identity slug")
+        w18 = expect_findings(determcheck, "w018_bad", "W018", 4, "PD-")
+        check({f["slug"] for f in w18["findings"]} == {"fp-fold"},
+              "W018 findings all carry the fp-fold slug")
+        w19 = expect_findings(determcheck, "w019_bad", "W019", 5, "PD-")
+        check({f["slug"] for f in w19["findings"]} == {"entropy"},
+              "W019 findings all carry the entropy slug")
+        check(not any(f["path"].startswith("src/vmpi/")
+                      for f in w19["findings"]),
+              "W019 never flags the approved src/vmpi/ mini-tree")
+
+        print("clean under determcheck (all of W016-W019):")
+        proc = subprocess.run(
+            [sys.executable, determcheck, "--root", str(HERE / "clean"),
+             "--format", "json"],
+            capture_output=True, text=True, timeout=120)
+        check(proc.returncode == 0,
+              f"exit code 0 (got {proc.returncode})")
+        dclean = json.loads(proc.stdout or "{}")
+        check(dclean.get("count") == 0,
+              f"zero determ findings on the clean tree "
+              f"(got {dclean.get('count')})")
+
+        print("determcheck ID stability:")
+        _, dfirst = run_lint(determcheck, "w016_bad", "W016")
+        _, dagain = run_lint(determcheck, "w016_bad", "W016")
+        check([f["id"] for f in dfirst["findings"]]
+              == [f["id"] for f in dagain["findings"]],
+              "re-running determcheck produces identical finding IDs")
+    else:
+        print("pgasm_determcheck.py not supplied; skipping W016-W019")
 
     if protocol_check:
         print("protocol_bad via protocol_check:")

@@ -1,0 +1,39 @@
+// Fixture: the pre-fix LookupFilter stats finalizer — the top-words
+// report inherits pairs_by_word_'s hash-bucket order, both through a raw
+// range-for and through an explicit .begin() handed to an algorithm.
+// The vector member's range-for is a lookalike negative.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pgasm::gst {
+
+class LookupFilter {
+ public:
+  void finalize_stats() {
+    for (const auto& [word, pairs] : pairs_by_word_) {  // BAD: report order
+      top_words_.emplace_back(word, pairs);
+    }
+    total_pairs_ = std::accumulate(pairs_by_word_.begin(),  // BAD: .begin()
+                                   pairs_by_word_.end(), std::uint64_t{0},
+                                   [](std::uint64_t acc, const auto& kv) {
+                                     return acc + kv.second;
+                                   });
+    for (const std::uint64_t word : bucket_word_) {  // clean: vector member
+      last_word_ = word;
+    }
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> pairs_by_word_;
+  std::vector<std::uint64_t> bucket_word_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> top_words_;
+  std::uint64_t total_pairs_ = 0;
+  std::uint64_t last_word_ = 0;
+};
+
+}  // namespace pgasm::gst

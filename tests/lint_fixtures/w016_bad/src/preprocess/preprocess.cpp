@@ -1,0 +1,23 @@
+// Fixture: the pre-fix spectrum fingerprint — folds over a member whose
+// unordered declaration lives in the included header. Membership tests
+// and inserts on the same container are order-independent and must stay
+// clean.
+#include "preprocess/preprocess.hpp"
+
+namespace pgasm::preprocess {
+
+std::uint64_t spectrum_fingerprint(const VectorScreen& screen) {
+  std::uint64_t fp = 1469598103934665603ull;
+  for (const std::uint64_t kmer : screen.kmers_) {  // BAD: cross-file decl
+    fp ^= kmer;
+    fp *= 1099511628211ull;
+  }
+  return fp;
+}
+
+bool screen_hit(VectorScreen& screen, std::uint64_t key) {
+  screen.kmers_.insert(key);        // clean: insertion, no order observed
+  return screen.kmers_.count(key);  // clean: membership test
+}
+
+}  // namespace pgasm::preprocess

@@ -1,0 +1,16 @@
+// Fixture header: declares the unordered member that preprocess.cpp
+// iterates — W016 must resolve the declaration through the project
+// include graph, not just the iterating file.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace pgasm::preprocess {
+
+struct VectorScreen {
+  std::uint32_t k = 12;
+  std::unordered_set<std::uint64_t> kmers_;
+};
+
+}  // namespace pgasm::preprocess

@@ -1,0 +1,42 @@
+// Fixture: the pre-fix RepeatMasker constructor (the real W016 offender
+// this check was built from). Both range-fors iterate the unordered k-mer
+// count map in hash-bucket order: the histogram fill is a commutative
+// integer fold (harmless in isolation) but the repetitive-set build feeds
+// the spectrum fingerprint downstream. W016 must flag both, while leaving
+// the sorted_items() rewrite and the waived fold alone.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace pgasm::preprocess {
+
+void build_spectrum(const std::vector<std::uint64_t>& keys,
+                    std::uint32_t threshold,
+                    std::unordered_set<std::uint64_t>& repetitive) {
+  std::unordered_map<std::uint64_t, std::uint32_t> counts;
+  for (const std::uint64_t key : keys) ++counts[key];
+
+  std::vector<std::uint64_t> hist(1025, 0);
+  for (const auto& [key, count] : counts) {  // BAD: hash-bucket order
+    ++hist[std::min<std::size_t>(count, 1024)];
+  }
+
+  for (const auto& [key, count] : counts) {  // BAD: hash-bucket order
+    if (count >= threshold) repetitive.insert(key);
+  }
+
+  // clean: canonical key-ordered snapshot.
+  for (const auto& [key, count] : util::sorted_items(counts)) {
+    if (count >= threshold) repetitive.insert(key);
+  }
+
+  // pgasm-lint: allow(unordered-iter): commutative integer fold, order
+  // cannot leak into any output.
+  for (const auto& [key, count] : counts) {
+    hist[0] += count;  // clean: waived
+  }
+}
+
+}  // namespace pgasm::preprocess

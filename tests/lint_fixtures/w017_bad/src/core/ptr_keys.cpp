@@ -1,0 +1,46 @@
+// Fixture: W017 must flag every way a pointer's VALUE leaks into keys,
+// hashes, or output — each is an address, different every run under ASLR
+// and different per rank under ProcTransport. Integer-keyed containers,
+// integer reinterpret_casts, and the waived diagnostic are negatives.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <unordered_map>
+
+namespace pgasm::core {
+
+struct Node {
+  std::uint32_t id = 0;
+};
+
+void fixture_ptr_identity(const Node* node, std::ostream& os) {
+  std::unordered_map<const Node*, int> index;  // BAD: pointer key, hashed
+  index[node] = 1;
+
+  std::map<Node*, int> by_addr;  // BAD: ordered by address — still unstable
+
+  const std::size_t h = std::hash<const Node*>{}(node);  // BAD: hashes addr
+
+  const auto token = reinterpret_cast<std::uintptr_t>(node);  // BAD
+
+  std::printf("node at %p\n", static_cast<const void*>(node));  // BAD: %p
+
+  os << static_cast<const void*>(node);  // BAD: streams the address
+
+  // Negatives: stable-id keys and integer casts are fine.
+  std::unordered_map<std::uint64_t, int> by_id;  // clean: integer key
+  by_id[node->id] = 1;
+  const auto widened = static_cast<std::uint64_t>(node->id);  // clean
+
+  // pgasm-lint: allow(ptr-identity): debug-only diagnostic, never reaches
+  // any output the determinism gate compares.
+  std::fprintf(stderr, "debug node %p\n", static_cast<const void*>(node));
+
+  (void)h;
+  (void)token;
+  (void)widened;
+}
+
+}  // namespace pgasm::core

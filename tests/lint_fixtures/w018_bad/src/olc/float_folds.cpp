@@ -1,0 +1,46 @@
+// Fixture: W018 must flag float folds whose combination order is not
+// fixed — float-typed cross-rank allreduces, float accumulation inside an
+// unordered-container loop, and a float std::accumulate over an unordered
+// range. Integer allreduces, ordered_reduce, and the waived fold are
+// negatives.
+#include <cstdint>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pgasm::olc {
+
+template <typename Comm>
+double fixture_float_folds(Comm& comm, double local_cost,
+                           std::vector<float> shares,
+                           const std::vector<double>& scores) {
+  const double total = comm.template allreduce_sum<double>(local_cost);  // BAD
+
+  shares = comm.template allreduce_vector<float>(  // BAD: float payload
+      std::move(shares),
+      [](float a, float b) { return a + b; });
+
+  std::unordered_map<std::uint64_t, double> weights;
+  weights[1] = 0.25;
+  double sum = 0;
+  for (const auto& [key, w] : weights) {
+    sum += w;  // BAD: float accumulation in hash-bucket order
+  }
+
+  const double s = std::accumulate(weights.begin(), weights.end(), 0.0,  // BAD
+                                   [](double acc, const auto& kv) {
+                                     return acc + kv.second;
+                                   });
+
+  // Negatives.
+  const std::uint64_t msgs = comm.template allreduce_sum<std::uint64_t>(1);
+  const double fixed = util::ordered_reduce(scores, [](double v) { return v; });
+  // pgasm-lint: allow(fp-fold): single-rank path, reduction order is fixed
+  // by construction.
+  const double waived = comm.template allreduce_sum<double>(local_cost);
+
+  return total + sum + s + fixed + waived + static_cast<double>(msgs);
+}
+
+}  // namespace pgasm::olc

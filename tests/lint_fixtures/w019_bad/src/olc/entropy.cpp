@@ -1,0 +1,36 @@
+// Fixture: W019 must flag hardware entropy, the rand() family, std
+// engines, and raw time reads feeding algorithmic code — while leaving
+// the explicitly seeded util::Prng and the waived observation-only read
+// alone. src/vmpi/ (the transport deadline layer) is exercised by the
+// sibling mini-tree file and must never be flagged.
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+#include <random>
+
+namespace pgasm::olc {
+
+std::uint64_t fixture_entropy(std::uint64_t seed, int candidates) {
+  std::random_device rd;  // BAD: hardware entropy
+
+  std::mt19937 gen(seed);  // BAD: std engine, use util::Prng
+
+  const int pick = rand() % candidates;  // BAD: libc PRNG, process-global
+
+  const auto t0 = std::chrono::steady_clock::now();  // BAD: raw clock read
+
+  const auto salt = static_cast<std::uint64_t>(time(nullptr));  // BAD
+
+  // Negatives: explicit-seed project PRNG, and a waived wall-clock read.
+  util::Prng prng(seed);  // clean: deterministic, explicitly seeded
+  // pgasm-lint: allow(entropy): log-only timestamp, value never branches.
+  const auto logged = std::chrono::steady_clock::now();
+
+  (void)rd;
+  (void)t0;
+  (void)logged;
+  return prng.next() + static_cast<std::uint64_t>(pick) + salt +
+         static_cast<std::uint64_t>(gen());
+}
+
+}  // namespace pgasm::olc

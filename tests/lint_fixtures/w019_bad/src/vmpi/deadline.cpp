@@ -1,0 +1,12 @@
+// Fixture negative: the transport layer's deadline arithmetic reads the
+// clock by design (recv_timeout / probe_timeout); W019 must never flag
+// src/vmpi/, mirroring the W008/W013 exemption.
+#include <chrono>
+
+namespace pgasm::vmpi {
+
+bool fixture_deadline_passed(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::steady_clock::now() >= deadline;  // clean: approved
+}
+
+}  // namespace pgasm::vmpi

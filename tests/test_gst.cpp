@@ -323,6 +323,37 @@ TEST(LookupFilter, DedupPerWordAndDoubledInput) {
   EXPECT_GT(filter.stats().table_entries, 0u);
 }
 
+TEST(LookupFilter, TopWordsSummaryIsCanonical) {
+  // The heaviest-word summary iterates an unordered per-word tally, so it
+  // goes through util::sorted_items before ranking (DESIGN.md §16): pairs
+  // descending, ties by word ascending, capped, and identical run to run.
+  util::Prng rng(9);
+  const auto shared = test::random_dna(rng, 60);
+  seq::FragmentStore store;
+  for (int i = 0; i < 4; ++i) {
+    auto frag = test::random_dna(rng, 20);
+    frag.insert(frag.end(), shared.begin(), shared.end());
+    store.add(frag);
+  }
+  const auto run = [&] {
+    gst::LookupFilter filter(store, {.w = 9});
+    PromisingPair p;
+    while (filter.next(p)) {
+    }
+    return filter.stats().top_words;
+  };
+  const auto words = run();
+  ASSERT_FALSE(words.empty());
+  EXPECT_LE(words.size(), 8u);
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    EXPECT_GE(words[i - 1].second, words[i].second);
+    if (words[i - 1].second == words[i].second) {
+      EXPECT_LT(words[i - 1].first, words[i].first);
+    }
+  }
+  EXPECT_EQ(words, run());
+}
+
 TEST(PairGen, PairSetMonotoneInPsi) {
   // Lower psi admits every pair a higher psi admits (a maximal match of
   // length >= psi2 is also >= psi1 < psi2).

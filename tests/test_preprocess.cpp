@@ -2,6 +2,8 @@
 // repeat masking, invalidation rules, and Table-2 style type accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "preprocess/preprocess.hpp"
 #include "sim/genome.hpp"
 #include "sim/reads.hpp"
@@ -48,6 +50,45 @@ TEST(RepeatMasker, MasksHighCopySequence) {
   std::uint64_t masked_unique = masker.mask_fragment(store, 45);
   EXPECT_GT(masked_repeat, 150u);
   EXPECT_EQ(masked_unique, 0u);
+}
+
+TEST(RepeatMasker, SpectrumSnapshotSortedAndStable) {
+  // repetitive_kmers() is the canonicalized view of the unordered k-mer
+  // set (DESIGN.md §16): key-sorted, so every consumer — the spectrum
+  // stats loops, the preprocess fingerprint — sees one fixed order.
+  util::Prng rng(3);
+  const auto repeat = test::random_dna(rng, 200);
+  seq::FragmentStore store;
+  for (int i = 0; i < 40; ++i) store.add(repeat);
+  for (int i = 0; i < 20; ++i) store.add(test::random_dna(rng, 200));
+
+  RepeatMaskParams params;
+  params.k = 16;
+  params.sample_fraction = 0.5;
+  RepeatMasker masker(store, params);
+  const auto snap = masker.repetitive_kmers();
+  ASSERT_EQ(snap.size(), masker.num_repetitive_kmers());
+  EXPECT_TRUE(std::is_sorted(snap.begin(), snap.end()));
+  EXPECT_EQ(snap, masker.repetitive_kmers());
+}
+
+TEST(Preprocess, RepeatSpectrumFingerprintIsReproducible) {
+  // The fingerprint folds the *sorted* spectrum, so two identical inputs
+  // must agree bit for bit; test_determinism extends this across rank
+  // counts and transports.
+  util::Prng rng(7);
+  const auto repeat = test::random_dna(rng, 250);
+  seq::FragmentStore store;
+  for (int i = 0; i < 30; ++i) store.add(repeat);
+  for (int i = 0; i < 15; ++i) store.add(test::random_dna(rng, 250));
+
+  PreprocessParams params;
+  params.repeat.sample_fraction = 1.0;
+  const auto a = preprocess::preprocess(store, {}, params);
+  const auto b = preprocess::preprocess(store, {}, params);
+  EXPECT_NE(a.stats.repeat_spectrum_fingerprint, 0u);
+  EXPECT_EQ(a.stats.repeat_spectrum_fingerprint,
+            b.stats.repeat_spectrum_fingerprint);
 }
 
 TEST(RepeatMasker, LibraryScreening) {

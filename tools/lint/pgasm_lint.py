@@ -24,7 +24,7 @@ W005  include-what-you-use (lite): public headers under src/ must directly
       include the std header for every std:: symbol they name, so any
       subset of pgasm.hpp compiles standalone.
 W006  test-label audit: every registered test carries exactly one suite
-      label from {unit, parallel, faults, obs, fuzz}.
+      label from {unit, parallel, faults, obs, fuzz, verify, determ}.
 W007  annotated-lock discipline: raw std::mutex / std::condition_variable /
       std::lock_guard / std::unique_lock / std::scoped_lock declarations and
       raw .lock()/.unlock()/.try_lock() member calls are banned outside
@@ -105,13 +105,21 @@ Waivers: append `pgasm-lint: allow(<check>): <reason>` in a comment on the
 offending line or the line above. <check> is the lowercase slug shown in
 the finding, e.g. raw-comm, alloc, naming, iwyu, raw-lock, lock-blocking,
 switch, guard, metric-prefix, raw-proc, memory-order, raw-atomic.
+
+Performance: when more than one check is selected, checks run in a
+multiprocessing pool (one task per check; finding IDs are unchanged
+because ordinals only count within a check). File reads are memoized per
+process, and the clang AST pass caches extracted facts per file content
+hash under build/.ast_cache so unchanged files never rerun the compiler.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import hashlib
 import json
+import multiprocessing
 import re
 import shutil
 import subprocess
@@ -149,6 +157,7 @@ def finding(path: Path, line_no: int, check: str, slug: str, msg: str) -> None:
     })
 
 
+@functools.lru_cache(maxsize=None)
 def read_lines(path: Path) -> list[str]:
     return path.read_text(encoding="utf-8", errors="replace").splitlines()
 
@@ -507,7 +516,8 @@ def check_w005() -> None:
 # W006: test label audit
 # --------------------------------------------------------------------------
 
-VALID_LABELS = {"unit", "parallel", "faults", "obs", "fuzz", "verify"}
+VALID_LABELS = {"unit", "parallel", "faults", "obs", "fuzz", "verify",
+                "determ"}
 PGASM_TEST_RE = re.compile(r"^\s*pgasm_test\((\w+)(.*)\)\s*$")
 PGASM_FUZZ_RE = re.compile(r"^\s*pgasm_fuzz\((\w+)\)\s*$")
 
@@ -1101,58 +1111,105 @@ def ast_walk(node: dict, visit) -> None:
             ast_walk(child, visit)
 
 
+AST_CACHE_VERSION = "lint-v1"
+
+
+def ast_cache_dir() -> Path:
+    return REPO / "build" / ".ast_cache"
+
+
+def ast_facts(clang: str, path: Path) -> list[dict] | None:
+    """Lock facts from clang's AST for one file, memoised on disk.
+
+    Facts are {kind: lock-type|lock-call, line, payload} records — pure
+    functions of the file contents and the compiler — so they are cached
+    under build/.ast_cache keyed by sha256(version + clang path + file
+    bytes). A cache hit skips the clang invocation entirely, which is
+    what makes repeated lint runs on a warm tree fast. Returns None when
+    clang cannot produce an AST (the lexer facts stand); failures are
+    never cached.
+    """
+    blob = path.read_bytes()
+    key = hashlib.sha256(
+        f"{AST_CACHE_VERSION}\0{clang}\0".encode() + blob).hexdigest()
+    cache = ast_cache_dir() / f"{key}.json"
+    if cache.is_file():
+        try:
+            return json.loads(cache.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt or racing entry: recompute below
+    try:
+        proc = subprocess.run(
+            [clang, "-x", "c++", "-std=c++20", "-fsyntax-only",
+             "-Xclang", "-ast-dump=json", "-I", str(SRC), str(path)],
+            capture_output=True, text=True, timeout=120)
+        if proc.returncode != 0 or not proc.stdout:
+            return None
+        root = json.loads(proc.stdout)
+    except (subprocess.SubprocessError, json.JSONDecodeError, OSError):
+        print(f"pgasm-lint: warning: clang AST pass failed on {path}; "
+              "lexer facts stand", file=sys.stderr)
+        return None
+
+    facts: list[dict] = []
+
+    def visit(node: dict) -> None:
+        kind = node.get("kind", "")
+        line = (node.get("loc") or {}).get("line", 0)
+        if not line:
+            return
+        if kind == "VarDecl":
+            qual = (node.get("type") or {}).get("qualType", "")
+            if RAW_LOCK_TYPE_RE.search(qual):
+                facts.append(
+                    {"kind": "lock-type", "line": line, "payload": qual})
+        elif kind == "CXXMemberCallExpr":
+            callee = ""
+            for child in node.get("inner", []):
+                if child.get("kind") == "MemberExpr":
+                    callee = child.get("name", "")
+            if callee in ("lock", "unlock", "try_lock"):
+                facts.append(
+                    {"kind": "lock-call", "line": line, "payload": callee})
+
+    ast_walk(root, visit)
+    try:
+        cache.parent.mkdir(parents=True, exist_ok=True)
+        cache.write_text(json.dumps(facts), encoding="utf-8")
+    except OSError:
+        pass  # cache is best-effort; the facts are still returned
+    return facts
+
+
 def ast_findings(files: list[Path]) -> None:
     clang = clang_binary()
     if clang is None:
         return
     seen = {(f["check"], f["path"], f["line"]) for f in FINDINGS}
     for path in files:
-        try:
-            proc = subprocess.run(
-                [clang, "-x", "c++", "-std=c++20", "-fsyntax-only",
-                 "-Xclang", "-ast-dump=json", "-I", str(SRC), str(path)],
-                capture_output=True, text=True, timeout=120)
-            if proc.returncode != 0 or not proc.stdout:
-                continue
-            root = json.loads(proc.stdout)
-        except (subprocess.SubprocessError, json.JSONDecodeError, OSError):
-            print(f"pgasm-lint: warning: clang AST pass failed on {path}; "
-                  "lexer facts stand", file=sys.stderr)
+        if is_shim(path):
             continue
-
+        facts = ast_facts(clang, path)
+        if facts is None:
+            continue
         lines = read_lines(path)
-
-        def visit(node: dict) -> None:
-            kind = node.get("kind", "")
-            line = (node.get("loc") or {}).get("line", 0)
-            if not line or line > len(lines):
-                return
-            rel = str(path.relative_to(REPO))
-            if kind == "VarDecl":
-                qual = (node.get("type") or {}).get("qualType", "")
-                if RAW_LOCK_TYPE_RE.search(qual) and not is_shim(path):
-                    key = ("W007", rel, line)
-                    if key not in seen and not waived(lines, line - 1,
-                                                      "raw-lock"):
-                        seen.add(key)
-                        finding(path, line, "W007", "raw-lock",
-                                f"raw lock type {qual!r} (clang AST); use "
-                                "the util::Mutex vocabulary")
-            elif kind == "CXXMemberCallExpr" and not is_shim(path):
-                callee = ""
-                for child in node.get("inner", []):
-                    if child.get("kind") == "MemberExpr":
-                        callee = child.get("name", "")
-                if callee in ("lock", "unlock", "try_lock"):
-                    key = ("W007", rel, line)
-                    if key not in seen and not waived(lines, line - 1,
-                                                      "raw-lock"):
-                        seen.add(key)
-                        finding(path, line, "W007", "raw-lock",
-                                f"raw .{callee}() call (clang AST); hold "
-                                "locks through util::MutexLock scopes only")
-
-        ast_walk(root, visit)
+        rel = str(path.relative_to(REPO))
+        for fact in facts:
+            line = fact["line"]
+            if line > len(lines):
+                continue
+            key = ("W007", rel, line)
+            if key in seen or waived(lines, line - 1, "raw-lock"):
+                continue
+            seen.add(key)
+            if fact["kind"] == "lock-type":
+                finding(path, line, "W007", "raw-lock",
+                        f"raw lock type {fact['payload']!r} (clang AST); use "
+                        "the util::Mutex vocabulary")
+            else:
+                finding(path, line, "W007", "raw-lock",
+                        f"raw .{fact['payload']}() call (clang AST); hold "
+                        "locks through util::MutexLock scopes only")
 
 
 def check_clang_ast() -> None:
@@ -1181,6 +1238,42 @@ CHECKS = {
     "W014": check_w014,
     "W015": check_w015,
 }
+
+
+def _run_one_check(name: str) -> list[dict]:
+    """Pool worker: run one check in a forked child, return its findings.
+
+    The child inherits REPO/SRC/TESTS (and any --root re-pointing) via
+    fork. Clearing FINDINGS first means the returned batch is exactly the
+    check's own findings; IDs match a serial run because finding()
+    ordinals only ever count earlier findings of the SAME check.
+    """
+    FINDINGS.clear()
+    CHECKS[name]()
+    return list(FINDINGS)
+
+
+def run_checks(selected: list[str]) -> None:
+    """Run the selected checks, in parallel when there is more than one.
+
+    One pool task per check, merged back in selection order, which is
+    byte-identical (findings and IDs) to the serial loop. Falls back to
+    serial on platforms without fork or when the pool cannot start.
+    """
+    if len(selected) > 1:
+        try:
+            ctx = multiprocessing.get_context("fork")
+            workers = min(len(selected), multiprocessing.cpu_count())
+            with ctx.Pool(workers) as pool:
+                per_check = pool.map(_run_one_check, selected)
+            FINDINGS.clear()
+            for batch in per_check:
+                FINDINGS.extend(batch)
+            return
+        except (OSError, ValueError):
+            FINDINGS.clear()
+    for name in selected:
+        CHECKS[name]()
 
 
 def emit_text(selected: list[str]) -> None:
@@ -1238,8 +1331,7 @@ def main() -> int:
             print(f"unknown check {name}", file=sys.stderr)
             return 2
     try:
-        for name in selected:
-            CHECKS[name]()
+        run_checks(selected)
         if (args.frontend in ("auto", "clang")
                 and any(c in selected for c in ("W007", "W010"))):
             if args.frontend == "clang" and clang_binary() is None:
